@@ -1,0 +1,309 @@
+//! Temporal path problems over a temporal LPG (Fig. 2): earliest-arrival
+//! and latest-departure paths, solved with the single-scan approach of
+//! Wu et al. ("Path problems in temporal graphs") that TeGraph later casts
+//! as a topological-optimum problem — no joins across snapshots.
+//!
+//! Interpretation of a relationship version's interval `[τ_s, τ_e)`: the
+//! connection departs its source at `τ_s` and arrives at its target at
+//! `τ_e` (the aviation reading of Fig. 2; an open-ended interval means the
+//! link persists and traversal costs nothing beyond its start).
+
+use lpg::{NodeId, Relationship, TemporalGraph, Timestamp, Version, TS_MAX};
+use std::collections::HashMap;
+
+fn sorted_by_departure(tg: &TemporalGraph) -> Vec<&Version<Relationship>> {
+    let mut rels: Vec<&Version<Relationship>> =
+        tg.rels.values().flat_map(|c| c.iter()).collect();
+    rels.sort_by_key(|v| v.valid.start);
+    rels
+}
+
+/// Earliest arrival time at every reachable node, starting from `source`
+/// no earlier than `t_start`. One forward scan over relationships sorted by
+/// departure time.
+pub fn earliest_arrival(
+    tg: &TemporalGraph,
+    source: NodeId,
+    t_start: Timestamp,
+) -> HashMap<NodeId, Timestamp> {
+    let mut arrival: HashMap<NodeId, Timestamp> = HashMap::new();
+    arrival.insert(source, t_start);
+    for v in sorted_by_departure(tg) {
+        let dep = v.valid.start;
+        let arr = if v.valid.end == TS_MAX { dep } else { v.valid.end };
+        if let Some(&at_src) = arrival.get(&v.data.src) {
+            // Board only if we are already at the source when it departs.
+            if dep >= at_src {
+                let best = arrival.get(&v.data.tgt).copied().unwrap_or(TS_MAX);
+                if arr < best {
+                    arrival.insert(v.data.tgt, arr);
+                }
+            }
+        }
+    }
+    arrival
+}
+
+/// Latest departure time from every node that still reaches `target` by
+/// `deadline`. One backward scan over relationships sorted by arrival time
+/// (descending).
+pub fn latest_departure(
+    tg: &TemporalGraph,
+    target: NodeId,
+    deadline: Timestamp,
+) -> HashMap<NodeId, Timestamp> {
+    let mut departure: HashMap<NodeId, Timestamp> = HashMap::new();
+    departure.insert(target, deadline);
+    let mut rels: Vec<&Version<Relationship>> =
+        tg.rels.values().flat_map(|c| c.iter()).collect();
+    rels.sort_by_key(|v| std::cmp::Reverse(arrival_of(v)));
+    for v in rels {
+        let dep = v.valid.start;
+        let arr = arrival_of(v);
+        if let Some(&from_tgt) = departure.get(&v.data.tgt) {
+            // Take this connection only if its arrival still leaves time to
+            // continue from the target node.
+            if arr <= from_tgt {
+                let best = departure.get(&v.data.src).copied().unwrap_or(0);
+                if dep > best || !departure.contains_key(&v.data.src) {
+                    departure.insert(v.data.src, dep);
+                }
+            }
+        }
+    }
+    departure
+}
+
+fn arrival_of(v: &Version<Relationship>) -> Timestamp {
+    if v.valid.end == TS_MAX {
+        v.valid.start
+    } else {
+        v.valid.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpg::{Graph, Interval, RelId, TimestampedUpdate, Update};
+
+    fn nid(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// An aviation network in the spirit of Fig. 2: airports 0..=4,
+    /// flights as relationships whose interval is [departure, arrival).
+    fn aviation() -> TemporalGraph {
+        let base = Graph::new();
+        let ts = 0u64;
+        let mut updates = Vec::new();
+        for i in 0..5u64 {
+            updates.push(TimestampedUpdate::new(ts, Update::AddNode {
+                id: nid(i),
+                labels: vec![],
+                props: vec![],
+            }));
+        }
+        // flights: (id, src, tgt, dep, arr)
+        let flights = [
+            (0u64, 0u64, 2u64, 1u64, 3u64),
+            (1, 2, 1, 4, 8),   // connects from flight 0
+            (2, 0, 3, 2, 5),
+            (3, 3, 1, 10, 13), // slower alternative
+            (4, 0, 4, 1, 4),
+            (5, 4, 1, 5, 7),   // 0→4→1 arrives 7
+            (6, 2, 1, 2, 6),   // departs before flight 0 arrives: unusable
+        ];
+        for (id, s, t, dep, arr) in flights {
+            updates.push(TimestampedUpdate::new(dep, Update::AddRel {
+                id: RelId::new(id),
+                src: nid(s),
+                tgt: nid(t),
+                label: None,
+                props: vec![],
+            }));
+            updates.push(TimestampedUpdate::new(arr, Update::DeleteRel {
+                id: RelId::new(id),
+            }));
+        }
+        updates.sort_by_key(|u| u.ts);
+        TemporalGraph::build(&base, Interval::new(0, 50), &updates)
+    }
+
+    #[test]
+    fn earliest_arrival_chooses_feasible_connections() {
+        let tg = aviation();
+        let ea = earliest_arrival(&tg, nid(0), 0);
+        assert_eq!(ea[&nid(0)], 0);
+        assert_eq!(ea[&nid(2)], 3);
+        assert_eq!(ea[&nid(4)], 4);
+        // 0→4→1 arrives at 7; 0→2→1 arrives at 8; flight 6 departs at 2
+        // (before we reach airport 2 at 3) so it is unusable.
+        assert_eq!(ea[&nid(1)], 7);
+    }
+
+    #[test]
+    fn earliest_arrival_respects_start_time() {
+        let tg = aviation();
+        // Starting at t=2 misses flights departing at 1.
+        let ea = earliest_arrival(&tg, nid(0), 2);
+        assert!(!ea.contains_key(&nid(2)), "flight 0 departs at 1 < 2");
+        assert_eq!(ea[&nid(3)], 5);
+        assert_eq!(ea[&nid(1)], 13, "only 0→3→1 remains");
+    }
+
+    #[test]
+    fn latest_departure_backward_scan() {
+        let tg = aviation();
+        let ld = latest_departure(&tg, nid(1), 50);
+        // From 3 we can leave at 10 (flight 3); from 0 the latest start
+        // that still reaches 1 is flight 2 at t=2 (0→3 at 2, 3→1 at 10).
+        assert_eq!(ld[&nid(3)], 10);
+        assert_eq!(ld[&nid(2)], 4);
+        assert_eq!(ld[&nid(4)], 5);
+        assert_eq!(ld[&nid(0)], 2);
+    }
+
+    #[test]
+    fn latest_departure_with_tight_deadline() {
+        let tg = aviation();
+        // Deadline 7: only 0→4→1 (arr 7) and its prefix work.
+        let ld = latest_departure(&tg, nid(1), 7);
+        assert_eq!(ld[&nid(4)], 5);
+        assert_eq!(ld[&nid(2)], 2); // only flight 6 (arr 6 ≤ 7) works from 2
+        assert_eq!(ld[&nid(0)], 1);
+        assert!(!ld.contains_key(&nid(3)), "3→1 arrives 13 > 7");
+    }
+
+    #[test]
+    fn unreachable_nodes_absent() {
+        let tg = aviation();
+        let ea = earliest_arrival(&tg, nid(1), 0);
+        assert_eq!(ea.len(), 1, "airport 1 has no outgoing flights");
+    }
+}
+
+/// Minimum travel duration from `source` to every reachable node — the
+/// third classic temporal-path problem of Wu et al. One forward scan in
+/// departure order maintaining, per node, a Pareto frontier of
+/// `(start, arrival)` pairs (a pair dominates another when it starts later
+/// *and* arrives earlier).
+pub fn fastest_duration(tg: &TemporalGraph, source: NodeId) -> HashMap<NodeId, Timestamp> {
+    // frontier[v] = non-dominated (start_from_source, arrival_at_v) pairs.
+    let mut frontier: HashMap<NodeId, Vec<(Timestamp, Timestamp)>> = HashMap::new();
+    let mut best: HashMap<NodeId, Timestamp> = HashMap::new();
+    best.insert(source, 0);
+    for v in sorted_by_departure(tg) {
+        let dep = v.valid.start;
+        let arr = arrival_of(v);
+        // Best (latest) start that has us at the rel's source by `dep`.
+        let start = if v.data.src == source {
+            // Starting fresh from the source at exactly the departure time.
+            Some(dep)
+        } else {
+            frontier
+                .get(&v.data.src)
+                .into_iter()
+                .flatten()
+                .filter(|(_, a)| *a <= dep)
+                .map(|(s, _)| *s)
+                .max()
+        };
+        let Some(start) = start else { continue };
+        let pair = (start, arr);
+        let entry = frontier.entry(v.data.tgt).or_default();
+        // Insert unless dominated; drop pairs the new one dominates.
+        let dominated = entry.iter().any(|(s, a)| *s >= pair.0 && *a <= pair.1);
+        if !dominated {
+            entry.retain(|(s, a)| !(pair.0 >= *s && pair.1 <= *a));
+            entry.push(pair);
+            let duration = arr - start;
+            let cur = best.entry(v.data.tgt).or_insert(u64::MAX);
+            if duration < *cur {
+                *cur = duration;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod fastest_tests {
+    use super::*;
+    use lpg::{Graph, Interval, RelId, TimestampedUpdate, Update};
+
+    fn nid(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn network(flights: &[(u64, u64, u64, u64, u64)]) -> TemporalGraph {
+        let mut updates = Vec::new();
+        let max_node = flights.iter().map(|f| f.1.max(f.2)).max().unwrap_or(0);
+        for i in 0..=max_node {
+            updates.push(TimestampedUpdate::new(0, Update::AddNode {
+                id: nid(i),
+                labels: vec![],
+                props: vec![],
+            }));
+        }
+        for &(id, s, t, dep, arr) in flights {
+            updates.push(TimestampedUpdate::new(dep, Update::AddRel {
+                id: RelId::new(id),
+                src: nid(s),
+                tgt: nid(t),
+                label: None,
+                props: vec![],
+            }));
+            updates.push(TimestampedUpdate::new(arr, Update::DeleteRel {
+                id: RelId::new(id),
+            }));
+        }
+        updates.sort_by_key(|u| u.ts);
+        TemporalGraph::build(&Graph::new(), Interval::new(0, 1_000), &updates)
+    }
+
+    #[test]
+    fn direct_vs_connection_duration() {
+        // Direct 0→2 takes 15 (dep 5, arr 20); via 1 it takes 9
+        // (dep 10 → arr 13, dep 15 → arr 19).
+        let tg = network(&[
+            (0, 0, 2, 5, 20),
+            (1, 0, 1, 10, 13),
+            (2, 1, 2, 15, 19),
+        ]);
+        let fastest = fastest_duration(&tg, nid(0));
+        assert_eq!(fastest[&nid(2)], 9, "connection beats the direct flight");
+        assert_eq!(fastest[&nid(1)], 3);
+    }
+
+    #[test]
+    fn later_start_can_be_fastest() {
+        // Early slow option (dep 1, arr 20) vs late quick one (dep 50, arr 52).
+        let tg = network(&[(0, 0, 1, 1, 20), (1, 0, 1, 50, 52)]);
+        let fastest = fastest_duration(&tg, nid(0));
+        assert_eq!(fastest[&nid(1)], 2);
+    }
+
+    #[test]
+    fn pareto_frontier_keeps_useful_early_arrivals(){
+        // To catch the 1→2 leg departing at 6, the slower-but-earlier
+        // 0→1 arrival must survive in the frontier even though a later
+        // start pair exists.
+        let tg = network(&[
+            (0, 0, 1, 1, 5),   // start 1, arrive 5 (duration 4)
+            (1, 0, 1, 7, 9),   // start 7, arrive 9 (duration 2, dominates for node 1)
+            (2, 1, 2, 6, 8),   // only reachable via the early arrival
+        ]);
+        let fastest = fastest_duration(&tg, nid(0));
+        assert_eq!(fastest[&nid(1)], 2);
+        assert_eq!(fastest[&nid(2)], 7, "1 → 8 via the early pair");
+    }
+
+    #[test]
+    fn unreachable_absent_and_source_zero() {
+        let tg = network(&[(0, 0, 1, 1, 2)]);
+        let fastest = fastest_duration(&tg, nid(1));
+        assert_eq!(fastest.get(&nid(0)), None);
+        assert_eq!(fastest[&nid(1)], 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # aion-baselines — reimplementations of the paper's comparison systems
+//!
+//! The paper evaluates Aion against Raphtory (fine-grained in-memory
+//! storage), Gradoop (model-based storage over table scans + joins) and
+//! plain Neo4j (no temporal capabilities). None of those systems can be
+//! linked here, so this crate re-implements each system's *storage and
+//! query strategy* faithfully enough that the Table 4 complexity profile —
+//! the thing the paper's comparisons hinge on — is reproduced:
+//!
+//! | system   | space | rel retrieval | snapshot retrieval |
+//! |----------|-------|---------------|--------------------|
+//! | Raphtory | |U|   | `2·|U_R^n|`   | `|U|` (all-history scan) |
+//! | Gradoop  | |U|   | `|U_R|`       | `|U|` (scan + 2 joins)   |
+//!
+//! * [`raphtory`] — per-entity update vectors; point lookups linearly scan
+//!   the endpoint nodes' relationship histories; snapshots scan everything.
+//!   Like the real system (v0.5.6), it does **not** support multigraphs:
+//!   a second relationship between the same (src, tgt) pair is dropped.
+//! * [`gradoop`] — temporal node/relationship row tables; a snapshot is a
+//!   scan + filter over both tables followed by two hash semi-joins that
+//!   remove dangling relationships (where the real system spends ~80 % of
+//!   its time, Sec. 6.2).
+//! * [`classic`] — a latest-version-only store: the plain Neo4j stand-in
+//!   used to normalize ingestion overhead (Fig. 9) and as the recompute
+//!   baseline for incremental analytics (Figs. 12/14).
+//!
+//! All three implement [`TemporalBackend`] so the benchmark harness drives
+//! them interchangeably.
+
+pub mod classic;
+pub mod gradoop;
+pub mod raphtory;
+
+use lpg::{Graph, Relationship, RelId, Timestamp, Update};
+
+/// The uniform surface the benchmark harness drives.
+pub trait TemporalBackend {
+    /// Human-readable system name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Ingests one update at `ts` (timestamps non-decreasing).
+    fn apply(&mut self, ts: Timestamp, op: &Update);
+
+    /// Point query: the relationship state valid at `ts`.
+    fn rel_at(&self, id: RelId, ts: Timestamp) -> Option<Relationship>;
+
+    /// Global query: the full graph valid at `ts`.
+    fn snapshot_at(&self, ts: Timestamp) -> Graph;
+
+    /// Estimated resident bytes (space accounting).
+    fn heap_size(&self) -> usize;
+}
+
+pub use classic::ClassicStore;
+pub use gradoop::GradoopLike;
+pub use raphtory::RaphtoryLike;

@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the B+Tree substrate: inserts, point lookups, floor
+//! seeks and range scans over the page cache.
+
+use btree::BTree;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pagestore::PageStore;
+use std::sync::Arc;
+use tempfile::tempdir;
+
+fn key(i: u64) -> [u8; 16] {
+    encoding::keys::entity_ts_key(i % 10_000, i)
+}
+
+fn populated(n: u64, cache_pages: usize) -> (tempfile::TempDir, BTree) {
+    let dir = tempdir().unwrap();
+    let store = Arc::new(PageStore::open(dir.path().join("b.db"), cache_pages).unwrap());
+    let tree = BTree::open(store, 0).unwrap();
+    for i in 0..n {
+        tree.insert(&key(i), &i.to_le_bytes()).unwrap();
+    }
+    (dir, tree)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+
+    g.bench_function("insert_50k", |b| {
+        b.iter_batched(
+            || {
+                let dir = tempdir().unwrap();
+                let store =
+                    Arc::new(PageStore::open(dir.path().join("b.db"), 1024).unwrap());
+                (dir, BTree::open(store, 0).unwrap())
+            },
+            |(_d, tree)| {
+                for i in 0..50_000u64 {
+                    tree.insert(&key(i), &i.to_le_bytes()).unwrap();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    let (_d, tree) = populated(100_000, 1024);
+    let mut probe = 0u64;
+    g.bench_function("get_warm_cache", |b| {
+        b.iter(|| {
+            probe = probe.wrapping_add(7919);
+            std::hint::black_box(tree.get(&key(probe % 100_000)).unwrap())
+        })
+    });
+
+    g.bench_function("seek_floor", |b| {
+        b.iter(|| {
+            probe = probe.wrapping_add(104729);
+            std::hint::black_box(tree.seek_floor(&key(probe % 100_000)).unwrap())
+        })
+    });
+
+    g.bench_function("scan_1k_entries", |b| {
+        b.iter(|| {
+            let start = key(probe % 90_000);
+            let count = tree
+                .scan(&start, &[])
+                .unwrap()
+                .take(1_000)
+                .count();
+            std::hint::black_box(count)
+        })
+    });
+
+    // Out-of-core: tiny cache forces page churn.
+    let (_d2, cold) = populated(100_000, 16);
+    g.bench_function("get_cold_cache", |b| {
+        b.iter(|| {
+            probe = probe.wrapping_add(7919);
+            std::hint::black_box(cold.get(&key(probe % 100_000)).unwrap())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Delta-chain materialization micro-benchmark (Fig. 11): read cost of a
+//! version at the end of a delta chain, per chain-length threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lineagestore::{LineageStore, LineageStoreConfig};
+use lpg::{NodeId, PropertyValue, RelId, StrId, Update};
+use tempfile::tempdir;
+
+fn build(threshold: Option<u32>) -> (tempfile::TempDir, LineageStore, u64) {
+    let dir = tempdir().unwrap();
+    let store = LineageStore::open(
+        dir.path().join("l.db"),
+        LineageStoreConfig {
+            cache_pages: 2048,
+            chain_threshold: threshold,
+        },
+    )
+    .unwrap();
+    let rels = 200u64;
+    let mut ts = 0;
+    for i in 0..2 {
+        ts += 1;
+        store
+            .apply_update(
+                ts,
+                &Update::AddNode {
+                    id: NodeId::new(i),
+                    labels: vec![],
+                    props: vec![],
+                },
+            )
+            .unwrap();
+    }
+    for i in 0..rels {
+        ts += 1;
+        store
+            .apply_update(
+                ts,
+                &Update::AddRel {
+                    id: RelId::new(i),
+                    src: NodeId::new(0),
+                    tgt: NodeId::new(1),
+                    label: None,
+                    props: vec![],
+                },
+            )
+            .unwrap();
+    }
+    for round in 0..32u64 {
+        for i in 0..rels {
+            ts += 1;
+            store
+                .apply_update(
+                    ts,
+                    &Update::SetRelProp {
+                        id: RelId::new(i),
+                        key: StrId::new(0),
+                        value: PropertyValue::Int((round * rels + i) as i64),
+                    },
+                )
+                .unwrap();
+        }
+    }
+    (dir, store, ts)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("materialization");
+    g.sample_size(20);
+    for (threshold, label) in [
+        (None, "chain_32_pure_deltas"),
+        (Some(8u32), "chain_8"),
+        (Some(4), "chain_4_paper_default"),
+        (Some(1), "chain_1_always_full"),
+    ] {
+        let (_d, store, max_ts) = build(threshold);
+        let mut i = 0u64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                i = i.wrapping_add(7919);
+                let rel = RelId::new(i % 200);
+                let ts = 1 + (i % max_ts);
+                std::hint::black_box(store.rel_at(rel, ts).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the two temporal stores and the baselines on the
+//! paper's three access classes: point queries (Fig. 6), snapshots
+//! (Fig. 7) and n-hop expansion (Fig. 8).
+
+use aion_bench::common::{build_gradoop, build_raphtory, ingest_aion, open_aion, BenchConfig};
+use baselines::TemporalBackend;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpg::Direction;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tempfile::tempdir;
+
+fn bench(c: &mut Criterion) {
+    let cfg = BenchConfig {
+        target_edges: 10_000,
+        ..Default::default()
+    };
+    let w = cfg.workload("WikiTalk");
+    let dir = tempdir().unwrap();
+    let db = open_aion(dir.path(), true);
+    ingest_aion(&db, &w);
+    let raphtory = build_raphtory(&w);
+    let gradoop = build_gradoop(&w);
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    let mut g = c.benchmark_group("point_queries");
+    g.bench_function("aion_lineage_rel_at", |b| {
+        b.iter(|| {
+            let rel = w.random_rel(&mut rng);
+            let ts = w.random_ts(&mut rng);
+            std::hint::black_box(db.lineagestore().rel_at(rel, ts).unwrap())
+        })
+    });
+    g.bench_function("raphtory_rel_at", |b| {
+        b.iter(|| {
+            let rel = w.random_rel(&mut rng);
+            let ts = w.random_ts(&mut rng);
+            std::hint::black_box(raphtory.rel_at(rel, ts))
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("gradoop_rel_at", |b| {
+        b.iter(|| {
+            let rel = w.random_rel(&mut rng);
+            let ts = w.random_ts(&mut rng);
+            std::hint::black_box(gradoop.rel_at(rel, ts))
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("snapshots");
+    g.sample_size(10);
+    g.bench_function("aion_timestore", |b| {
+        b.iter(|| {
+            let ts = w.random_ts(&mut rng);
+            std::hint::black_box(db.get_graph_at(ts).unwrap().node_count())
+        })
+    });
+    g.bench_function("raphtory_all_history_scan", |b| {
+        b.iter(|| {
+            let ts = w.random_ts(&mut rng);
+            std::hint::black_box(raphtory.snapshot_at(ts).node_count())
+        })
+    });
+    g.bench_function("gradoop_scan_and_join", |b| {
+        b.iter(|| {
+            let ts = w.random_ts(&mut rng);
+            std::hint::black_box(gradoop.snapshot_at(ts).node_count())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("expand");
+    g.sample_size(10);
+    let end = w.max_ts;
+    for hops in [1u32, 2, 4] {
+        g.bench_function(format!("lineage_{hops}hop"), |b| {
+            b.iter(|| {
+                let n = w.random_node(&mut rng);
+                std::hint::black_box(
+                    db.lineagestore()
+                        .expand(n, Direction::Outgoing, hops, end)
+                        .map(|h| h.len())
+                        .unwrap_or(0),
+                )
+            })
+        });
+        g.bench_function(format!("timestore_{hops}hop"), |b| {
+            b.iter(|| {
+                let n = w.random_node(&mut rng);
+                std::hint::black_box(
+                    db.expand_via_snapshot(n, Direction::Outgoing, hops, end)
+                        .map(|h| h.len())
+                        .unwrap_or(0),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Fig. 12 — speedup of incremental graph computations over per-snapshot
+//! recomputation, for 10 and 100 consecutive snapshots (embedded mode).
+//!
+//! Protocol (Sec. 6.6): load half of each graph's relationships into the
+//! first snapshot, split the rest into 100 increments, then evaluate AVG /
+//! BFS / PageRank over the snapshot series.
+//!
+//! Paper shape: AVG up to 9× (10 snapshots) and 46.5× (100); BFS and
+//! PageRank between 2.3–12× and 3.5–8.3×.
+
+use crate::common::{banner, ingest_aion, open_aion, BenchConfig, Timer};
+use aion::procedures::ExecMode;
+use algo::pagerank::PageRankConfig;
+use lpg::StrId;
+use tempfile::tempdir;
+
+/// Datasets measured.
+pub const DATASETS: [&str; 4] = ["DBLP", "WikiTalk", "Pokec", "LiveJournal"];
+
+/// One measured row.
+pub struct IncrementalRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm label (`AVG`, `BFS`, `PR`).
+    pub algo: &'static str,
+    /// Snapshot count (10 or 100).
+    pub snapshots: usize,
+    /// Wall-clock speedup of incremental over classic.
+    pub speedup: f64,
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &BenchConfig) -> Vec<IncrementalRow> {
+    banner(
+        "Fig. 12 — incremental execution speedup (10 and 100 snapshots)",
+        "paper: AVG ≤9x/46.5x, BFS 2.3-12x, PR 3.5-8.3x; more snapshots ⇒ more reuse",
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "dataset/algo(snaps)", "classic(s)", "incr(s)", "speedup"
+    );
+    let weight = StrId::new(2);
+    let mut out = Vec::new();
+    for name in DATASETS {
+        let w = cfg.workload(name);
+        let dir = tempdir().expect("tempdir");
+        let db = open_aion(dir.path(), true);
+        ingest_aion(&db, &w);
+        // Sec. 6.6 protocol: series starts at the half-way timestamp.
+        let half = w.max_ts / 2;
+        let end = w.max_ts + 1;
+        for snapshots in [10usize, 100] {
+            let step = ((end - half) / snapshots as u64).max(1);
+            // AVG.
+            let t = Timer::start();
+            let classic = db
+                .proc_avg_series(weight, half, end, step, ExecMode::Classic)
+                .expect("avg classic");
+            let classic_s = t.secs();
+            let t = Timer::start();
+            let incr = db
+                .proc_avg_series(weight, half, end, step, ExecMode::Incremental)
+                .expect("avg incr");
+            let incr_s = t.secs();
+            debug_assert_eq!(classic.points.len(), incr.points.len());
+            report(&mut out, name, "AVG", snapshots, classic_s, incr_s);
+
+            // BFS from node 0 (a hub under the skewed generator).
+            let src = lpg::NodeId::new(0);
+            let t = Timer::start();
+            let _ = db
+                .proc_bfs_series(src, half, end, step, ExecMode::Classic)
+                .expect("bfs classic");
+            let classic_s = t.secs();
+            let t = Timer::start();
+            let _ = db
+                .proc_bfs_series(src, half, end, step, ExecMode::Incremental)
+                .expect("bfs incr");
+            let incr_s = t.secs();
+            report(&mut out, name, "BFS", snapshots, classic_s, incr_s);
+
+            // PageRank (ε = 0.01, ≤100 iterations, as in the paper).
+            let pr = PageRankConfig {
+                damping: 0.85,
+                max_iters: 100,
+                epsilon: 0.01,
+            };
+            let t = Timer::start();
+            let _ = db
+                .proc_pagerank_series(pr, half, end, step, ExecMode::Classic)
+                .expect("pr classic");
+            let classic_s = t.secs();
+            let t = Timer::start();
+            let _ = db
+                .proc_pagerank_series(pr, half, end, step, ExecMode::Incremental)
+                .expect("pr incr");
+            let incr_s = t.secs();
+            report(&mut out, name, "PR", snapshots, classic_s, incr_s);
+        }
+    }
+    out
+}
+
+fn report(
+    out: &mut Vec<IncrementalRow>,
+    dataset: &str,
+    algo: &'static str,
+    snapshots: usize,
+    classic_s: f64,
+    incr_s: f64,
+) {
+    let speedup = classic_s / incr_s.max(1e-9);
+    println!(
+        "{:<22} {:>12.3} {:>12.3} {:>9.1}x",
+        format!("{dataset}/{algo}({snapshots})"),
+        classic_s,
+        incr_s,
+        speedup
+    );
+    out.push(IncrementalRow {
+        dataset: dataset.to_string(),
+        algo,
+        snapshots,
+        speedup,
+    });
+}

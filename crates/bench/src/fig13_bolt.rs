@@ -1,0 +1,118 @@
+//! Fig. 13 — end-to-end transactions over the Bolt-style protocol:
+//! read-only, 10 % writes and 20 % writes, with concurrent client threads.
+//!
+//! Paper shape: read-only saturates around 37 k queries/s (32 cores);
+//! 10 % writes cost ~20 % of throughput, 20 % writes ~35 %. Our absolute
+//! numbers are single-core, but the *relative drop* is the reproducible
+//! shape.
+
+use crate::common::{banner, fmt_rate, ingest_aion, open_aion, BenchConfig, Timer};
+use aion_server::{Client, Server};
+use query::Value;
+use std::sync::Arc;
+use tempfile::tempdir;
+use workload::{ClientOp, TxMix};
+
+/// Write fractions measured.
+pub const MIXES: [(f64, &str); 3] = [(0.0, "read-only"), (0.1, "10% writes"), (0.2, "20% writes")];
+
+/// One measured row.
+pub struct BoltRow {
+    /// Mix label.
+    pub mix: &'static str,
+    /// End-to-end queries per second.
+    pub rate: f64,
+    /// Throughput relative to read-only.
+    pub relative: f64,
+}
+
+/// Runs the experiment with `threads` concurrent clients over the DBLP
+/// workload.
+pub fn run(cfg: &BenchConfig) -> Vec<BoltRow> {
+    banner(
+        "Fig. 13 — Cypher over Bolt: mixed read/write transaction throughput",
+        "paper: 10% writes ⇒ -20%, 20% writes ⇒ -35% vs read-only",
+    );
+    let threads = 4usize;
+    let ops_per_thread = (cfg.point_ops / 2).max(200);
+    let w = cfg.workload("DBLP");
+    let dir = tempdir().expect("tempdir");
+    let db = Arc::new(open_aion(dir.path(), false));
+    ingest_aion(&db, &w);
+    let server = Server::start(db.clone()).expect("server");
+    let addr = server.addr();
+
+    println!(
+        "{:<12} {:>14} {:>12}   ({} client threads x {} ops)",
+        "mix", "throughput", "vs read-only", threads, ops_per_thread
+    );
+    let mut out = Vec::new();
+    let mut read_only_rate = None;
+    for (write_fraction, label) in MIXES {
+        let t = Timer::start();
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let nodes = w.node_count;
+                let rels = w.rel_ids.len() as u64;
+                let max_ts = w.max_ts;
+                let seed = cfg.seed ^ (tid as u64) ^ (write_fraction * 100.0) as u64;
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut mix = TxMix::new(seed, write_fraction, nodes, rels, max_ts);
+                    // Disambiguate created ids across threads.
+                    let id_stride = 10_000_000 * (tid as u64 + 1);
+                    for i in 0..ops_per_thread {
+                        match mix.next_op() {
+                            ClientOp::ReadNode(id, ts) => {
+                                let _ = client.run(
+                                    &format!(
+                                        "USE GDB FOR SYSTEM_TIME AS OF {ts} MATCH (n) WHERE id(n) = $id RETURN n"
+                                    ),
+                                    vec![("id".into(), Value::Int(id.raw() as i64))],
+                                );
+                            }
+                            ClientOp::ReadRel(id, ts) => {
+                                let _ = client.run(
+                                    &format!(
+                                        "USE GDB FOR SYSTEM_TIME AS OF {ts} MATCH ()-[r]->() WHERE id(r) = $id RETURN r"
+                                    ),
+                                    vec![("id".into(), Value::Int(id.raw() as i64))],
+                                );
+                            }
+                            ClientOp::CreateNode(id) => {
+                                let fresh = id.raw() + id_stride + i as u64;
+                                let _ = client.run(
+                                    &format!("CREATE (n:Client {{_id: {fresh}}})"),
+                                    vec![],
+                                );
+                            }
+                            ClientOp::UpdateNode(id) => {
+                                let _ = client.run(
+                                    &format!(
+                                        "MATCH (n) WHERE id(n) = {} SET n.touched = {i}",
+                                        id.raw()
+                                    ),
+                                    vec![],
+                                );
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        let total_ops = threads * ops_per_thread;
+        let rate = t.ops_per_sec(total_ops);
+        let base = *read_only_rate.get_or_insert(rate);
+        let row = BoltRow {
+            mix: label,
+            rate,
+            relative: rate / base,
+        };
+        println!("{:<12} {:>14} {:>11.2}x", label, fmt_rate(rate), row.relative);
+        out.push(row);
+    }
+    out
+}

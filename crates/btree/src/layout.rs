@@ -1,0 +1,396 @@
+//! Slotted-page layout shared by leaf and internal nodes.
+//!
+//! ```text
+//! off  0  u8   node type (1 = leaf, 2 = internal)
+//! off  2  u16  cell count
+//! off  4  u16  cell data start (lowest used byte; cells grow downward)
+//! off  8  u64  leaf: right sibling page | internal: leftmost child page
+//! off 16  u16  × ncells  slot directory (cell offsets, key-sorted)
+//! ...          free space
+//! ...          cells, packed towards PAGE_SIZE
+//! ```
+//!
+//! Leaf cell:      `u8 flags, u16 klen, u32 vlen, key, (value | u64 ovf page)`
+//! Internal cell:  `u16 klen, u64 child, key`
+
+use pagestore::{PageBuf, PAGE_SIZE};
+
+/// Node type tag for leaves.
+pub const LEAF: u8 = 1;
+/// Node type tag for internal nodes.
+pub const INTERNAL: u8 = 2;
+
+/// Leaf-cell flag: the value lives in an overflow chain.
+pub const FLAG_OVERFLOW: u8 = 1;
+
+const TYPE_OFF: usize = 0;
+const NCELLS_OFF: usize = 2;
+const DATA_START_OFF: usize = 4;
+const LINK_OFF: usize = 8;
+/// First byte of the slot directory.
+pub const SLOTS_OFF: usize = 16;
+
+/// Initializes a page as an empty node of the given type.
+pub fn init(page: &mut PageBuf, node_type: u8) {
+    page.bytes_mut().fill(0);
+    page.bytes_mut()[TYPE_OFF] = node_type;
+    page.write_u16(NCELLS_OFF, 0);
+    page.write_u16(DATA_START_OFF, PAGE_SIZE as u16);
+    page.write_u64(LINK_OFF, u64::MAX);
+}
+
+/// The node type byte.
+pub fn node_type(page: &PageBuf) -> u8 {
+    page.bytes()[TYPE_OFF]
+}
+
+/// Number of cells.
+pub fn ncells(page: &PageBuf) -> usize {
+    page.read_u16(NCELLS_OFF) as usize
+}
+
+/// The link field: right sibling (leaf) or leftmost child (internal).
+pub fn link(page: &PageBuf) -> u64 {
+    page.read_u64(LINK_OFF)
+}
+
+/// Sets the link field.
+pub fn set_link(page: &mut PageBuf, v: u64) {
+    page.write_u64(LINK_OFF, v);
+}
+
+fn data_start(page: &PageBuf) -> usize {
+    page.read_u16(DATA_START_OFF) as usize
+}
+
+fn slot(page: &PageBuf, i: usize) -> usize {
+    page.read_u16(SLOTS_OFF + i * 2) as usize
+}
+
+/// Contiguous free bytes between the slot directory and the cell heap.
+pub fn free_space(page: &PageBuf) -> usize {
+    data_start(page).saturating_sub(SLOTS_OFF + ncells(page) * 2)
+}
+
+// ---------------------------------------------------------------- leaf cells
+
+/// Bytes needed for a leaf cell holding `klen`-byte key and `inline_vlen`
+/// bytes of inline payload (value bytes, or 8 for an overflow pointer).
+pub fn leaf_cell_size(klen: usize, inline_vlen: usize) -> usize {
+    1 + 2 + 4 + klen + inline_vlen
+}
+
+/// A decoded view of one leaf cell.
+pub struct LeafCell<'a> {
+    /// Cell flags ([`FLAG_OVERFLOW`]).
+    pub flags: u8,
+    /// The key bytes.
+    pub key: &'a [u8],
+    /// Logical value length (may exceed the inline payload when overflowed).
+    pub vlen: usize,
+    /// Inline payload: value bytes, or the 8-byte overflow page id.
+    pub inline: &'a [u8],
+}
+
+impl LeafCell<'_> {
+    /// Whether the value is in an overflow chain.
+    pub fn is_overflow(&self) -> bool {
+        self.flags & FLAG_OVERFLOW != 0
+    }
+
+    /// The overflow chain head (only valid when [`Self::is_overflow`]).
+    pub fn overflow_page(&self) -> u64 {
+        u64::from_le_bytes(self.inline[..8].try_into().unwrap())
+    }
+}
+
+/// Reads leaf cell `i`.
+pub fn leaf_cell(page: &PageBuf, i: usize) -> LeafCell<'_> {
+    let off = slot(page, i);
+    let b = page.bytes();
+    let flags = b[off];
+    let klen = u16::from_le_bytes(b[off + 1..off + 3].try_into().unwrap()) as usize;
+    let vlen = u32::from_le_bytes(b[off + 3..off + 7].try_into().unwrap()) as usize;
+    let key = &b[off + 7..off + 7 + klen];
+    let inline_len = if flags & FLAG_OVERFLOW != 0 { 8 } else { vlen };
+    let inline = &b[off + 7 + klen..off + 7 + klen + inline_len];
+    LeafCell {
+        flags,
+        key,
+        vlen,
+        inline,
+    }
+}
+
+/// Key of leaf cell `i` (avoids decoding the value).
+pub fn leaf_key(page: &PageBuf, i: usize) -> &[u8] {
+    let off = slot(page, i);
+    let b = page.bytes();
+    let klen = u16::from_le_bytes(b[off + 1..off + 3].try_into().unwrap()) as usize;
+    &b[off + 7..off + 7 + klen]
+}
+
+/// Binary search among leaf keys. `Ok(i)` exact hit, `Err(i)` insert slot.
+pub fn leaf_search(page: &PageBuf, key: &[u8]) -> Result<usize, usize> {
+    let n = ncells(page);
+    let mut lo = 0;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match leaf_key(page, mid).cmp(key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Inserts a leaf cell at slot index `i`. The caller must have ensured
+/// enough contiguous free space (see [`free_space`] / [`compact`]).
+pub fn leaf_insert(page: &mut PageBuf, i: usize, flags: u8, key: &[u8], vlen: u32, inline: &[u8]) {
+    let size = leaf_cell_size(key.len(), inline.len());
+    debug_assert!(free_space(page) >= size + 2, "caller must ensure space");
+    let n = ncells(page);
+    let new_start = data_start(page) - size;
+    {
+        let b = page.bytes_mut();
+        b[new_start] = flags;
+        b[new_start + 1..new_start + 3].copy_from_slice(&(key.len() as u16).to_le_bytes());
+        b[new_start + 3..new_start + 7].copy_from_slice(&vlen.to_le_bytes());
+        b[new_start + 7..new_start + 7 + key.len()].copy_from_slice(key);
+        b[new_start + 7 + key.len()..new_start + size].copy_from_slice(inline);
+        // Shift the slot directory right of i.
+        b.copy_within(
+            SLOTS_OFF + i * 2..SLOTS_OFF + n * 2,
+            SLOTS_OFF + i * 2 + 2,
+        );
+    }
+    page.write_u16(SLOTS_OFF + i * 2, new_start as u16);
+    page.write_u16(NCELLS_OFF, (n + 1) as u16);
+    page.write_u16(DATA_START_OFF, new_start as u16);
+}
+
+/// Removes leaf cell `i` (slot only; heap bytes become garbage until the
+/// next [`compact`]). Returns the cell's heap size for accounting.
+pub fn leaf_remove(page: &mut PageBuf, i: usize) -> usize {
+    let off = slot(page, i);
+    let b = page.bytes();
+    let flags = b[off];
+    let klen = u16::from_le_bytes(b[off + 1..off + 3].try_into().unwrap()) as usize;
+    let vlen = u32::from_le_bytes(b[off + 3..off + 7].try_into().unwrap()) as usize;
+    let inline = if flags & FLAG_OVERFLOW != 0 { 8 } else { vlen };
+    let size = leaf_cell_size(klen, inline);
+    let n = ncells(page);
+    page.bytes_mut().copy_within(
+        SLOTS_OFF + (i + 1) * 2..SLOTS_OFF + n * 2,
+        SLOTS_OFF + i * 2,
+    );
+    page.write_u16(NCELLS_OFF, (n - 1) as u16);
+    size
+}
+
+// ------------------------------------------------------------ internal cells
+
+/// Bytes needed for an internal cell with a `klen`-byte separator key.
+pub fn internal_cell_size(klen: usize) -> usize {
+    2 + 8 + klen
+}
+
+/// Key of internal cell `i`.
+pub fn internal_key(page: &PageBuf, i: usize) -> &[u8] {
+    let off = slot(page, i);
+    let b = page.bytes();
+    let klen = u16::from_le_bytes(b[off..off + 2].try_into().unwrap()) as usize;
+    &b[off + 10..off + 10 + klen]
+}
+
+/// Child pointer of internal cell `i`.
+pub fn internal_child(page: &PageBuf, i: usize) -> u64 {
+    let off = slot(page, i);
+    u64::from_le_bytes(page.bytes()[off + 2..off + 10].try_into().unwrap())
+}
+
+/// The child page that covers `key`: the last cell whose separator key is
+/// `<= key`, or the leftmost child (the link field) when all separators are
+/// greater.
+pub fn internal_descend(page: &PageBuf, key: &[u8]) -> (isize, u64) {
+    let n = ncells(page);
+    let mut lo = 0;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if internal_key(page, mid) <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo == 0 {
+        (-1, link(page))
+    } else {
+        ((lo - 1) as isize, internal_child(page, lo - 1))
+    }
+}
+
+/// Inserts an internal cell at slot `i`.
+pub fn internal_insert(page: &mut PageBuf, i: usize, key: &[u8], child: u64) {
+    let size = internal_cell_size(key.len());
+    debug_assert!(free_space(page) >= size + 2, "caller must ensure space");
+    let n = ncells(page);
+    let new_start = data_start(page) - size;
+    {
+        let b = page.bytes_mut();
+        b[new_start..new_start + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+        b[new_start + 2..new_start + 10].copy_from_slice(&child.to_le_bytes());
+        b[new_start + 10..new_start + size].copy_from_slice(key);
+        b.copy_within(
+            SLOTS_OFF + i * 2..SLOTS_OFF + n * 2,
+            SLOTS_OFF + i * 2 + 2,
+        );
+    }
+    page.write_u16(SLOTS_OFF + i * 2, new_start as u16);
+    page.write_u16(NCELLS_OFF, (n + 1) as u16);
+    page.write_u16(DATA_START_OFF, new_start as u16);
+}
+
+/// Removes internal cell `i`.
+pub fn internal_remove(page: &mut PageBuf, i: usize) {
+    let n = ncells(page);
+    page.bytes_mut().copy_within(
+        SLOTS_OFF + (i + 1) * 2..SLOTS_OFF + n * 2,
+        SLOTS_OFF + i * 2,
+    );
+    page.write_u16(NCELLS_OFF, (n - 1) as u16);
+}
+
+// ----------------------------------------------------------------- compaction
+
+/// Rewrites all live cells contiguously at the end of the page, reclaiming
+/// garbage left by removals and in-place updates.
+pub fn compact(page: &mut PageBuf) {
+    let n = ncells(page);
+    let is_leaf = node_type(page) == LEAF;
+    let mut cells: Vec<Vec<u8>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let off = slot(page, i);
+        let b = page.bytes();
+        let size = if is_leaf {
+            let flags = b[off];
+            let klen = u16::from_le_bytes(b[off + 1..off + 3].try_into().unwrap()) as usize;
+            let vlen = u32::from_le_bytes(b[off + 3..off + 7].try_into().unwrap()) as usize;
+            let inline = if flags & FLAG_OVERFLOW != 0 { 8 } else { vlen };
+            leaf_cell_size(klen, inline)
+        } else {
+            let klen = u16::from_le_bytes(b[off..off + 2].try_into().unwrap()) as usize;
+            internal_cell_size(klen)
+        };
+        cells.push(b[off..off + size].to_vec());
+    }
+    let mut pos = PAGE_SIZE;
+    for (i, cell) in cells.iter().enumerate() {
+        pos -= cell.len();
+        page.bytes_mut()[pos..pos + cell.len()].copy_from_slice(cell);
+        page.write_u16(SLOTS_OFF + i * 2, pos as u16);
+    }
+    page.write_u16(DATA_START_OFF, pos as u16);
+}
+
+/// Total bytes of live cell payload plus slots — used to decide whether a
+/// compaction would make an insert fit.
+pub fn live_bytes(page: &PageBuf) -> usize {
+    let n = ncells(page);
+    let is_leaf = node_type(page) == LEAF;
+    let mut total = SLOTS_OFF + n * 2;
+    for i in 0..n {
+        let off = slot(page, i);
+        let b = page.bytes();
+        total += if is_leaf {
+            let flags = b[off];
+            let klen = u16::from_le_bytes(b[off + 1..off + 3].try_into().unwrap()) as usize;
+            let vlen = u32::from_le_bytes(b[off + 3..off + 7].try_into().unwrap()) as usize;
+            let inline = if flags & FLAG_OVERFLOW != 0 { 8 } else { vlen };
+            leaf_cell_size(klen, inline)
+        } else {
+            let klen = u16::from_le_bytes(b[off..off + 2].try_into().unwrap()) as usize;
+            internal_cell_size(klen)
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_insert_search_remove() {
+        let mut p = PageBuf::zeroed();
+        init(&mut p, LEAF);
+        assert_eq!(ncells(&p), 0);
+        // Insert keys out of order at their sorted slots.
+        for key in [b"bb".as_slice(), b"aa", b"cc"] {
+            let i = leaf_search(&p, key).unwrap_err();
+            leaf_insert(&mut p, i, 0, key, 1, &[key[0]]);
+        }
+        assert_eq!(ncells(&p), 3);
+        assert_eq!(leaf_key(&p, 0), b"aa");
+        assert_eq!(leaf_key(&p, 1), b"bb");
+        assert_eq!(leaf_key(&p, 2), b"cc");
+        assert_eq!(leaf_search(&p, b"bb"), Ok(1));
+        assert_eq!(leaf_search(&p, b"b"), Err(1));
+        let cell = leaf_cell(&p, 0);
+        assert_eq!(cell.inline, b"a");
+        assert!(!cell.is_overflow());
+        leaf_remove(&mut p, 1);
+        assert_eq!(ncells(&p), 2);
+        assert_eq!(leaf_search(&p, b"bb"), Err(1));
+    }
+
+    #[test]
+    fn compact_reclaims_garbage() {
+        let mut p = PageBuf::zeroed();
+        init(&mut p, LEAF);
+        let val = vec![7u8; 100];
+        for i in 0..20u8 {
+            let key = [i];
+            let s = leaf_search(&p, &key).unwrap_err();
+            leaf_insert(&mut p, s, 0, &key, 100, &val);
+        }
+        let before = free_space(&p);
+        for _ in 0..10 {
+            leaf_remove(&mut p, 0);
+        }
+        compact(&mut p);
+        assert!(free_space(&p) > before + 900);
+        // Survivors intact.
+        assert_eq!(ncells(&p), 10);
+        assert_eq!(leaf_key(&p, 0), &[10u8]);
+        assert_eq!(leaf_cell(&p, 9).inline, &val[..]);
+    }
+
+    #[test]
+    fn internal_descend_picks_correct_child() {
+        let mut p = PageBuf::zeroed();
+        init(&mut p, INTERNAL);
+        set_link(&mut p, 100); // leftmost child
+        internal_insert(&mut p, 0, b"g", 200);
+        internal_insert(&mut p, 1, b"p", 300);
+        assert_eq!(internal_descend(&p, b"a").1, 100);
+        assert_eq!(internal_descend(&p, b"g").1, 200);
+        assert_eq!(internal_descend(&p, b"k").1, 200);
+        assert_eq!(internal_descend(&p, b"p").1, 300);
+        assert_eq!(internal_descend(&p, b"z").1, 300);
+        assert_eq!(internal_key(&p, 0), b"g");
+        assert_eq!(internal_child(&p, 1), 300);
+    }
+
+    #[test]
+    fn live_bytes_tracks_payload() {
+        let mut p = PageBuf::zeroed();
+        init(&mut p, LEAF);
+        let empty = live_bytes(&p);
+        leaf_insert(&mut p, 0, 0, b"key", 5, b"value");
+        assert_eq!(live_bytes(&p), empty + 2 + leaf_cell_size(3, 5));
+    }
+}

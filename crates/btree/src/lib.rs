@@ -1,0 +1,33 @@
+//! # aion-btree — an order-preserving, page-backed B+Tree
+//!
+//! The Rust counterpart of the Neo4j B+Tree (`GBPTree`) that Aion builds
+//! both of its temporal stores on (Sec. 5: "Backing Aion's storage with
+//! Neo4j's B+Tree implementation offers sortedness, scalable accesses,
+//! out-of-core storage, and seamless integration with the page cache").
+//!
+//! Properties:
+//!
+//! * arbitrary byte-string keys compared lexicographically — composite keys
+//!   (`{nodeId, ts}`, `{srcId, tgtId, ts}`, Table 2) are encoded order-
+//!   preservingly by the `encoding` crate;
+//! * variable-size values with transparent overflow pages for values larger
+//!   than [`MAX_INLINE_VALUE`];
+//! * slotted 8 KiB pages served through the `pagestore` LRU cache, so the
+//!   tree works out-of-core;
+//! * `O(log n)` point lookups and ordered range scans over leaf sibling
+//!   chains — the access pattern behind both TimeStore and LineageStore;
+//! * several trees can share one file: each tree persists its root pointer
+//!   in one of the page-store meta slots.
+//!
+//! Deletion is *lazy*: cells are removed in place and empty leaves are
+//! unlinked and freed, but non-empty underfull nodes are not rebalanced.
+//! Aion's stores are append-mostly (the change log has "no retention
+//! policy"), so rebalancing would add complexity with no measurable win.
+
+pub mod layout;
+pub mod overflow;
+pub mod scan;
+pub mod tree;
+
+pub use scan::Scan;
+pub use tree::{BTree, MAX_INLINE_VALUE, MAX_KEY};

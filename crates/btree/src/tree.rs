@@ -1,0 +1,665 @@
+//! The B+Tree proper: descent, splits, upserts, lazy deletes and floor
+//! lookups.
+
+use crate::layout::{self, FLAG_OVERFLOW, INTERNAL, LEAF};
+use crate::overflow;
+use crate::scan::Scan;
+use pagestore::{PageId, PageStore, PAGE_SIZE};
+use std::io;
+use std::sync::Arc;
+
+/// Maximum key length in bytes. Composite keys (Table 2) are at most
+/// 24 bytes, so this is generous.
+pub const MAX_KEY: usize = 512;
+
+/// Values larger than this are spilled to overflow pages.
+pub const MAX_INLINE_VALUE: usize = 1024;
+
+/// A B+Tree rooted at one of the page-store meta slots. Clone freely — all
+/// clones share the same underlying store and root slot.
+///
+/// ```
+/// use btree::BTree;
+/// use pagestore::PageStore;
+/// use std::sync::Arc;
+///
+/// let dir = tempfile::tempdir().unwrap();
+/// let store = Arc::new(PageStore::open(dir.path().join("db"), 64).unwrap());
+/// let tree = BTree::open(store, 0).unwrap();
+/// tree.insert(b"key-2", b"two").unwrap();
+/// tree.insert(b"key-1", b"one").unwrap();
+/// assert_eq!(tree.get(b"key-1").unwrap().as_deref(), Some(&b"one"[..]));
+/// // Ordered range scan over [key-1, key-3).
+/// let keys: Vec<Vec<u8>> = tree
+///     .scan(b"key-1", b"key-3").unwrap()
+///     .map(|r| r.unwrap().0)
+///     .collect();
+/// assert_eq!(keys, vec![b"key-1".to_vec(), b"key-2".to_vec()]);
+/// // Floor lookup: greatest key <= probe.
+/// assert_eq!(tree.seek_floor(b"key-20").unwrap().unwrap().0, b"key-2".to_vec());
+/// ```
+#[derive(Clone)]
+pub struct BTree {
+    store: Arc<PageStore>,
+    slot: usize,
+}
+
+impl BTree {
+    /// Opens the tree persisted in meta `slot`, creating an empty root leaf
+    /// on first use.
+    pub fn open(store: Arc<PageStore>, slot: usize) -> io::Result<BTree> {
+        if store.root(slot) == u64::MAX {
+            let root = store.allocate()?;
+            store.write(root, |p| layout::init(p, LEAF))?;
+            store.set_root(slot, root.0);
+        }
+        Ok(BTree { store, slot })
+    }
+
+    /// The shared page store (for size accounting).
+    pub fn store(&self) -> &Arc<PageStore> {
+        &self.store
+    }
+
+    fn root(&self) -> PageId {
+        PageId(self.store.root(self.slot))
+    }
+
+    /// Descends to the leaf covering `key`; returns the path of internal
+    /// `(page, taken_child_index)` pairs and the leaf page.
+    fn descend(&self, key: &[u8]) -> io::Result<(Vec<(PageId, isize)>, PageId)> {
+        let mut path = Vec::new();
+        let mut page = self.root();
+        loop {
+            let (is_leaf, step) = self.store.read(page, |p| {
+                if layout::node_type(p) == LEAF {
+                    (true, (0, 0))
+                } else {
+                    let (idx, child) = layout::internal_descend(p, key);
+                    (false, (idx, child))
+                }
+            })?;
+            if is_leaf {
+                return Ok((path, page));
+            }
+            path.push((page, step.0));
+            page = PageId(step.1);
+        }
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        let (_, leaf) = self.descend(key)?;
+        enum Hit {
+            Miss,
+            Inline(Vec<u8>),
+            Overflow(PageId),
+        }
+        let hit = self.store.read(leaf, |p| match layout::leaf_search(p, key) {
+            Ok(i) => {
+                let cell = layout::leaf_cell(p, i);
+                if cell.is_overflow() {
+                    Hit::Overflow(PageId(cell.overflow_page()))
+                } else {
+                    Hit::Inline(cell.inline.to_vec())
+                }
+            }
+            Err(_) => Hit::Miss,
+        })?;
+        match hit {
+            Hit::Miss => Ok(None),
+            Hit::Inline(v) => Ok(Some(v)),
+            Hit::Overflow(head) => {
+                let mut out = Vec::new();
+                overflow::read_chain(&self.store, head, &mut out)?;
+                Ok(Some(out))
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &[u8]) -> io::Result<bool> {
+        let (_, leaf) = self.descend(key)?;
+        self.store
+            .read(leaf, |p| layout::leaf_search(p, key).is_ok())
+    }
+
+    /// Inserts or replaces `key → value`.
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        assert!(key.len() <= MAX_KEY, "key too large");
+        let (flags, vlen, inline) = if value.len() > MAX_INLINE_VALUE {
+            let head = overflow::write_chain(&self.store, value)?;
+            (FLAG_OVERFLOW, value.len() as u32, head.0.to_le_bytes().to_vec())
+        } else {
+            (0u8, value.len() as u32, value.to_vec())
+        };
+        let (mut path, leaf) = self.descend(key)?;
+
+        // Replace an existing cell: remove it first (freeing any chain).
+        let old_overflow = self.store.write(leaf, |p| {
+            if let Ok(i) = layout::leaf_search(p, key) {
+                let cell = layout::leaf_cell(p, i);
+                let ovf = cell
+                    .is_overflow()
+                    .then(|| PageId(cell.overflow_page()));
+                layout::leaf_remove(p, i);
+                ovf
+            } else {
+                None
+            }
+        })?;
+        if let Some(head) = old_overflow {
+            overflow::free_chain(&self.store, head)?;
+        }
+
+        let needed = layout::leaf_cell_size(key.len(), inline.len()) + 2;
+        let fits = self.store.write(leaf, |p| {
+            if layout::free_space(p) >= needed {
+                true
+            } else if layout::live_bytes(p) + needed <= PAGE_SIZE {
+                layout::compact(p);
+                true
+            } else {
+                false
+            }
+        })?;
+        if fits {
+            self.store.write(leaf, |p| {
+                let i = layout::leaf_search(p, key).unwrap_err();
+                layout::leaf_insert(p, i, flags, key, vlen, &inline);
+            })?;
+            return Ok(());
+        }
+
+        // Split the leaf and retry into the correct half.
+        let (sep, new_leaf) = self.split_leaf(leaf)?;
+        let target = if key < sep.as_slice() { leaf } else { new_leaf };
+        self.store.write(target, |p| {
+            if layout::free_space(p) < needed {
+                layout::compact(p);
+            }
+            let i = layout::leaf_search(p, key).unwrap_err();
+            layout::leaf_insert(p, i, flags, key, vlen, &inline);
+        })?;
+        self.insert_into_parent(&mut path, sep, new_leaf)?;
+        Ok(())
+    }
+
+    /// Splits `leaf`, returning the separator key and the new right sibling.
+    fn split_leaf(&self, leaf: PageId) -> io::Result<(Vec<u8>, PageId)> {
+        let new_page = self.store.allocate()?;
+        let moved: Vec<Vec<u8>> = self.store.write(leaf, |p| {
+            let n = layout::ncells(p);
+            debug_assert!(n >= 2);
+            // Split at roughly half the live payload.
+            let total = layout::live_bytes(p);
+            let mut acc = 0;
+            let mut split_at = n / 2;
+            for i in 0..n {
+                let cell = layout::leaf_cell(p, i);
+                acc += layout::leaf_cell_size(cell.key.len(), cell.inline.len()) + 2;
+                if acc >= total / 2 {
+                    split_at = (i + 1).clamp(1, n - 1);
+                    break;
+                }
+            }
+            let mut cells = Vec::with_capacity(n - split_at);
+            for i in split_at..n {
+                let off_cell = layout::leaf_cell(p, i);
+                let mut raw = Vec::with_capacity(
+                    layout::leaf_cell_size(off_cell.key.len(), off_cell.inline.len()),
+                );
+                raw.push(off_cell.flags);
+                raw.extend_from_slice(&(off_cell.key.len() as u16).to_le_bytes());
+                raw.extend_from_slice(&(off_cell.vlen as u32).to_le_bytes());
+                raw.extend_from_slice(off_cell.key);
+                raw.extend_from_slice(off_cell.inline);
+                cells.push(raw);
+            }
+            for _ in split_at..n {
+                layout::leaf_remove(p, split_at);
+            }
+            layout::compact(p);
+            cells
+        })?;
+        let old_sibling = self.store.read(leaf, layout::link)?;
+        self.store.write(new_page, |p| {
+            layout::init(p, LEAF);
+            layout::set_link(p, old_sibling);
+            for (i, raw) in moved.iter().enumerate() {
+                let flags = raw[0];
+                let klen = u16::from_le_bytes(raw[1..3].try_into().unwrap()) as usize;
+                let vlen = u32::from_le_bytes(raw[3..7].try_into().unwrap());
+                let key = &raw[7..7 + klen];
+                let inline = &raw[7 + klen..];
+                layout::leaf_insert(p, i, flags, key, vlen, inline);
+            }
+        })?;
+        self.store
+            .write(leaf, |p| layout::set_link(p, new_page.0))?;
+        let sep = self
+            .store
+            .read(new_page, |p| layout::leaf_key(p, 0).to_vec())?;
+        Ok((sep, new_page))
+    }
+
+    /// Inserts `(sep, child)` into the parent chain, splitting internals and
+    /// growing a new root as needed.
+    fn insert_into_parent(
+        &self,
+        path: &mut Vec<(PageId, isize)>,
+        mut sep: Vec<u8>,
+        mut child: PageId,
+    ) -> io::Result<()> {
+        loop {
+            let Some((parent, _)) = path.pop() else {
+                // Grow a new root.
+                let old_root = self.root();
+                let new_root = self.store.allocate()?;
+                self.store.write(new_root, |p| {
+                    layout::init(p, INTERNAL);
+                    layout::set_link(p, old_root.0);
+                    layout::internal_insert(p, 0, &sep, child.0);
+                })?;
+                self.store.set_root(self.slot, new_root.0);
+                return Ok(());
+            };
+            let needed = layout::internal_cell_size(sep.len()) + 2;
+            let fits = self.store.write(parent, |p| {
+                if layout::free_space(p) >= needed {
+                    true
+                } else if layout::live_bytes(p) + needed <= PAGE_SIZE {
+                    layout::compact(p);
+                    true
+                } else {
+                    false
+                }
+            })?;
+            if fits {
+                self.store.write(parent, |p| {
+                    let n = layout::ncells(p);
+                    let mut lo = 0;
+                    let mut hi = n;
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        if layout::internal_key(p, mid) < sep.as_slice() {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    layout::internal_insert(p, lo, &sep, child.0);
+                })?;
+                return Ok(());
+            }
+            // Split the internal node: promote the middle separator.
+            let (promoted, new_node) = self.split_internal(parent)?;
+            // Insert the pending (sep, child) into the proper half.
+            let target = if sep < promoted { parent } else { new_node };
+            self.store.write(target, |p| {
+                if layout::free_space(p) < needed {
+                    layout::compact(p);
+                }
+                let n = layout::ncells(p);
+                let mut lo = 0;
+                let mut hi = n;
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if layout::internal_key(p, mid) < sep.as_slice() {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                layout::internal_insert(p, lo, &sep, child.0);
+            })?;
+            sep = promoted;
+            child = new_node;
+        }
+    }
+
+    /// Splits an internal node; the middle key moves up (B+Tree internal
+    /// split), its child becomes the new node's leftmost child.
+    fn split_internal(&self, node: PageId) -> io::Result<(Vec<u8>, PageId)> {
+        let new_page = self.store.allocate()?;
+        let (promoted, new_link, moved): (Vec<u8>, u64, Vec<(Vec<u8>, u64)>) =
+            self.store.write(node, |p| {
+                let n = layout::ncells(p);
+                debug_assert!(n >= 3);
+                let mid = n / 2;
+                let promoted = layout::internal_key(p, mid).to_vec();
+                let new_link = layout::internal_child(p, mid);
+                let moved: Vec<(Vec<u8>, u64)> = (mid + 1..n)
+                    .map(|i| {
+                        (
+                            layout::internal_key(p, i).to_vec(),
+                            layout::internal_child(p, i),
+                        )
+                    })
+                    .collect();
+                for _ in mid..n {
+                    layout::internal_remove(p, mid);
+                }
+                layout::compact(p);
+                (promoted, new_link, moved)
+            })?;
+        self.store.write(new_page, |p| {
+            layout::init(p, INTERNAL);
+            layout::set_link(p, new_link);
+            for (i, (k, c)) in moved.iter().enumerate() {
+                layout::internal_insert(p, i, k, *c);
+            }
+        })?;
+        Ok((promoted, new_page))
+    }
+
+    /// Removes `key` if present; returns whether it existed.
+    ///
+    /// Deletion is lazy: pages are never merged or unlinked (Aion's stores
+    /// are append-mostly), but freed overflow chains return to the free list
+    /// and in-page space is reclaimed by compaction on later inserts.
+    pub fn remove(&self, key: &[u8]) -> io::Result<bool> {
+        let (_, leaf) = self.descend(key)?;
+        let removed = self.store.write(leaf, |p| {
+            if let Ok(i) = layout::leaf_search(p, key) {
+                let cell = layout::leaf_cell(p, i);
+                let ovf = cell.is_overflow().then(|| PageId(cell.overflow_page()));
+                layout::leaf_remove(p, i);
+                Some(ovf)
+            } else {
+                None
+            }
+        })?;
+        match removed {
+            None => Ok(false),
+            Some(None) => Ok(true),
+            Some(Some(head)) => {
+                overflow::free_chain(&self.store, head)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Ordered scan over `[low, high)`. An empty `high` means "unbounded".
+    pub fn scan(&self, low: &[u8], high: &[u8]) -> io::Result<Scan> {
+        let (_, leaf) = self.descend(low)?;
+        Scan::new(self.clone(), leaf, low, high)
+    }
+
+    /// The greatest entry with key `<= key` (floor lookup) — the access that
+    /// finds "the snapshot with the closest timestamp" (Sec. 4.3).
+    pub fn seek_floor(&self, key: &[u8]) -> io::Result<Option<(Vec<u8>, Vec<u8>)>> {
+        let (path, leaf) = self.descend(key)?;
+        enum Outcome {
+            Found(usize),
+            Before,
+        }
+        let out = self.store.read(leaf, |p| match layout::leaf_search(p, key) {
+            Ok(i) => Outcome::Found(i),
+            Err(0) => Outcome::Before,
+            Err(i) => Outcome::Found(i - 1),
+        })?;
+        match out {
+            Outcome::Found(i) => self.read_leaf_entry(leaf, i).map(Some),
+            Outcome::Before => {
+                // The floor lives in an earlier subtree; walk the path upward
+                // looking for a sibling to our left, then take its rightmost
+                // descendant.
+                for (page, idx) in path.iter().rev() {
+                    let candidates: Vec<u64> = self.store.read(*page, |p| {
+                        let mut c = Vec::new();
+                        let mut i = *idx - 1;
+                        while i >= -1 {
+                            let child = if i == -1 {
+                                layout::link(p)
+                            } else {
+                                layout::internal_child(p, i as usize)
+                            };
+                            c.push(child);
+                            i -= 1;
+                        }
+                        c
+                    })?;
+                    for cand in candidates {
+                        if let Some(hit) = self.rightmost_entry(PageId(cand))? {
+                            return Ok(Some(hit));
+                        }
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// The last entry of the subtree rooted at `page` (None if all-empty).
+    fn rightmost_entry(&self, page: PageId) -> io::Result<Option<(Vec<u8>, Vec<u8>)>> {
+        enum Step {
+            Leaf(Option<usize>),
+            Children(Vec<u64>),
+        }
+        let step = self.store.read(page, |p| {
+            if layout::node_type(p) == LEAF {
+                let n = layout::ncells(p);
+                Step::Leaf((n > 0).then(|| n - 1))
+            } else {
+                // Children right-to-left: cell n-1 … cell 0, then the
+                // leftmost child (the link field).
+                let n = layout::ncells(p);
+                let mut kids: Vec<u64> =
+                    (0..n).rev().map(|i| layout::internal_child(p, i)).collect();
+                kids.push(layout::link(p));
+                Step::Children(kids)
+            }
+        })?;
+        match step {
+            Step::Leaf(Some(i)) => self.read_leaf_entry(page, i).map(Some),
+            Step::Leaf(None) => Ok(None),
+            Step::Children(kids) => {
+                for k in kids {
+                    if let Some(hit) = self.rightmost_entry(PageId(k))? {
+                        return Ok(Some(hit));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Copies out entry `i` of `leaf`, resolving overflow.
+    pub(crate) fn read_leaf_entry(&self, leaf: PageId, i: usize) -> io::Result<(Vec<u8>, Vec<u8>)> {
+        enum V {
+            Inline(Vec<u8>, Vec<u8>),
+            Ovf(Vec<u8>, PageId),
+        }
+        let v = self.store.read(leaf, |p| {
+            let cell = layout::leaf_cell(p, i);
+            if cell.is_overflow() {
+                V::Ovf(cell.key.to_vec(), PageId(cell.overflow_page()))
+            } else {
+                V::Inline(cell.key.to_vec(), cell.inline.to_vec())
+            }
+        })?;
+        match v {
+            V::Inline(k, val) => Ok((k, val)),
+            V::Ovf(k, head) => {
+                let mut out = Vec::new();
+                overflow::read_chain(&self.store, head, &mut out)?;
+                Ok((k, out))
+            }
+        }
+    }
+
+    /// Height of the tree (1 = just a root leaf); used by tests.
+    pub fn height(&self) -> io::Result<usize> {
+        let mut h = 1;
+        let mut page = self.root();
+        loop {
+            let (is_leaf, child) = self.store.read(page, |p| {
+                if layout::node_type(p) == LEAF {
+                    (true, 0)
+                } else {
+                    (false, layout::link(p))
+                }
+            })?;
+            if is_leaf {
+                return Ok(h);
+            }
+            h += 1;
+            page = PageId(child);
+        }
+    }
+
+    /// Flushes the underlying store.
+    pub fn flush(&self) -> io::Result<()> {
+        self.store.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+
+    fn open_tree(cache: usize) -> (tempfile::TempDir, BTree) {
+        let dir = tempdir().unwrap();
+        let store = Arc::new(PageStore::open(dir.path().join("t.db"), cache).unwrap());
+        let t = BTree::open(store, 0).unwrap();
+        (dir, t)
+    }
+
+    fn k(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn get_insert_remove_basics() {
+        let (_d, t) = open_tree(32);
+        assert_eq!(t.get(b"missing").unwrap(), None);
+        t.insert(b"a", b"1").unwrap();
+        t.insert(b"b", b"2").unwrap();
+        assert_eq!(t.get(b"a").unwrap().as_deref(), Some(b"1".as_slice()));
+        assert!(t.contains(b"b").unwrap());
+        // Upsert replaces.
+        t.insert(b"a", b"one").unwrap();
+        assert_eq!(t.get(b"a").unwrap().as_deref(), Some(b"one".as_slice()));
+        assert!(t.remove(b"a").unwrap());
+        assert!(!t.remove(b"a").unwrap());
+        assert_eq!(t.get(b"a").unwrap(), None);
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_retrievable() {
+        let (_d, t) = open_tree(16); // tiny cache: exercise out-of-core path
+        let n = 20_000u64;
+        for i in 0..n {
+            t.insert(&k(i * 7919 % n), &(i * 3).to_le_bytes()).unwrap();
+        }
+        assert!(t.height().unwrap() >= 2);
+        for i in 0..n {
+            let key = k(i * 7919 % n);
+            let v = t.get(&key).unwrap().expect("present");
+            assert_eq!(v, (i * 3).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn overflow_values_roundtrip() {
+        let (_d, t) = open_tree(32);
+        let big = vec![0xABu8; MAX_INLINE_VALUE * 5 + 17];
+        t.insert(b"big", &big).unwrap();
+        assert_eq!(t.get(b"big").unwrap().unwrap(), big);
+        // Replacing an overflow value frees the old chain (pages reused).
+        let store = t.store().clone();
+        let pages = store.page_count();
+        let big2 = vec![0xCDu8; MAX_INLINE_VALUE * 5];
+        t.insert(b"big", &big2).unwrap();
+        assert_eq!(t.get(b"big").unwrap().unwrap(), big2);
+        assert!(store.page_count() <= pages + 1);
+        assert!(t.remove(b"big").unwrap());
+        assert_eq!(t.get(b"big").unwrap(), None);
+    }
+
+    #[test]
+    fn seek_floor_semantics() {
+        let (_d, t) = open_tree(32);
+        assert_eq!(t.seek_floor(&k(5)).unwrap(), None, "empty tree");
+        for i in (10..100u64).step_by(10) {
+            t.insert(&k(i), &k(i)).unwrap();
+        }
+        // Exact hit.
+        assert_eq!(t.seek_floor(&k(30)).unwrap().unwrap().0, k(30));
+        // Between keys → previous.
+        assert_eq!(t.seek_floor(&k(35)).unwrap().unwrap().0, k(30));
+        // Before all → none.
+        assert_eq!(t.seek_floor(&k(5)).unwrap(), None);
+        // After all → last.
+        assert_eq!(t.seek_floor(&k(1_000)).unwrap().unwrap().0, k(90));
+    }
+
+    #[test]
+    fn seek_floor_across_leaf_boundaries() {
+        let (_d, t) = open_tree(16);
+        for i in 0..10_000u64 {
+            t.insert(&k(i * 2), b"v").unwrap();
+        }
+        assert!(t.height().unwrap() >= 2);
+        for probe in [1u64, 999, 4_001, 19_999] {
+            let floor = t.seek_floor(&k(probe)).unwrap().unwrap().0;
+            let expect = k((probe - 1) / 2 * 2);
+            assert_eq!(floor, expect, "probe {probe}");
+        }
+        // Exactly at a leaf's first key: floor(k) == k.
+        assert_eq!(t.seek_floor(&k(0)).unwrap().unwrap().0, k(0));
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.db");
+        {
+            let store = Arc::new(PageStore::open(&path, 16).unwrap());
+            let t = BTree::open(store.clone(), 0).unwrap();
+            for i in 0..2_000u64 {
+                t.insert(&k(i), &(i + 1).to_le_bytes()).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let store = Arc::new(PageStore::open(&path, 16).unwrap());
+        let t = BTree::open(store, 0).unwrap();
+        for i in (0..2_000u64).step_by(97) {
+            assert_eq!(t.get(&k(i)).unwrap().unwrap(), (i + 1).to_le_bytes());
+        }
+        assert_eq!(t.scan(&[], &[]).unwrap().count(), 2_000);
+    }
+
+    #[test]
+    fn two_trees_share_one_store() {
+        let dir = tempdir().unwrap();
+        let store = Arc::new(PageStore::open(dir.path().join("t.db"), 32).unwrap());
+        let a = BTree::open(store.clone(), 0).unwrap();
+        let b = BTree::open(store, 1).unwrap();
+        for i in 0..500u64 {
+            a.insert(&k(i), b"a").unwrap();
+            b.insert(&k(i), b"b").unwrap();
+        }
+        assert_eq!(a.get(&k(7)).unwrap().as_deref(), Some(b"a".as_slice()));
+        assert_eq!(b.get(&k(7)).unwrap().as_deref(), Some(b"b".as_slice()));
+        assert_eq!(a.scan(&[], &[]).unwrap().count(), 500);
+        assert_eq!(b.scan(&[], &[]).unwrap().count(), 500);
+    }
+
+    #[test]
+    fn variable_length_keys_sort_lexicographically() {
+        let (_d, t) = open_tree(32);
+        let keys: Vec<&[u8]> = vec![b"a", b"aa", b"ab", b"b", b"ba"];
+        for (i, key) in keys.iter().rev().enumerate() {
+            t.insert(key, &[i as u8]).unwrap();
+        }
+        let got: Vec<Vec<u8>> = t
+            .scan(&[], &[])
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        assert_eq!(got, keys.iter().map(|s| s.to_vec()).collect::<Vec<_>>());
+    }
+}

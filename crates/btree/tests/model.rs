@@ -1,0 +1,116 @@
+//! Property tests: the page-backed B+Tree must behave exactly like an
+//! in-memory `BTreeMap<Vec<u8>, Vec<u8>>` under arbitrary operation
+//! sequences — lookups, floor lookups and range scans included.
+
+use btree::BTree;
+use pagestore::PageStore;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+use tempfile::tempdir;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Remove(Vec<u8>),
+    Get(Vec<u8>),
+    Floor(Vec<u8>),
+    Scan(Vec<u8>, Vec<u8>),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet and length so operations collide often.
+    proptest::collection::vec(0u8..4, 1..5)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), proptest::collection::vec(any::<u8>(), 0..2100))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        key_strategy().prop_map(Op::Remove),
+        key_strategy().prop_map(Op::Get),
+        key_strategy().prop_map(Op::Floor),
+        (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::Scan(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let dir = tempdir().unwrap();
+        // Tiny cache forces eviction/write-back during the test.
+        let store = Arc::new(PageStore::open(dir.path().join("m.db"), 4).unwrap());
+        let tree = BTree::open(store, 0).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(&k, &v).unwrap();
+                    model.insert(k, v);
+                }
+                Op::Remove(k) => {
+                    let was = tree.remove(&k).unwrap();
+                    prop_assert_eq!(was, model.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&k).unwrap(), model.get(&k).cloned());
+                }
+                Op::Floor(k) => {
+                    let got = tree.seek_floor(&k).unwrap();
+                    let want = model
+                        .range((Bound::Unbounded, Bound::Included(k)))
+                        .next_back()
+                        .map(|(a, b)| (a.clone(), b.clone()));
+                    prop_assert_eq!(got, want);
+                }
+                Op::Scan(mut lo, mut hi) => {
+                    if lo > hi {
+                        std::mem::swap(&mut lo, &mut hi);
+                    }
+                    let got: Vec<(Vec<u8>, Vec<u8>)> = tree
+                        .scan(&lo, &hi)
+                        .unwrap()
+                        .map(|r| r.unwrap())
+                        .collect();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range((Bound::Included(lo), Bound::Excluded(hi)))
+                        .map(|(a, b)| (a.clone(), b.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Final full-scan equivalence.
+        let got: Vec<(Vec<u8>, Vec<u8>)> =
+            tree.scan(&[], &[]).unwrap().map(|r| r.unwrap()).collect();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn btree_survives_reopen(entries in proptest::collection::btree_map(
+        key_strategy(), proptest::collection::vec(any::<u8>(), 0..64), 1..60)) {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("r.db");
+        {
+            let store = Arc::new(PageStore::open(&path, 8).unwrap());
+            let tree = BTree::open(store.clone(), 0).unwrap();
+            for (k, v) in &entries {
+                tree.insert(k, v).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let store = Arc::new(PageStore::open(&path, 8).unwrap());
+        let tree = BTree::open(store, 0).unwrap();
+        let got: Vec<(Vec<u8>, Vec<u8>)> =
+            tree.scan(&[], &[]).unwrap().map(|r| r.unwrap()).collect();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            entries.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,137 @@
+//! The background cascade (Fig. 4, stage 2): "only the TimeStore is
+//! updated synchronously; then, background workers asynchronously apply
+//! outstanding updates to the LineageStore".
+//!
+//! The cascade owns a worker thread fed by an unbounded channel of commit
+//! events. [`Cascade::barrier`] lets tests and recovery wait until the
+//! LineageStore has caught up with a given timestamp.
+
+use crate::txn::CommitEvent;
+use crossbeam_channel::{unbounded, Sender};
+use lineagestore::LineageStore;
+use lpg::Timestamp;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Job {
+    Apply(CommitEvent),
+    Stop,
+}
+
+/// Handle to the background LineageStore applier.
+pub struct Cascade {
+    tx: Sender<Job>,
+    applied: Arc<AtomicU64>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Cascade {
+    /// Spawns the worker over a shared LineageStore.
+    pub fn spawn(lineage: Arc<LineageStore>) -> Cascade {
+        let (tx, rx) = unbounded::<Job>();
+        let applied = Arc::new(AtomicU64::new(lineage.applied_ts()));
+        let applied2 = applied.clone();
+        let worker = std::thread::Builder::new()
+            .name("aion-cascade".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Apply(event) => {
+                            // An application failure here means the stores
+                            // diverged — surface loudly in debug, skip in
+                            // release (the TimeStore remains authoritative
+                            // and recovery re-syncs).
+                            if let Err(e) = lineage.apply_commit(event.ts, &event.updates) {
+                                debug_assert!(false, "cascade apply failed: {e}");
+                            }
+                            applied2.store(event.ts, Ordering::Release);
+                        }
+                        Job::Stop => break,
+                    }
+                }
+            })
+            .expect("spawn cascade worker");
+        Cascade {
+            tx,
+            applied,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueues a committed transaction.
+    pub fn submit(&self, event: CommitEvent) {
+        let _ = self.tx.send(Job::Apply(event));
+    }
+
+    /// Highest timestamp the LineageStore has fully applied.
+    pub fn applied_ts(&self) -> Timestamp {
+        self.applied.load(Ordering::Acquire)
+    }
+
+    /// Blocks until everything at or below `ts` has been applied.
+    pub fn barrier(&self, ts: Timestamp) {
+        while self.applied_ts() < ts {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for Cascade {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Job::Stop);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lineagestore::LineageStoreConfig;
+    use lpg::{NodeId, Update};
+    use tempfile::tempdir;
+
+    #[test]
+    fn cascade_applies_in_background() {
+        let dir = tempdir().unwrap();
+        let lineage = Arc::new(
+            LineageStore::open(dir.path().join("l.db"), LineageStoreConfig::default()).unwrap(),
+        );
+        let cascade = Cascade::spawn(lineage.clone());
+        for ts in 1..=50u64 {
+            cascade.submit(CommitEvent {
+                ts,
+                updates: Arc::new(vec![Update::AddNode {
+                    id: NodeId::new(ts),
+                    labels: vec![],
+                    props: vec![],
+                }]),
+            });
+        }
+        cascade.barrier(50);
+        assert_eq!(lineage.applied_ts(), 50);
+        assert!(lineage.node_at(NodeId::new(25), 30).unwrap().is_some());
+    }
+
+    #[test]
+    fn drop_stops_worker_cleanly() {
+        let dir = tempdir().unwrap();
+        let lineage = Arc::new(
+            LineageStore::open(dir.path().join("l.db"), LineageStoreConfig::default()).unwrap(),
+        );
+        let cascade = Cascade::spawn(lineage.clone());
+        cascade.submit(CommitEvent {
+            ts: 1,
+            updates: Arc::new(vec![Update::AddNode {
+                id: NodeId::new(1),
+                labels: vec![],
+                props: vec![],
+            }]),
+        });
+        cascade.barrier(1);
+        drop(cascade);
+        assert_eq!(lineage.applied_ts(), 1);
+    }
+}

@@ -1,0 +1,611 @@
+//! [`Aion`] — the assembled temporal graph DBMS.
+
+use crate::bitemporal;
+use crate::cascade::Cascade;
+use crate::planner::{AccessPattern, Planner};
+use crate::stats::Statistics;
+use crate::txn::{AppTimeKeys, CommitEvent, WriteTxn};
+use lineagestore::{LineageStore, LineageStoreConfig};
+use lpg::{
+    Direction, Graph, GraphError, Interner, Node, NodeId, RelId, Relationship, Result,
+    TemporalGraph, TimeRange, Timestamp, TimestampedUpdate, Update, Version,
+};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use timestore::{TimeStore, TimeStoreConfig};
+
+pub use crate::planner::StoreChoice;
+
+/// Configuration of an [`Aion`] instance.
+#[derive(Clone, Debug)]
+pub struct AionConfig {
+    /// Data directory.
+    pub dir: PathBuf,
+    /// TimeStore tuning.
+    pub timestore: TimeStoreConfig,
+    /// LineageStore tuning.
+    pub lineage: LineageStoreConfig,
+    /// Apply the LineageStore synchronously with each commit (the `TS+LS`
+    /// configuration of Fig. 9). Default `false`: background cascade.
+    pub sync_lineage: bool,
+    /// Planner threshold (fraction of graph accessed; paper: 0.3).
+    pub planner_threshold: f64,
+}
+
+impl AionConfig {
+    /// Defaults rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> AionConfig {
+        AionConfig {
+            dir: dir.into(),
+            timestore: TimeStoreConfig::default(),
+            lineage: LineageStoreConfig::default(),
+            sync_lineage: false,
+            planner_threshold: 0.3,
+        }
+    }
+}
+
+type Listener = Box<dyn Fn(&CommitEvent) + Send + Sync>;
+
+/// The transactional temporal graph DBMS (Fig. 4).
+///
+/// ```
+/// use aion::{Aion, AionConfig};
+/// use lpg::NodeId;
+///
+/// let dir = tempfile::tempdir().unwrap();
+/// let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+/// let name = db.intern("name");
+///
+/// // Commits get monotonically increasing system timestamps.
+/// let t1 = db.write(|txn| txn.add_node(NodeId::new(1), vec![], vec![])).unwrap();
+/// let t2 = db.write(|txn| {
+///     txn.set_node_prop(NodeId::new(1), name, lpg::PropertyValue::Int(7))
+/// }).unwrap();
+///
+/// // Time travel: the node had no property at t1.
+/// assert!(db.get_graph_at(t1).unwrap().node(NodeId::new(1)).unwrap().prop(name).is_none());
+/// assert!(db.get_graph_at(t2).unwrap().node(NodeId::new(1)).unwrap().prop(name).is_some());
+///
+/// // Point history: two versions with adjacent validity intervals.
+/// db.lineage_barrier(t2);
+/// let versions = db.get_node(NodeId::new(1), 0, t2 + 1).unwrap();
+/// assert_eq!(versions.len(), 2);
+/// ```
+pub struct Aion {
+    interner: Arc<Interner>,
+    timestore: TimeStore,
+    lineage: Arc<LineageStore>,
+    cascade: Option<Cascade>,
+    stats: Statistics,
+    planner: Planner,
+    app_keys: AppTimeKeys,
+    next_ts: AtomicU64,
+    commit_lock: Mutex<()>,
+    listeners: RwLock<Vec<Listener>>,
+}
+
+impl Aion {
+    /// Opens (or creates) a database, recovering both stores and catching
+    /// the LineageStore up with the TimeStore log if it lags (crash during
+    /// the asynchronous cascade).
+    pub fn open(config: AionConfig) -> Result<Aion> {
+        std::fs::create_dir_all(&config.dir)?;
+        let timestore = TimeStore::open(config.dir.join("timestore"), config.timestore.clone())?;
+        let lineage = Arc::new(LineageStore::open(
+            config.dir.join("lineage.db"),
+            config.lineage.clone(),
+        )?);
+        // Catch-up replay: the TimeStore log is the source of truth.
+        let lag_from = lineage.applied_ts();
+        let latest = timestore.latest_ts();
+        if lag_from < latest {
+            let pending = timestore.diff(lag_from + 1, latest.saturating_add(1))?;
+            let mut batch_ts = None;
+            let mut batch: Vec<Update> = Vec::new();
+            for u in pending {
+                if batch_ts != Some(u.ts) {
+                    if let Some(ts) = batch_ts {
+                        lineage.apply_commit(ts, &batch)?;
+                        batch.clear();
+                    }
+                    batch_ts = Some(u.ts);
+                }
+                batch.push(u.op);
+            }
+            if let Some(ts) = batch_ts {
+                lineage.apply_commit(ts, &batch)?;
+            }
+        }
+        let interner = Arc::new(Interner::new());
+        let app_keys = AppTimeKeys {
+            start: interner.intern("_app_start"),
+            end: interner.intern("_app_end"),
+        };
+        // Rebuild statistics from the latest graph (labels/types at the
+        // current state; history size from the store counters).
+        let stats = Statistics::new();
+        {
+            let latest_graph = timestore.latest_graph();
+            let mut batch = Vec::new();
+            for n in latest_graph.nodes() {
+                batch.push(Update::AddNode {
+                    id: n.id,
+                    labels: n.labels.clone(),
+                    props: vec![],
+                });
+            }
+            for r in latest_graph.rels() {
+                batch.push(Update::AddRel {
+                    id: r.id,
+                    src: r.src,
+                    tgt: r.tgt,
+                    label: r.label,
+                    props: vec![],
+                });
+            }
+            let lg = latest_graph.clone();
+            stats.record_commit(&batch, move |id| {
+                lg.node(id).map(|n| n.labels.clone()).unwrap_or_default()
+            });
+        }
+        let cascade = if config.sync_lineage {
+            None
+        } else {
+            Some(Cascade::spawn(lineage.clone()))
+        };
+        Ok(Aion {
+            interner,
+            next_ts: AtomicU64::new(timestore.latest_ts() + 1),
+            timestore,
+            lineage,
+            cascade,
+            stats,
+            planner: Planner::with_threshold(config.planner_threshold),
+            app_keys,
+            commit_lock: Mutex::new(()),
+            listeners: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// The database string store.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Interns a label/key/value string.
+    pub fn intern(&self, s: &str) -> lpg::StrId {
+        self.interner.intern(s)
+    }
+
+    /// Application-time property keys.
+    pub fn app_time_keys(&self) -> AppTimeKeys {
+        self.app_keys
+    }
+
+    /// Base statistics (cardinality histograms).
+    pub fn statistics(&self) -> &Statistics {
+        &self.stats
+    }
+
+    /// The planner.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Direct TimeStore access (benchmarks and ablations).
+    pub fn timestore(&self) -> &TimeStore {
+        &self.timestore
+    }
+
+    /// Direct LineageStore access (benchmarks and ablations).
+    pub fn lineagestore(&self) -> &Arc<LineageStore> {
+        &self.lineage
+    }
+
+    /// Registers an after-commit event listener (Sec. 5.1: "graph updates
+    /// are passed to Aion from Neo4j via an event listener … triggered in
+    /// the after-commit phase of each write transaction").
+    pub fn register_listener(&self, f: impl Fn(&CommitEvent) + Send + Sync + 'static) {
+        self.listeners.write().push(Box::new(f));
+    }
+
+    // ------------------------------------------------------------ writes
+
+    /// Latest committed timestamp.
+    pub fn latest_ts(&self) -> Timestamp {
+        self.timestore.latest_ts()
+    }
+
+    /// The latest graph version (unaffected by temporal machinery).
+    pub fn latest_graph(&self) -> Arc<Graph> {
+        self.timestore.latest_graph()
+    }
+
+    /// Starts a write transaction against the latest graph.
+    pub fn begin(&self) -> (Arc<Graph>, AppTimeKeys) {
+        (self.latest_graph(), self.app_keys)
+    }
+
+    /// Runs `f` inside a write transaction and commits it, returning the
+    /// commit timestamp. On error nothing is persisted.
+    pub fn write<F>(&self, f: F) -> Result<Timestamp>
+    where
+        F: FnOnce(&mut WriteTxn<'_>) -> Result<()>,
+    {
+        let updates = {
+            // The base Arc must drop before commit: a live reference would
+            // force the copy-on-write latest graph to deep-copy on apply.
+            let base = self.latest_graph();
+            let mut txn = WriteTxn::new(&base, self.app_keys);
+            f(&mut txn)?;
+            txn.into_updates()
+        };
+        self.commit(updates, None)
+    }
+
+    /// Like [`write`], but commits at an explicit system timestamp (which
+    /// must exceed the latest committed one). Useful when replaying an
+    /// external event stream whose event times should become system time —
+    /// e.g. bulk-loading the evaluation datasets with their original
+    /// ordering (Sec. 6.1).
+    ///
+    /// [`write`]: Aion::write
+    pub fn write_at<F>(&self, ts: Timestamp, f: F) -> Result<Timestamp>
+    where
+        F: FnOnce(&mut WriteTxn<'_>) -> Result<()>,
+    {
+        let updates = {
+            let base = self.latest_graph();
+            let mut txn = WriteTxn::new(&base, self.app_keys);
+            f(&mut txn)?;
+            txn.into_updates()
+        };
+        self.commit(updates, Some(ts))
+    }
+
+    /// Commits a validated update batch (stage 1 + 2 of Fig. 4).
+    fn commit(&self, updates: Vec<Update>, forced_ts: Option<Timestamp>) -> Result<Timestamp> {
+        let _guard = self.commit_lock.lock();
+        let ts = match forced_ts {
+            Some(ts) => {
+                // Keep the internal clock strictly ahead of explicit commits.
+                let next = self.next_ts.load(Ordering::SeqCst);
+                if ts < next {
+                    return Err(GraphError::NonMonotonicCommit {
+                        attempted: ts,
+                        latest: next.saturating_sub(1),
+                    });
+                }
+                self.next_ts.store(ts + 1, Ordering::SeqCst);
+                ts
+            }
+            None => self.next_ts.fetch_add(1, Ordering::SeqCst),
+        };
+        // Stage 2a: synchronous TimeStore append (also updates the latest
+        // in-memory graph).
+        self.timestore.append_commit(ts, &updates)?;
+        // Statistics fold (labels resolved against the new latest graph).
+        let latest = self.timestore.latest_graph();
+        self.stats.record_commit(&updates, |id| {
+            latest.node(id).map(|n| n.labels.clone()).unwrap_or_default()
+        });
+        let event = CommitEvent {
+            ts,
+            updates: Arc::new(updates),
+        };
+        // Stage 2b: LineageStore — synchronous or via the cascade.
+        match &self.cascade {
+            Some(c) => c.submit(event.clone()),
+            None => self.lineage.apply_commit(ts, &event.updates)?,
+        }
+        // Stage 1: after-commit listeners.
+        for l in self.listeners.read().iter() {
+            l(&event);
+        }
+        Ok(ts)
+    }
+
+    /// Blocks until the LineageStore caught up with `ts` (tests, recovery).
+    pub fn lineage_barrier(&self, ts: Timestamp) {
+        if let Some(c) = &self.cascade {
+            c.barrier(ts);
+        }
+    }
+
+    /// Whether the LineageStore can serve queries up to `ts`.
+    fn lineage_current(&self, ts: Timestamp) -> bool {
+        let applied = match &self.cascade {
+            Some(c) => c.applied_ts(),
+            None => self.lineage.applied_ts(),
+        };
+        applied >= ts.min(self.timestore.latest_ts())
+    }
+
+    // --------------------------------------------------- Table 1: points
+
+    /// `getNode(nodeId, start, end)` — node history over `[start, end)`;
+    /// `start == end` is the point lookup.
+    pub fn get_node(
+        &self,
+        id: NodeId,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<Vec<Version<Node>>> {
+        if self.lineage_current(end.max(start)) {
+            return self.lineage.node_history(id, start, end);
+        }
+        // Fallback: the TimeStore serves the query (Sec. 5.1). Base state
+        // from the (usually cached) snapshot, then a per-entity replay of
+        // the diff window — never a whole-graph materialization.
+        let end = end.max(start.saturating_add(1));
+        let base = self.timestore.snapshot_at(start)?;
+        let mut state = base.node(id).cloned();
+        let updates = self.timestore.diff(start.saturating_add(1), end)?;
+        Ok(entity_versions(start, end, &mut state, updates.iter().filter(
+            |u| u.op.entity() == lpg::EntityId::Node(id),
+        ))?)
+    }
+
+    /// `getRelationship(relId, start, end)`.
+    pub fn get_relationship(
+        &self,
+        id: RelId,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<Vec<Version<Relationship>>> {
+        if self.lineage_current(end.max(start)) {
+            return self.lineage.rel_history(id, start, end);
+        }
+        let end = end.max(start.saturating_add(1));
+        let base = self.timestore.snapshot_at(start)?;
+        let mut state = base.rel(id).cloned();
+        let updates = self.timestore.diff(start.saturating_add(1), end)?;
+        Ok(rel_versions(start, end, &mut state, updates.iter().filter(
+            |u| u.op.entity() == lpg::EntityId::Rel(id),
+        ))?)
+    }
+
+    /// `getRelationships(nodeId, direction, start, end)` — one version list
+    /// per relationship incident to `id` during the window.
+    pub fn get_relationships(
+        &self,
+        id: NodeId,
+        dir: Direction,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<Vec<Vec<Version<Relationship>>>> {
+        if self.lineage_current(end.max(start)) {
+            return self.lineage.rels_history(id, dir, start, end);
+        }
+        // Fallback: incident rel ids from the base snapshot's adjacency plus
+        // any touched by the diff window, then one per-rel history each.
+        let end = end.max(start.saturating_add(1));
+        let base = self.timestore.snapshot_at(start)?;
+        let mut rel_ids: Vec<RelId> = base.relationships(id, dir);
+        for u in self.timestore.diff(start.saturating_add(1), end)? {
+            if let Update::AddRel {
+                id: rid, src, tgt, ..
+            } = &u.op
+            {
+                if (dir.includes_out() && *src == id) || (dir.includes_in() && *tgt == id) {
+                    rel_ids.push(*rid);
+                }
+            }
+        }
+        rel_ids.sort_unstable();
+        rel_ids.dedup();
+        let mut out = Vec::new();
+        for rid in rel_ids {
+            let hist = self.get_relationship(rid, start, end)?;
+            if !hist.is_empty() {
+                out.push(hist);
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------- Table 1: subgraph
+
+    /// `expand(nodeId, direction, hops, t)` — planner-routed (Sec. 5.1):
+    /// small expansions go to the LineageStore, large ones materialize a
+    /// snapshot in the TimeStore.
+    pub fn expand(
+        &self,
+        id: NodeId,
+        dir: Direction,
+        hops: u32,
+        t: Timestamp,
+    ) -> Result<Vec<(NodeId, u32)>> {
+        let pattern = AccessPattern::Expand { seeds: 1, hops };
+        let choice = self.planner.choose(&self.stats, pattern);
+        match choice {
+            StoreChoice::Lineage if self.lineage_current(t) => {
+                let hits = self.lineage.expand(id, dir, hops, t)?;
+                Ok(hits.into_iter().map(|h| (h.node.id, h.hop)).collect())
+            }
+            _ => self.expand_via_snapshot(id, dir, hops, t),
+        }
+    }
+
+    /// Expansion over a materialized snapshot (the TimeStore path).
+    pub fn expand_via_snapshot(
+        &self,
+        id: NodeId,
+        dir: Direction,
+        hops: u32,
+        t: Timestamp,
+    ) -> Result<Vec<(NodeId, u32)>> {
+        let g = self.timestore.snapshot_at(t)?;
+        if !g.has_node(id) {
+            return Err(GraphError::NodeNotFound(id));
+        }
+        let mut out = Vec::new();
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+        seen.insert(id);
+        queue.push_back((id, 0));
+        while let Some((cur, hop)) = queue.pop_front() {
+            if hop == hops {
+                continue;
+            }
+            for rid in g.relationships(cur, dir) {
+                let Some(rel) = g.rel(rid) else { continue };
+                let n = match dir {
+                    Direction::Outgoing => rel.tgt,
+                    Direction::Incoming => rel.src,
+                    Direction::Both => rel.other_end(cur).expect("incident"),
+                };
+                if seen.insert(n) {
+                    out.push((n, hop + 1));
+                    queue.push_back((n, hop + 1));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // --------------------------------------------------- Table 1: global
+
+    /// `getDiff(start, end)` — all updates in `[start, end)`.
+    pub fn get_diff(&self, start: Timestamp, end: Timestamp) -> Result<Vec<TimestampedUpdate>> {
+        self.timestore.diff(start, end)
+    }
+
+    /// `getGraph(t)` — the snapshot at `t`.
+    pub fn get_graph_at(&self, t: Timestamp) -> Result<Arc<Graph>> {
+        self.timestore.snapshot_at(t)
+    }
+
+    /// `getGraph(start, end, step)` — a snapshot series.
+    pub fn get_graphs(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+        step: u64,
+    ) -> Result<Vec<(Timestamp, Arc<Graph>)>> {
+        self.timestore.graphs(start, end, step)
+    }
+
+    /// `getWindow(start, end)` — the union graph of the window.
+    pub fn get_window(&self, start: Timestamp, end: Timestamp) -> Result<Graph> {
+        self.timestore.window(start, end)
+    }
+
+    /// `getTemporalGraph(start, end)` — the temporal LPG over the window.
+    pub fn get_temporal_graph(&self, start: Timestamp, end: Timestamp) -> Result<TemporalGraph> {
+        self.timestore.temporal_graph(start, end)
+    }
+
+    // ---------------------------------------------------- bitemporal
+
+    /// Bitemporal node lookup (Fig. 1c): system-time first, then the
+    /// application-time filter over the retrieved versions (Sec. 4.5).
+    pub fn get_node_bitemporal(
+        &self,
+        id: NodeId,
+        system: TimeRange,
+        application: TimeRange,
+    ) -> Result<Vec<Version<Node>>> {
+        let w = system.to_half_open();
+        let versions = self.get_node(id, w.start, w.end)?;
+        Ok(bitemporal::filter_versions(
+            versions,
+            application,
+            self.app_keys,
+        ))
+    }
+
+    /// Flushes all storage to disk.
+    pub fn sync(&self) -> Result<()> {
+        self.timestore.sync()?;
+        self.lineage.sync()?;
+        Ok(())
+    }
+}
+
+/// Builds a single node's version chain over `[start, end)` from its base
+/// state plus its filtered updates (the per-entity TimeStore fallback).
+fn entity_versions<'a>(
+    start: Timestamp,
+    end: Timestamp,
+    state: &mut Option<Node>,
+    updates: impl Iterator<Item = &'a TimestampedUpdate>,
+) -> Result<Vec<Version<Node>>> {
+    let mut versions = Vec::new();
+    let mut open_since = start;
+    for u in updates {
+        if let Some(node) = state.take() {
+            if u.ts > open_since {
+                versions.push(Version::new(open_since, u.ts, node.clone()));
+            }
+            *state = Some(node);
+        }
+        match &u.op {
+            Update::AddNode { id, labels, props } => {
+                *state = Some(Node::new(*id, labels.clone(), props.clone()));
+            }
+            Update::DeleteNode { .. } => *state = None,
+            op => {
+                if let (Some(node), Some(delta)) = (state.as_mut(), lpg::EntityDelta::from_update(op))
+                {
+                    delta.apply_to_node(node);
+                }
+            }
+        }
+        open_since = u.ts;
+    }
+    if let Some(node) = state.take() {
+        if end > open_since {
+            versions.push(Version::new(open_since, end, node));
+        }
+    }
+    Ok(versions)
+}
+
+/// The relationship analogue of [`entity_versions`].
+fn rel_versions<'a>(
+    start: Timestamp,
+    end: Timestamp,
+    state: &mut Option<Relationship>,
+    updates: impl Iterator<Item = &'a TimestampedUpdate>,
+) -> Result<Vec<Version<Relationship>>> {
+    let mut versions = Vec::new();
+    let mut open_since = start;
+    for u in updates {
+        if let Some(rel) = state.take() {
+            if u.ts > open_since {
+                versions.push(Version::new(open_since, u.ts, rel.clone()));
+            }
+            *state = Some(rel);
+        }
+        match &u.op {
+            Update::AddRel {
+                id,
+                src,
+                tgt,
+                label,
+                props,
+            } => {
+                *state = Some(Relationship::new(*id, *src, *tgt, *label, props.clone()));
+            }
+            Update::DeleteRel { .. } => *state = None,
+            op => {
+                if let (Some(rel), Some(delta)) = (state.as_mut(), lpg::EntityDelta::from_update(op))
+                {
+                    delta.apply_to_rel(rel);
+                }
+            }
+        }
+        open_since = u.ts;
+    }
+    if let Some(rel) = state.take() {
+        if end > open_since {
+            versions.push(Version::new(open_since, end, rel));
+        }
+    }
+    Ok(versions)
+}

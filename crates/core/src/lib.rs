@@ -1,0 +1,48 @@
+//! # aion-core — the transactional temporal graph DBMS (Sec. 5)
+//!
+//! This crate assembles the substrates into the system of Fig. 4:
+//!
+//! ```text
+//!   write txn ──commit──▶ event listener (stage 1)
+//!        │                      │
+//!        ▼                      ▼
+//!   latest graph        TimeStore (synchronous, stage 2)
+//!                               │ background cascade
+//!                               ▼
+//!                 LineageStore + GraphStore (asynchronous)
+//!
+//!   temporal query (stage 3) ──▶ planner ──▶ LineageStore | TimeStore
+//! ```
+//!
+//! * [`txn`] — write transactions with full LPG constraint validation and
+//!   monotonically increasing commit timestamps; the after-commit event
+//!   listener contract mirrors Neo4j's (`TransactionEventListener`).
+//! * [`cascade`] — the background workers that apply committed updates to
+//!   the LineageStore off the critical path; the LineageStore "lags behind
+//!   the TimeStore, and in the rare case that it cannot serve a temporal
+//!   query, the TimeStore is used instead" (Sec. 5.1).
+//! * [`stats`] — histogram base statistics (nodes, relationships, labels,
+//!   types, patterns) and derived cardinality estimates.
+//! * [`planner`] — the heuristic store selector: "if less than 30% of the
+//!   graph is accessed, Aion uses the LineageStore; otherwise, it
+//!   constructs a full graph snapshot with the TimeStore".
+//! * [`db`] — [`Aion`] itself, exposing the Table 1 temporal graph API.
+//! * [`bitemporal`] — application-time handling (Sec. 4.5): application
+//!   start/end stored as ordinary properties, filtered after system-time
+//!   retrieval, with fallback to system time when unset.
+//! * [`procedures`] — the temporal procedures layer (Sec. 5.1): graph
+//!   projections plus incremental AVG / BFS / PageRank over snapshot
+//!   series (Sec. 6.6), with results cached for reuse.
+
+pub mod bitemporal;
+pub mod cascade;
+pub mod db;
+pub mod planner;
+pub mod procedures;
+pub mod stats;
+pub mod txn;
+
+pub use db::{Aion, AionConfig, StoreChoice};
+pub use planner::Planner;
+pub use stats::Statistics;
+pub use txn::{CommitEvent, WriteTxn};

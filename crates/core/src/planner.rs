@@ -1,0 +1,180 @@
+//! The store-selection heuristic (Sec. 5.1): "Based on the cardinality
+//! estimation of this generated plan, Aion adopts a simple heuristic to
+//! select between the two temporal stores: (i) if less than 30% of the
+//! graph is accessed, Aion uses the LineageStore; (ii) otherwise, it
+//! constructs a full graph snapshot with the TimeStore." The threshold
+//! itself comes from the crossover measured in Fig. 8 (Sec. 6.3).
+
+use crate::stats::Statistics;
+
+/// Which temporal store should serve a query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StoreChoice {
+    /// Fine-grained, entity-indexed store (point / small-subgraph access).
+    Lineage,
+    /// Snapshot + log store (global access).
+    Time,
+}
+
+/// Access shape of a temporal query, as seen by the planner.
+#[derive(Clone, Copy, Debug)]
+pub enum AccessPattern {
+    /// Single node/relationship lookup.
+    Point,
+    /// n-hop expansion from `seeds` start nodes.
+    Expand {
+        /// Start-node count.
+        seeds: u64,
+        /// Hop budget.
+        hops: u32,
+    },
+    /// Whole-graph access (snapshots, windows, temporal graphs).
+    Global,
+    /// A label/type-constrained pattern scan with a known estimate.
+    Cardinality(u64),
+}
+
+/// Cardinality-driven planner.
+pub struct Planner {
+    threshold: f64,
+}
+
+impl Planner {
+    /// A planner with the paper's 30 % threshold.
+    pub fn new() -> Self {
+        Planner { threshold: 0.3 }
+    }
+
+    /// A planner with a custom threshold (ablation experiments).
+    pub fn with_threshold(threshold: f64) -> Self {
+        Planner { threshold }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Estimates the accessed fraction of the graph for `pattern`.
+    pub fn estimate_fraction(&self, stats: &Statistics, pattern: AccessPattern) -> f64 {
+        match pattern {
+            AccessPattern::Point => {
+                let total = (stats.node_count() + stats.rel_count()).max(1);
+                1.0 / total as f64
+            }
+            AccessPattern::Expand { seeds, hops } => {
+                stats.estimate_expand_fraction(seeds, hops)
+            }
+            AccessPattern::Global => 1.0,
+            AccessPattern::Cardinality(rows) => {
+                let total = (stats.node_count() + stats.rel_count()).max(1);
+                (rows as f64 / total as f64).min(1.0)
+            }
+        }
+    }
+
+    /// Picks the store for `pattern`.
+    pub fn choose(&self, stats: &Statistics, pattern: AccessPattern) -> StoreChoice {
+        if self.estimate_fraction(stats, pattern) < self.threshold {
+            StoreChoice::Lineage
+        } else {
+            StoreChoice::Time
+        }
+    }
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpg::{NodeId, RelId, Update};
+
+    fn stats_with(nodes: u64, rels: u64) -> Statistics {
+        let s = Statistics::new();
+        let mut batch = Vec::new();
+        for i in 0..nodes {
+            batch.push(Update::AddNode {
+                id: NodeId::new(i),
+                labels: vec![],
+                props: vec![],
+            });
+        }
+        for i in 0..rels {
+            batch.push(Update::AddRel {
+                id: RelId::new(i),
+                src: NodeId::new(i % nodes),
+                tgt: NodeId::new((i + 1) % nodes),
+                label: None,
+                props: vec![],
+            });
+        }
+        s.record_commit(&batch, |_| vec![]);
+        s
+    }
+
+    #[test]
+    fn point_queries_use_lineage() {
+        let s = stats_with(1_000, 5_000);
+        let p = Planner::new();
+        assert_eq!(p.choose(&s, AccessPattern::Point), StoreChoice::Lineage);
+    }
+
+    #[test]
+    fn global_queries_use_timestore() {
+        let s = stats_with(1_000, 5_000);
+        let p = Planner::new();
+        assert_eq!(p.choose(&s, AccessPattern::Global), StoreChoice::Time);
+    }
+
+    #[test]
+    fn expand_crosses_threshold_with_hops() {
+        // Average degree 5: 1 hop touches a sliver, 8 hops everything.
+        let s = stats_with(10_000, 50_000);
+        let p = Planner::new();
+        assert_eq!(
+            p.choose(&s, AccessPattern::Expand { seeds: 1, hops: 1 }),
+            StoreChoice::Lineage
+        );
+        assert_eq!(
+            p.choose(&s, AccessPattern::Expand { seeds: 1, hops: 8 }),
+            StoreChoice::Time
+        );
+        // The flip happens at some hop count in between.
+        let mut flipped = None;
+        for hops in 1..=8 {
+            if p.choose(&s, AccessPattern::Expand { seeds: 1, hops }) == StoreChoice::Time {
+                flipped = Some(hops);
+                break;
+            }
+        }
+        assert!(flipped.is_some());
+    }
+
+    #[test]
+    fn cardinality_pattern_scales() {
+        let s = stats_with(1_000, 1_000);
+        let p = Planner::new();
+        assert_eq!(
+            p.choose(&s, AccessPattern::Cardinality(10)),
+            StoreChoice::Lineage
+        );
+        assert_eq!(
+            p.choose(&s, AccessPattern::Cardinality(1_500)),
+            StoreChoice::Time
+        );
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let s = stats_with(100, 100);
+        let p = Planner::with_threshold(0.0);
+        // Everything at or above 0 goes to TimeStore.
+        assert_eq!(p.choose(&s, AccessPattern::Point), StoreChoice::Time);
+        assert_eq!(p.threshold(), 0.0);
+    }
+}

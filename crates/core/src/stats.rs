@@ -1,0 +1,255 @@
+//! Base statistics and cardinality estimation (Sec. 5.1).
+//!
+//! "Aion uses histograms to track base statistics, including the number
+//! of: (i) nodes and relationships; (ii) nodes with a specific label;
+//! (iii) relationships with a specific type; (iv) relationships with a
+//! predefined pattern (e.g. (:Label)-[:Type]->()). Using these base
+//! statistics, it can derive the cardinality of more complex patterns …
+//! and estimate the percentage of the graph history accessed."
+
+use lpg::{StrId, Update};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+#[derive(Default)]
+struct Inner {
+    nodes: u64,
+    rels: u64,
+    label_counts: HashMap<StrId, u64>,
+    type_counts: HashMap<StrId, u64>,
+    /// (src label, rel type) → count, the `(:A)-[:R]->()` pattern histogram.
+    out_pattern: HashMap<(StrId, StrId), u64>,
+    /// (rel type, tgt label) → count, the `()-[:R]->(:B)` pattern histogram.
+    in_pattern: HashMap<(StrId, StrId), u64>,
+    /// Total updates ever ingested (graph history size).
+    updates: u64,
+}
+
+/// Concurrent statistics collector, updated on every commit.
+#[derive(Default)]
+pub struct Statistics {
+    inner: RwLock<Inner>,
+}
+
+impl Statistics {
+    /// Fresh, empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one committed update batch into the histograms. `node_labels`
+    /// resolves a node's labels at commit time (for pattern counts).
+    pub fn record_commit(&self, updates: &[Update], node_labels: impl Fn(lpg::NodeId) -> Vec<StrId>) {
+        let mut g = self.inner.write();
+        for u in updates {
+            g.updates += 1;
+            match u {
+                Update::AddNode { labels, .. } => {
+                    g.nodes += 1;
+                    for l in labels {
+                        *g.label_counts.entry(*l).or_insert(0) += 1;
+                    }
+                }
+                Update::DeleteNode { .. } => g.nodes = g.nodes.saturating_sub(1),
+                Update::AddRel {
+                    src, tgt, label, ..
+                } => {
+                    g.rels += 1;
+                    if let Some(t) = label {
+                        *g.type_counts.entry(*t).or_insert(0) += 1;
+                        for l in node_labels(*src) {
+                            *g.out_pattern.entry((l, *t)).or_insert(0) += 1;
+                        }
+                        for l in node_labels(*tgt) {
+                            *g.in_pattern.entry((*t, l)).or_insert(0) += 1;
+                        }
+                    }
+                }
+                Update::DeleteRel { .. } => g.rels = g.rels.saturating_sub(1),
+                Update::AddLabel { label, .. } => {
+                    *g.label_counts.entry(*label).or_insert(0) += 1;
+                }
+                Update::RemoveLabel { label, .. } => {
+                    if let Some(c) = g.label_counts.get_mut(label) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Live node count.
+    pub fn node_count(&self) -> u64 {
+        self.inner.read().nodes
+    }
+
+    /// Live relationship count.
+    pub fn rel_count(&self) -> u64 {
+        self.inner.read().rels
+    }
+
+    /// Total graph history size `|U|`.
+    pub fn update_count(&self) -> u64 {
+        self.inner.read().updates
+    }
+
+    /// Nodes carrying `label`.
+    pub fn label_count(&self, label: StrId) -> u64 {
+        self.inner.read().label_counts.get(&label).copied().unwrap_or(0)
+    }
+
+    /// Relationships of `rel_type`.
+    pub fn type_count(&self, rel_type: StrId) -> u64 {
+        self.inner.read().type_counts.get(&rel_type).copied().unwrap_or(0)
+    }
+
+    /// Estimated cardinality of `(:A)-[:R]->(:B)` using the paper's rule:
+    /// `min(#((:A)-[:R]->()), #(()-[:R]->(:B)))`. `None` on either side
+    /// means an unconstrained endpoint.
+    pub fn pattern_count(
+        &self,
+        src_label: Option<StrId>,
+        rel_type: StrId,
+        tgt_label: Option<StrId>,
+    ) -> u64 {
+        let g = self.inner.read();
+        let total = g.type_counts.get(&rel_type).copied().unwrap_or(0);
+        let left = match src_label {
+            Some(a) => g.out_pattern.get(&(a, rel_type)).copied().unwrap_or(0),
+            None => total,
+        };
+        let right = match tgt_label {
+            Some(b) => g.in_pattern.get(&(rel_type, b)).copied().unwrap_or(0),
+            None => total,
+        };
+        left.min(right)
+    }
+
+    /// Average degree (|E| / |V|, 0 when empty).
+    pub fn avg_degree(&self) -> f64 {
+        let g = self.inner.read();
+        if g.nodes == 0 {
+            0.0
+        } else {
+            g.rels as f64 / g.nodes as f64
+        }
+    }
+
+    /// Estimated fraction of the graph touched by an `hops`-hop expansion
+    /// from `seeds` start nodes, assuming average branching. This powers the
+    /// 30 % planner heuristic.
+    pub fn estimate_expand_fraction(&self, seeds: u64, hops: u32) -> f64 {
+        let g = self.inner.read();
+        if g.nodes == 0 {
+            return 0.0;
+        }
+        let entities = (g.nodes + g.rels) as f64;
+        let d = g.rels as f64 / g.nodes as f64;
+        // Reached nodes ≈ seeds · (1 + d + d² + … + d^hops), capped.
+        let mut reached = seeds as f64;
+        let mut frontier = seeds as f64;
+        for _ in 0..hops {
+            frontier *= d.max(0.0);
+            reached += frontier;
+            if reached >= entities {
+                return 1.0;
+            }
+        }
+        // Each reached node also touches ~d relationships.
+        ((reached * (1.0 + d)) / entities).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpg::{NodeId, RelId};
+
+    fn sid(i: u32) -> StrId {
+        StrId::new(i)
+    }
+
+    fn no_labels(_: lpg::NodeId) -> Vec<StrId> {
+        vec![]
+    }
+
+    #[test]
+    fn counts_follow_commits() {
+        let s = Statistics::new();
+        s.record_commit(
+            &[
+                Update::AddNode {
+                    id: NodeId::new(1),
+                    labels: vec![sid(1)],
+                    props: vec![],
+                },
+                Update::AddNode {
+                    id: NodeId::new(2),
+                    labels: vec![sid(1), sid(2)],
+                    props: vec![],
+                },
+                Update::AddRel {
+                    id: RelId::new(1),
+                    src: NodeId::new(1),
+                    tgt: NodeId::new(2),
+                    label: Some(sid(9)),
+                    props: vec![],
+                },
+            ],
+            |n| if n == NodeId::new(1) { vec![sid(1)] } else { vec![sid(1), sid(2)] },
+        );
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(s.rel_count(), 1);
+        assert_eq!(s.update_count(), 3);
+        assert_eq!(s.label_count(sid(1)), 2);
+        assert_eq!(s.label_count(sid(2)), 1);
+        assert_eq!(s.type_count(sid(9)), 1);
+        // min rule.
+        assert_eq!(s.pattern_count(Some(sid(1)), sid(9), Some(sid(2))), 1);
+        assert_eq!(s.pattern_count(None, sid(9), Some(sid(2))), 1);
+        assert_eq!(s.pattern_count(Some(sid(2)), sid(9), None), 0, "label 2 is only on the target");
+        assert_eq!(s.pattern_count(Some(sid(3)), sid(9), None), 0);
+        s.record_commit(&[Update::DeleteRel { id: RelId::new(1) }], no_labels);
+        assert_eq!(s.rel_count(), 0);
+        assert_eq!(s.update_count(), 4);
+    }
+
+    #[test]
+    fn expand_fraction_grows_with_hops() {
+        let s = Statistics::new();
+        // 100 nodes, 300 rels → avg degree 3.
+        let mut batch = Vec::new();
+        for i in 0..100 {
+            batch.push(Update::AddNode {
+                id: NodeId::new(i),
+                labels: vec![],
+                props: vec![],
+            });
+        }
+        for i in 0..300u64 {
+            batch.push(Update::AddRel {
+                id: RelId::new(i),
+                src: NodeId::new(i % 100),
+                tgt: NodeId::new((i + 1) % 100),
+                label: None,
+                props: vec![],
+            });
+        }
+        s.record_commit(&batch, no_labels);
+        let f1 = s.estimate_expand_fraction(1, 1);
+        let f2 = s.estimate_expand_fraction(1, 2);
+        let f8 = s.estimate_expand_fraction(1, 8);
+        assert!(f1 < f2 && f2 < f8);
+        assert!(f1 > 0.0);
+        assert_eq!(f8, 1.0, "degree 3, 8 hops saturates 100 nodes");
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = Statistics::new();
+        assert_eq!(s.avg_degree(), 0.0);
+        assert_eq!(s.estimate_expand_fraction(1, 4), 0.0);
+        assert_eq!(s.pattern_count(None, sid(1), None), 0);
+    }
+}

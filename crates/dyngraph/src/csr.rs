@@ -1,0 +1,176 @@
+//! Static CSR projections (the GDS-style "graph projection" of Sec. 5.1:
+//! "Aion … allows the creation of static CSRs, known as graph projections,
+//! to exploit the efficient parallel versions of the GDS library's
+//! algorithms").
+//!
+//! The CSR is built over the dense node domain so algorithm state lives in
+//! flat vectors.
+
+use crate::graph::DynGraph;
+use lpg::{Direction, PropertyValue, StrId};
+
+/// A compressed-sparse-row projection of one direction of a [`DynGraph`].
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `offsets[d]..offsets[d+1]` indexes `targets` for dense node `d`.
+    pub offsets: Vec<usize>,
+    /// Flattened neighbour lists (dense ids).
+    pub targets: Vec<u32>,
+    /// Optional per-edge weights aligned with `targets`.
+    pub weights: Option<Vec<f64>>,
+    /// Whether each dense slot holds a live node.
+    pub live: Vec<bool>,
+}
+
+impl Csr {
+    /// Projects `g` in direction `dir` (`Both` concatenates out + in
+    /// adjacency per node). When `weight_key` is given, edge weights are
+    /// read from that relationship property (missing ⇒ 1.0).
+    pub fn project(g: &DynGraph, dir: Direction, weight_key: Option<StrId>) -> Csr {
+        let n = g.dense_len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut weights = weight_key.map(|_| Vec::new());
+        let mut live = vec![false; n];
+        offsets.push(0);
+        for d in 0..n as u32 {
+            if let Some(node) = g.node_dense(d) {
+                live[d as usize] = true;
+                let id = node.id;
+                let mut push = |rid: lpg::RelId, outgoing: bool| {
+                    let Some(rel) = g.rel(rid) else { return };
+                    let other = if outgoing { rel.tgt } else { rel.src };
+                    let Some(od) = g.dense(other) else { return };
+                    targets.push(od);
+                    if let (Some(w), Some(key)) = (weights.as_mut(), weight_key) {
+                        let value = rel
+                            .prop(key)
+                            .and_then(PropertyValue::as_float)
+                            .unwrap_or(1.0);
+                        w.push(value);
+                    }
+                };
+                if dir.includes_out() {
+                    for rid in g.adj(id, Direction::Outgoing) {
+                        push(*rid, true);
+                    }
+                }
+                if dir.includes_in() {
+                    for rid in g.adj(id, Direction::Incoming) {
+                        push(*rid, false);
+                    }
+                }
+            }
+            offsets.push(targets.len());
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+            live,
+        }
+    }
+
+    /// Number of dense node slots.
+    pub fn node_slots(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+
+    /// Total projected edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The neighbours of dense node `d`.
+    pub fn neighbours(&self, d: u32) -> &[u32] {
+        &self.targets[self.offsets[d as usize]..self.offsets[d as usize + 1]]
+    }
+
+    /// Out-degree of dense node `d`.
+    pub fn degree(&self, d: u32) -> usize {
+        self.offsets[d as usize + 1] - self.offsets[d as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpg::{NodeId, RelId, Update};
+
+    fn build() -> DynGraph {
+        let mut g = DynGraph::new();
+        for i in 0..4 {
+            g.apply(&Update::AddNode {
+                id: NodeId::new(i * 10),
+                labels: vec![],
+                props: vec![],
+            })
+            .unwrap();
+        }
+        let edges = [(0u64, 0, 10), (1, 0, 20), (2, 10, 20), (3, 20, 30)];
+        for (id, s, t) in edges {
+            g.apply(&Update::AddRel {
+                id: RelId::new(id),
+                src: NodeId::new(s),
+                tgt: NodeId::new(t),
+                label: None,
+                props: vec![(StrId::new(0), PropertyValue::Float(id as f64))],
+            })
+            .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn outgoing_projection() {
+        let g = build();
+        let csr = Csr::project(&g, Direction::Outgoing, None);
+        assert_eq!(csr.node_slots(), 4);
+        assert_eq!(csr.live_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        // Node 0 (dense 0) points at dense 1 and 2.
+        let mut n0: Vec<u32> = csr.neighbours(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(csr.degree(3), 0);
+    }
+
+    #[test]
+    fn both_direction_doubles_edges() {
+        let g = build();
+        let csr = Csr::project(&g, Direction::Both, None);
+        assert_eq!(csr.edge_count(), 8);
+    }
+
+    #[test]
+    fn weights_follow_property() {
+        let g = build();
+        let csr = Csr::project(&g, Direction::Outgoing, Some(StrId::new(0)));
+        let w = csr.weights.as_ref().unwrap();
+        assert_eq!(w.len(), 4);
+        // Weight equals the rel id we stored as property.
+        let d0 = csr.neighbours(0);
+        assert_eq!(d0.len(), 2);
+        assert!(w[..2].iter().all(|x| *x == 0.0 || *x == 1.0));
+    }
+
+    #[test]
+    fn deleted_nodes_leave_dead_slots() {
+        let mut g = build();
+        g.apply(&Update::DeleteRel { id: RelId::new(3) }).unwrap();
+        g.apply(&Update::DeleteNode {
+            id: NodeId::new(30),
+        })
+        .unwrap();
+        let csr = Csr::project(&g, Direction::Outgoing, None);
+        assert_eq!(csr.node_slots(), 4);
+        assert_eq!(csr.live_count(), 3);
+        assert!(!csr.live[3]);
+        assert_eq!(csr.edge_count(), 3);
+    }
+}

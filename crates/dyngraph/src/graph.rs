@@ -1,0 +1,521 @@
+//! The dynamic in-memory LPG: four Arc-shared vectors with copy-on-write
+//! snapshots (Fig. 5).
+
+use crate::idmap::IdMap;
+use lpg::{prop_remove, prop_set};
+use lpg::{Direction, Graph, GraphError, Node, NodeId, RelId, Relationship, Result, Update};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dynamic LPG optimized for analytics and incremental computation.
+///
+/// Nodes live at dense indexes (via [`IdMap`]); relationships at their raw
+/// id (relationship ids are allocated densely by the transaction layer).
+/// Cloning a `DynGraph` is cheap — the vectors are `Arc`-shared and copy
+/// lazily on the next mutation (Tegra-style CoW, Sec. 5.2).
+#[derive(Clone, Debug)]
+pub struct DynGraph {
+    idmap: Arc<IdMap>,
+    /// Dense-indexed materialized nodes (`None` = deleted).
+    nodes: Arc<Vec<Option<Node>>>,
+    /// Relationship vector indexed by raw rel id (`None` = deleted/absent).
+    rels: Arc<Vec<Option<Relationship>>>,
+    /// Outgoing relationship ids per dense node.
+    out_adj: Arc<Vec<Vec<RelId>>>,
+    /// Incoming relationship ids per dense node.
+    in_adj: Arc<Vec<Vec<RelId>>>,
+    live_nodes: usize,
+    live_rels: usize,
+}
+
+impl Default for DynGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DynGraph {
+    /// An empty graph.
+    pub fn new() -> DynGraph {
+        DynGraph {
+            idmap: Arc::new(IdMap::new()),
+            nodes: Arc::new(Vec::new()),
+            rels: Arc::new(Vec::new()),
+            out_adj: Arc::new(Vec::new()),
+            in_adj: Arc::new(Vec::new()),
+            live_nodes: 0,
+            live_rels: 0,
+        }
+    }
+
+    /// Builds from a materialized [`lpg::Graph`] snapshot.
+    pub fn from_graph(g: &Graph) -> DynGraph {
+        let mut dg = DynGraph::new();
+        for n in g.nodes() {
+            dg.apply(&Update::AddNode {
+                id: n.id,
+                labels: n.labels.clone(),
+                props: n.props.clone(),
+            })
+            .expect("source graph is consistent");
+        }
+        for r in g.rels() {
+            dg.apply(&Update::AddRel {
+                id: r.id,
+                src: r.src,
+                tgt: r.tgt,
+                label: r.label,
+                props: r.props.clone(),
+            })
+            .expect("source graph is consistent");
+        }
+        dg
+    }
+
+    /// Live node count.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Live relationship count.
+    pub fn rel_count(&self) -> usize {
+        self.live_rels
+    }
+
+    /// Number of dense slots (`V_d`, including deleted nodes' slots).
+    pub fn dense_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The dense index of a node id.
+    pub fn dense(&self, id: NodeId) -> Option<u32> {
+        let d = self.idmap.dense(id)?;
+        self.nodes[d as usize].as_ref().map(|_| d)
+    }
+
+    /// The sparse node id at a dense index.
+    pub fn sparse(&self, d: u32) -> Option<NodeId> {
+        self.idmap.sparse(d)
+    }
+
+    /// Node lookup by sparse id.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        let d = self.idmap.dense(id)?;
+        self.nodes.get(d as usize)?.as_ref()
+    }
+
+    /// Node lookup by dense index.
+    pub fn node_dense(&self, d: u32) -> Option<&Node> {
+        self.nodes.get(d as usize)?.as_ref()
+    }
+
+    /// Relationship lookup.
+    pub fn rel(&self, id: RelId) -> Option<&Relationship> {
+        self.rels.get(id.index())?.as_ref()
+    }
+
+    /// Outgoing/incoming relationship ids of a node (`O(1)` access).
+    pub fn adj(&self, id: NodeId, dir: Direction) -> &[RelId] {
+        static EMPTY: [RelId; 0] = [];
+        let Some(d) = self.idmap.dense(id) else {
+            return &EMPTY;
+        };
+        match dir {
+            Direction::Outgoing => self.out_adj.get(d as usize).map_or(&EMPTY[..], |v| v),
+            Direction::Incoming => self.in_adj.get(d as usize).map_or(&EMPTY[..], |v| v),
+            Direction::Both => panic!("adj() needs a concrete direction; use neighbours()"),
+        }
+    }
+
+    /// Degree in a direction (self-loops count twice under `Both`).
+    pub fn degree(&self, id: NodeId, dir: Direction) -> usize {
+        let Some(d) = self.idmap.dense(id) else {
+            return 0;
+        };
+        let mut total = 0;
+        if dir.includes_out() {
+            total += self.out_adj.get(d as usize).map_or(0, Vec::len);
+        }
+        if dir.includes_in() {
+            total += self.in_adj.get(d as usize).map_or(0, Vec::len);
+        }
+        total
+    }
+
+    /// Deduplicated neighbour node ids.
+    pub fn neighbours(&self, id: NodeId, dir: Direction) -> Vec<NodeId> {
+        let Some(d) = self.idmap.dense(id) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        if dir.includes_out() {
+            for r in &self.out_adj[d as usize] {
+                if let Some(rel) = self.rel(*r) {
+                    out.push(rel.tgt);
+                }
+            }
+        }
+        if dir.includes_in() {
+            for r in &self.in_adj[d as usize] {
+                if let Some(rel) = self.rel(*r) {
+                    out.push(rel.src);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Iterates live nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter_map(Option::as_ref)
+    }
+
+    /// Iterates live relationships.
+    pub fn rels(&self) -> impl Iterator<Item = &Relationship> {
+        self.rels.iter().filter_map(Option::as_ref)
+    }
+
+    /// Applies one update, validating the LPG constraints.
+    pub fn apply(&mut self, op: &Update) -> Result<()> {
+        match op {
+            Update::AddNode { id, labels, props } => {
+                if self.node(*id).is_some() {
+                    return Err(GraphError::NodeExists(*id));
+                }
+                let idmap = Arc::make_mut(&mut self.idmap);
+                let d = idmap.get_or_insert(*id) as usize;
+                let nodes = Arc::make_mut(&mut self.nodes);
+                if nodes.len() <= d {
+                    nodes.resize_with(d + 1, || None);
+                }
+                nodes[d] = Some(Node::new(*id, labels.clone(), props.clone()));
+                let out = Arc::make_mut(&mut self.out_adj);
+                if out.len() <= d {
+                    out.resize_with(d + 1, Vec::new);
+                }
+                let inn = Arc::make_mut(&mut self.in_adj);
+                if inn.len() <= d {
+                    inn.resize_with(d + 1, Vec::new);
+                }
+                self.live_nodes += 1;
+            }
+            Update::DeleteNode { id } => {
+                let d = self
+                    .dense(*id)
+                    .ok_or(GraphError::NodeNotFound(*id))? as usize;
+                if !self.out_adj[d].is_empty() || !self.in_adj[d].is_empty() {
+                    return Err(GraphError::NodeHasRelationships(*id));
+                }
+                Arc::make_mut(&mut self.nodes)[d] = None;
+                self.live_nodes -= 1;
+            }
+            Update::AddRel {
+                id,
+                src,
+                tgt,
+                label,
+                props,
+            } => {
+                if self.rel(*id).is_some() {
+                    return Err(GraphError::RelExists(*id));
+                }
+                let ds = self.dense(*src).ok_or(GraphError::EndpointMissing {
+                    rel: *id,
+                    node: *src,
+                })? as usize;
+                let dt = self.dense(*tgt).ok_or(GraphError::EndpointMissing {
+                    rel: *id,
+                    node: *tgt,
+                })? as usize;
+                let rels = Arc::make_mut(&mut self.rels);
+                if rels.len() <= id.index() {
+                    rels.resize_with(id.index() + 1, || None);
+                }
+                rels[id.index()] =
+                    Some(Relationship::new(*id, *src, *tgt, *label, props.clone()));
+                Arc::make_mut(&mut self.out_adj)[ds].push(*id);
+                Arc::make_mut(&mut self.in_adj)[dt].push(*id);
+                self.live_rels += 1;
+            }
+            Update::DeleteRel { id } => {
+                let rel = self
+                    .rel(*id)
+                    .cloned()
+                    .ok_or(GraphError::RelNotFound(*id))?;
+                Arc::make_mut(&mut self.rels)[id.index()] = None;
+                let ds = self.idmap.dense(rel.src).expect("endpoint mapped") as usize;
+                let dt = self.idmap.dense(rel.tgt).expect("endpoint mapped") as usize;
+                // swap_remove: deletion cost bounded by neighbourhood size,
+                // order not preserved (amortized gaps, Sec. 5.2).
+                let out = Arc::make_mut(&mut self.out_adj);
+                if let Some(i) = out[ds].iter().position(|r| r == id) {
+                    out[ds].swap_remove(i);
+                }
+                let inn = Arc::make_mut(&mut self.in_adj);
+                if let Some(i) = inn[dt].iter().position(|r| r == id) {
+                    inn[dt].swap_remove(i);
+                }
+                self.live_rels -= 1;
+            }
+            Update::SetNodeProp { id, key, value } => {
+                let d = self.dense(*id).ok_or(GraphError::NodeNotFound(*id))? as usize;
+                let n = Arc::make_mut(&mut self.nodes)[d].as_mut().expect("live");
+                prop_set(&mut n.props, *key, value.clone());
+            }
+            Update::RemoveNodeProp { id, key } => {
+                let d = self.dense(*id).ok_or(GraphError::NodeNotFound(*id))? as usize;
+                let n = Arc::make_mut(&mut self.nodes)[d].as_mut().expect("live");
+                prop_remove(&mut n.props, *key);
+            }
+            Update::AddLabel { id, label } => {
+                let d = self.dense(*id).ok_or(GraphError::NodeNotFound(*id))? as usize;
+                let n = Arc::make_mut(&mut self.nodes)[d].as_mut().expect("live");
+                if let Err(i) = n.labels.binary_search(label) {
+                    n.labels.insert(i, *label);
+                }
+            }
+            Update::RemoveLabel { id, label } => {
+                let d = self.dense(*id).ok_or(GraphError::NodeNotFound(*id))? as usize;
+                let n = Arc::make_mut(&mut self.nodes)[d].as_mut().expect("live");
+                if let Ok(i) = n.labels.binary_search(label) {
+                    n.labels.remove(i);
+                }
+            }
+            Update::SetRelProp { id, key, value } => {
+                if self.rel(*id).is_none() {
+                    return Err(GraphError::RelNotFound(*id));
+                }
+                let r = Arc::make_mut(&mut self.rels)[id.index()]
+                    .as_mut()
+                    .expect("live");
+                prop_set(&mut r.props, *key, value.clone());
+            }
+            Update::RemoveRelProp { id, key } => {
+                if self.rel(*id).is_none() {
+                    return Err(GraphError::RelNotFound(*id));
+                }
+                let r = Arc::make_mut(&mut self.rels)[id.index()]
+                    .as_mut()
+                    .expect("live");
+                prop_remove(&mut r.props, *key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a batch.
+    pub fn apply_all<'a, I>(&mut self, ops: I) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a Update>,
+    {
+        for op in ops {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+
+    /// A copy-on-write snapshot: `O(1)` now, copying deferred to the next
+    /// mutation of either copy.
+    pub fn snapshot(&self) -> DynGraph {
+        self.clone()
+    }
+
+    /// Estimated heap footprint in bytes (Table 3 accounting: ~60 B/node,
+    /// ~68 B/rel, 4 B per adjacency entry).
+    pub fn heap_size(&self) -> usize {
+        let nodes: usize = self.nodes().map(Node::heap_size).sum();
+        let rels: usize = self.rels().map(Relationship::heap_size).sum();
+        let adj: usize = self
+            .out_adj
+            .iter()
+            .chain(self.in_adj.iter())
+            .map(|v| v.len() * 4)
+            .sum();
+        nodes + rels + adj + self.idmap.len() * 16
+    }
+
+    /// Converts back to the hash-map [`Graph`] (for oracles and snapshots).
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new();
+        for n in self.nodes() {
+            g.apply(&Update::AddNode {
+                id: n.id,
+                labels: n.labels.clone(),
+                props: n.props.clone(),
+            })
+            .expect("consistent");
+        }
+        for r in self.rels() {
+            g.apply(&Update::AddRel {
+                id: r.id,
+                src: r.src,
+                tgt: r.tgt,
+                label: r.label,
+                props: r.props.clone(),
+            })
+            .expect("consistent");
+        }
+        g
+    }
+}
+
+/// Collects per-label statistics from a graph — the base histogram Aion's
+/// cardinality estimator maintains (Sec. 5.1).
+pub fn label_histogram(g: &DynGraph) -> HashMap<lpg::StrId, usize> {
+    let mut h = HashMap::new();
+    for n in g.nodes() {
+        for l in &n.labels {
+            *h.entry(*l).or_insert(0) += 1;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpg::{PropertyValue, StrId};
+
+    fn nid(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+    fn rid(i: u64) -> RelId {
+        RelId::new(i)
+    }
+
+    fn add_node(i: u64) -> Update {
+        Update::AddNode {
+            id: nid(i),
+            labels: vec![StrId::new((i % 2) as u32)],
+            props: vec![],
+        }
+    }
+
+    fn add_rel(id: u64, s: u64, t: u64) -> Update {
+        Update::AddRel {
+            id: rid(id),
+            src: nid(s),
+            tgt: nid(t),
+            label: None,
+            props: vec![],
+        }
+    }
+
+    #[test]
+    fn basic_structure() {
+        let mut g = DynGraph::new();
+        // Sparse ids map to dense slots.
+        g.apply(&add_node(1_000_000)).unwrap();
+        g.apply(&add_node(3)).unwrap();
+        g.apply(&add_rel(0, 1_000_000, 3)).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.rel_count(), 1);
+        assert_eq!(g.dense(nid(1_000_000)), Some(0));
+        assert_eq!(g.dense(nid(3)), Some(1));
+        assert_eq!(g.degree(nid(1_000_000), Direction::Outgoing), 1);
+        assert_eq!(g.neighbours(nid(3), Direction::Incoming), vec![nid(1_000_000)]);
+        assert_eq!(g.adj(nid(1_000_000), Direction::Outgoing), &[rid(0)]);
+    }
+
+    #[test]
+    fn constraints_enforced() {
+        let mut g = DynGraph::new();
+        g.apply(&add_node(1)).unwrap();
+        assert!(matches!(
+            g.apply(&add_node(1)),
+            Err(GraphError::NodeExists(_))
+        ));
+        assert!(matches!(
+            g.apply(&add_rel(0, 1, 2)),
+            Err(GraphError::EndpointMissing { .. })
+        ));
+        g.apply(&add_node(2)).unwrap();
+        g.apply(&add_rel(0, 1, 2)).unwrap();
+        assert!(matches!(
+            g.apply(&Update::DeleteNode { id: nid(1) }),
+            Err(GraphError::NodeHasRelationships(_))
+        ));
+        g.apply(&Update::DeleteRel { id: rid(0) }).unwrap();
+        g.apply(&Update::DeleteNode { id: nid(1) }).unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn cow_snapshot_isolation() {
+        let mut g = DynGraph::new();
+        g.apply(&add_node(1)).unwrap();
+        g.apply(&add_node(2)).unwrap();
+        g.apply(&add_rel(0, 1, 2)).unwrap();
+        let snap = g.snapshot();
+        // Mutate the original; the snapshot must not change.
+        g.apply(&Update::SetNodeProp {
+            id: nid(1),
+            key: StrId::new(5),
+            value: PropertyValue::Int(9),
+        })
+        .unwrap();
+        g.apply(&Update::DeleteRel { id: rid(0) }).unwrap();
+        assert_eq!(snap.rel_count(), 1);
+        assert_eq!(snap.node(nid(1)).unwrap().prop(StrId::new(5)), None);
+        assert_eq!(g.rel_count(), 0);
+        assert_eq!(
+            g.node(nid(1)).unwrap().prop(StrId::new(5)),
+            Some(&PropertyValue::Int(9))
+        );
+    }
+
+    #[test]
+    fn snapshot_is_cheap_until_written() {
+        let mut g = DynGraph::new();
+        for i in 0..1_000 {
+            g.apply(&add_node(i)).unwrap();
+        }
+        let before = g.heap_size();
+        let snaps: Vec<DynGraph> = (0..100).map(|_| g.snapshot()).collect();
+        // 100 snapshots share the same vectors: no duplication happened.
+        assert_eq!(snaps[0].heap_size(), before);
+        assert!(Arc::ptr_eq(&g.nodes, &snaps[99].nodes));
+    }
+
+    #[test]
+    fn roundtrip_through_graph() {
+        let mut g = DynGraph::new();
+        for i in 0..50 {
+            g.apply(&add_node(i * 3)).unwrap();
+        }
+        for i in 0..80u64 {
+            g.apply(&add_rel(i, (i % 50) * 3, ((i * 7) % 50) * 3)).unwrap();
+        }
+        let plain = g.to_graph();
+        plain.check_consistency().unwrap();
+        let back = DynGraph::from_graph(&plain);
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.rel_count(), g.rel_count());
+        assert!(back.to_graph().same_as(&plain));
+    }
+
+    #[test]
+    fn reinsert_after_delete_reuses_slot() {
+        let mut g = DynGraph::new();
+        g.apply(&add_node(5)).unwrap();
+        let d = g.dense(nid(5)).unwrap();
+        g.apply(&Update::DeleteNode { id: nid(5) }).unwrap();
+        assert_eq!(g.dense(nid(5)), None);
+        g.apply(&add_node(5)).unwrap();
+        assert_eq!(g.dense(nid(5)), Some(d), "idmap slot is stable");
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn label_histogram_counts() {
+        let mut g = DynGraph::new();
+        for i in 0..10 {
+            g.apply(&add_node(i)).unwrap();
+        }
+        let h = label_histogram(&g);
+        assert_eq!(h[&StrId::new(0)], 5);
+        assert_eq!(h[&StrId::new(1)], 5);
+    }
+}

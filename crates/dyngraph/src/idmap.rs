@@ -1,0 +1,91 @@
+//! Sparse → dense node-id translation (Sec. 5.2: "to compact sparse graphs
+//! into a denser format, Aion uses a map to translate from a sparse domain
+//! of node IDs `[0, V_s)` … to a dense domain `[0, V_d)` where all IDs refer
+//! to valid nodes").
+
+use lpg::NodeId;
+use std::collections::HashMap;
+
+/// Bidirectional sparse↔dense id mapping.
+#[derive(Clone, Default, Debug)]
+pub struct IdMap {
+    to_dense: HashMap<NodeId, u32>,
+    to_sparse: Vec<NodeId>,
+}
+
+impl IdMap {
+    /// An empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dense slot count `V_d`.
+    pub fn len(&self) -> usize {
+        self.to_sparse.len()
+    }
+
+    /// `true` when no ids are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.to_sparse.is_empty()
+    }
+
+    /// Maps `id`, allocating the next dense slot on first sight.
+    pub fn get_or_insert(&mut self, id: NodeId) -> u32 {
+        if let Some(&d) = self.to_dense.get(&id) {
+            return d;
+        }
+        let d = u32::try_from(self.to_sparse.len()).expect("dense domain overflow");
+        self.to_dense.insert(id, d);
+        self.to_sparse.push(id);
+        d
+    }
+
+    /// Dense id of `id`, if mapped.
+    pub fn dense(&self, id: NodeId) -> Option<u32> {
+        self.to_dense.get(&id).copied()
+    }
+
+    /// Sparse id of dense slot `d`.
+    pub fn sparse(&self, d: u32) -> Option<NodeId> {
+        self.to_sparse.get(d as usize).copied()
+    }
+
+    /// Iterates `(sparse, dense)` pairs in dense order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.to_sparse
+            .iter()
+            .enumerate()
+            .map(|(d, &s)| (s, d as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_ids_are_compact_and_stable() {
+        let mut m = IdMap::new();
+        let a = m.get_or_insert(NodeId::new(1_000));
+        let b = m.get_or_insert(NodeId::new(5));
+        let a2 = m.get_or_insert(NodeId::new(1_000));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(a, a2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.sparse(0), Some(NodeId::new(1_000)));
+        assert_eq!(m.dense(NodeId::new(5)), Some(1));
+        assert_eq!(m.dense(NodeId::new(6)), None);
+        assert_eq!(m.sparse(9), None);
+    }
+
+    #[test]
+    fn iter_in_dense_order() {
+        let mut m = IdMap::new();
+        for id in [9u64, 3, 7] {
+            m.get_or_insert(NodeId::new(id));
+        }
+        let pairs: Vec<(u64, u32)> = m.iter().map(|(s, d)| (s.raw(), d)).collect();
+        assert_eq!(pairs, vec![(9, 0), (3, 1), (7, 2)]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # aion-dyngraph — the compute-efficient in-memory LPG (Sec. 5.2)
+//!
+//! Static CSR cannot absorb dynamically changing LPGs, so Aion adopts an
+//! adjacency-list design "based on the Sortledton graph data structure but
+//! [able to] handle an arbitrary number of labels and properties using the
+//! materialized graph entities' vectors". Four vectors (Fig. 5):
+//!
+//! 1. materialized **node** vector,
+//! 2. materialized **relationship** vector,
+//! 3. **incoming** relationship-id lists per node,
+//! 4. **outgoing** relationship-id lists per node.
+//!
+//! giving `O(1)` insert/update and neighbourhood access; deletions cost at
+//! most the neighbourhood size.
+//!
+//! * [`idmap::IdMap`] translates the sparse node-id domain `[0, V_s)` into
+//!   the dense domain `[0, V_d)` "where all IDs refer to valid nodes",
+//!   enabling vector-backed algorithms.
+//! * [`graph::DynGraph`] is the dynamic LPG; its snapshots are copy-on-write
+//!   (Arc-shared vectors that clone lazily on the next write), the Tegra-
+//!   style CoW of Sec. 5.2.
+//! * [`temporal::TemporalDynGraph`] is the temporal variant: "node and
+//!   relationship vectors store a list of entity versions instead of a
+//!   single object" and adjacency lists keep their full history ordered by
+//!   timestamp, so history access costs a binary search.
+//! * [`csr::Csr`] is the static projection (the GDS-style CSR built from a
+//!   snapshot for parallel analytics).
+
+pub mod csr;
+pub mod graph;
+pub mod idmap;
+pub mod temporal;
+
+pub use csr::Csr;
+pub use graph::DynGraph;
+pub use idmap::IdMap;
+pub use temporal::TemporalDynGraph;

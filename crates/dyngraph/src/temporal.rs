@@ -1,0 +1,481 @@
+//! The temporal in-memory LPG (Sec. 5.2): "the node and relationship
+//! vectors store a list of entity versions instead of a single object" and
+//! "in- and out-neighbourhood vectors store all neighbourhood history for
+//! each entity. Every graph modification is modeled as a record append at
+//! the end of the respective adjacency lists", keeping data timestamp-
+//! ordered for logarithmic-cost history access.
+
+use crate::idmap::IdMap;
+use lpg::{
+    Direction, Graph, GraphError, Interval, Node, NodeId, RelId, Relationship, Result, Timestamp,
+    Update, Version, TS_MAX,
+};
+use std::collections::HashMap;
+
+/// One append-only adjacency event.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct AdjEvent {
+    ts: Timestamp,
+    rel: RelId,
+    added: bool,
+}
+
+/// An in-memory temporal LPG fed by timestamp-ordered updates.
+#[derive(Clone, Default, Debug)]
+pub struct TemporalDynGraph {
+    idmap: IdMap,
+    nodes: Vec<Vec<Version<Node>>>,
+    rels: Vec<Vec<Version<Relationship>>>,
+    out_adj: Vec<Vec<AdjEvent>>,
+    in_adj: Vec<Vec<AdjEvent>>,
+    latest_ts: Timestamp,
+    version_count: usize,
+}
+
+impl TemporalDynGraph {
+    /// An empty temporal graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latest applied timestamp.
+    pub fn latest_ts(&self) -> Timestamp {
+        self.latest_ts
+    }
+
+    /// Total entity versions stored.
+    pub fn version_count(&self) -> usize {
+        self.version_count
+    }
+
+    /// Applies one update at `ts`; updates must arrive in non-decreasing
+    /// timestamp order.
+    pub fn apply(&mut self, ts: Timestamp, op: &Update) -> Result<()> {
+        if ts < self.latest_ts {
+            return Err(GraphError::NonMonotonicCommit {
+                attempted: ts,
+                latest: self.latest_ts,
+            });
+        }
+        self.apply_inner(ts, op)?;
+        self.latest_ts = ts;
+        Ok(())
+    }
+
+    fn apply_inner(&mut self, ts: Timestamp, op: &Update) -> Result<()> {
+        match op {
+            Update::AddNode { id, labels, props } => {
+                let d = self.slot(*id);
+                if alive(&self.nodes[d]) {
+                    return Err(GraphError::NodeExists(*id));
+                }
+                self.nodes[d].push(Version::new(
+                    ts,
+                    TS_MAX,
+                    Node::new(*id, labels.clone(), props.clone()),
+                ));
+                self.version_count += 1;
+            }
+            Update::DeleteNode { id } => {
+                let d = self
+                    .idmap
+                    .dense(*id)
+                    .ok_or(GraphError::NodeNotFound(*id))? as usize;
+                if !alive(&self.nodes[d]) {
+                    return Err(GraphError::NodeNotFound(*id));
+                }
+                if self.rels_at(*id, Direction::Both, ts).count() > 0 {
+                    return Err(GraphError::NodeHasRelationships(*id));
+                }
+                close(&mut self.nodes[d], ts);
+            }
+            Update::AddRel {
+                id,
+                src,
+                tgt,
+                label,
+                props,
+            } => {
+                let ds = self.require_alive(*src, *id)?;
+                let dt = self.require_alive(*tgt, *id)?;
+                let slot = id.index();
+                if self.rels.len() <= slot {
+                    self.rels.resize_with(slot + 1, Vec::new);
+                }
+                if alive(&self.rels[slot]) {
+                    return Err(GraphError::RelExists(*id));
+                }
+                self.rels[slot].push(Version::new(
+                    ts,
+                    TS_MAX,
+                    Relationship::new(*id, *src, *tgt, *label, props.clone()),
+                ));
+                self.version_count += 1;
+                self.out_adj[ds].push(AdjEvent {
+                    ts,
+                    rel: *id,
+                    added: true,
+                });
+                self.in_adj[dt].push(AdjEvent {
+                    ts,
+                    rel: *id,
+                    added: true,
+                });
+            }
+            Update::DeleteRel { id } => {
+                let rel = self
+                    .rel_at(*id, ts)
+                    .ok_or(GraphError::RelNotFound(*id))?
+                    .clone();
+                close(&mut self.rels[id.index()], ts);
+                let ds = self.idmap.dense(rel.src).expect("mapped") as usize;
+                let dt = self.idmap.dense(rel.tgt).expect("mapped") as usize;
+                self.out_adj[ds].push(AdjEvent {
+                    ts,
+                    rel: *id,
+                    added: false,
+                });
+                self.in_adj[dt].push(AdjEvent {
+                    ts,
+                    rel: *id,
+                    added: false,
+                });
+            }
+            modify => {
+                // Close the current version, apply, reopen — "a property or
+                // label modification is a deletion followed by an insertion".
+                match modify.entity() {
+                    lpg::EntityId::Node(id) => {
+                        let d = self
+                            .idmap
+                            .dense(id)
+                            .ok_or(GraphError::NodeNotFound(id))? as usize;
+                        let chain = &mut self.nodes[d];
+                        let last = chain
+                            .last_mut()
+                            .filter(|v| v.valid.end == TS_MAX)
+                            .ok_or(GraphError::NodeNotFound(id))?;
+                        let mut node = last.data.clone();
+                        let delta = lpg::EntityDelta::from_update(modify).expect("modify");
+                        delta.apply_to_node(&mut node);
+                        if last.valid.start == ts {
+                            last.data = node; // same-transaction coalesce
+                        } else {
+                            last.valid.end = ts;
+                            chain.push(Version::new(ts, TS_MAX, node));
+                            self.version_count += 1;
+                        }
+                    }
+                    lpg::EntityId::Rel(id) => {
+                        let chain = self
+                            .rels
+                            .get_mut(id.index())
+                            .ok_or(GraphError::RelNotFound(id))?;
+                        let last = chain
+                            .last_mut()
+                            .filter(|v| v.valid.end == TS_MAX)
+                            .ok_or(GraphError::RelNotFound(id))?;
+                        let mut rel = last.data.clone();
+                        let delta = lpg::EntityDelta::from_update(modify).expect("modify");
+                        delta.apply_to_rel(&mut rel);
+                        if last.valid.start == ts {
+                            last.data = rel;
+                        } else {
+                            last.valid.end = ts;
+                            chain.push(Version::new(ts, TS_MAX, rel));
+                            self.version_count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn slot(&mut self, id: NodeId) -> usize {
+        let d = self.idmap.get_or_insert(id) as usize;
+        if self.nodes.len() <= d {
+            self.nodes.resize_with(d + 1, Vec::new);
+            self.out_adj.resize_with(d + 1, Vec::new);
+            self.in_adj.resize_with(d + 1, Vec::new);
+        }
+        d
+    }
+
+    fn require_alive(&mut self, id: NodeId, rel: RelId) -> Result<usize> {
+        let d = self
+            .idmap
+            .dense(id)
+            .ok_or(GraphError::EndpointMissing { rel, node: id })? as usize;
+        if !alive(&self.nodes[d]) {
+            return Err(GraphError::EndpointMissing { rel, node: id });
+        }
+        Ok(d)
+    }
+
+    /// Node state at `ts` (binary search over the version list).
+    pub fn node_at(&self, id: NodeId, ts: Timestamp) -> Option<&Node> {
+        let d = self.idmap.dense(id)? as usize;
+        version_at(&self.nodes[d], ts).map(|v| &v.data)
+    }
+
+    /// Relationship state at `ts`.
+    pub fn rel_at(&self, id: RelId, ts: Timestamp) -> Option<&Relationship> {
+        version_at(self.rels.get(id.index())?, ts).map(|v| &v.data)
+    }
+
+    /// Full version history of a node.
+    pub fn node_history(&self, id: NodeId) -> &[Version<Node>] {
+        self.idmap
+            .dense(id)
+            .map(|d| self.nodes[d as usize].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Full version history of a relationship.
+    pub fn rel_history(&self, id: RelId) -> &[Version<Relationship>] {
+        self.rels.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Relationships of `node` valid at `ts` — walks the timestamp-ordered
+    /// adjacency history up to `ts` (binary-searched prefix).
+    pub fn rels_at(
+        &self,
+        node: NodeId,
+        dir: Direction,
+        ts: Timestamp,
+    ) -> impl Iterator<Item = &Relationship> + '_ {
+        let mut valid: Vec<RelId> = Vec::new();
+        if let Some(d) = self.idmap.dense(node) {
+            let mut state: HashMap<RelId, bool> = HashMap::new();
+            let mut walk = |events: &[AdjEvent]| {
+                let cut = events.partition_point(|e| e.ts <= ts);
+                for e in &events[..cut] {
+                    state.insert(e.rel, e.added);
+                }
+            };
+            if dir.includes_out() {
+                walk(&self.out_adj[d as usize]);
+            }
+            if dir.includes_in() {
+                walk(&self.in_adj[d as usize]);
+            }
+            valid.extend(state.into_iter().filter(|(_, on)| *on).map(|(r, _)| r));
+            valid.sort_unstable();
+        }
+        valid
+            .into_iter()
+            .filter_map(move |r| self.rel_at(r, ts))
+    }
+
+    /// Materializes the regular LPG valid at `ts`.
+    pub fn graph_at(&self, ts: Timestamp) -> Graph {
+        let mut g = Graph::new();
+        for chain in &self.nodes {
+            if let Some(v) = version_at(chain, ts) {
+                g.apply(&Update::AddNode {
+                    id: v.data.id,
+                    labels: v.data.labels.clone(),
+                    props: v.data.props.clone(),
+                })
+                .expect("disjoint versions");
+            }
+        }
+        for chain in &self.rels {
+            if let Some(v) = version_at(chain, ts) {
+                g.apply(&Update::AddRel {
+                    id: v.data.id,
+                    src: v.data.src,
+                    tgt: v.data.tgt,
+                    label: v.data.label,
+                    props: v.data.props.clone(),
+                })
+                .expect("valid endpoints");
+            }
+        }
+        g
+    }
+
+    /// Relationship versions overlapping `iv` (temporal paths, Fig. 2).
+    pub fn rels_overlapping(&self, iv: Interval) -> Vec<&Version<Relationship>> {
+        self.rels
+            .iter()
+            .flat_map(|c| c.iter().filter(move |v| v.valid.overlaps(&iv)))
+            .collect()
+    }
+}
+
+fn alive<T>(chain: &[Version<T>]) -> bool {
+    chain.last().is_some_and(|v| v.valid.end == TS_MAX)
+}
+
+fn close<T>(chain: &mut [Version<T>], ts: Timestamp) {
+    if let Some(last) = chain.last_mut() {
+        if last.valid.end == TS_MAX {
+            last.valid.end = ts;
+        }
+    }
+}
+
+/// Binary search for the version containing `ts`.
+fn version_at<T>(chain: &[Version<T>], ts: Timestamp) -> Option<&Version<T>> {
+    let i = chain.partition_point(|v| v.valid.start <= ts);
+    if i == 0 {
+        return None;
+    }
+    let v = &chain[i - 1];
+    v.valid.contains(ts).then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpg::{PropertyValue, StrId};
+
+    fn nid(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+    fn rid(i: u64) -> RelId {
+        RelId::new(i)
+    }
+
+    fn add_node(i: u64) -> Update {
+        Update::AddNode {
+            id: nid(i),
+            labels: vec![],
+            props: vec![],
+        }
+    }
+
+    fn add_rel(id: u64, s: u64, t: u64) -> Update {
+        Update::AddRel {
+            id: rid(id),
+            src: nid(s),
+            tgt: nid(t),
+            label: None,
+            props: vec![],
+        }
+    }
+
+    #[test]
+    fn versions_and_time_travel() {
+        let mut g = TemporalDynGraph::new();
+        g.apply(1, &add_node(1)).unwrap();
+        g.apply(2, &add_node(2)).unwrap();
+        g.apply(3, &add_rel(0, 1, 2)).unwrap();
+        g.apply(
+            5,
+            &Update::SetNodeProp {
+                id: nid(1),
+                key: StrId::new(0),
+                value: PropertyValue::Int(5),
+            },
+        )
+        .unwrap();
+        g.apply(8, &Update::DeleteRel { id: rid(0) }).unwrap();
+
+        assert!(g.node_at(nid(1), 0).is_none());
+        assert!(g.node_at(nid(1), 1).is_some());
+        assert_eq!(g.node_at(nid(1), 4).unwrap().prop(StrId::new(0)), None);
+        assert_eq!(
+            g.node_at(nid(1), 5).unwrap().prop(StrId::new(0)),
+            Some(&PropertyValue::Int(5))
+        );
+        assert!(g.rel_at(rid(0), 7).is_some());
+        assert!(g.rel_at(rid(0), 8).is_none());
+        assert_eq!(g.node_history(nid(1)).len(), 2);
+        assert_eq!(g.rel_history(rid(0)).len(), 1);
+        assert_eq!(g.rel_history(rid(0))[0].valid, Interval::new(3, 8));
+    }
+
+    #[test]
+    fn rels_at_follows_adjacency_history() {
+        let mut g = TemporalDynGraph::new();
+        g.apply(1, &add_node(1)).unwrap();
+        g.apply(1, &add_node(2)).unwrap();
+        g.apply(2, &add_rel(0, 1, 2)).unwrap();
+        g.apply(4, &add_rel(1, 2, 1)).unwrap();
+        g.apply(6, &Update::DeleteRel { id: rid(0) }).unwrap();
+        assert_eq!(g.rels_at(nid(1), Direction::Outgoing, 3).count(), 1);
+        assert_eq!(g.rels_at(nid(1), Direction::Both, 5).count(), 2);
+        assert_eq!(g.rels_at(nid(1), Direction::Both, 6).count(), 1);
+        assert_eq!(g.rels_at(nid(1), Direction::Outgoing, 6).count(), 0);
+    }
+
+    #[test]
+    fn graph_at_is_consistent() {
+        let mut g = TemporalDynGraph::new();
+        g.apply(1, &add_node(1)).unwrap();
+        g.apply(2, &add_node(2)).unwrap();
+        g.apply(3, &add_rel(0, 1, 2)).unwrap();
+        g.apply(5, &Update::DeleteRel { id: rid(0) }).unwrap();
+        g.apply(6, &Update::DeleteNode { id: nid(2) }).unwrap();
+        let g4 = g.graph_at(4);
+        assert_eq!((g4.node_count(), g4.rel_count()), (2, 1));
+        g4.check_consistency().unwrap();
+        let g6 = g.graph_at(6);
+        assert_eq!((g6.node_count(), g6.rel_count()), (1, 0));
+    }
+
+    #[test]
+    fn constraint_violations_rejected() {
+        let mut g = TemporalDynGraph::new();
+        g.apply(1, &add_node(1)).unwrap();
+        assert!(matches!(
+            g.apply(2, &add_node(1)),
+            Err(GraphError::NodeExists(_))
+        ));
+        assert!(matches!(
+            g.apply(2, &add_rel(0, 1, 9)),
+            Err(GraphError::EndpointMissing { .. })
+        ));
+        g.apply(3, &add_node(2)).unwrap();
+        g.apply(4, &add_rel(0, 1, 2)).unwrap();
+        assert!(matches!(
+            g.apply(5, &Update::DeleteNode { id: nid(1) }),
+            Err(GraphError::NodeHasRelationships(_))
+        ));
+        assert!(matches!(
+            g.apply(4, &add_node(3)),
+            Ok(()) // same ts allowed
+        ));
+        assert!(matches!(
+            g.apply(3, &add_node(4)),
+            Err(GraphError::NonMonotonicCommit { .. })
+        ));
+    }
+
+    #[test]
+    fn same_ts_modify_coalesces() {
+        let mut g = TemporalDynGraph::new();
+        g.apply(1, &add_node(1)).unwrap();
+        g.apply(
+            1,
+            &Update::SetNodeProp {
+                id: nid(1),
+                key: StrId::new(0),
+                value: PropertyValue::Int(1),
+            },
+        )
+        .unwrap();
+        assert_eq!(g.node_history(nid(1)).len(), 1);
+        assert_eq!(
+            g.node_at(nid(1), 1).unwrap().prop(StrId::new(0)),
+            Some(&PropertyValue::Int(1))
+        );
+    }
+
+    #[test]
+    fn reinsertion_yields_disjoint_versions() {
+        let mut g = TemporalDynGraph::new();
+        g.apply(1, &add_node(1)).unwrap();
+        g.apply(3, &Update::DeleteNode { id: nid(1) }).unwrap();
+        g.apply(5, &add_node(1)).unwrap();
+        let h = g.node_history(nid(1));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].valid, Interval::new(1, 3));
+        assert!(h[1].valid.is_open_ended());
+        assert!(g.node_at(nid(1), 4).is_none());
+        assert!(g.node_at(nid(1), 5).is_some());
+    }
+}

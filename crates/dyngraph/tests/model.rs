@@ -1,0 +1,121 @@
+//! Property tests: the four-vector dynamic graph must be observationally
+//! equivalent to the hash-map reference graph under arbitrary valid update
+//! sequences, and CoW snapshots must be immutable.
+
+use dyngraph::DynGraph;
+use lpg::{Direction, Graph, NodeId, PropertyValue, RelId, StrId, Update};
+use proptest::prelude::*;
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Update>> {
+    proptest::collection::vec((0u64..8, 0u64..8, any::<i64>(), 0u8..7), 1..120).prop_map(|raw| {
+        let mut live_nodes: Vec<u64> = Vec::new();
+        let mut live_rels: Vec<(u64, u64, u64)> = Vec::new();
+        let mut next_rel = 0u64;
+        let mut out = Vec::new();
+        for (a, b, val, kind) in raw {
+            match kind {
+                0 if !live_nodes.contains(&a) => {
+                    live_nodes.push(a);
+                    out.push(Update::AddNode {
+                        id: NodeId::new(a),
+                        labels: vec![StrId::new((a % 3) as u32)],
+                        props: vec![],
+                    });
+                }
+                1 if live_nodes.contains(&a) && live_nodes.contains(&b) => {
+                    let rid = next_rel;
+                    next_rel += 1;
+                    live_rels.push((rid, a, b));
+                    out.push(Update::AddRel {
+                        id: RelId::new(rid),
+                        src: NodeId::new(a),
+                        tgt: NodeId::new(b),
+                        label: Some(StrId::new(9)),
+                        props: vec![],
+                    });
+                }
+                2 if !live_rels.is_empty() => {
+                    let i = (a as usize) % live_rels.len();
+                    let (rid, _, _) = live_rels.remove(i);
+                    out.push(Update::DeleteRel { id: RelId::new(rid) });
+                }
+                3 if live_nodes.contains(&a) => out.push(Update::SetNodeProp {
+                    id: NodeId::new(a),
+                    key: StrId::new((b % 4) as u32),
+                    value: PropertyValue::Int(val),
+                }),
+                4 if live_nodes.contains(&a)
+                    && !live_rels.iter().any(|(_, s, t)| *s == a || *t == a) =>
+                {
+                    live_nodes.retain(|n| *n != a);
+                    out.push(Update::DeleteNode { id: NodeId::new(a) });
+                }
+                5 if !live_rels.is_empty() => {
+                    let (rid, _, _) = live_rels[(a as usize) % live_rels.len()];
+                    out.push(Update::SetRelProp {
+                        id: RelId::new(rid),
+                        key: StrId::new((b % 4) as u32),
+                        value: PropertyValue::Int(val),
+                    });
+                }
+                6 if live_nodes.contains(&a) => out.push(Update::AddLabel {
+                    id: NodeId::new(a),
+                    label: StrId::new((b % 5) as u32),
+                }),
+                _ => {}
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dyngraph_equals_reference(ops in ops_strategy()) {
+        let mut reference = Graph::new();
+        let mut dynamic = DynGraph::new();
+        for op in &ops {
+            reference.apply(op).unwrap();
+            dynamic.apply(op).unwrap();
+        }
+        prop_assert_eq!(dynamic.node_count(), reference.node_count());
+        prop_assert_eq!(dynamic.rel_count(), reference.rel_count());
+        // Full structural equivalence.
+        prop_assert!(dynamic.to_graph().same_as(&reference));
+        // Degrees and neighbours agree for every live node.
+        for n in reference.nodes() {
+            for dir in [Direction::Outgoing, Direction::Incoming, Direction::Both] {
+                prop_assert_eq!(
+                    dynamic.degree(n.id, dir),
+                    reference.degree(n.id, dir),
+                    "degree of {} {:?}", n.id, dir
+                );
+                prop_assert_eq!(
+                    dynamic.neighbours(n.id, dir),
+                    reference.neighbours(n.id, dir),
+                    "neighbours of {} {:?}", n.id, dir
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cow_snapshot_unchanged_by_later_ops(
+        before in ops_strategy(),
+        after in ops_strategy(),
+    ) {
+        let mut dynamic = DynGraph::new();
+        for op in &before {
+            dynamic.apply(op).unwrap();
+        }
+        let snapshot = dynamic.snapshot();
+        let frozen = snapshot.to_graph();
+        // Apply a second phase; invalid ops (ids already used) are skipped.
+        for op in &after {
+            let _ = dynamic.apply(op);
+        }
+        prop_assert!(snapshot.to_graph().same_as(&frozen), "snapshot mutated");
+    }
+}

@@ -1,0 +1,150 @@
+//! LEB128 varints and zigzag signed encoding.
+//!
+//! Timestamps, entity ids, lengths and integer property values are almost
+//! always small, so variable-length encoding keeps the temporal records far
+//! below Neo4j's fixed-size record cost (the point of Sec. 4.2).
+
+/// Appends an unsigned LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint, advancing `pos`. Returns `None` on
+/// truncated or oversized input.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // overflow
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Zigzag-maps a signed value so small magnitudes stay small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a signed varint (zigzag + LEB128).
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Reads a signed varint.
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    read_u64(buf, pos).map(unzigzag)
+}
+
+/// Appends a fixed 8-byte little-endian float.
+pub fn write_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a fixed 8-byte little-endian float.
+pub fn read_f64(buf: &[u8], pos: &mut usize) -> Option<f64> {
+    let bytes = buf.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(f64::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+/// Appends a fixed 4-byte little-endian u32 (string-store references).
+pub fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a fixed 4-byte little-endian u32.
+pub fn read_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let bytes = buf.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(u32::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip_signs() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn small_values_stay_small() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_i64(&mut buf, -50);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+        assert_eq!(read_f64(&[1, 2, 3], &mut 0), None);
+        assert_eq!(read_u32(&[1], &mut 0), None);
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let buf = vec![0x80u8; 10];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn f64_and_u32_roundtrip() {
+        let mut buf = Vec::new();
+        write_f64(&mut buf, -2.5);
+        write_u32(&mut buf, 0xDEAD);
+        let mut pos = 0;
+        assert_eq!(read_f64(&buf, &mut pos), Some(-2.5));
+        assert_eq!(read_u32(&buf, &mut pos), Some(0xDEAD));
+    }
+}

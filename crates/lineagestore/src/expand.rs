@@ -1,0 +1,225 @@
+//! Algorithm 1: the `expand` method — n-hop neighbourhood retrieval at a
+//! time point, plus the stepped variant over a window (Table 1).
+
+use crate::store::LineageStore;
+use lpg::{Direction, GraphError, Node, NodeId, Result, Timestamp};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// One discovered node with the hop at which it was first reached.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExpandHit {
+    /// The neighbour node.
+    pub node: Node,
+    /// Hop distance from the start node (1 = direct neighbour).
+    pub hop: u32,
+}
+
+impl LineageStore {
+    /// Algorithm 1 — expand `id` by `hops` in direction `d` at timestamp
+    /// `t`. Returns every reached node tagged with its hop distance.
+    pub fn expand(
+        &self,
+        id: NodeId,
+        dir: Direction,
+        hops: u32,
+        t: Timestamp,
+    ) -> Result<Vec<ExpandHit>> {
+        if self.node_at(id, t)?.is_none() {
+            return Err(GraphError::NodeNotFound(id));
+        }
+        let mut result = Vec::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new(); // Q in Alg. 1
+        let mut seen: HashSet<NodeId> = HashSet::new(); // global frontier set
+        queue.push_back(id);
+        seen.insert(id);
+        for hop in 1..=hops {
+            let qsize = queue.len();
+            if qsize == 0 {
+                break;
+            }
+            for _ in 0..qsize {
+                let cid = queue.pop_front().expect("qsize checked");
+                let rels = self.rels_at(cid, dir, t)?; // line 8
+                for r in rels {
+                    // Neighbour id depends on the direction of traversal.
+                    let n_id = match dir {
+                        Direction::Outgoing => r.tgt,
+                        Direction::Incoming => r.src,
+                        Direction::Both => {
+                            if r.src == cid {
+                                r.tgt
+                            } else {
+                                r.src
+                            }
+                        }
+                    };
+                    if seen.insert(n_id) {
+                        if let Some(node) = self.node_at(n_id, t)? {
+                            result.push(ExpandHit { node, hop }); // line 12
+                            queue.push_back(n_id);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// The stepped `expand(nodeId, direction, hops, start, end, step)` of
+    /// Table 1: runs Algorithm 1 at `start, start+step, …` within
+    /// `[start, end)`, yielding one result set per time point.
+    pub fn expand_series(
+        &self,
+        id: NodeId,
+        dir: Direction,
+        hops: u32,
+        start: Timestamp,
+        end: Timestamp,
+        step: u64,
+    ) -> Result<Vec<(Timestamp, Vec<ExpandHit>)>> {
+        if start >= end || step == 0 {
+            return Err(GraphError::InvalidTimeRange);
+        }
+        let mut out = Vec::new();
+        let mut t = start;
+        while t < end {
+            let hits = match self.expand(id, dir, hops, t) {
+                Ok(h) => h,
+                Err(GraphError::NodeNotFound(_)) => Vec::new(), // not alive yet
+                Err(e) => return Err(e),
+            };
+            out.push((t, hits));
+            match t.checked_add(step) {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{LineageStore, LineageStoreConfig};
+    use lpg::{RelId, Update};
+    use tempfile::tempdir;
+
+    fn store() -> (tempfile::TempDir, LineageStore) {
+        let dir = tempdir().unwrap();
+        let s = LineageStore::open(dir.path().join("l.db"), LineageStoreConfig::default()).unwrap();
+        (dir, s)
+    }
+
+    fn add_node(i: u64) -> Update {
+        Update::AddNode {
+            id: NodeId::new(i),
+            labels: vec![],
+            props: vec![],
+        }
+    }
+
+    fn add_rel(id: u64, src: u64, tgt: u64) -> Update {
+        Update::AddRel {
+            id: RelId::new(id),
+            src: NodeId::new(src),
+            tgt: NodeId::new(tgt),
+            label: None,
+            props: vec![],
+        }
+    }
+
+    /// Chain 0 → 1 → 2 → 3 plus a back edge 2 → 0.
+    fn build_chain(s: &LineageStore) {
+        for i in 0..4 {
+            s.apply_update(i + 1, &add_node(i)).unwrap();
+        }
+        s.apply_update(10, &add_rel(0, 0, 1)).unwrap();
+        s.apply_update(11, &add_rel(1, 1, 2)).unwrap();
+        s.apply_update(12, &add_rel(2, 2, 3)).unwrap();
+        s.apply_update(13, &add_rel(3, 2, 0)).unwrap();
+    }
+
+    #[test]
+    fn expand_counts_hops_outgoing() {
+        let (_d, s) = store();
+        build_chain(&s);
+        let hits = s.expand(NodeId::new(0), Direction::Outgoing, 3, 20).unwrap();
+        let mut by_hop: Vec<(u64, u32)> = hits.iter().map(|h| (h.node.id.raw(), h.hop)).collect();
+        by_hop.sort_unstable();
+        assert_eq!(by_hop, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn expand_respects_time() {
+        let (_d, s) = store();
+        build_chain(&s);
+        // At ts 10 only rel 0 exists.
+        let hits = s.expand(NodeId::new(0), Direction::Outgoing, 3, 10).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].node.id, NodeId::new(1));
+        // Before any relationship: empty.
+        assert!(s.expand(NodeId::new(0), Direction::Outgoing, 3, 5).unwrap().is_empty());
+        // Before the node existed: error.
+        assert!(matches!(
+            s.expand(NodeId::new(0), Direction::Outgoing, 1, 0),
+            Err(GraphError::NodeNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn expand_incoming_and_both() {
+        let (_d, s) = store();
+        build_chain(&s);
+        let inc = s.expand(NodeId::new(0), Direction::Incoming, 1, 20).unwrap();
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc[0].node.id, NodeId::new(2));
+        let both = s.expand(NodeId::new(0), Direction::Both, 1, 20).unwrap();
+        let mut ids: Vec<u64> = both.iter().map(|h| h.node.id.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn expand_does_not_revisit() {
+        let (_d, s) = store();
+        build_chain(&s);
+        // The cycle 0→1→2→0 must not produce duplicates.
+        let hits = s.expand(NodeId::new(0), Direction::Both, 8, 20).unwrap();
+        let mut ids: Vec<u64> = hits.iter().map(|h| h.node.id.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), hits.len(), "no duplicates");
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn expand_after_deletion_stops_at_gap() {
+        let (_d, s) = store();
+        build_chain(&s);
+        s.apply_update(15, &Update::DeleteRel { id: RelId::new(1) })
+            .unwrap();
+        let hits = s.expand(NodeId::new(0), Direction::Outgoing, 3, 20).unwrap();
+        assert_eq!(hits.len(), 1, "path beyond deleted rel unreachable");
+        // Time travel back before the deletion still sees the full chain.
+        let hits = s.expand(NodeId::new(0), Direction::Outgoing, 3, 14).unwrap();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn expand_series_steps_through_time() {
+        let (_d, s) = store();
+        build_chain(&s);
+        let series = s
+            .expand_series(NodeId::new(0), Direction::Outgoing, 3, 9, 15, 2)
+            .unwrap();
+        assert_eq!(series.len(), 3); // t = 9, 11, 13
+        assert_eq!(series[0].1.len(), 0);
+        assert_eq!(series[1].1.len(), 2);
+        assert_eq!(series[2].1.len(), 3);
+        assert!(s
+            .expand_series(NodeId::new(0), Direction::Outgoing, 1, 9, 9, 1)
+            .is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # aion-lineagestore — fine-grained temporal storage indexed by entity
+//!
+//! LineageStore (paper Sec. 4.4) is the half of Aion's hybrid store that
+//! accelerates *point and small-subgraph* queries: node/relationship history
+//! lookups and n-hop expansions, each an `O(log n)` B+Tree range scan
+//! because composite keys order every entity's history contiguously.
+//!
+//! Four B+Tree indexes (Table 2):
+//!
+//! | entry           | key                      | value                      |
+//! |-----------------|--------------------------|----------------------------|
+//! | node            | `nodeId, ts`             | type, labels, props        |
+//! | relationship    | `relId, ts`              | type, label, props         |
+//! | out-neighbours  | `srcId, tgtId, relId, ts`| relId (+ deleted flag)     |
+//! | in-neighbours   | `tgtId, srcId, relId, ts`| relId (+ deleted flag)     |
+//!
+//! Updates are stored **in place** as deltas or fully materialized entities
+//! (not as pointers into the TimeStore log), trading space for access
+//! locality. The [`entry::LineageEntry`] envelope records each delta's
+//! position in its chain and the timestamp of the last materialized version,
+//! so reconstruction reads a bounded key range. The chain-length threshold
+//! is the materialization strategy evaluated in Sec. 6.5 (the paper settles
+//! on materializing every 4 deltas).
+//!
+//! [`expand`] implements Algorithm 1 (n-hop expansion at a time point).
+
+pub mod entry;
+pub mod expand;
+pub mod store;
+
+pub use entry::LineageEntry;
+pub use store::{LineageStore, LineageStoreConfig, LineageStoreStats};

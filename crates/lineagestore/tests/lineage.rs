@@ -1,0 +1,346 @@
+//! LineageStore correctness: history reconstruction, delta-chain
+//! materialization strategies, and equivalence with the naive-replay oracle
+//! under randomized update sequences.
+
+use lineagestore::{LineageStore, LineageStoreConfig};
+use lpg::{
+    Direction, Graph, Interval, NodeId, PropertyValue, RelId, StrId, TemporalGraph,
+    TimestampedUpdate, Update,
+};
+use proptest::prelude::*;
+use tempfile::tempdir;
+
+fn open(threshold: Option<u32>) -> (tempfile::TempDir, LineageStore) {
+    let dir = tempdir().unwrap();
+    let s = LineageStore::open(
+        dir.path().join("l.db"),
+        LineageStoreConfig {
+            cache_pages: 32,
+            chain_threshold: threshold,
+        },
+    )
+    .unwrap();
+    (dir, s)
+}
+
+fn add_node(i: u64) -> Update {
+    Update::AddNode {
+        id: NodeId::new(i),
+        labels: vec![StrId::new(0)],
+        props: vec![(StrId::new(0), PropertyValue::Int(0))],
+    }
+}
+
+fn set_prop(i: u64, v: i64) -> Update {
+    Update::SetNodeProp {
+        id: NodeId::new(i),
+        key: StrId::new(1),
+        value: PropertyValue::Int(v),
+    }
+}
+
+#[test]
+fn node_history_versions_and_intervals() {
+    let (_d, s) = open(Some(4));
+    s.apply_update(1, &add_node(7)).unwrap();
+    s.apply_update(5, &set_prop(7, 10)).unwrap();
+    s.apply_update(9, &set_prop(7, 20)).unwrap();
+    s.apply_update(12, &Update::DeleteNode { id: NodeId::new(7) })
+        .unwrap();
+
+    let hist = s.node_history(NodeId::new(7), 0, 20).unwrap();
+    assert_eq!(hist.len(), 3);
+    assert_eq!(hist[0].valid, Interval::new(1, 5));
+    assert_eq!(hist[1].valid, Interval::new(5, 9));
+    assert_eq!(hist[2].valid, Interval::new(9, 12));
+    assert_eq!(hist[0].data.prop(StrId::new(1)), None);
+    assert_eq!(
+        hist[1].data.prop(StrId::new(1)),
+        Some(&PropertyValue::Int(10))
+    );
+    assert_eq!(
+        hist[2].data.prop(StrId::new(1)),
+        Some(&PropertyValue::Int(20))
+    );
+
+    // Point query: a single clipped version.
+    let point = s.node_history(NodeId::new(7), 6, 6).unwrap();
+    assert_eq!(point.len(), 1);
+    assert_eq!(
+        point[0].data.prop(StrId::new(1)),
+        Some(&PropertyValue::Int(10))
+    );
+    // After deletion: nothing.
+    assert!(s.node_history(NodeId::new(7), 15, 20).unwrap().is_empty());
+    assert!(s.node_at(NodeId::new(7), 12).unwrap().is_none());
+    assert!(s.node_at(NodeId::new(7), 11).unwrap().is_some());
+}
+
+#[test]
+fn chain_thresholds_do_not_change_answers() {
+    let mut answers = Vec::new();
+    for threshold in [Some(1), Some(2), Some(4), Some(16), None] {
+        let (_d, s) = open(threshold);
+        s.apply_update(1, &add_node(1)).unwrap();
+        for i in 0..40u64 {
+            s.apply_update(2 + i, &set_prop(1, i as i64 * 3)).unwrap();
+        }
+        let at_mid = s.node_at(NodeId::new(1), 21).unwrap().unwrap();
+        let at_end = s.node_at(NodeId::new(1), 100).unwrap().unwrap();
+        let hist_len = s.node_history(NodeId::new(1), 0, 100).unwrap().len();
+        answers.push((
+            at_mid.prop(StrId::new(1)).cloned(),
+            at_end.prop(StrId::new(1)).cloned(),
+            hist_len,
+        ));
+    }
+    for pair in answers.windows(2) {
+        assert_eq!(pair[0], pair[1], "threshold changed query results");
+    }
+}
+
+#[test]
+fn materialization_stats_reflect_threshold() {
+    let (_d, dense) = open(Some(1));
+    let (_d2, sparse) = open(None);
+    for s in [&dense, &sparse] {
+        s.apply_update(1, &add_node(1)).unwrap();
+        for i in 0..20u64 {
+            s.apply_update(2 + i, &set_prop(1, i as i64)).unwrap();
+        }
+    }
+    assert_eq!(dense.stats().materializations, 20);
+    assert_eq!(dense.stats().deltas, 0);
+    assert_eq!(sparse.stats().materializations, 0);
+    assert_eq!(sparse.stats().deltas, 20);
+    // Denser materialization costs more bytes.
+    assert!(dense.size_bytes() >= sparse.size_bytes());
+}
+
+#[test]
+fn same_timestamp_updates_coalesce() {
+    let (_d, s) = open(Some(4));
+    // One transaction: create a node and immediately set properties.
+    s.apply_commit(
+        5,
+        &[
+            add_node(1),
+            set_prop(1, 7),
+            Update::AddLabel {
+                id: NodeId::new(1),
+                label: StrId::new(3),
+            },
+        ],
+    )
+    .unwrap();
+    let n = s.node_at(NodeId::new(1), 5).unwrap().unwrap();
+    assert_eq!(n.prop(StrId::new(1)), Some(&PropertyValue::Int(7)));
+    assert!(n.has_label(StrId::new(3)));
+    // Exactly one version exists.
+    assert_eq!(s.node_history(NodeId::new(1), 0, 100).unwrap().len(), 1);
+    assert_eq!(s.applied_ts(), 5);
+}
+
+#[test]
+fn rel_history_and_endpoint_lookup() {
+    let (_d, s) = open(Some(4));
+    s.apply_update(1, &add_node(1)).unwrap();
+    s.apply_update(2, &add_node(2)).unwrap();
+    s.apply_update(
+        3,
+        &Update::AddRel {
+            id: RelId::new(9),
+            src: NodeId::new(1),
+            tgt: NodeId::new(2),
+            label: Some(StrId::new(5)),
+            props: vec![],
+        },
+    )
+    .unwrap();
+    s.apply_update(
+        6,
+        &Update::SetRelProp {
+            id: RelId::new(9),
+            key: StrId::new(2),
+            value: PropertyValue::Float(1.5),
+        },
+    )
+    .unwrap();
+    s.apply_update(8, &Update::DeleteRel { id: RelId::new(9) })
+        .unwrap();
+    let hist = s.rel_history(RelId::new(9), 0, 10).unwrap();
+    assert_eq!(hist.len(), 2);
+    assert_eq!(hist[0].valid, Interval::new(3, 6));
+    assert_eq!(hist[1].valid, Interval::new(6, 8));
+    assert_eq!(hist[1].data.src, NodeId::new(1));
+    // rels_at respects the deletion.
+    assert_eq!(s.rels_at(NodeId::new(1), Direction::Outgoing, 7).unwrap().len(), 1);
+    assert_eq!(s.rels_at(NodeId::new(1), Direction::Outgoing, 8).unwrap().len(), 0);
+    // rels_history groups by relationship.
+    let per_rel = s
+        .rels_history(NodeId::new(2), Direction::Incoming, 0, 10)
+        .unwrap();
+    assert_eq!(per_rel.len(), 1);
+    assert_eq!(per_rel[0].len(), 2);
+}
+
+#[test]
+fn multigraph_edges_between_same_pair() {
+    let (_d, s) = open(Some(4));
+    s.apply_update(1, &add_node(1)).unwrap();
+    s.apply_update(2, &add_node(2)).unwrap();
+    for rid in 0..3u64 {
+        s.apply_update(
+            3 + rid,
+            &Update::AddRel {
+                id: RelId::new(rid),
+                src: NodeId::new(1),
+                tgt: NodeId::new(2),
+                label: None,
+                props: vec![],
+            },
+        )
+        .unwrap();
+    }
+    // All three parallel edges are retrievable — unlike Raphtory (Sec. 6.2).
+    assert_eq!(s.rels_at(NodeId::new(1), Direction::Outgoing, 10).unwrap().len(), 3);
+    s.apply_update(10, &Update::DeleteRel { id: RelId::new(1) })
+        .unwrap();
+    assert_eq!(s.rels_at(NodeId::new(1), Direction::Outgoing, 10).unwrap().len(), 2);
+}
+
+#[test]
+fn watermark_survives_reopen() {
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("l.db");
+    {
+        let s = LineageStore::open(&path, LineageStoreConfig::default()).unwrap();
+        s.apply_commit(42, &[add_node(1)]).unwrap();
+        s.sync().unwrap();
+    }
+    let s = LineageStore::open(&path, LineageStoreConfig::default()).unwrap();
+    assert_eq!(s.applied_ts(), 42);
+    assert!(s.node_at(NodeId::new(1), 42).unwrap().is_some());
+}
+
+// ------------------------------------------------------------------ oracle
+
+/// Random-but-valid update sequences over a small id space.
+fn history_strategy() -> impl Strategy<Value = Vec<(u64, Update)>> {
+    proptest::collection::vec((0u64..6, 0u64..6, 0u64..4, any::<i64>(), 0u8..6), 1..80).prop_map(
+        |raw| {
+            let mut live_nodes: Vec<u64> = Vec::new();
+            let mut live_rels: Vec<(u64, u64, u64)> = Vec::new(); // (rid, src, tgt)
+            let mut next_rel = 0u64;
+            let mut out = Vec::new();
+            let mut ts = 0u64;
+            for (a, b, key, val, kind) in raw {
+                ts += 1;
+                let op = match kind {
+                    0 => {
+                        if live_nodes.contains(&a) {
+                            continue;
+                        }
+                        live_nodes.push(a);
+                        add_node(a)
+                    }
+                    1 => {
+                        if !live_nodes.contains(&a) || !live_nodes.contains(&b) {
+                            continue;
+                        }
+                        let rid = next_rel;
+                        next_rel += 1;
+                        live_rels.push((rid, a, b));
+                        Update::AddRel {
+                            id: RelId::new(rid),
+                            src: NodeId::new(a),
+                            tgt: NodeId::new(b),
+                            label: None,
+                            props: vec![],
+                        }
+                    }
+                    2 => {
+                        if live_rels.is_empty() {
+                            continue;
+                        }
+                        let (rid, _, _) = live_rels.remove((a as usize) % live_rels.len());
+                        Update::DeleteRel { id: RelId::new(rid) }
+                    }
+                    3 => {
+                        if !live_nodes.contains(&a) {
+                            continue;
+                        }
+                        Update::SetNodeProp {
+                            id: NodeId::new(a),
+                            key: StrId::new(key as u32),
+                            value: PropertyValue::Int(val),
+                        }
+                    }
+                    4 => {
+                        if live_rels.is_empty() {
+                            continue;
+                        }
+                        let (rid, _, _) = live_rels[(a as usize) % live_rels.len()];
+                        Update::SetRelProp {
+                            id: RelId::new(rid),
+                            key: StrId::new(key as u32),
+                            value: PropertyValue::Int(val),
+                        }
+                    }
+                    _ => {
+                        // Delete a node only when it has no live rels.
+                        if !live_nodes.contains(&a)
+                            || live_rels.iter().any(|(_, s, t)| *s == a || *t == a)
+                        {
+                            continue;
+                        }
+                        live_nodes.retain(|n| *n != a);
+                        Update::DeleteNode { id: NodeId::new(a) }
+                    }
+                };
+                out.push((ts, op));
+            }
+            out
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lineage_matches_naive_replay(
+        ops in history_strategy(),
+        threshold in prop_oneof![Just(Some(1u32)), Just(Some(3u32)), Just(None)],
+    ) {
+        let (_d, s) = open(threshold);
+        for (ts, op) in &ops {
+            s.apply_update(*ts, op).unwrap();
+        }
+        let max_ts = ops.last().map(|(t, _)| *t).unwrap_or(0) + 2;
+        // Oracle: temporal graph by naive replay.
+        let updates: Vec<TimestampedUpdate> = ops
+            .iter()
+            .map(|(t, o)| TimestampedUpdate::new(*t, o.clone()))
+            .collect();
+        let oracle = TemporalGraph::build(&Graph::new(), Interval::new(0, max_ts), &updates);
+
+        // Full snapshots agree at several probes.
+        for probe in [1, max_ts / 2, max_ts - 1] {
+            let got = s.snapshot_at(probe).unwrap();
+            let want = oracle.graph_at(probe);
+            prop_assert!(got.same_as(&want), "snapshot mismatch at ts {}", probe);
+        }
+
+        // Node histories agree (modulo window clipping which both apply).
+        for id in 0u64..6 {
+            let got = s.node_history(NodeId::new(id), 0, max_ts).unwrap();
+            let want = oracle.nodes.get(&NodeId::new(id)).cloned().unwrap_or_default();
+            prop_assert_eq!(got.len(), want.len(), "node {} version count", id);
+            for (g, w) in got.iter().zip(want.iter()) {
+                prop_assert_eq!(g.valid, w.valid);
+                prop_assert_eq!(&g.data, &w.data);
+            }
+        }
+    }
+}

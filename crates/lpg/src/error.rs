@@ -1,0 +1,98 @@
+//! Errors covering the LPG consistency constraints (Sec. 3) and storage
+//! failures raised further up the stack.
+
+use crate::ids::{NodeId, RelId};
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Everything that can go wrong while mutating or reading a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// "A graph entity g can be added to a graph G only if g ∉ G."
+    NodeExists(NodeId),
+    /// Same constraint for relationships.
+    RelExists(RelId),
+    /// "A graph entity g can be deleted if g ∈ G during deletion."
+    NodeNotFound(NodeId),
+    /// Relationship lookup failed.
+    RelNotFound(RelId),
+    /// "Relationships also require their src and tgt to exist."
+    EndpointMissing {
+        /// The relationship being inserted.
+        rel: RelId,
+        /// The endpoint that does not exist.
+        node: NodeId,
+    },
+    /// "When a node is deleted, we must first delete its relationships."
+    NodeHasRelationships(NodeId),
+    /// Application time constraint: start must be less than end.
+    InvalidApplicationTime,
+    /// A query used an empty or inverted time range.
+    InvalidTimeRange,
+    /// Attempted to commit at or before an already-committed timestamp
+    /// ("no further changes are allowed on past updates").
+    NonMonotonicCommit {
+        /// The attempted commit timestamp.
+        attempted: u64,
+        /// The latest already-committed timestamp.
+        latest: u64,
+    },
+    /// Underlying storage failure (I/O, corruption, …).
+    Storage(String),
+    /// The query referenced an unknown label, key, or parameter.
+    Unknown(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeExists(id) => write!(f, "node {id} already exists"),
+            GraphError::RelExists(id) => write!(f, "relationship {id} already exists"),
+            GraphError::NodeNotFound(id) => write!(f, "node {id} does not exist"),
+            GraphError::RelNotFound(id) => write!(f, "relationship {id} does not exist"),
+            GraphError::EndpointMissing { rel, node } => {
+                write!(f, "relationship {rel} references missing node {node}")
+            }
+            GraphError::NodeHasRelationships(id) => {
+                write!(f, "node {id} still has incident relationships")
+            }
+            GraphError::InvalidApplicationTime => {
+                write!(f, "application start time must be less than end time")
+            }
+            GraphError::InvalidTimeRange => write!(f, "empty or inverted time range"),
+            GraphError::NonMonotonicCommit { attempted, latest } => write!(
+                f,
+                "commit timestamp {attempted} is not after latest {latest}"
+            ),
+            GraphError::Storage(msg) => write!(f, "storage error: {msg}"),
+            GraphError::Unknown(what) => write!(f, "unknown reference: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::EndpointMissing {
+            rel: RelId::new(7),
+            node: NodeId::new(3),
+        };
+        assert!(e.to_string().contains("missing node 3"));
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let g: GraphError = io.into();
+        assert!(matches!(g, GraphError::Storage(_)));
+    }
+}

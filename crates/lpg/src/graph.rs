@@ -1,0 +1,421 @@
+//! A straightforward in-memory LPG used as (i) the materialization target for
+//! snapshots, (ii) the correctness oracle in property tests, and (iii) the
+//! validator that enforces the Sec. 3 constraints on update sequences.
+//!
+//! This is deliberately the *simple* representation; the compute-efficient
+//! Sortledton-style structure of Sec. 5.2 lives in the `dyngraph` crate.
+
+use crate::entity::{prop_remove, prop_set, Node, Relationship};
+use crate::error::{GraphError, Result};
+use crate::ids::{Direction, NodeId, RelId};
+use crate::update::Update;
+use std::collections::HashMap;
+
+/// A consistent labeled property graph `G = (V, E)`.
+#[derive(Clone, Default, Debug)]
+pub struct Graph {
+    nodes: HashMap<NodeId, Node>,
+    rels: HashMap<RelId, Relationship>,
+    /// Outgoing adjacency: src → rel ids.
+    out_adj: HashMap<NodeId, Vec<RelId>>,
+    /// Incoming adjacency: tgt → rel ids.
+    in_adj: HashMap<NodeId, Vec<RelId>>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of relationships `|E|`.
+    pub fn rel_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// Relationship lookup.
+    pub fn rel(&self, id: RelId) -> Option<&Relationship> {
+        self.rels.get(&id)
+    }
+
+    /// Whether `id` is present.
+    pub fn has_node(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Whether `id` is present.
+    pub fn has_rel(&self, id: RelId) -> bool {
+        self.rels.contains_key(&id)
+    }
+
+    /// Iterates over all nodes in unspecified order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
+    /// Iterates over all relationships in unspecified order.
+    pub fn rels(&self) -> impl Iterator<Item = &Relationship> {
+        self.rels.values()
+    }
+
+    /// The relationship ids incident to `node` in the given direction.
+    /// For `Both`, self-loops appear twice (once per direction), matching the
+    /// degree semantics used by the evaluation datasets.
+    pub fn relationships(&self, node: NodeId, dir: Direction) -> Vec<RelId> {
+        let mut out = Vec::new();
+        if dir.includes_out() {
+            if let Some(v) = self.out_adj.get(&node) {
+                out.extend_from_slice(v);
+            }
+        }
+        if dir.includes_in() {
+            if let Some(v) = self.in_adj.get(&node) {
+                out.extend_from_slice(v);
+            }
+        }
+        out
+    }
+
+    /// The degree of `node` in the given direction.
+    pub fn degree(&self, node: NodeId, dir: Direction) -> usize {
+        let mut d = 0;
+        if dir.includes_out() {
+            d += self.out_adj.get(&node).map_or(0, Vec::len);
+        }
+        if dir.includes_in() {
+            d += self.in_adj.get(&node).map_or(0, Vec::len);
+        }
+        d
+    }
+
+    /// Neighbour node ids (deduplicated) of `node`.
+    pub fn neighbours(&self, node: NodeId, dir: Direction) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .relationships(node, dir)
+            .into_iter()
+            .filter_map(|rid| self.rels.get(&rid))
+            .filter_map(|r| r.other_end(node))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Applies one update, enforcing every Sec. 3 constraint. On error the
+    /// graph is unchanged.
+    pub fn apply(&mut self, op: &Update) -> Result<()> {
+        match op {
+            Update::AddNode { id, labels, props } => {
+                if self.nodes.contains_key(id) {
+                    return Err(GraphError::NodeExists(*id));
+                }
+                self.nodes
+                    .insert(*id, Node::new(*id, labels.clone(), props.clone()));
+            }
+            Update::DeleteNode { id } => {
+                if !self.nodes.contains_key(id) {
+                    return Err(GraphError::NodeNotFound(*id));
+                }
+                let has_rels = self.out_adj.get(id).is_some_and(|v| !v.is_empty())
+                    || self.in_adj.get(id).is_some_and(|v| !v.is_empty());
+                if has_rels {
+                    return Err(GraphError::NodeHasRelationships(*id));
+                }
+                self.nodes.remove(id);
+                self.out_adj.remove(id);
+                self.in_adj.remove(id);
+            }
+            Update::AddRel {
+                id,
+                src,
+                tgt,
+                label,
+                props,
+            } => {
+                if self.rels.contains_key(id) {
+                    return Err(GraphError::RelExists(*id));
+                }
+                if !self.nodes.contains_key(src) {
+                    return Err(GraphError::EndpointMissing {
+                        rel: *id,
+                        node: *src,
+                    });
+                }
+                if !self.nodes.contains_key(tgt) {
+                    return Err(GraphError::EndpointMissing {
+                        rel: *id,
+                        node: *tgt,
+                    });
+                }
+                self.rels
+                    .insert(*id, Relationship::new(*id, *src, *tgt, *label, props.clone()));
+                self.out_adj.entry(*src).or_default().push(*id);
+                self.in_adj.entry(*tgt).or_default().push(*id);
+            }
+            Update::DeleteRel { id } => {
+                let rel = self.rels.remove(id).ok_or(GraphError::RelNotFound(*id))?;
+                if let Some(v) = self.out_adj.get_mut(&rel.src) {
+                    v.retain(|r| r != id);
+                }
+                if let Some(v) = self.in_adj.get_mut(&rel.tgt) {
+                    v.retain(|r| r != id);
+                }
+            }
+            Update::SetNodeProp { id, key, value } => {
+                let n = self.nodes.get_mut(id).ok_or(GraphError::NodeNotFound(*id))?;
+                prop_set(&mut n.props, *key, value.clone());
+            }
+            Update::RemoveNodeProp { id, key } => {
+                let n = self.nodes.get_mut(id).ok_or(GraphError::NodeNotFound(*id))?;
+                prop_remove(&mut n.props, *key);
+            }
+            Update::AddLabel { id, label } => {
+                let n = self.nodes.get_mut(id).ok_or(GraphError::NodeNotFound(*id))?;
+                if let Err(i) = n.labels.binary_search(label) {
+                    n.labels.insert(i, *label);
+                }
+            }
+            Update::RemoveLabel { id, label } => {
+                let n = self.nodes.get_mut(id).ok_or(GraphError::NodeNotFound(*id))?;
+                if let Ok(i) = n.labels.binary_search(label) {
+                    n.labels.remove(i);
+                }
+            }
+            Update::SetRelProp { id, key, value } => {
+                let r = self.rels.get_mut(id).ok_or(GraphError::RelNotFound(*id))?;
+                prop_set(&mut r.props, *key, value.clone());
+            }
+            Update::RemoveRelProp { id, key } => {
+                let r = self.rels.get_mut(id).ok_or(GraphError::RelNotFound(*id))?;
+                prop_remove(&mut r.props, *key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a batch of updates, stopping at the first error.
+    pub fn apply_all<'a, I>(&mut self, ops: I) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a Update>,
+    {
+        for op in ops {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies structural consistency: every relationship endpoint exists
+    /// and adjacency lists mirror the relationship table. Used in tests and
+    /// after recovery.
+    pub fn check_consistency(&self) -> Result<()> {
+        for r in self.rels.values() {
+            if !self.nodes.contains_key(&r.src) {
+                return Err(GraphError::EndpointMissing {
+                    rel: r.id,
+                    node: r.src,
+                });
+            }
+            if !self.nodes.contains_key(&r.tgt) {
+                return Err(GraphError::EndpointMissing {
+                    rel: r.id,
+                    node: r.tgt,
+                });
+            }
+            let out_ok = self
+                .out_adj
+                .get(&r.src)
+                .is_some_and(|v| v.contains(&r.id));
+            let in_ok = self.in_adj.get(&r.tgt).is_some_and(|v| v.contains(&r.id));
+            if !out_ok || !in_ok {
+                return Err(GraphError::Storage(format!(
+                    "adjacency desync for relationship {}",
+                    r.id
+                )));
+            }
+        }
+        let adj_total: usize = self.out_adj.values().map(Vec::len).sum();
+        if adj_total != self.rels.len() {
+            return Err(GraphError::Storage("dangling adjacency entries".into()));
+        }
+        Ok(())
+    }
+
+    /// Estimated in-memory footprint in bytes (Table 3 accounting).
+    pub fn heap_size(&self) -> usize {
+        let nodes: usize = self.nodes.values().map(Node::heap_size).sum();
+        let rels: usize = self.rels.values().map(Relationship::heap_size).sum();
+        let adj = (self.out_adj.len() + self.in_adj.len()) * 48
+            + self.rels.len() * 2 * std::mem::size_of::<RelId>();
+        nodes + rels + adj
+    }
+
+    /// Structural equality ignoring internal ordering; used by tests that
+    /// compare store reconstructions against this oracle.
+    pub fn same_as(&self, other: &Graph) -> bool {
+        if self.node_count() != other.node_count() || self.rel_count() != other.rel_count() {
+            return false;
+        }
+        self.nodes
+            .iter()
+            .all(|(id, n)| other.nodes.get(id) == Some(n))
+            && self.rels.iter().all(|(id, r)| other.rels.get(id) == Some(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::StrId;
+    use crate::value::PropertyValue;
+
+    fn nid(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+    fn rid(i: u64) -> RelId {
+        RelId::new(i)
+    }
+
+    fn add_node(id: u64) -> Update {
+        Update::AddNode {
+            id: nid(id),
+            labels: vec![],
+            props: vec![],
+        }
+    }
+
+    fn add_rel(id: u64, src: u64, tgt: u64) -> Update {
+        Update::AddRel {
+            id: rid(id),
+            src: nid(src),
+            tgt: nid(tgt),
+            label: None,
+            props: vec![],
+        }
+    }
+
+    #[test]
+    fn insert_constraints() {
+        let mut g = Graph::new();
+        g.apply(&add_node(1)).unwrap();
+        assert_eq!(
+            g.apply(&add_node(1)),
+            Err(GraphError::NodeExists(nid(1)))
+        );
+        assert!(matches!(
+            g.apply(&add_rel(1, 1, 2)),
+            Err(GraphError::EndpointMissing { .. })
+        ));
+        g.apply(&add_node(2)).unwrap();
+        g.apply(&add_rel(1, 1, 2)).unwrap();
+        assert_eq!(g.apply(&add_rel(1, 1, 2)), Err(GraphError::RelExists(rid(1))));
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn delete_constraints() {
+        let mut g = Graph::new();
+        g.apply_all([&add_node(1), &add_node(2), &add_rel(1, 1, 2)])
+            .unwrap();
+        // Cannot delete a node with incident relationships.
+        assert_eq!(
+            g.apply(&Update::DeleteNode { id: nid(1) }),
+            Err(GraphError::NodeHasRelationships(nid(1)))
+        );
+        g.apply(&Update::DeleteRel { id: rid(1) }).unwrap();
+        g.apply(&Update::DeleteNode { id: nid(1) }).unwrap();
+        assert_eq!(
+            g.apply(&Update::DeleteNode { id: nid(1) }),
+            Err(GraphError::NodeNotFound(nid(1)))
+        );
+        g.check_consistency().unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.rel_count(), 0);
+    }
+
+    #[test]
+    fn adjacency_and_neighbours() {
+        let mut g = Graph::new();
+        g.apply_all([
+            &add_node(1),
+            &add_node(2),
+            &add_node(3),
+            &add_rel(10, 1, 2),
+            &add_rel(11, 1, 3),
+            &add_rel(12, 3, 1),
+        ])
+        .unwrap();
+        assert_eq!(g.degree(nid(1), Direction::Outgoing), 2);
+        assert_eq!(g.degree(nid(1), Direction::Incoming), 1);
+        assert_eq!(g.degree(nid(1), Direction::Both), 3);
+        assert_eq!(g.neighbours(nid(1), Direction::Both), vec![nid(2), nid(3)]);
+        assert_eq!(g.neighbours(nid(2), Direction::Outgoing), vec![]);
+        assert_eq!(g.neighbours(nid(2), Direction::Incoming), vec![nid(1)]);
+    }
+
+    #[test]
+    fn self_loop_counts_twice_in_both() {
+        let mut g = Graph::new();
+        g.apply_all([&add_node(1), &add_rel(5, 1, 1)]).unwrap();
+        assert_eq!(g.degree(nid(1), Direction::Both), 2);
+        assert_eq!(g.neighbours(nid(1), Direction::Both), vec![nid(1)]);
+    }
+
+    #[test]
+    fn property_and_label_updates() {
+        let mut g = Graph::new();
+        g.apply(&add_node(1)).unwrap();
+        g.apply(&Update::SetNodeProp {
+            id: nid(1),
+            key: StrId::new(0),
+            value: PropertyValue::Int(42),
+        })
+        .unwrap();
+        g.apply(&Update::AddLabel {
+            id: nid(1),
+            label: StrId::new(1),
+        })
+        .unwrap();
+        let n = g.node(nid(1)).unwrap();
+        assert_eq!(n.prop(StrId::new(0)), Some(&PropertyValue::Int(42)));
+        assert!(n.has_label(StrId::new(1)));
+        g.apply(&Update::RemoveNodeProp {
+            id: nid(1),
+            key: StrId::new(0),
+        })
+        .unwrap();
+        g.apply(&Update::RemoveLabel {
+            id: nid(1),
+            label: StrId::new(1),
+        })
+        .unwrap();
+        let n = g.node(nid(1)).unwrap();
+        assert_eq!(n.prop(StrId::new(0)), None);
+        assert!(!n.has_label(StrId::new(1)));
+    }
+
+    #[test]
+    fn same_as_detects_differences() {
+        let mut a = Graph::new();
+        let mut b = Graph::new();
+        a.apply(&add_node(1)).unwrap();
+        b.apply(&add_node(1)).unwrap();
+        assert!(a.same_as(&b));
+        b.apply(&Update::SetNodeProp {
+            id: nid(1),
+            key: StrId::new(0),
+            value: PropertyValue::Int(1),
+        })
+        .unwrap();
+        assert!(!a.same_as(&b));
+    }
+}

@@ -1,0 +1,227 @@
+//! Strongly-typed identifiers and the discrete time domain `T`.
+//!
+//! The paper models time as "an ordered time domain of discrete positive
+//! integer values" (Sec. 3). We use `u64` transaction timestamps; `0` is the
+//! origin (`TS_MIN`) and `u64::MAX` stands for `∞` (`TS_MAX`), the end time of
+//! a live entity.
+
+use std::fmt;
+
+/// A transaction (system) timestamp from the ordered time domain `T`.
+pub type Timestamp = u64;
+
+/// The beginning of time.
+pub const TS_MIN: Timestamp = 0;
+
+/// `∞` — the end timestamp of an entity that has not been deleted.
+pub const TS_MAX: Timestamp = u64::MAX;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw `u64` identifier.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw `u64` value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the identifier as a `usize` index (for dense vectors).
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u64> for $name {
+            #[inline]
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            #[inline]
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Unique identifier of a node (`nid` in the paper).
+    NodeId
+);
+id_type!(
+    /// Unique identifier of a relationship (`rid` in the paper).
+    RelId
+);
+
+/// A 4-byte reference into the string store (paper Sec. 4.2).
+///
+/// Labels, property keys and string property values are all stored as
+/// `StrId`s; the actual bytes live once in the [`crate::Interner`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StrId(pub u32);
+
+impl StrId {
+    /// Wraps a raw interner slot.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw slot number.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for StrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StrId({})", self.0)
+    }
+}
+
+/// Identifier of either kind of graph entity.
+///
+/// The update log stores nodes and relationships interleaved, so log entries
+/// and diffs address entities with this sum type.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EntityId {
+    /// A node entity.
+    Node(NodeId),
+    /// A relationship entity.
+    Rel(RelId),
+}
+
+impl EntityId {
+    /// `true` if this identifies a node.
+    #[inline]
+    pub const fn is_node(self) -> bool {
+        matches!(self, EntityId::Node(_))
+    }
+
+    /// The raw 64-bit id regardless of kind.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        match self {
+            EntityId::Node(n) => n.0,
+            EntityId::Rel(r) => r.0,
+        }
+    }
+}
+
+impl From<NodeId> for EntityId {
+    fn from(n: NodeId) -> Self {
+        EntityId::Node(n)
+    }
+}
+
+impl From<RelId> for EntityId {
+    fn from(r: RelId) -> Self {
+        EntityId::Rel(r)
+    }
+}
+
+/// Traversal direction for relationship / neighbourhood queries (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Direction {
+    /// Follow relationships from source to target.
+    #[default]
+    Outgoing,
+    /// Follow relationships from target to source.
+    Incoming,
+    /// Follow relationships in both directions.
+    Both,
+}
+
+impl Direction {
+    /// Whether outgoing relationships participate.
+    #[inline]
+    pub const fn includes_out(self) -> bool {
+        matches!(self, Direction::Outgoing | Direction::Both)
+    }
+
+    /// Whether incoming relationships participate.
+    #[inline]
+    pub const fn includes_in(self) -> bool {
+        matches!(self, Direction::Incoming | Direction::Both)
+    }
+
+    /// The opposite direction (`Both` is its own reverse).
+    #[inline]
+    pub const fn reverse(self) -> Self {
+        match self {
+            Direction::Outgoing => Direction::Incoming,
+            Direction::Incoming => Direction::Outgoing,
+            Direction::Both => Direction::Both,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_ordering() {
+        let a = NodeId::new(3);
+        let b = NodeId::from(7u64);
+        assert!(a < b);
+        assert_eq!(u64::from(b), 7);
+        assert_eq!(b.index(), 7);
+        assert_eq!(format!("{a:?}"), "NodeId(3)");
+        assert_eq!(format!("{a}"), "3");
+    }
+
+    #[test]
+    fn entity_id_kinds() {
+        let n: EntityId = NodeId::new(1).into();
+        let r: EntityId = RelId::new(1).into();
+        assert!(n.is_node());
+        assert!(!r.is_node());
+        assert_eq!(n.raw(), 1);
+        assert_ne!(n, r);
+    }
+
+    #[test]
+    fn direction_predicates() {
+        assert!(Direction::Outgoing.includes_out());
+        assert!(!Direction::Outgoing.includes_in());
+        assert!(Direction::Incoming.includes_in());
+        assert!(Direction::Both.includes_out() && Direction::Both.includes_in());
+        assert_eq!(Direction::Outgoing.reverse(), Direction::Incoming);
+        assert_eq!(Direction::Both.reverse(), Direction::Both);
+    }
+
+    #[test]
+    fn timestamp_domain_bounds() {
+        assert_eq!(TS_MIN, 0);
+        assert_eq!(TS_MAX, u64::MAX);
+        assert!(TS_MIN < TS_MAX);
+    }
+}

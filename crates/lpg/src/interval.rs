@@ -1,0 +1,210 @@
+//! `[start, end)` validity intervals and temporal Cypher range specifiers.
+//!
+//! A temporal LPG entity is valid over `[τ_s, τ_e)` with `τ_s < τ_e`
+//! (Sec. 3). Temporal Cypher offers four interval specifiers (Sec. 3,
+//! "Temporal Cypher"):
+//!
+//! * `AS OF t`            — the valid graph at `t` (a single point);
+//! * `FROM t_i TO t_j`    — the open interval `(t_i, t_j)`;
+//! * `BETWEEN t_i AND t_j`— the half-open interval `[t_i, t_j)`;
+//! * `CONTAINED IN (t_i, t_j)` — the closed interval `[t_i, t_j]`.
+
+use crate::ids::{Timestamp, TS_MAX};
+use std::fmt;
+
+/// A half-open validity interval `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Inclusive start time `τ_s`.
+    pub start: Timestamp,
+    /// Exclusive end time `τ_e` (`TS_MAX` = still alive).
+    pub end: Timestamp,
+}
+
+impl Interval {
+    /// Builds `[start, end)`. Panics (debug) if `start >= end`, mirroring the
+    /// model constraint `τ_s(g) < τ_e(g)`.
+    #[inline]
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        debug_assert!(start < end, "interval must satisfy start < end");
+        Interval { start, end }
+    }
+
+    /// `[start, ∞)` — an entity inserted at `start` and never deleted.
+    #[inline]
+    pub fn open_ended(start: Timestamp) -> Self {
+        Interval {
+            start,
+            end: TS_MAX,
+        }
+    }
+
+    /// Whether the point `t` lies inside `[start, end)`.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether two intervals share at least one time point.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The intersection, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(Interval { start, end })
+    }
+
+    /// `true` when the entity was never deleted.
+    #[inline]
+    pub fn is_open_ended(&self) -> bool {
+        self.end == TS_MAX
+    }
+
+    /// Interval duration; `None` for open-ended intervals.
+    pub fn duration(&self) -> Option<u64> {
+        (!self.is_open_ended()).then(|| self.end - self.start)
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_open_ended() {
+            write!(f, "[{}, ∞)", self.start)
+        } else {
+            write!(f, "[{}, {})", self.start, self.end)
+        }
+    }
+}
+
+/// One of the four temporal Cypher interval specifiers, normalized to a
+/// half-open query window plus a point/range distinction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimeRange {
+    /// `AS OF t` — the graph state at exactly `t`.
+    AsOf(Timestamp),
+    /// `FROM t_i TO t_j` — history over the open interval `(t_i, t_j)`.
+    FromTo(Timestamp, Timestamp),
+    /// `BETWEEN t_i AND t_j` — history over `[t_i, t_j)`.
+    Between(Timestamp, Timestamp),
+    /// `CONTAINED IN (t_i, t_j)` — history over the closed `[t_i, t_j]`.
+    ContainedIn(Timestamp, Timestamp),
+}
+
+impl TimeRange {
+    /// Normalizes the specifier to a half-open window `[lo, hi)` over the
+    /// discrete integer time domain.
+    ///
+    /// * `AS OF t`            → `[t, t+1)`
+    /// * `FROM a TO b`        → `[a+1, b)`  (both bounds exclusive)
+    /// * `BETWEEN a AND b`    → `[a, b)`
+    /// * `CONTAINED IN (a,b)` → `[a, b+1)`  (both bounds inclusive)
+    pub fn to_half_open(&self) -> Interval {
+        match *self {
+            TimeRange::AsOf(t) => {
+                // Clamp so AS OF ∞ still yields a valid one-tick window.
+                let t = t.min(TS_MAX - 1);
+                Interval::new(t, t + 1)
+            }
+            TimeRange::FromTo(a, b) => Interval {
+                start: a.saturating_add(1),
+                end: b,
+            },
+            TimeRange::Between(a, b) => Interval { start: a, end: b },
+            TimeRange::ContainedIn(a, b) => Interval {
+                start: a,
+                end: b.saturating_add(1),
+            },
+        }
+    }
+
+    /// `true` for point (`AS OF`) queries that return a regular LPG rather
+    /// than a temporal LPG.
+    pub fn is_point(&self) -> bool {
+        matches!(self, TimeRange::AsOf(_))
+    }
+
+    /// The query window is empty (e.g. `FROM 5 TO 5`).
+    pub fn is_empty(&self) -> bool {
+        let w = self.to_half_open();
+        w.start >= w.end
+    }
+
+    /// Whether an entity valid over `valid` is visible to this range.
+    pub fn matches(&self, valid: &Interval) -> bool {
+        let w = self.to_half_open();
+        w.start < w.end && valid.overlaps(&w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_half_open() {
+        let i = Interval::new(2, 5);
+        assert!(!i.contains(1));
+        assert!(i.contains(2));
+        assert!(i.contains(4));
+        assert!(!i.contains(5));
+    }
+
+    #[test]
+    fn open_ended_contains_everything_after_start() {
+        let i = Interval::open_ended(10);
+        assert!(i.contains(10));
+        assert!(i.contains(u64::MAX - 1));
+        assert!(i.is_open_ended());
+        assert_eq!(i.duration(), None);
+        assert_eq!(Interval::new(2, 7).duration(), Some(5));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = Interval::new(0, 4);
+        let b = Interval::new(3, 8);
+        let c = Interval::new(4, 8);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "touching intervals do not overlap");
+        assert_eq!(a.intersect(&b), Some(Interval::new(3, 4)));
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn range_normalization_matches_paper_semantics() {
+        // AS OF t = point query at t.
+        assert_eq!(TimeRange::AsOf(5).to_half_open(), Interval::new(5, 6));
+        // FROM a TO b excludes both bounds.
+        assert_eq!(TimeRange::FromTo(2, 6).to_half_open(), Interval::new(3, 6));
+        // BETWEEN a AND b: [a, b).
+        assert_eq!(TimeRange::Between(2, 6).to_half_open(), Interval::new(2, 6));
+        // CONTAINED IN (a, b): [a, b].
+        assert_eq!(
+            TimeRange::ContainedIn(2, 6).to_half_open(),
+            Interval::new(2, 7)
+        );
+    }
+
+    #[test]
+    fn empty_ranges() {
+        assert!(TimeRange::Between(5, 5).is_empty());
+        assert!(TimeRange::FromTo(5, 6).is_empty());
+        assert!(!TimeRange::ContainedIn(5, 5).is_empty());
+        assert!(TimeRange::AsOf(5).is_point());
+    }
+
+    #[test]
+    fn matches_visibility() {
+        let lived = Interval::new(3, 9);
+        assert!(TimeRange::AsOf(3).matches(&lived));
+        assert!(TimeRange::AsOf(8).matches(&lived));
+        assert!(!TimeRange::AsOf(9).matches(&lived));
+        assert!(TimeRange::Between(0, 4).matches(&lived));
+        assert!(!TimeRange::Between(0, 3).matches(&lived));
+        assert!(TimeRange::ContainedIn(9, 12).matches(&Interval::open_ended(9)));
+    }
+}

@@ -1,0 +1,193 @@
+//! The universe of graph updates `U` (Sec. 3).
+//!
+//! Each committed transaction yields a batch of [`Update`]s tagged with the
+//! transaction's commit timestamp, forming the infinite ordered sequence
+//! `S = ⟨u₁, u₂, …⟩`. "A property/label modification is considered as a
+//! deletion followed by an insertion" at the temporal-LPG level; at the update
+//! level we keep fine-grained operations so stores can encode them as deltas
+//! (Fig. 3).
+
+use crate::entity::Props;
+use crate::ids::{EntityId, NodeId, RelId, StrId, Timestamp};
+use crate::value::PropertyValue;
+
+/// A single update operation `op` on one graph entity.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Update {
+    /// Insert a node (`g ∉ G` required).
+    AddNode {
+        /// New node id.
+        id: NodeId,
+        /// Initial labels.
+        labels: Vec<StrId>,
+        /// Initial properties.
+        props: Props,
+    },
+    /// Delete a node (`g ∈ G` and no incident relationships required).
+    DeleteNode {
+        /// Node to delete.
+        id: NodeId,
+    },
+    /// Insert a relationship (`src`/`tgt` must exist).
+    AddRel {
+        /// New relationship id.
+        id: RelId,
+        /// Source node.
+        src: NodeId,
+        /// Target node.
+        tgt: NodeId,
+        /// Optional type label.
+        label: Option<StrId>,
+        /// Initial properties.
+        props: Props,
+    },
+    /// Delete a relationship.
+    DeleteRel {
+        /// Relationship to delete.
+        id: RelId,
+    },
+    /// Set (insert or overwrite) a node property.
+    SetNodeProp {
+        /// Target node.
+        id: NodeId,
+        /// Property key.
+        key: StrId,
+        /// New value.
+        value: PropertyValue,
+    },
+    /// Remove a node property.
+    RemoveNodeProp {
+        /// Target node.
+        id: NodeId,
+        /// Property key.
+        key: StrId,
+    },
+    /// Add a label to a node.
+    AddLabel {
+        /// Target node.
+        id: NodeId,
+        /// Label to add.
+        label: StrId,
+    },
+    /// Remove a label from a node.
+    RemoveLabel {
+        /// Target node.
+        id: NodeId,
+        /// Label to remove.
+        label: StrId,
+    },
+    /// Set (insert or overwrite) a relationship property.
+    SetRelProp {
+        /// Target relationship.
+        id: RelId,
+        /// Property key.
+        key: StrId,
+        /// New value.
+        value: PropertyValue,
+    },
+    /// Remove a relationship property.
+    RemoveRelProp {
+        /// Target relationship.
+        id: RelId,
+        /// Property key.
+        key: StrId,
+    },
+}
+
+impl Update {
+    /// The entity this update targets.
+    pub fn entity(&self) -> EntityId {
+        match self {
+            Update::AddNode { id, .. }
+            | Update::DeleteNode { id }
+            | Update::SetNodeProp { id, .. }
+            | Update::RemoveNodeProp { id, .. }
+            | Update::AddLabel { id, .. }
+            | Update::RemoveLabel { id, .. } => EntityId::Node(*id),
+            Update::AddRel { id, .. }
+            | Update::DeleteRel { id }
+            | Update::SetRelProp { id, .. }
+            | Update::RemoveRelProp { id, .. } => EntityId::Rel(*id),
+        }
+    }
+
+    /// `true` for entity insertions.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::AddNode { .. } | Update::AddRel { .. })
+    }
+
+    /// `true` for entity deletions.
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Update::DeleteNode { .. } | Update::DeleteRel { .. })
+    }
+
+    /// `true` for in-place modifications (property/label changes).
+    pub fn is_modify(&self) -> bool {
+        !self.is_insert() && !self.is_delete()
+    }
+
+    /// `true` when the update touches a relationship.
+    pub fn is_rel(&self) -> bool {
+        matches!(self.entity(), EntityId::Rel(_))
+    }
+}
+
+/// An update tuple `u = (τ, id, op)` with its commit timestamp.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TimestampedUpdate {
+    /// Commit (system) timestamp `τ`.
+    pub ts: Timestamp,
+    /// The operation.
+    pub op: Update,
+}
+
+impl TimestampedUpdate {
+    /// Tags `op` with commit time `ts`.
+    pub fn new(ts: Timestamp, op: Update) -> Self {
+        TimestampedUpdate { ts, op }
+    }
+}
+
+/// Checks that an update sequence is ordered by non-decreasing timestamps
+/// ("all updates are ordered by their timestamps", Sec. 3). Multiple updates
+/// may share a timestamp when they commit in the same transaction.
+pub fn updates_ordered(seq: &[TimestampedUpdate]) -> bool {
+    seq.windows(2).all(|w| w[0].ts <= w[1].ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn update_classification() {
+        let add = Update::AddNode {
+            id: nid(1),
+            labels: vec![],
+            props: vec![],
+        };
+        let del = Update::DeleteRel { id: RelId::new(2) };
+        let set = Update::SetNodeProp {
+            id: nid(1),
+            key: StrId::new(0),
+            value: PropertyValue::Int(1),
+        };
+        assert!(add.is_insert() && !add.is_delete() && !add.is_modify());
+        assert!(del.is_delete() && del.is_rel());
+        assert!(set.is_modify() && !set.is_rel());
+        assert_eq!(add.entity(), EntityId::Node(nid(1)));
+        assert_eq!(del.entity(), EntityId::Rel(RelId::new(2)));
+    }
+
+    #[test]
+    fn ordering_check() {
+        let mk = |ts| TimestampedUpdate::new(ts, Update::DeleteNode { id: nid(ts) });
+        assert!(updates_ordered(&[mk(1), mk(1), mk(2)]));
+        assert!(!updates_ordered(&[mk(2), mk(1)]));
+        assert!(updates_ordered(&[]));
+    }
+}

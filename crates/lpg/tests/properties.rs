@@ -1,0 +1,138 @@
+//! Property tests on the data-model invariants: interval algebra, delta
+//! merge/apply equivalence, and temporal-graph well-formedness under
+//! arbitrary replay.
+
+use lpg::{
+    EntityDelta, Graph, Interval, Node, NodeId, PropChange, PropertyValue, StrId, TemporalGraph,
+    TimeRange, TimestampedUpdate, Update,
+};
+use proptest::prelude::*;
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0u64..1_000, 1u64..1_000).prop_map(|(s, len)| Interval::new(s, s + len))
+}
+
+/// Canonical deltas only: the system never produces a delta with the same
+/// label both added and removed, or the same property key twice
+/// (`EntityDelta::is_canonical`).
+fn delta_strategy() -> impl Strategy<Value = EntityDelta> {
+    (
+        proptest::collection::btree_map(0u32..6, any::<bool>(), 0..4),
+        proptest::collection::btree_map(0u32..6, (any::<i64>(), any::<bool>()), 0..4),
+    )
+        .prop_map(|(labels, props)| {
+            let mut d = EntityDelta::new();
+            for (l, added) in labels {
+                if added {
+                    d.labels_added.push(StrId::new(l));
+                } else {
+                    d.labels_removed.push(StrId::new(l));
+                }
+            }
+            for (k, (v, set)) in props {
+                d.props.push(if set {
+                    PropChange::Set(StrId::new(k), PropertyValue::Int(v))
+                } else {
+                    PropChange::Remove(StrId::new(k))
+                });
+            }
+            assert!(d.is_canonical());
+            d
+        })
+}
+
+proptest! {
+    #[test]
+    fn interval_intersection_is_commutative_and_sound(
+        a in interval_strategy(),
+        b in interval_strategy(),
+    ) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        prop_assert_eq!(a.intersect(&b).is_some(), a.overlaps(&b));
+        if let Some(i) = a.intersect(&b) {
+            // Every point of the intersection lies in both.
+            for t in [i.start, i.start + (i.end - i.start) / 2, i.end - 1] {
+                prop_assert!(a.contains(t) && b.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn timerange_window_matches_membership(
+        range in prop_oneof![
+            (0u64..100).prop_map(TimeRange::AsOf),
+            (0u64..100, 0u64..100).prop_map(|(a, b)| TimeRange::Between(a.min(b), a.max(b) + 1)),
+            (0u64..100, 0u64..100).prop_map(|(a, b)| TimeRange::ContainedIn(a.min(b), a.max(b))),
+        ],
+        valid in interval_strategy(),
+    ) {
+        // `matches` must agree with the normalized half-open window overlap.
+        let window = range.to_half_open();
+        prop_assert_eq!(range.matches(&valid), valid.overlaps(&window));
+    }
+
+    #[test]
+    fn delta_merge_equals_sequential_apply(
+        d1 in delta_strategy(),
+        d2 in delta_strategy(),
+        labels in proptest::collection::vec(0u32..6, 0..4),
+        props in proptest::collection::vec((0u32..6, any::<i64>()), 0..4),
+    ) {
+        let base = Node::new(
+            NodeId::new(1),
+            labels.into_iter().map(StrId::new).collect(),
+            props
+                .into_iter()
+                .map(|(k, v)| (StrId::new(k), PropertyValue::Int(v)))
+                .collect(),
+        );
+        let mut sequential = base.clone();
+        d1.apply_to_node(&mut sequential);
+        d2.apply_to_node(&mut sequential);
+        let mut merged_delta = d1.clone();
+        merged_delta.merge(&d2);
+        prop_assert!(merged_delta.is_canonical(), "merge preserves canonicity");
+        let mut merged = base;
+        merged_delta.apply_to_node(&mut merged);
+        prop_assert_eq!(sequential, merged);
+    }
+
+    #[test]
+    fn temporal_graph_versions_are_well_formed(
+        n_nodes in 1u64..6,
+        steps in proptest::collection::vec((0u64..6, any::<i64>()), 1..40),
+    ) {
+        let mut updates = Vec::new();
+        let mut ts = 0u64;
+        for i in 0..n_nodes {
+            ts += 1;
+            updates.push(TimestampedUpdate::new(ts, Update::AddNode {
+                id: NodeId::new(i),
+                labels: vec![],
+                props: vec![],
+            }));
+        }
+        for (node, v) in steps {
+            if node >= n_nodes { continue; }
+            ts += 1;
+            updates.push(TimestampedUpdate::new(ts, Update::SetNodeProp {
+                id: NodeId::new(node),
+                key: StrId::new(0),
+                value: PropertyValue::Int(v),
+            }));
+        }
+        let tg = TemporalGraph::build(&Graph::new(), Interval::new(0, ts + 1), &updates);
+        for (id, chain) in &tg.nodes {
+            prop_assert!(
+                lpg::entity::versions_well_formed(chain),
+                "overlapping versions for node {}", id
+            );
+            // Exactly one version is valid at any probed instant.
+            for t in [1, ts / 2, ts] {
+                let live = chain.iter().filter(|c| c.valid.contains(t)).count();
+                prop_assert!(live <= 1);
+            }
+        }
+    }
+}

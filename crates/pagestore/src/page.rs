@@ -1,0 +1,130 @@
+//! Page primitives: the page size, page identifiers and heap page buffers.
+
+use std::fmt;
+
+/// Page size in bytes. Neo4j's page cache uses 8 KiB pages; we match it.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page within one [`crate::PageStore`] file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The meta page.
+    pub const META: PageId = PageId(0);
+
+    /// Sentinel meaning "no page" (used for free-list and tree-pointer
+    /// termination).
+    pub const NULL: PageId = PageId(u64::MAX);
+
+    /// Byte offset of this page within the file.
+    #[inline]
+    pub const fn offset(self) -> u64 {
+        self.0 * PAGE_SIZE as u64
+    }
+
+    /// `true` for the NULL sentinel.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PageId(NULL)")
+        } else {
+            write!(f, "PageId({})", self.0)
+        }
+    }
+}
+
+/// A heap-allocated page buffer, always exactly [`PAGE_SIZE`] bytes.
+pub struct PageBuf(Box<[u8; PAGE_SIZE]>);
+
+impl PageBuf {
+    /// A zeroed page.
+    pub fn zeroed() -> Self {
+        PageBuf(vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap())
+    }
+
+    /// Immutable byte view.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.0
+    }
+
+    /// Mutable byte view.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.0
+    }
+
+    /// Reads a little-endian `u64` at `off`.
+    #[inline]
+    pub fn read_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.0[off..off + 8].try_into().unwrap())
+    }
+
+    /// Writes a little-endian `u64` at `off`.
+    #[inline]
+    pub fn write_u64(&mut self, off: usize, v: u64) {
+        self.0[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u16` at `off`.
+    #[inline]
+    pub fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.0[off..off + 2].try_into().unwrap())
+    }
+
+    /// Writes a little-endian `u16` at `off`.
+    #[inline]
+    pub fn write_u16(&mut self, off: usize, v: u16) {
+        self.0[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl Clone for PageBuf {
+    fn clone(&self) -> Self {
+        PageBuf(self.0.clone())
+    }
+}
+
+impl Default for PageBuf {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageBuf({} bytes)", PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_offsets() {
+        assert_eq!(PageId(0).offset(), 0);
+        assert_eq!(PageId(3).offset(), 3 * 8192);
+        assert!(PageId::NULL.is_null());
+        assert!(!PageId(1).is_null());
+    }
+
+    #[test]
+    fn buf_io() {
+        let mut b = PageBuf::zeroed();
+        assert_eq!(b.read_u64(0), 0);
+        b.write_u64(16, 0xDEAD_BEEF);
+        b.write_u16(4, 777);
+        assert_eq!(b.read_u64(16), 0xDEAD_BEEF);
+        assert_eq!(b.read_u16(4), 777);
+        let c = b.clone();
+        assert_eq!(c.read_u64(16), 0xDEAD_BEEF);
+    }
+}

@@ -1,0 +1,298 @@
+//! The paged file: allocation, free list, cached reads and write-back.
+
+use crate::cache::{CacheStats, LruCache};
+use crate::page::{PageBuf, PageId, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+const MAGIC: u64 = 0x4149_4F4E_5047_5331; // "AIONPGS1"
+const META_MAGIC_OFF: usize = 0;
+const META_PAGE_COUNT_OFF: usize = 8;
+const META_FREE_HEAD_OFF: usize = 16;
+const META_ROOTS_OFF: usize = 24;
+/// Number of u64 root slots available to clients on the meta page.
+pub const ROOT_SLOTS: usize = 8;
+
+struct Inner {
+    cache: LruCache,
+    page_count: u64,
+    free_head: PageId,
+    roots: [u64; ROOT_SLOTS],
+    meta_dirty: bool,
+}
+
+/// A file of [`PAGE_SIZE`] pages behind an LRU cache.
+///
+/// All access goes through closures ([`PageStore::read`] /
+/// [`PageStore::write`]) so pages cannot escape the cache lock; this mirrors
+/// the pin/unpin discipline of a real page cache with none of the lifetime
+/// hazards.
+pub struct PageStore {
+    file: File,
+    inner: Mutex<Inner>,
+}
+
+impl PageStore {
+    /// Opens (or creates) a page store at `path` with a cache of
+    /// `cache_pages` pages.
+    pub fn open<P: AsRef<Path>>(path: P, cache_pages: usize) -> io::Result<PageStore> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let mut inner = Inner {
+            cache: LruCache::new(cache_pages),
+            page_count: 1,
+            free_head: PageId::NULL,
+            roots: [u64::MAX; ROOT_SLOTS],
+            meta_dirty: true,
+        };
+        if len >= PAGE_SIZE as u64 {
+            let mut meta = PageBuf::zeroed();
+            file.read_exact_at(meta.bytes_mut().as_mut_slice(), 0)?;
+            if meta.read_u64(META_MAGIC_OFF) != MAGIC {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "not an aion page store (bad magic)",
+                ));
+            }
+            inner.page_count = meta.read_u64(META_PAGE_COUNT_OFF);
+            inner.free_head = PageId(meta.read_u64(META_FREE_HEAD_OFF));
+            for (i, slot) in inner.roots.iter_mut().enumerate() {
+                *slot = meta.read_u64(META_ROOTS_OFF + i * 8);
+            }
+            inner.meta_dirty = false;
+        }
+        Ok(PageStore {
+            file,
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// Total allocated pages, including the meta page and free pages.
+    pub fn page_count(&self) -> u64 {
+        self.inner.lock().page_count
+    }
+
+    /// On-disk footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.page_count() * PAGE_SIZE as u64
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.lock().cache.stats()
+    }
+
+    /// Reads root slot `slot` from the meta page (`u64::MAX` when unset).
+    pub fn root(&self, slot: usize) -> u64 {
+        self.inner.lock().roots[slot]
+    }
+
+    /// Persists a root pointer in meta slot `slot`.
+    pub fn set_root(&self, slot: usize, value: u64) {
+        let mut g = self.inner.lock();
+        g.roots[slot] = value;
+        g.meta_dirty = true;
+    }
+
+    fn load(&self, inner: &mut Inner, page: PageId) -> io::Result<()> {
+        if inner.cache.get(page).is_some() {
+            return Ok(());
+        }
+        let mut buf = PageBuf::zeroed();
+        self.file
+            .read_exact_at(buf.bytes_mut().as_mut_slice(), page.offset())?;
+        if let Some((pid, dirty)) = inner.cache.insert(page, buf, false) {
+            self.file.write_all_at(dirty.bytes().as_slice(), pid.offset())?;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` over an immutable view of `page`.
+    pub fn read<R>(&self, page: PageId, f: impl FnOnce(&PageBuf) -> R) -> io::Result<R> {
+        debug_assert!(!page.is_null());
+        let mut inner = self.inner.lock();
+        self.load(&mut inner, page)?;
+        Ok(f(inner.cache.get(page).expect("just loaded")))
+    }
+
+    /// Runs `f` over a mutable view of `page`, marking it dirty.
+    pub fn write<R>(&self, page: PageId, f: impl FnOnce(&mut PageBuf) -> R) -> io::Result<R> {
+        debug_assert!(!page.is_null());
+        let mut inner = self.inner.lock();
+        self.load(&mut inner, page)?;
+        Ok(f(inner.cache.get_mut(page).expect("just loaded")))
+    }
+
+    /// Allocates a zeroed page, reusing the free list when possible.
+    pub fn allocate(&self) -> io::Result<PageId> {
+        let mut inner = self.inner.lock();
+        let page = if !inner.free_head.is_null() {
+            let head = inner.free_head;
+            self.load(&mut inner, head)?;
+            let next = PageId(inner.cache.get(head).expect("loaded").read_u64(0));
+            inner.free_head = next;
+            head
+        } else {
+            let p = PageId(inner.page_count);
+            inner.page_count += 1;
+            p
+        };
+        inner.meta_dirty = true;
+        if let Some((pid, dirty)) = inner.cache.insert(page, PageBuf::zeroed(), true) {
+            self.file.write_all_at(dirty.bytes().as_slice(), pid.offset())?;
+        }
+        Ok(page)
+    }
+
+    /// Returns `page` to the free list.
+    pub fn free(&self, page: PageId) -> io::Result<()> {
+        debug_assert!(!page.is_null() && page != PageId::META);
+        let mut inner = self.inner.lock();
+        let old_head = inner.free_head;
+        self.load(&mut inner, page)?;
+        inner
+            .cache
+            .get_mut(page)
+            .expect("loaded")
+            .write_u64(0, old_head.0);
+        inner.free_head = page;
+        inner.meta_dirty = true;
+        Ok(())
+    }
+
+    /// Writes every dirty page (and the meta page) back to the file.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        for (pid, buf) in inner.cache.take_dirty() {
+            // Grow the file lazily: write_all_at extends as needed.
+            self.file.write_all_at(buf.bytes().as_slice(), pid.offset())?;
+        }
+        if inner.meta_dirty {
+            let mut meta = PageBuf::zeroed();
+            meta.write_u64(META_MAGIC_OFF, MAGIC);
+            meta.write_u64(META_PAGE_COUNT_OFF, inner.page_count);
+            meta.write_u64(META_FREE_HEAD_OFF, inner.free_head.0);
+            for (i, slot) in inner.roots.iter().enumerate() {
+                meta.write_u64(META_ROOTS_OFF + i * 8, *slot);
+            }
+            self.file.write_all_at(meta.bytes().as_slice(), 0)?;
+            inner.meta_dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs.
+    pub fn sync(&self) -> io::Result<()> {
+        self.flush()?;
+        self.file.sync_data()
+    }
+}
+
+impl Drop for PageStore {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let dir = tempdir().unwrap();
+        let store = PageStore::open(dir.path().join("p.db"), 4).unwrap();
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
+        assert_ne!(a, b);
+        store.write(a, |p| p.write_u64(0, 111)).unwrap();
+        store.write(b, |p| p.write_u64(0, 222)).unwrap();
+        assert_eq!(store.read(a, |p| p.read_u64(0)).unwrap(), 111);
+        assert_eq!(store.read(b, |p| p.read_u64(0)).unwrap(), 222);
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("p.db");
+        let page;
+        {
+            let store = PageStore::open(&path, 4).unwrap();
+            page = store.allocate().unwrap();
+            store.write(page, |p| p.write_u64(100, 0xABCD)).unwrap();
+            store.set_root(0, page.0);
+            store.sync().unwrap();
+        }
+        let store = PageStore::open(&path, 4).unwrap();
+        assert_eq!(store.root(0), page.0);
+        assert_eq!(store.read(page, |p| p.read_u64(100)).unwrap(), 0xABCD);
+        assert_eq!(store.root(1), u64::MAX);
+    }
+
+    #[test]
+    fn eviction_write_back_under_tiny_cache() {
+        let dir = tempdir().unwrap();
+        let store = PageStore::open(dir.path().join("p.db"), 2).unwrap();
+        let pages: Vec<PageId> = (0..16).map(|_| store.allocate().unwrap()).collect();
+        for (i, &p) in pages.iter().enumerate() {
+            store.write(p, |b| b.write_u64(0, i as u64 * 7)).unwrap();
+        }
+        for (i, &p) in pages.iter().enumerate() {
+            assert_eq!(store.read(p, |b| b.read_u64(0)).unwrap(), i as u64 * 7);
+        }
+        assert!(store.cache_stats().evictions > 0);
+    }
+
+    #[test]
+    fn free_list_reuse() {
+        let dir = tempdir().unwrap();
+        let store = PageStore::open(dir.path().join("p.db"), 4).unwrap();
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
+        let count = store.page_count();
+        store.free(a).unwrap();
+        store.free(b).unwrap();
+        let c = store.allocate().unwrap();
+        let d = store.allocate().unwrap();
+        // LIFO reuse, no growth.
+        assert_eq!(c, b);
+        assert_eq!(d, a);
+        assert_eq!(store.page_count(), count);
+        // Freed pages come back zeroed.
+        assert_eq!(store.read(c, |p| p.read_u64(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn free_list_survives_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("p.db");
+        let freed;
+        {
+            let store = PageStore::open(&path, 4).unwrap();
+            let a = store.allocate().unwrap();
+            let _b = store.allocate().unwrap();
+            store.free(a).unwrap();
+            freed = a;
+            store.sync().unwrap();
+        }
+        let store = PageStore::open(&path, 4).unwrap();
+        assert_eq!(store.allocate().unwrap(), freed);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("junk.db");
+        std::fs::write(&path, vec![0x42u8; PAGE_SIZE]).unwrap();
+        assert!(PageStore::open(&path, 4).is_err());
+    }
+}

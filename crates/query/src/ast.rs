@@ -1,0 +1,182 @@
+//! Abstract syntax of the temporal Cypher subset.
+
+/// A literal value in a query.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean (`true` / `false` identifiers).
+    Bool(bool),
+    /// `$name` parameter reference.
+    Param(String),
+}
+
+/// `FOR SYSTEM_TIME …` specifier.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TimeSpec {
+    /// `AS OF t`
+    AsOf(u64),
+    /// `FROM a TO b`
+    FromTo(u64, u64),
+    /// `BETWEEN a AND b`
+    Between(u64, u64),
+    /// `CONTAINED IN (a, b)`
+    ContainedIn(u64, u64),
+}
+
+impl TimeSpec {
+    /// Converts to the storage-level range.
+    pub fn to_range(self) -> lpg::TimeRange {
+        match self {
+            TimeSpec::AsOf(t) => lpg::TimeRange::AsOf(t),
+            TimeSpec::FromTo(a, b) => lpg::TimeRange::FromTo(a, b),
+            TimeSpec::Between(a, b) => lpg::TimeRange::Between(a, b),
+            TimeSpec::ContainedIn(a, b) => lpg::TimeRange::ContainedIn(a, b),
+        }
+    }
+}
+
+/// A node pattern `(var:Label {key: value, …})`.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct NodePattern {
+    /// Binding variable.
+    pub var: Option<String>,
+    /// Label constraint.
+    pub label: Option<String>,
+    /// Inline property constraints / values.
+    pub props: Vec<(String, Literal)>,
+}
+
+/// Relationship direction in a pattern.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum RelDirection {
+    /// `-[..]->`
+    Right,
+    /// `<-[..]-`
+    Left,
+    /// `-[..]-`
+    Undirected,
+}
+
+/// A relationship pattern `-[var:TYPE*hops {..}]->`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RelPattern {
+    /// Binding variable.
+    pub var: Option<String>,
+    /// Type constraint.
+    pub rel_type: Option<String>,
+    /// `*n` hop count (1 when absent).
+    pub hops: u32,
+    /// Inline properties (used by CREATE).
+    pub props: Vec<(String, Literal)>,
+    /// Pattern direction.
+    pub direction: RelDirection,
+}
+
+/// One `MATCH`/`CREATE` path: a node, optionally connected to another.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Pattern {
+    /// The anchor node.
+    pub start: NodePattern,
+    /// Optional `rel + end node`.
+    pub rel: Option<(RelPattern, NodePattern)>,
+}
+
+/// Comparison operator in predicates.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A `WHERE` predicate.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Predicate {
+    /// `id(var) = literal`
+    IdEquals(String, Literal),
+    /// `var.key <op> literal`
+    PropCmp(String, String, CmpOp, Literal),
+    /// `APPLICATION_TIME CONTAINED IN (a, b)`
+    AppTimeContainedIn(u64, u64),
+}
+
+/// A `RETURN` item.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ReturnItem {
+    /// `var`
+    Var(String),
+    /// `var.key`
+    Prop(String, String),
+    /// `count(var)`
+    Count(String),
+    /// `id(var)`
+    Id(String),
+}
+
+/// `ORDER BY` key: a return-item-like expression plus direction.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OrderBy {
+    /// What to sort on (`var.key` or `id(var)`).
+    pub item: ReturnItem,
+    /// Descending order (`DESC`).
+    pub descending: bool,
+}
+
+/// The action tail of a `MATCH`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Action {
+    /// `RETURN items [ORDER BY …] [LIMIT n]`
+    Return(Vec<ReturnItem>),
+    /// `SET var.key = literal`
+    Set(String, String, Literal),
+    /// `DELETE var`
+    Delete(Vec<String>),
+    /// `CREATE patterns` (with bindings from the MATCH part).
+    Create(Vec<Pattern>),
+}
+
+/// A parsed query.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Query {
+    /// `MATCH … WHERE … (RETURN|SET|DELETE|CREATE)`
+    Match {
+        /// System-time clause, defaulting to "latest" when absent.
+        time: Option<TimeSpec>,
+        /// Match patterns.
+        patterns: Vec<Pattern>,
+        /// WHERE predicates (conjunctive).
+        predicates: Vec<Predicate>,
+        /// The action.
+        action: Action,
+        /// Optional `ORDER BY` on RETURN queries.
+        order_by: Option<OrderBy>,
+        /// Optional `LIMIT` on RETURN queries.
+        limit: Option<usize>,
+    },
+    /// Standalone `CREATE patterns`.
+    Create {
+        /// Created patterns.
+        patterns: Vec<Pattern>,
+    },
+    /// `CALL namespace.proc(args…)` — temporal procedures (Sec. 5.1).
+    Call {
+        /// Dotted procedure name, e.g. `aion.pagerank`.
+        name: String,
+        /// Positional arguments.
+        args: Vec<Literal>,
+    },
+}

@@ -1,0 +1,815 @@
+//! The executor: binds patterns, applies predicates, and routes reads
+//! through Aion's temporal API (so the planner's store choice applies).
+
+use crate::ast::*;
+use crate::value::Value;
+use aion::bitemporal;
+use aion::Aion;
+use lpg::{
+    Direction, GraphError, NodeId, PropertyValue, RelId, Result, StrId, TimeRange, Timestamp,
+};
+use std::collections::HashMap;
+
+/// Query parameters (`$name` bindings).
+pub type Params = HashMap<String, Value>;
+
+/// A tabular query result.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QueryResult {
+    /// Column names (from the RETURN items, or `affected` for writes).
+    pub columns: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    fn affected(n: usize) -> QueryResult {
+        QueryResult {
+            columns: vec!["affected".into()],
+            rows: vec![vec![Value::Int(n as i64)]],
+        }
+    }
+}
+
+/// Parses and executes `text` against `db`.
+pub fn execute(db: &Aion, text: &str, params: &Params) -> Result<QueryResult> {
+    let query = crate::parser::parse(text).map_err(|e| GraphError::Unknown(e.to_string()))?;
+    run(db, &query, params)
+}
+
+/// Executes an already-parsed query.
+pub fn run(db: &Aion, query: &Query, params: &Params) -> Result<QueryResult> {
+    match query {
+        Query::Create { patterns } => run_create(db, &[], patterns, params),
+        Query::Match {
+            time,
+            patterns,
+            predicates,
+            action,
+            order_by,
+            limit,
+        } => {
+            let mut result = run_match(db, *time, patterns, predicates, action, params)?;
+            if let Action::Return(_) = action {
+                if let Some(order) = order_by {
+                    sort_rows(&mut result, order, params)?;
+                }
+                if let Some(n) = limit {
+                    result.rows.truncate(*n);
+                }
+            }
+            Ok(result)
+        }
+        Query::Call { name, args } => run_call(db, name, args, params),
+    }
+}
+
+/// Sorts result rows by an `ORDER BY` key (nulls last).
+fn sort_rows(result: &mut QueryResult, order: &OrderBy, _params: &Params) -> Result<()> {
+    let col = match &order.item {
+        ReturnItem::Var(v) => result.columns.iter().position(|c| c == v),
+        ReturnItem::Prop(v, k) => {
+            let name = format!("{v}.{k}");
+            result.columns.iter().position(|c| *c == name)
+        }
+        ReturnItem::Id(v) => {
+            let name = format!("id({v})");
+            result.columns.iter().position(|c| *c == name)
+        }
+        ReturnItem::Count(_) => None,
+    };
+    // Sorting by a non-returned key: fall back to resolving against a node
+    // column's property when the sort item is `var.key` and `var` is a
+    // returned column.
+    enum Key {
+        Column(usize),
+        NodeProp(usize, String),
+    }
+    let key = match (col, &order.item) {
+        (Some(i), _) => Key::Column(i),
+        (None, ReturnItem::Prop(v, k)) => {
+            let i = result
+                .columns
+                .iter()
+                .position(|c| c == v)
+                .ok_or_else(|| GraphError::Unknown(format!("ORDER BY: unknown variable {v}")))?;
+            Key::NodeProp(i, k.clone())
+        }
+        (None, other) => {
+            return Err(GraphError::Unknown(format!(
+                "ORDER BY key {other:?} is not in RETURN"
+            )))
+        }
+    };
+    let sort_value = |row: &Vec<Value>| -> Option<Value> {
+        match &key {
+            Key::Column(i) => row.get(*i).cloned(),
+            Key::NodeProp(i, k) => match row.get(*i) {
+                Some(Value::Node { props, .. }) | Some(Value::Rel { props, .. }) => props
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v.clone()),
+                _ => None,
+            },
+        }
+    };
+    result.rows.sort_by(|a, b| {
+        let (va, vb) = (sort_value(a), sort_value(b));
+        let ord = match (&va, &vb) {
+            (Some(x), Some(y)) => value_order(x, y),
+            (Some(_), None) => std::cmp::Ordering::Less, // nulls last
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
+        };
+        if order.descending {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    Ok(())
+}
+
+fn value_order(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        (Value::Float(x), Value::Float(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Value::Int(x), Value::Float(y)) => {
+            (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal)
+        }
+        (Value::Float(x), Value::Int(y)) => {
+            x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal)
+        }
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (x, y) => x
+            .entity_id()
+            .cmp(&y.entity_id()),
+    }
+}
+
+/// The temporal-procedure registry (Sec. 5.1): incremental analytics over
+/// snapshot series, invoked from Cypher like the paper's GDS-style procs.
+///
+/// * `aion.avg(prop, start, end, step [, 'classic'])` → `(ts, avg)` rows
+/// * `aion.bfs(sourceId, start, end, step [, 'classic'])` → `(ts, reached)`
+/// * `aion.pagerank(start, end, step [, 'classic'])` → `(ts, topNode, rank)`
+/// * `aion.diff(start, end)` → `(ts, op, entity)` rows (getDiff)
+/// * `aion.window(start, end)` → member nodes of the union graph (getWindow)
+fn run_call(db: &Aion, name: &str, args: &[Literal], params: &Params) -> Result<QueryResult> {
+    use aion::procedures::ExecMode;
+    let vals: Vec<Value> = args
+        .iter()
+        .map(|a| resolve_literal(a, params))
+        .collect::<Result<_>>()?;
+    let int_at = |i: usize| -> Result<u64> {
+        vals.get(i)
+            .and_then(Value::as_int)
+            .map(|v| v as u64)
+            .ok_or_else(|| GraphError::Unknown(format!("{name}: argument {i} must be an integer")))
+    };
+    let mode_at = |i: usize| -> ExecMode {
+        match vals.get(i) {
+            Some(Value::Str(s)) if s.eq_ignore_ascii_case("classic") => ExecMode::Classic,
+            _ => ExecMode::Incremental,
+        }
+    };
+    match name.to_ascii_lowercase().as_str() {
+        "aion.avg" => {
+            let Some(Value::Str(prop)) = vals.first() else {
+                return Err(GraphError::Unknown(
+                    "aion.avg: first argument must be the property name".into(),
+                ));
+            };
+            let key = db.intern(prop);
+            let series =
+                db.proc_avg_series(key, int_at(1)?, int_at(2)?, int_at(3)?, mode_at(4))?;
+            Ok(QueryResult {
+                columns: vec!["ts".into(), "avg".into()],
+                rows: series
+                    .points
+                    .into_iter()
+                    .map(|(ts, v)| {
+                        vec![Value::Int(ts as i64), v.map(Value::Float).unwrap_or(Value::Null)]
+                    })
+                    .collect(),
+            })
+        }
+        "aion.bfs" => {
+            let source = NodeId::new(int_at(0)?);
+            let series =
+                db.proc_bfs_series(source, int_at(1)?, int_at(2)?, int_at(3)?, mode_at(4))?;
+            Ok(QueryResult {
+                columns: vec!["ts".into(), "reached".into()],
+                rows: series
+                    .points
+                    .into_iter()
+                    .map(|(ts, n)| vec![Value::Int(ts as i64), Value::Int(n as i64)])
+                    .collect(),
+            })
+        }
+        "aion.pagerank" => {
+            let cfg = algo::pagerank::PageRankConfig::default();
+            let series =
+                db.proc_pagerank_series(cfg, int_at(0)?, int_at(1)?, int_at(2)?, mode_at(3))?;
+            Ok(QueryResult {
+                columns: vec!["ts".into(), "topNode".into(), "rank".into()],
+                rows: series
+                    .points
+                    .into_iter()
+                    .map(|(ts, ranks)| {
+                        let top = ranks
+                            .iter()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite ranks"))
+                            .map(|(n, r)| (*n, *r));
+                        match top {
+                            Some((n, r)) => vec![
+                                Value::Int(ts as i64),
+                                Value::Int(n.raw() as i64),
+                                Value::Float(r),
+                            ],
+                            None => vec![Value::Int(ts as i64), Value::Null, Value::Null],
+                        }
+                    })
+                    .collect(),
+            })
+        }
+        "aion.diff" => {
+            // getDiff(start, end): one row per update in the window.
+            let updates = db.get_diff(int_at(0)?, int_at(1)?)?;
+            Ok(QueryResult {
+                columns: vec!["ts".into(), "op".into(), "entity".into()],
+                rows: updates
+                    .into_iter()
+                    .map(|u| {
+                        let kind = match &u.op {
+                            lpg::Update::AddNode { .. } => "addNode",
+                            lpg::Update::DeleteNode { .. } => "deleteNode",
+                            lpg::Update::AddRel { .. } => "addRel",
+                            lpg::Update::DeleteRel { .. } => "deleteRel",
+                            lpg::Update::SetNodeProp { .. } => "setNodeProp",
+                            lpg::Update::RemoveNodeProp { .. } => "removeNodeProp",
+                            lpg::Update::AddLabel { .. } => "addLabel",
+                            lpg::Update::RemoveLabel { .. } => "removeLabel",
+                            lpg::Update::SetRelProp { .. } => "setRelProp",
+                            lpg::Update::RemoveRelProp { .. } => "removeRelProp",
+                        };
+                        vec![
+                            Value::Int(u.ts as i64),
+                            Value::Str(kind.into()),
+                            Value::Int(u.op.entity().raw() as i64),
+                        ]
+                    })
+                    .collect(),
+            })
+        }
+        "aion.window" => {
+            // getWindow(start, end): the union graph's size plus members.
+            let g = db.get_window(int_at(0)?, int_at(1)?)?;
+            let interner = db.interner();
+            let mut rows: Vec<Vec<Value>> = g
+                .nodes()
+                .map(|n| vec![Value::from_node(n, interner, None)])
+                .collect();
+            rows.sort_by_key(|r| r[0].entity_id());
+            Ok(QueryResult {
+                columns: vec!["node".into()],
+                rows,
+            })
+        }
+        other => Err(GraphError::Unknown(format!("unknown procedure {other}"))),
+    }
+}
+
+fn resolve_literal(lit: &Literal, params: &Params) -> Result<Value> {
+    Ok(match lit {
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Float(v) => Value::Float(*v),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Param(name) => params
+            .get(name)
+            .cloned()
+            .ok_or_else(|| GraphError::Unknown(format!("missing parameter ${name}")))?,
+    })
+}
+
+fn literal_to_prop(lit: &Literal, db: &Aion, params: &Params) -> Result<PropertyValue> {
+    Ok(match resolve_literal(lit, params)? {
+        Value::Int(v) => PropertyValue::Int(v),
+        Value::Float(v) => PropertyValue::Float(v),
+        Value::Bool(v) => PropertyValue::Bool(v),
+        Value::Str(s) => PropertyValue::Str(db.intern(&s)),
+        other => {
+            return Err(GraphError::Unknown(format!(
+                "unsupported property literal {other:?}"
+            )))
+        }
+    })
+}
+
+/// Extracts the `_id` property from a CREATE pattern's property map.
+fn take_id(props: &[(String, Literal)], params: &Params) -> Result<Option<u64>> {
+    for (k, v) in props {
+        if k == "_id" {
+            let val = resolve_literal(v, params)?;
+            let id = val
+                .as_int()
+                .ok_or_else(|| GraphError::Unknown("_id must be an integer".into()))?;
+            return Ok(Some(id as u64));
+        }
+    }
+    Ok(None)
+}
+
+/// One bound row: variable → value.
+type Binding = HashMap<String, Value>;
+
+fn run_match(
+    db: &Aion,
+    time: Option<TimeSpec>,
+    patterns: &[Pattern],
+    predicates: &[Predicate],
+    action: &Action,
+    params: &Params,
+) -> Result<QueryResult> {
+    let range: TimeRange = time
+        .map(TimeSpec::to_range)
+        .unwrap_or(TimeRange::AsOf(db.latest_ts()));
+    let window = range.to_half_open();
+    let point_mode = range.is_point();
+    let at: Timestamp = window.start;
+
+    // Collect id constraints per variable.
+    let mut id_of: HashMap<&str, u64> = HashMap::new();
+    let mut app_time: Option<TimeRange> = None;
+    for p in predicates {
+        match p {
+            Predicate::IdEquals(var, lit) => {
+                let v = resolve_literal(lit, params)?;
+                let id = v
+                    .as_int()
+                    .ok_or_else(|| GraphError::Unknown("id() must compare to an integer".into()))?;
+                id_of.insert(var.as_str(), id as u64);
+            }
+            Predicate::AppTimeContainedIn(a, b) => {
+                app_time = Some(TimeRange::ContainedIn(*a, *b));
+            }
+            Predicate::PropCmp(..) => {}
+        }
+    }
+
+    // Bind patterns to rows.
+    let mut rows: Vec<Binding> = Vec::new();
+    let interner = db.interner();
+    for pattern in patterns {
+        let anchor_var = pattern.start.var.clone().unwrap_or_else(|| "_anchor".into());
+        match &pattern.rel {
+            None => {
+                // Single node pattern.
+                if let Some(&id) = pattern
+                    .start
+                    .var
+                    .as_deref()
+                    .and_then(|v| id_of.get(v))
+                {
+                    // Point or history lookup by id.
+                    let versions = db.get_node(NodeId::new(id), window.start, window.end)?;
+                    for v in versions {
+                        let mut b = Binding::new();
+                        let valid = (!point_mode).then_some((v.valid.start, v.valid.end));
+                        b.insert(anchor_var.clone(), Value::from_node(&v.data, interner, valid));
+                        push_binding(&mut rows, b, patterns.len() > 1);
+                    }
+                } else {
+                    // Label scan over the snapshot at `at`.
+                    let g = db.get_graph_at(at)?;
+                    let label = pattern
+                        .start
+                        .label
+                        .as_deref()
+                        .map(|l| db.intern(l));
+                    for n in g.nodes() {
+                        if let Some(l) = label {
+                            if !n.has_label(l) {
+                                continue;
+                            }
+                        }
+                        let mut b = Binding::new();
+                        b.insert(anchor_var.clone(), Value::from_node(n, interner, None));
+                        push_binding(&mut rows, b, patterns.len() > 1);
+                    }
+                }
+            }
+            Some((rel, end)) => {
+                // Direct relationship binding: `()-[r]->() WHERE id(r) = …`.
+                if let Some(&rid) = rel.var.as_deref().and_then(|v| id_of.get(v)) {
+                    let versions =
+                        db.get_relationship(RelId::new(rid), window.start, window.end)?;
+                    for v in versions {
+                        let mut b = Binding::new();
+                        let valid = (!point_mode).then_some((v.valid.start, v.valid.end));
+                        if let Some(rv) = &rel.var {
+                            b.insert(rv.clone(), Value::from_rel(&v.data, interner, valid));
+                        }
+                        push_binding(&mut rows, b, patterns.len() > 1);
+                    }
+                    continue;
+                }
+                // Anchored traversal: the anchor needs an id constraint.
+                let Some(&anchor_id) = pattern
+                    .start
+                    .var
+                    .as_deref()
+                    .and_then(|v| id_of.get(v))
+                else {
+                    return Err(GraphError::Unknown(
+                        "traversal patterns require `id(anchor) = …` or `id(rel) = …` in WHERE"
+                            .into(),
+                    ));
+                };
+                let dir = match rel.direction {
+                    RelDirection::Right => Direction::Outgoing,
+                    RelDirection::Left => Direction::Incoming,
+                    RelDirection::Undirected => Direction::Both,
+                };
+                if rel.hops <= 1 {
+                    // Single hop: bind rel and neighbour.
+                    let rel_type = rel.rel_type.as_deref().map(|t| db.intern(t));
+                    let histories =
+                        db.get_relationships(NodeId::new(anchor_id), dir, window.start, window.end)?;
+                    let anchor_node = db
+                        .get_node(NodeId::new(anchor_id), window.start, window.end)?
+                        .into_iter()
+                        .next_back();
+                    for chain in histories {
+                        for v in chain {
+                            if let Some(t) = rel_type {
+                                if v.data.label != Some(t) {
+                                    continue;
+                                }
+                            }
+                            let other = v.data.other_end(NodeId::new(anchor_id));
+                            let mut b = Binding::new();
+                            if let Some(an) = &anchor_node {
+                                b.insert(
+                                    anchor_var.clone(),
+                                    Value::from_node(&an.data, interner, None),
+                                );
+                            }
+                            if let Some(rv) = &rel.var {
+                                let valid =
+                                    (!point_mode).then_some((v.valid.start, v.valid.end));
+                                b.insert(rv.clone(), Value::from_rel(&v.data, interner, valid));
+                            }
+                            if let (Some(ev), Some(other)) = (&end.var, other) {
+                                let node_versions =
+                                    db.get_node(other, v.valid.start, v.valid.start + 1)?;
+                                if let Some(nv) = node_versions.into_iter().next() {
+                                    b.insert(ev.clone(), Value::from_node(&nv.data, interner, None));
+                                }
+                            }
+                            push_binding(&mut rows, b, patterns.len() > 1);
+                        }
+                    }
+                } else {
+                    // Variable-length expansion (Fig. 1b): planner-routed.
+                    let hits = db.expand(NodeId::new(anchor_id), dir, rel.hops, at)?;
+                    for (node_id, hop) in hits {
+                        let versions = db.get_node(node_id, at, at)?;
+                        let Some(v) = versions.into_iter().next() else {
+                            continue;
+                        };
+                        let mut b = Binding::new();
+                        if let Some(ev) = &end.var {
+                            b.insert(ev.clone(), Value::from_node(&v.data, interner, None));
+                        }
+                        b.insert("_hop".into(), Value::Int(i64::from(hop)));
+                        push_binding(&mut rows, b, patterns.len() > 1);
+                    }
+                }
+            }
+        }
+    }
+
+    // Property predicates + application-time filter.
+    let rows: Vec<Binding> = rows
+        .into_iter()
+        .filter(|b| {
+            predicates.iter().all(|p| match p {
+                Predicate::PropCmp(var, key, op, lit) => {
+                    let Ok(expected) = resolve_literal(lit, params) else {
+                        return false;
+                    };
+                    match b.get(var) {
+                        Some(Value::Node { props, .. }) | Some(Value::Rel { props, .. }) => props
+                            .iter()
+                            .find(|(k, _)| k == key)
+                            .map(|(_, actual)| value_cmp(actual, *op, &expected))
+                            .unwrap_or(false),
+                        _ => false,
+                    }
+                }
+                Predicate::AppTimeContainedIn(..) => {
+                    let Some(range) = app_time else { return true };
+                    b.values().all(|v| app_time_pass(db, v, range))
+                }
+                Predicate::IdEquals(..) => true, // already applied at bind time
+            })
+        })
+        .collect();
+
+    // Action.
+    match action {
+        Action::Return(items) => {
+            let columns: Vec<String> = items
+                .iter()
+                .map(|i| match i {
+                    ReturnItem::Var(v) => v.clone(),
+                    ReturnItem::Prop(v, k) => format!("{v}.{k}"),
+                    ReturnItem::Count(v) => format!("count({v})"),
+                    ReturnItem::Id(v) => format!("id({v})"),
+                })
+                .collect();
+            // Aggregation: any count() collapses to a single row.
+            if items.iter().any(|i| matches!(i, ReturnItem::Count(_))) {
+                let mut row = Vec::new();
+                for item in items {
+                    match item {
+                        ReturnItem::Count(v) => {
+                            let n = rows.iter().filter(|b| b.contains_key(v)).count();
+                            row.push(Value::Int(n as i64));
+                        }
+                        _ => row.push(Value::Null),
+                    }
+                }
+                return Ok(QueryResult {
+                    columns,
+                    rows: vec![row],
+                });
+            }
+            let mut out = Vec::with_capacity(rows.len());
+            for b in &rows {
+                let mut row = Vec::with_capacity(items.len());
+                for item in items {
+                    row.push(match item {
+                        ReturnItem::Var(v) => b.get(v).cloned().unwrap_or(Value::Null),
+                        ReturnItem::Prop(v, k) => match b.get(v) {
+                            Some(Value::Node { props, .. }) | Some(Value::Rel { props, .. }) => {
+                                props
+                                    .iter()
+                                    .find(|(key, _)| key == k)
+                                    .map(|(_, v)| v.clone())
+                                    .unwrap_or(Value::Null)
+                            }
+                            _ => Value::Null,
+                        },
+                        ReturnItem::Id(v) => b
+                            .get(v)
+                            .and_then(Value::entity_id)
+                            .map(|id| Value::Int(id as i64))
+                            .unwrap_or(Value::Null),
+                        ReturnItem::Count(_) => unreachable!(),
+                    });
+                }
+                out.push(row);
+            }
+            Ok(QueryResult { columns, rows: out })
+        }
+        Action::Set(var, key, lit) => {
+            let value = literal_to_prop(lit, db, params)?;
+            let key = db.intern(key);
+            let mut affected = 0;
+            let targets: Vec<Value> = rows.iter().filter_map(|b| b.get(var).cloned()).collect();
+            db.write(|txn| {
+                for t in &targets {
+                    match t {
+                        Value::Node { id, .. } => {
+                            txn.set_node_prop(NodeId::new(*id), key, value.clone())?
+                        }
+                        Value::Rel { id, .. } => {
+                            txn.set_rel_prop(RelId::new(*id), key, value.clone())?
+                        }
+                        _ => continue,
+                    }
+                    affected += 1;
+                }
+                Ok(())
+            })?;
+            Ok(QueryResult::affected(affected))
+        }
+        Action::Delete(vars) => {
+            let mut nodes = Vec::new();
+            let mut rels = Vec::new();
+            for b in &rows {
+                for var in vars {
+                    match b.get(var) {
+                        Some(Value::Node { id, .. }) => nodes.push(NodeId::new(*id)),
+                        Some(Value::Rel { id, .. }) => rels.push(RelId::new(*id)),
+                        _ => {}
+                    }
+                }
+            }
+            nodes.dedup();
+            rels.dedup();
+            let affected = nodes.len() + rels.len();
+            db.write(|txn| {
+                for r in &rels {
+                    txn.delete_rel(*r)?;
+                }
+                for n in &nodes {
+                    txn.delete_node(*n)?;
+                }
+                Ok(())
+            })?;
+            Ok(QueryResult::affected(affected))
+        }
+        Action::Create(create_patterns) => {
+            // Bindings from the MATCH part feed endpoint resolution.
+            let bound: Vec<(String, u64)> = rows
+                .first()
+                .map(|b| {
+                    b.iter()
+                        .filter_map(|(k, v)| v.entity_id().map(|id| (k.clone(), id)))
+                        .collect()
+                })
+                .unwrap_or_default();
+            run_create(db, &bound, create_patterns, params)
+        }
+    }
+}
+
+fn value_cmp(actual: &Value, op: CmpOp, expected: &Value) -> bool {
+    use std::cmp::Ordering;
+    let ord = match (actual, expected) {
+        (Value::Int(a), Value::Int(b)) => a.partial_cmp(b),
+        (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+        (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+        (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+        (Value::Str(a), Value::Str(b)) => a.partial_cmp(b),
+        (Value::Bool(a), Value::Bool(b)) => a.partial_cmp(b),
+        _ => None,
+    };
+    match (ord, op) {
+        (Some(Ordering::Equal), CmpOp::Eq | CmpOp::Le | CmpOp::Ge) => true,
+        (Some(Ordering::Less), CmpOp::Lt | CmpOp::Le | CmpOp::Neq) => true,
+        (Some(Ordering::Greater), CmpOp::Gt | CmpOp::Ge | CmpOp::Neq) => true,
+        _ => false,
+    }
+}
+
+fn app_time_pass(db: &Aion, v: &Value, range: TimeRange) -> bool {
+    // Reconstruct a property bag in storage terms for the filter.
+    let keys = db.app_time_keys();
+    let props = match v {
+        Value::Node { props, .. } | Value::Rel { props, .. } => props,
+        _ => return true,
+    };
+    let mut bag: lpg::Props = Vec::new();
+    for (k, v) in props {
+        if let Value::Int(x) = v {
+            let kid = db.intern(k);
+            bag.push((kid, PropertyValue::Int(*x)));
+        }
+    }
+    bag.sort_by_key(|(k, _)| *k);
+    bitemporal::matches_app_time(&bag, range, keys)
+}
+
+fn push_binding(rows: &mut Vec<Binding>, b: Binding, cartesian: bool) {
+    if cartesian && !rows.is_empty() {
+        // Cross-product with existing rows for multi-pattern MATCH.
+        // Only merge when variables are disjoint; collisions overwrite.
+        let mut merged = Vec::with_capacity(rows.len());
+        for existing in rows.iter() {
+            let mut m = existing.clone();
+            for (k, v) in &b {
+                m.insert(k.clone(), v.clone());
+            }
+            merged.push(m);
+        }
+        *rows = merged;
+    } else {
+        rows.push(b);
+    }
+}
+
+fn run_create(
+    db: &Aion,
+    bound: &[(String, u64)],
+    patterns: &[Pattern],
+    params: &Params,
+) -> Result<QueryResult> {
+    let mut affected = 0;
+    // Pre-intern outside the closure.
+    struct NodePlan {
+        id: u64,
+        labels: Vec<StrId>,
+        props: Vec<(StrId, PropertyValue)>,
+    }
+    struct RelPlan {
+        id: u64,
+        src: u64,
+        tgt: u64,
+        label: Option<StrId>,
+        props: Vec<(StrId, PropertyValue)>,
+    }
+    let mut node_plans: Vec<NodePlan> = Vec::new();
+    let mut rel_plans: Vec<RelPlan> = Vec::new();
+    let lookup = |var: &Option<String>, own: Option<u64>| -> Result<u64> {
+        if let Some(id) = own {
+            return Ok(id);
+        }
+        if let Some(v) = var {
+            if let Some((_, id)) = bound.iter().find(|(name, _)| name == v) {
+                return Ok(*id);
+            }
+        }
+        Err(GraphError::Unknown(
+            "CREATE endpoint needs a bound variable or an _id property".into(),
+        ))
+    };
+    for p in patterns {
+        let start_id = take_id(&p.start.props, params)?;
+        // A bare bound variable creates nothing.
+        let creates_start = start_id.is_some();
+        let start = lookup(&p.start.var, start_id)?;
+        if creates_start {
+            node_plans.push(NodePlan {
+                id: start,
+                labels: p
+                    .start
+                    .label
+                    .as_deref()
+                    .map(|l| vec![db.intern(l)])
+                    .unwrap_or_default(),
+                props: convert_props(db, &p.start.props, params)?,
+            });
+        }
+        if let Some((rel, end)) = &p.rel {
+            let end_id = take_id(&end.props, params)?;
+            let creates_end = end_id.is_some();
+            let end_bound = lookup(&end.var, end_id)?;
+            if creates_end {
+                node_plans.push(NodePlan {
+                    id: end_bound,
+                    labels: end
+                        .label
+                        .as_deref()
+                        .map(|l| vec![db.intern(l)])
+                        .unwrap_or_default(),
+                    props: convert_props(db, &end.props, params)?,
+                });
+            }
+            let rel_id = take_id(&rel.props, params)?.ok_or_else(|| {
+                GraphError::Unknown("CREATE relationship needs an _id property".into())
+            })?;
+            let (src, tgt) = match rel.direction {
+                RelDirection::Left => (end_bound, start),
+                _ => (start, end_bound),
+            };
+            rel_plans.push(RelPlan {
+                id: rel_id,
+                src,
+                tgt,
+                label: rel.rel_type.as_deref().map(|t| db.intern(t)),
+                props: convert_props(db, &rel.props, params)?,
+            });
+        }
+    }
+    db.write(|txn| {
+        for n in &node_plans {
+            txn.add_node(NodeId::new(n.id), n.labels.clone(), n.props.clone())?;
+            affected += 1;
+        }
+        for r in &rel_plans {
+            txn.add_rel(
+                RelId::new(r.id),
+                NodeId::new(r.src),
+                NodeId::new(r.tgt),
+                r.label,
+                r.props.clone(),
+            )?;
+            affected += 1;
+        }
+        Ok(())
+    })?;
+    Ok(QueryResult::affected(affected))
+}
+
+fn convert_props(
+    db: &Aion,
+    props: &[(String, Literal)],
+    params: &Params,
+) -> Result<Vec<(StrId, PropertyValue)>> {
+    let mut out = Vec::new();
+    for (k, v) in props {
+        if k == "_id" {
+            continue;
+        }
+        out.push((db.intern(k), literal_to_prop(v, db, params)?));
+    }
+    out.sort_by_key(|(k, _)| *k);
+    Ok(out)
+}

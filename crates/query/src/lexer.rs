@@ -1,0 +1,326 @@
+//! Tokenizer for temporal Cypher. Keywords are case-insensitive, as in
+//! Cypher; identifiers and string literals preserve case.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// Bare identifier or keyword (uppercased match at the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single- or double-quoted string literal (unescaped).
+    Str(String),
+    /// `$name` parameter.
+    Param(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `-`
+    Dash,
+    /// `->`
+    ArrowRight,
+    /// `<-`
+    ArrowLeft,
+    /// `*`
+    Star,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Param(s) => write!(f, "${s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// Lexer error with byte position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'-') => {
+                    out.push(Token::ArrowLeft);
+                    i += 2;
+                }
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Neq);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::ArrowRight);
+                    i += 2;
+                } else {
+                    out.push(Token::Dash);
+                    i += 1;
+                }
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError {
+                        pos: i,
+                        msg: "empty parameter name".into(),
+                    });
+                }
+                out.push(Token::Param(input[start..j].to_string()));
+                i = j;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(LexError {
+                                pos: i,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b) if b as char == quote => {
+                            j += 1;
+                            break;
+                        }
+                        Some(&b'\\') => {
+                            match bytes.get(j + 1) {
+                                Some(&e) => s.push(match e {
+                                    b'n' => '\n',
+                                    b't' => '\t',
+                                    other => other as char,
+                                }),
+                                None => {
+                                    return Err(LexError {
+                                        pos: j,
+                                        msg: "dangling escape".into(),
+                                    })
+                                }
+                            }
+                            j += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit()
+                        || (bytes[j] == b'.'
+                            && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                            && !is_float))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        msg: format!("bad float literal {text}"),
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        msg: format!("bad int literal {text}"),
+                    })?));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                out.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_fig1_queries() {
+        let toks = lex("USE GDB FOR SYSTEM_TIME BETWEEN 1 AND 2 MATCH (n: Node) WHERE id(n) = $id RETURN n").unwrap();
+        assert!(toks.contains(&Token::Ident("SYSTEM_TIME".into())));
+        assert!(toks.contains(&Token::Param("id".into())));
+        assert!(toks.contains(&Token::Int(2)));
+    }
+
+    #[test]
+    fn arrows_and_comparisons() {
+        let toks = lex("-[r:KNOWS*3]-> <-[x]- <> <= >= < >").unwrap();
+        assert_eq!(toks[0], Token::Dash);
+        assert!(toks.contains(&Token::ArrowRight));
+        assert!(toks.contains(&Token::ArrowLeft));
+        assert!(toks.contains(&Token::Neq));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ge));
+    }
+
+    #[test]
+    fn literals() {
+        let toks = lex("3.5 42 'hi' \"there\\n\"").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Float(3.5),
+                Token::Int(42),
+                Token::Str("hi".into()),
+                Token::Str("there\n".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("#").is_err());
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("$").is_err());
+    }
+}

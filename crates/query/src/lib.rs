@@ -1,0 +1,45 @@
+//! # aion-query — temporal Cypher (Sec. 3 "Temporal Cypher")
+//!
+//! A hand-written lexer + recursive-descent parser (the role javaCC plays
+//! in the paper) and an executor that routes through [`aion::Aion`]'s
+//! planner. The supported grammar covers the constructs the paper
+//! introduces and evaluates (Figs. 1a–c, Sec. 6.7):
+//!
+//! ```text
+//! query      := [use] (match | create) ;
+//! use        := "USE" "GDB" "FOR" "SYSTEM_TIME" timespec
+//! timespec   := "AS" "OF" t
+//!             | "FROM" t "TO" t
+//!             | "BETWEEN" t "AND" t
+//!             | "CONTAINED" "IN" "(" t "," t ")"
+//! match      := "MATCH" pattern ("," pattern)* ["WHERE" predicates]
+//!               (return | set | delete | create)
+//! pattern    := node [rel node]
+//! node       := "(" [var] [":" label] [props] ")"
+//! rel        := "-[" [var] [":" type] ["*" hops] [props] "]->"
+//!             | "<-[" … "]-" | "-[" … "]-"
+//! predicates := pred ("AND" pred)*
+//! pred       := "id(" var ")" "=" (int | param)
+//!             | var "." key op literal
+//!             | "APPLICATION_TIME" "CONTAINED" "IN" "(" t "," t ")"
+//! return     := "RETURN" item ("," item)*
+//! item       := var | var "." key | "count(" var ")"
+//! create     := "CREATE" pattern ("," pattern)*
+//! set        := "SET" var "." key "=" literal
+//! delete     := "DELETE" var
+//! ```
+//!
+//! Entity ids come from the `_id` property in `CREATE` patterns (the
+//! reproduction's stand-in for Neo4j's internal id allocation), and `$name`
+//! parameters are resolved from a parameter map at execution time.
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use ast::Query;
+pub use exec::{execute, Params, QueryResult};
+pub use parser::parse;
+pub use value::Value;

@@ -1,0 +1,563 @@
+//! Recursive-descent parser for the temporal Cypher subset.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Token};
+use std::fmt;
+
+/// Parse error.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Description with context.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { msg: e.to_string() }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses one temporal Cypher statement.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err(&format!("trailing tokens starting at {}", p.peek_str())));
+    }
+    Ok(q)
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            msg: format!("{msg} (token {})", self.pos),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_str(&self) -> String {
+        self.peek().map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the keyword `kw` (case-insensitive); errors otherwise.
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.err(&format!(
+                "expected keyword {kw}, found {:?}",
+                other.map(|t| t.to_string())
+            ))),
+        }
+    }
+
+    /// Consumes `kw` if it is next; returns whether it was.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(found) if found == t => Ok(()),
+            other => Err(self.err(&format!(
+                "expected {t:?}, found {:?}",
+                other.map(|x| x.to_string())
+            ))),
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(&format!(
+                "expected identifier, found {:?}",
+                other.map(|t| t.to_string())
+            ))),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) if v >= 0 => Ok(v as u64),
+            other => Err(self.err(&format!(
+                "expected non-negative integer, found {:?}",
+                other.map(|t| t.to_string())
+            ))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Literal::Int(v)),
+            Some(Token::Float(v)) => Ok(Literal::Float(v)),
+            Some(Token::Str(s)) => Ok(Literal::Str(s)),
+            Some(Token::Param(p)) => Ok(Literal::Param(p)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Literal::Bool(true)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Literal::Bool(false)),
+            Some(Token::Dash) => match self.next() {
+                Some(Token::Int(v)) => Ok(Literal::Int(-v)),
+                Some(Token::Float(v)) => Ok(Literal::Float(-v)),
+                other => Err(self.err(&format!(
+                    "expected number after '-', found {:?}",
+                    other.map(|t| t.to_string())
+                ))),
+            },
+            other => Err(self.err(&format!(
+                "expected literal, found {:?}",
+                other.map(|t| t.to_string())
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let time = if self.eat_kw("USE") {
+            self.expect_kw("GDB")?;
+            self.expect_kw("FOR")?;
+            self.expect_kw("SYSTEM_TIME")?;
+            Some(self.timespec()?)
+        } else {
+            None
+        };
+        if self.eat_kw("MATCH") {
+            return self.match_query(time);
+        }
+        if self.eat_kw("CREATE") {
+            let patterns = self.patterns()?;
+            return Ok(Query::Create { patterns });
+        }
+        if self.eat_kw("CALL") {
+            return self.call_query();
+        }
+        Err(self.err(&format!(
+            "expected MATCH, CREATE or CALL, found {}",
+            self.peek_str()
+        )))
+    }
+
+    fn call_query(&mut self) -> Result<Query, ParseError> {
+        let mut name = self.ident()?;
+        while self.eat(&Token::Dot) {
+            name.push('.');
+            name.push_str(&self.ident()?);
+        }
+        self.expect(Token::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                args.push(self.literal()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Token::RParen)?;
+        Ok(Query::Call { name, args })
+    }
+
+    fn timespec(&mut self) -> Result<TimeSpec, ParseError> {
+        if self.eat_kw("AS") {
+            self.expect_kw("OF")?;
+            return Ok(TimeSpec::AsOf(self.int()?));
+        }
+        if self.eat_kw("FROM") {
+            let a = self.int()?;
+            self.expect_kw("TO")?;
+            return Ok(TimeSpec::FromTo(a, self.int()?));
+        }
+        if self.eat_kw("BETWEEN") {
+            let a = self.int()?;
+            self.expect_kw("AND")?;
+            return Ok(TimeSpec::Between(a, self.int()?));
+        }
+        if self.eat_kw("CONTAINED") {
+            self.expect_kw("IN")?;
+            self.expect(Token::LParen)?;
+            let a = self.int()?;
+            self.expect(Token::Comma)?;
+            let b = self.int()?;
+            self.expect(Token::RParen)?;
+            return Ok(TimeSpec::ContainedIn(a, b));
+        }
+        Err(self.err("expected AS OF / FROM / BETWEEN / CONTAINED IN"))
+    }
+
+    fn match_query(&mut self, time: Option<TimeSpec>) -> Result<Query, ParseError> {
+        let patterns = self.patterns()?;
+        let mut predicates = Vec::new();
+        if self.eat_kw("WHERE") {
+            loop {
+                predicates.push(self.predicate()?);
+                if !self.eat_kw("AND") {
+                    break;
+                }
+            }
+        }
+        let mut order_by = None;
+        let mut limit = None;
+        let action = if self.eat_kw("RETURN") {
+            let mut items = vec![self.return_item()?];
+            while self.eat(&Token::Comma) {
+                items.push(self.return_item()?);
+            }
+            if self.eat_kw("ORDER") {
+                self.expect_kw("BY")?;
+                let item = self.return_item()?;
+                let descending = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    let _ = self.eat_kw("ASC");
+                    false
+                };
+                order_by = Some(OrderBy { item, descending });
+            }
+            if self.eat_kw("LIMIT") {
+                limit = Some(self.int()? as usize);
+            }
+            Action::Return(items)
+        } else if self.eat_kw("SET") {
+            let var = self.ident()?;
+            self.expect(Token::Dot)?;
+            let key = self.ident()?;
+            self.expect(Token::Eq)?;
+            Action::Set(var, key, self.literal()?)
+        } else if self.eat_kw("DELETE") {
+            let mut vars = vec![self.ident()?];
+            while self.eat(&Token::Comma) {
+                vars.push(self.ident()?);
+            }
+            Action::Delete(vars)
+        } else if self.eat_kw("CREATE") {
+            Action::Create(self.patterns()?)
+        } else {
+            return Err(self.err("expected RETURN, SET, DELETE or CREATE after MATCH"));
+        };
+        Ok(Query::Match {
+            time,
+            patterns,
+            predicates,
+            action,
+            order_by,
+            limit,
+        })
+    }
+
+    fn patterns(&mut self) -> Result<Vec<Pattern>, ParseError> {
+        let mut out = vec![self.pattern()?];
+        while self.eat(&Token::Comma) {
+            out.push(self.pattern()?);
+        }
+        Ok(out)
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, ParseError> {
+        let start = self.node_pattern()?;
+        let rel = if matches!(self.peek(), Some(Token::Dash | Token::ArrowLeft)) {
+            let rel = self.rel_pattern()?;
+            let end = self.node_pattern()?;
+            Some((rel, end))
+        } else {
+            None
+        };
+        Ok(Pattern { start, rel })
+    }
+
+    fn node_pattern(&mut self) -> Result<NodePattern, ParseError> {
+        self.expect(Token::LParen)?;
+        let mut node = NodePattern::default();
+        if let Some(Token::Ident(_)) = self.peek() {
+            node.var = Some(self.ident()?);
+        }
+        if self.eat(&Token::Colon) {
+            node.label = Some(self.ident()?);
+        }
+        if self.peek() == Some(&Token::LBrace) {
+            node.props = self.prop_map()?;
+        }
+        self.expect(Token::RParen)?;
+        Ok(node)
+    }
+
+    fn rel_pattern(&mut self) -> Result<RelPattern, ParseError> {
+        // Leading `<-[` or `-[`.
+        let from_left = self.eat(&Token::ArrowLeft);
+        if !from_left {
+            self.expect(Token::Dash)?;
+        }
+        self.expect(Token::LBracket)?;
+        let mut rel = RelPattern {
+            var: None,
+            rel_type: None,
+            hops: 1,
+            props: Vec::new(),
+            direction: RelDirection::Undirected,
+        };
+        if let Some(Token::Ident(_)) = self.peek() {
+            rel.var = Some(self.ident()?);
+        }
+        if self.eat(&Token::Colon) {
+            rel.rel_type = Some(self.ident()?);
+        }
+        if self.eat(&Token::Star) {
+            rel.hops = self.int()? as u32;
+        }
+        if self.peek() == Some(&Token::LBrace) {
+            rel.props = self.prop_map()?;
+        }
+        self.expect(Token::RBracket)?;
+        // Trailing `]->` or `]-`.
+        let to_right = if self.eat(&Token::ArrowRight) {
+            true
+        } else {
+            self.expect(Token::Dash)?;
+            false
+        };
+        rel.direction = match (from_left, to_right) {
+            (true, false) => RelDirection::Left,
+            (false, true) => RelDirection::Right,
+            (false, false) => RelDirection::Undirected,
+            (true, true) => return Err(self.err("relationship cannot point both ways")),
+        };
+        Ok(rel)
+    }
+
+    fn prop_map(&mut self) -> Result<Vec<(String, Literal)>, ParseError> {
+        self.expect(Token::LBrace)?;
+        let mut props = Vec::new();
+        if self.peek() != Some(&Token::RBrace) {
+            loop {
+                let key = self.ident()?;
+                self.expect(Token::Colon)?;
+                props.push((key, self.literal()?));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Token::RBrace)?;
+        Ok(props)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        // APPLICATION_TIME CONTAINED IN (a, b)
+        if self.eat_kw("APPLICATION_TIME") {
+            self.expect_kw("CONTAINED")?;
+            self.expect_kw("IN")?;
+            self.expect(Token::LParen)?;
+            let a = self.int()?;
+            self.expect(Token::Comma)?;
+            let b = self.int()?;
+            self.expect(Token::RParen)?;
+            return Ok(Predicate::AppTimeContainedIn(a, b));
+        }
+        let name = self.ident()?;
+        if name.eq_ignore_ascii_case("id") && self.eat(&Token::LParen) {
+            let var = self.ident()?;
+            self.expect(Token::RParen)?;
+            self.expect(Token::Eq)?;
+            return Ok(Predicate::IdEquals(var, self.literal()?));
+        }
+        // var.key <op> literal
+        self.expect(Token::Dot)?;
+        let key = self.ident()?;
+        let op = match self.next() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Neq) => CmpOp::Neq,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            other => {
+                return Err(self.err(&format!(
+                    "expected comparison operator, found {:?}",
+                    other.map(|t| t.to_string())
+                )))
+            }
+        };
+        Ok(Predicate::PropCmp(name, key, op, self.literal()?))
+    }
+
+    fn return_item(&mut self) -> Result<ReturnItem, ParseError> {
+        let name = self.ident()?;
+        if name.eq_ignore_ascii_case("count") && self.eat(&Token::LParen) {
+            let var = self.ident()?;
+            self.expect(Token::RParen)?;
+            return Ok(ReturnItem::Count(var));
+        }
+        if name.eq_ignore_ascii_case("id") && self.eat(&Token::LParen) {
+            let var = self.ident()?;
+            self.expect(Token::RParen)?;
+            return Ok(ReturnItem::Id(var));
+        }
+        if self.eat(&Token::Dot) {
+            let key = self.ident()?;
+            return Ok(ReturnItem::Prop(name, key));
+        }
+        Ok(ReturnItem::Var(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_history_lookup() {
+        let q = parse(
+            "USE GDB FOR SYSTEM_TIME BETWEEN 10 AND 20 MATCH (n: Node) WHERE id(n) = $id RETURN n",
+        )
+        .unwrap();
+        match q {
+            Query::Match {
+                time,
+                patterns,
+                predicates,
+                action,
+                ..
+            } => {
+                assert_eq!(time, Some(TimeSpec::Between(10, 20)));
+                assert_eq!(patterns[0].start.label.as_deref(), Some("Node"));
+                assert_eq!(
+                    predicates,
+                    vec![Predicate::IdEquals("n".into(), Literal::Param("id".into()))]
+                );
+                assert_eq!(action, Action::Return(vec![ReturnItem::Var("n".into())]));
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig1b_neighbourhood() {
+        let q = parse(
+            "USE GDB FOR SYSTEM_TIME AS OF 5 MATCH (n)-[*3]->(m) WHERE id(n) = 7 RETURN m",
+        )
+        .unwrap();
+        let Query::Match { time, patterns, .. } = q else {
+            panic!()
+        };
+        assert_eq!(time, Some(TimeSpec::AsOf(5)));
+        let (rel, end) = patterns[0].rel.as_ref().unwrap();
+        assert_eq!(rel.hops, 3);
+        assert_eq!(rel.direction, RelDirection::Right);
+        assert_eq!(end.var.as_deref(), Some("m"));
+    }
+
+    #[test]
+    fn fig1c_bitemporal() {
+        let q = parse(
+            "USE GDB FOR SYSTEM_TIME AS OF 5 MATCH (n: Node) WHERE id(n) = 1 AND APPLICATION_TIME CONTAINED IN (2, 3) RETURN n",
+        )
+        .unwrap();
+        let Query::Match { predicates, .. } = q else {
+            panic!()
+        };
+        assert_eq!(predicates.len(), 2);
+        assert_eq!(predicates[1], Predicate::AppTimeContainedIn(2, 3));
+    }
+
+    #[test]
+    fn create_and_set_and_delete() {
+        let q = parse("CREATE (n:Person {_id: 5, name: 'ada', age: 36})").unwrap();
+        let Query::Create { patterns } = q else { panic!() };
+        assert_eq!(patterns[0].start.props.len(), 3);
+
+        let q = parse("MATCH (a), (b) WHERE id(a) = 1 AND id(b) = 2 CREATE (a)-[:KNOWS {_id: 9}]->(b)").unwrap();
+        let Query::Match { action: Action::Create(pats), patterns, .. } = q else {
+            panic!()
+        };
+        assert_eq!(patterns.len(), 2);
+        assert_eq!(pats[0].rel.as_ref().unwrap().0.rel_type.as_deref(), Some("KNOWS"));
+
+        let q = parse("MATCH (n) WHERE id(n) = 5 SET n.age = 37").unwrap();
+        assert!(matches!(
+            q,
+            Query::Match {
+                action: Action::Set(_, _, Literal::Int(37)),
+                ..
+            }
+        ));
+
+        let q = parse("MATCH (n) WHERE id(n) = 5 DELETE n").unwrap();
+        assert!(matches!(q, Query::Match { action: Action::Delete(_), .. }));
+    }
+
+    #[test]
+    fn undirected_and_left_patterns() {
+        let q = parse("MATCH (n)<-[r:REL]-(m) WHERE id(n) = 1 RETURN m").unwrap();
+        let Query::Match { patterns, .. } = q else { panic!() };
+        assert_eq!(
+            patterns[0].rel.as_ref().unwrap().0.direction,
+            RelDirection::Left
+        );
+        let q = parse("MATCH (n)-[r]-(m) WHERE id(n) = 1 RETURN count(m)").unwrap();
+        let Query::Match { patterns, action, .. } = q else { panic!() };
+        assert_eq!(
+            patterns[0].rel.as_ref().unwrap().0.direction,
+            RelDirection::Undirected
+        );
+        assert_eq!(action, Action::Return(vec![ReturnItem::Count("m".into())]));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("MATCH (n RETURN n").is_err());
+        assert!(parse("USE GDB FOR SYSTEM_TIME NEVER MATCH (n) RETURN n").is_err());
+        assert!(parse("MATCH (n) WHERE id(n) = 1").is_err(), "missing action");
+        assert!(parse("MATCH (n) RETURN n extra").is_err(), "trailing tokens");
+        assert!(parse("FETCH (n)").is_err());
+    }
+
+    #[test]
+    fn prop_comparison_predicates() {
+        let q = parse("MATCH (n) WHERE n.age >= 30 AND n.name = 'bob' RETURN n.age").unwrap();
+        let Query::Match { predicates, action, .. } = q else { panic!() };
+        assert_eq!(predicates.len(), 2);
+        assert!(matches!(
+            predicates[0],
+            Predicate::PropCmp(_, _, CmpOp::Ge, Literal::Int(30))
+        ));
+        assert_eq!(
+            action,
+            Action::Return(vec![ReturnItem::Prop("n".into(), "age".into())])
+        );
+    }
+}

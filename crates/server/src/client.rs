@@ -1,0 +1,54 @@
+//! Blocking client: one TCP connection, synchronous request/response —
+//! the shape of one paper client thread.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response,
+};
+use query::{QueryResult, Value};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// A connected Aion client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running [`crate::Server`].
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let frame = read_frame(&mut self.stream)?;
+        decode_response(&frame)
+    }
+
+    /// Executes a query with parameters; errors surface as `io::Error`.
+    pub fn run(&mut self, query: &str, params: Vec<(String, Value)>) -> io::Result<QueryResult> {
+        match self.call(&Request::Run {
+            query: query.to_string(),
+            params,
+        })? {
+            Response::Ok(result) => Ok(result),
+            Response::Err(msg) => Err(io::Error::new(io::ErrorKind::Other, msg)),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Ok(_) => Ok(()),
+            Response::Err(msg) => Err(io::Error::new(io::ErrorKind::Other, msg)),
+        }
+    }
+
+    /// Requests server shutdown.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        let _ = self.call(&Request::Shutdown)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,460 @@
+//! The wire format: length-prefixed frames, type-tagged values.
+//!
+//! ```text
+//! frame    := u32 payload_len, payload
+//! request  := 0x01 "RUN"  u16 qlen, query, u16 nparams, nparams × param
+//!           | 0x02 "PING"
+//!           | 0x03 "SHUTDOWN"
+//! param    := u16 klen, key, value
+//! response := 0x00 "OK"   u16 ncols, ncols × str, u32 nrows, rows × row
+//!           | 0x01 "ERR"  str
+//! row      := ncols × value
+//! value    := tag, payload (see `write_value`)
+//! ```
+
+use query::{QueryResult, Value};
+use std::io::{self, Read, Write};
+
+/// Request messages.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Execute a query with parameters.
+    Run {
+        /// Temporal Cypher text.
+        query: String,
+        /// `$name` parameter bindings.
+        params: Vec<(String, Value)>,
+    },
+    /// Liveness check.
+    Ping,
+    /// Ask the server to stop accepting connections.
+    Shutdown,
+}
+
+/// Response messages.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Response {
+    /// Successful query result.
+    Ok(QueryResult),
+    /// Failure with message.
+    Err(String),
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_NODE: u8 = 5;
+const TAG_REL: u8 = 6;
+const TAG_LIST: u8 = 7;
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(buf: &[u8], pos: &mut usize) -> io::Result<String> {
+    let len = read_u32(buf, pos)? as usize;
+    let bytes = buf
+        .get(*pos..*pos + len)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated string"))?;
+    *pos += len;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "invalid utf-8"))
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> io::Result<u32> {
+    let bytes = buf
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated u32"))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let bytes = buf
+        .get(*pos..*pos + 8)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated u64"))?;
+    *pos += 8;
+    Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+fn read_u16(buf: &[u8], pos: &mut usize) -> io::Result<u16> {
+    let bytes = buf
+        .get(*pos..*pos + 2)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated u16"))?;
+    *pos += 2;
+    Ok(u16::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+fn read_u8(buf: &[u8], pos: &mut usize) -> io::Result<u8> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated u8"))?;
+    *pos += 1;
+    Ok(b)
+}
+
+/// Serializes one value.
+pub fn write_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            write_str(out, s);
+        }
+        Value::Node {
+            id,
+            labels,
+            props,
+            valid,
+        } => {
+            out.push(TAG_NODE);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(labels.len() as u16).to_le_bytes());
+            for l in labels {
+                write_str(out, l);
+            }
+            out.extend_from_slice(&(props.len() as u16).to_le_bytes());
+            for (k, v) in props {
+                write_str(out, k);
+                write_value(out, v);
+            }
+            match valid {
+                Some((s, e)) => {
+                    out.push(1);
+                    out.extend_from_slice(&s.to_le_bytes());
+                    out.extend_from_slice(&e.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        Value::Rel {
+            id,
+            src,
+            tgt,
+            rel_type,
+            props,
+            valid,
+        } => {
+            out.push(TAG_REL);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&src.to_le_bytes());
+            out.extend_from_slice(&tgt.to_le_bytes());
+            match rel_type {
+                Some(t) => {
+                    out.push(1);
+                    write_str(out, t);
+                }
+                None => out.push(0),
+            }
+            out.extend_from_slice(&(props.len() as u16).to_le_bytes());
+            for (k, v) in props {
+                write_str(out, k);
+                write_value(out, v);
+            }
+            match valid {
+                Some((s, e)) => {
+                    out.push(1);
+                    out.extend_from_slice(&s.to_le_bytes());
+                    out.extend_from_slice(&e.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        Value::List(vs) => {
+            out.push(TAG_LIST);
+            out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+            for v in vs {
+                write_value(out, v);
+            }
+        }
+    }
+}
+
+/// Deserializes one value.
+pub fn read_value(buf: &[u8], pos: &mut usize) -> io::Result<Value> {
+    let tag = read_u8(buf, pos)?;
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => Value::Bool(read_u8(buf, pos)? != 0),
+        TAG_INT => Value::Int(read_u64(buf, pos)? as i64),
+        TAG_FLOAT => Value::Float(f64::from_bits(read_u64(buf, pos)?)),
+        TAG_STR => Value::Str(read_str(buf, pos)?),
+        TAG_NODE => {
+            let id = read_u64(buf, pos)?;
+            let nlabels = read_u16(buf, pos)? as usize;
+            let mut labels = Vec::with_capacity(nlabels);
+            for _ in 0..nlabels {
+                labels.push(read_str(buf, pos)?);
+            }
+            let nprops = read_u16(buf, pos)? as usize;
+            let mut props = Vec::with_capacity(nprops);
+            for _ in 0..nprops {
+                let k = read_str(buf, pos)?;
+                props.push((k, read_value(buf, pos)?));
+            }
+            let valid = if read_u8(buf, pos)? == 1 {
+                Some((read_u64(buf, pos)?, read_u64(buf, pos)?))
+            } else {
+                None
+            };
+            Value::Node {
+                id,
+                labels,
+                props,
+                valid,
+            }
+        }
+        TAG_REL => {
+            let id = read_u64(buf, pos)?;
+            let src = read_u64(buf, pos)?;
+            let tgt = read_u64(buf, pos)?;
+            let rel_type = if read_u8(buf, pos)? == 1 {
+                Some(read_str(buf, pos)?)
+            } else {
+                None
+            };
+            let nprops = read_u16(buf, pos)? as usize;
+            let mut props = Vec::with_capacity(nprops);
+            for _ in 0..nprops {
+                let k = read_str(buf, pos)?;
+                props.push((k, read_value(buf, pos)?));
+            }
+            let valid = if read_u8(buf, pos)? == 1 {
+                Some((read_u64(buf, pos)?, read_u64(buf, pos)?))
+            } else {
+                None
+            };
+            Value::Rel {
+                id,
+                src,
+                tgt,
+                rel_type,
+                props,
+                valid,
+            }
+        }
+        TAG_LIST => {
+            let n = read_u32(buf, pos)? as usize;
+            let mut vs = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                vs.push(read_value(buf, pos)?);
+            }
+            Value::List(vs)
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown value tag {other}"),
+            ))
+        }
+    })
+}
+
+/// Serializes a request payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Run { query, params } => {
+            out.push(0x01);
+            write_str(&mut out, query);
+            out.extend_from_slice(&(params.len() as u16).to_le_bytes());
+            for (k, v) in params {
+                write_str(&mut out, k);
+                write_value(&mut out, v);
+            }
+        }
+        Request::Ping => out.push(0x02),
+        Request::Shutdown => out.push(0x03),
+    }
+    out
+}
+
+/// Deserializes a request payload.
+pub fn decode_request(buf: &[u8]) -> io::Result<Request> {
+    let mut pos = 0;
+    let kind = read_u8(buf, &mut pos)?;
+    Ok(match kind {
+        0x01 => {
+            let query = read_str(buf, &mut pos)?;
+            let nparams = read_u16(buf, &mut pos)? as usize;
+            let mut params = Vec::with_capacity(nparams);
+            for _ in 0..nparams {
+                let k = read_str(buf, &mut pos)?;
+                params.push((k, read_value(buf, &mut pos)?));
+            }
+            Request::Run { query, params }
+        }
+        0x02 => Request::Ping,
+        0x03 => Request::Shutdown,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown request kind {other}"),
+            ))
+        }
+    })
+}
+
+/// Serializes a response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Ok(result) => {
+            out.push(0x00);
+            out.extend_from_slice(&(result.columns.len() as u16).to_le_bytes());
+            for c in &result.columns {
+                write_str(&mut out, c);
+            }
+            out.extend_from_slice(&(result.rows.len() as u32).to_le_bytes());
+            for row in &result.rows {
+                for v in row {
+                    write_value(&mut out, v);
+                }
+            }
+        }
+        Response::Err(msg) => {
+            out.push(0x01);
+            write_str(&mut out, msg);
+        }
+    }
+    out
+}
+
+/// Deserializes a response payload.
+pub fn decode_response(buf: &[u8]) -> io::Result<Response> {
+    let mut pos = 0;
+    match read_u8(buf, &mut pos)? {
+        0x00 => {
+            let ncols = read_u16(buf, &mut pos)? as usize;
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                columns.push(read_str(buf, &mut pos)?);
+            }
+            let nrows = read_u32(buf, &mut pos)? as usize;
+            let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+            for _ in 0..nrows {
+                let mut row = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    row.push(read_value(buf, &mut pos)?);
+                }
+                rows.push(row);
+            }
+            Ok(Response::Ok(QueryResult { columns, rows }))
+        }
+        0x01 => Ok(Response::Err(read_str(buf, &mut pos)?)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown response kind {other}"),
+        )),
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame (up to 256 MiB).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > 256 << 20 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too big"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::Run {
+            query: "MATCH (n) WHERE id(n) = $id RETURN n".into(),
+            params: vec![("id".into(), Value::Int(42))],
+        };
+        let back = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(decode_request(&encode_request(&Request::Ping)).unwrap(), Request::Ping);
+        assert_eq!(
+            decode_request(&encode_request(&Request::Shutdown)).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn response_roundtrip_with_entities() {
+        let resp = Response::Ok(QueryResult {
+            columns: vec!["n".into(), "r".into()],
+            rows: vec![vec![
+                Value::Node {
+                    id: 3,
+                    labels: vec!["Person".into()],
+                    props: vec![("age".into(), Value::Int(30)), ("ok".into(), Value::Bool(true))],
+                    valid: Some((1, 9)),
+                },
+                Value::Rel {
+                    id: 7,
+                    src: 3,
+                    tgt: 4,
+                    rel_type: Some("KNOWS".into()),
+                    props: vec![("w".into(), Value::Float(0.5))],
+                    valid: None,
+                },
+            ]],
+        });
+        let back = decode_response(&encode_response(&resp)).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_and_nested_list_roundtrip() {
+        let resp = Response::Err("boom".into());
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        let mut out = Vec::new();
+        let v = Value::List(vec![Value::Null, Value::List(vec![Value::Int(-1)])]);
+        write_value(&mut out, &v);
+        let mut pos = 0;
+        assert_eq!(read_value(&out, &mut pos).unwrap(), v);
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn frames_over_a_pipe() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert!(read_frame(&mut cursor).is_err(), "eof");
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        assert!(decode_request(&[0xFF]).is_err());
+        assert!(decode_response(&[0x55]).is_err());
+        assert!(read_value(&[200], &mut 0).is_err());
+    }
+}

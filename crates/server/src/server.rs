@@ -1,0 +1,130 @@
+//! The TCP server: accept loop + one worker thread per connection, all
+//! executing against a shared [`aion::Aion`].
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response,
+};
+use aion::Aion;
+use query::Params;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running Aion server.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    queries: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Starts serving `db` on an ephemeral localhost port.
+    pub fn start(db: Arc<Aion>) -> io::Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queries = Arc::new(AtomicU64::new(0));
+        let stop2 = stop.clone();
+        let queries2 = queries.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("aion-server-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let db = db.clone();
+                    let stop = stop2.clone();
+                    let queries = queries2.clone();
+                    // Workers are detached: they exit when their client
+                    // disconnects. Joining them here would deadlock a
+                    // shutdown while any client holds an open connection.
+                    let _ = std::thread::Builder::new()
+                        .name("aion-server-worker".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &db, &stop, &queries);
+                        });
+                }
+            })?;
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            queries,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total queries served.
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    db: &Aion,
+    stop: &AtomicBool,
+    queries: &AtomicU64,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // client hung up
+        };
+        let response = match decode_request(&frame) {
+            Ok(Request::Ping) => Response::Ok(query::QueryResult {
+                columns: vec!["pong".into()],
+                rows: vec![],
+            }),
+            Ok(Request::Shutdown) => {
+                stop.store(true, Ordering::Release);
+                write_frame(
+                    &mut stream,
+                    &encode_response(&Response::Ok(query::QueryResult {
+                        columns: vec![],
+                        rows: vec![],
+                    })),
+                )?;
+                return Ok(());
+            }
+            Ok(Request::Run { query, params }) => {
+                queries.fetch_add(1, Ordering::Relaxed);
+                let params: Params = params.into_iter().collect();
+                match query::execute(db, &query, &params) {
+                    Ok(result) => Response::Ok(result),
+                    Err(e) => Response::Err(e.to_string()),
+                }
+            }
+            Err(e) => Response::Err(format!("protocol error: {e}")),
+        };
+        write_frame(&mut stream, &encode_response(&response))?;
+    }
+}

@@ -1,0 +1,102 @@
+//! Client/server integration: Cypher over the wire, concurrent clients,
+//! error propagation, shutdown.
+
+use aion::{Aion, AionConfig};
+use aion_server::{Client, Server};
+use query::Value;
+use std::sync::Arc;
+use tempfile::tempdir;
+
+fn start() -> (tempfile::TempDir, Arc<Aion>, Server) {
+    let dir = tempdir().unwrap();
+    let db = Arc::new(Aion::open(AionConfig::new(dir.path())).unwrap());
+    let server = Server::start(db.clone()).unwrap();
+    (dir, db, server)
+}
+
+#[test]
+fn query_over_the_wire() {
+    let (_d, db, server) = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.ping().unwrap();
+    client
+        .run("CREATE (n:Person {_id: 1, name: 'ada'})", vec![])
+        .unwrap();
+    client.run("CREATE (n:Person {_id: 2})", vec![])
+        .unwrap();
+    db.lineage_barrier(db.latest_ts());
+    let r = client
+        .run(
+            "MATCH (n) WHERE id(n) = $id RETURN n.name",
+            vec![("id".into(), Value::Int(1))],
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Str("ada".into())]]);
+    let r = client.run("MATCH (n:Person) RETURN count(n)", vec![]).unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+    assert!(server.query_count() >= 4);
+}
+
+#[test]
+fn errors_propagate_without_closing_connection() {
+    let (_d, _db, server) = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let err = client.run("THIS IS NOT CYPHER", vec![]).unwrap_err();
+    assert!(err.to_string().contains("parse") || err.to_string().contains("unknown"));
+    // Connection still usable.
+    client.run("CREATE (n {_id: 5})", vec![]).unwrap();
+    let r = client.run("MATCH (n) WHERE id(n) = 5 RETURN id(n)", vec![]).unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(5)]]);
+}
+
+#[test]
+fn concurrent_clients() {
+    let (_d, db, server) = start();
+    // Seed.
+    {
+        let mut c = Client::connect(server.addr()).unwrap();
+        for i in 0..20 {
+            c.run(&format!("CREATE (n:Person {{_id: {i}, v: {}}})", i + 1), vec![])
+                .unwrap();
+        }
+        db.lineage_barrier(db.latest_ts());
+    }
+    let addr = server.addr();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut sum = 0i64;
+                for i in 0..50 {
+                    let id = (t * 7 + i) % 20;
+                    let r = c
+                        .run(
+                            "MATCH (n) WHERE id(n) = $id RETURN n.v",
+                            vec![("id".into(), Value::Int(id))],
+                        )
+                        .unwrap();
+                    sum += r.rows[0][0].as_int().unwrap();
+                }
+                sum
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().unwrap() > 0);
+    }
+    assert!(server.query_count() >= 220);
+}
+
+#[test]
+fn shutdown_stops_accepting() {
+    let (_d, _db, mut server) = start();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+    // New connections are refused or die immediately.
+    let still_up = Client::connect(addr)
+        .and_then(|mut c| c.ping())
+        .is_ok();
+    assert!(!still_up, "server should not serve after shutdown");
+}

@@ -1,0 +1,286 @@
+//! GraphStore: the in-memory snapshot cache plus the always-current latest
+//! graph (Sec. 4.3 "an in-memory Least Recently Used (LRU) cache for
+//! snapshots called GraphStore"; Sec. 5.1 "we maintain the latest graph
+//! in-memory … by synchronously applying all committed graph updates",
+//! HTAP-style).
+//!
+//! Snapshots are shared as `Arc<Graph>`: handing one out is a pointer copy
+//! (the CoW discipline of Sec. 5.2 — a reader that needs to mutate clones
+//! via `Arc::make_mut`, copying only then).
+
+use lpg::{Graph, Timestamp, Update};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+struct Inner {
+    /// Cached historical snapshots keyed by timestamp; `BTreeMap` gives us
+    /// the floor lookup, the `u64` tick drives LRU eviction.
+    cache: BTreeMap<Timestamp, (Arc<Graph>, u64)>,
+    bytes: usize,
+    tick: u64,
+    latest: Arc<Graph>,
+    latest_ts: Timestamp,
+    hits: u64,
+    misses: u64,
+}
+
+/// In-memory snapshot cache with a byte budget, plus the latest graph.
+pub struct GraphStore {
+    inner: Mutex<Inner>,
+    budget: usize,
+}
+
+impl GraphStore {
+    /// A store whose historical cache may hold up to `budget_bytes` of
+    /// estimated graph heap (the latest graph is not counted — it must
+    /// always be resident).
+    pub fn new(budget_bytes: usize) -> GraphStore {
+        GraphStore {
+            inner: Mutex::new(Inner {
+                cache: BTreeMap::new(),
+                bytes: 0,
+                tick: 0,
+                latest: Arc::new(Graph::new()),
+                latest_ts: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            budget: budget_bytes,
+        }
+    }
+
+    /// Applies one committed transaction to the latest graph.
+    pub fn apply_commit(&self, ts: Timestamp, updates: &[Update]) -> lpg::Result<()> {
+        let mut g = self.inner.lock();
+        let graph = Arc::make_mut(&mut g.latest);
+        for u in updates {
+            graph.apply(u)?;
+        }
+        g.latest_ts = ts;
+        Ok(())
+    }
+
+    /// The latest graph (shared, zero-copy) and its timestamp.
+    pub fn latest(&self) -> (Arc<Graph>, Timestamp) {
+        let g = self.inner.lock();
+        (g.latest.clone(), g.latest_ts)
+    }
+
+    /// Replaces the latest graph wholesale (recovery).
+    pub fn set_latest(&self, graph: Graph, ts: Timestamp) {
+        let mut g = self.inner.lock();
+        g.latest = Arc::new(graph);
+        g.latest_ts = ts;
+    }
+
+    /// Caches a historical snapshot, evicting LRU entries past the budget.
+    pub fn put(&self, ts: Timestamp, graph: Arc<Graph>) {
+        let size = graph.heap_size();
+        if size > self.budget {
+            return; // would evict everything else for one entry
+        }
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some((old, _)) = g.cache.insert(ts, (graph, tick)) {
+            g.bytes -= old.heap_size();
+        }
+        g.bytes += size;
+        while g.bytes > self.budget {
+            // Evict the least recently used snapshot.
+            let victim = g
+                .cache
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(ts, _)| *ts)
+                .expect("bytes > 0 implies non-empty");
+            let (old, _) = g.cache.remove(&victim).unwrap();
+            g.bytes -= old.heap_size();
+        }
+    }
+
+    /// Exact-timestamp cache lookup.
+    pub fn get(&self, ts: Timestamp) -> Option<Arc<Graph>> {
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        match g.cache.get_mut(&ts) {
+            Some((graph, t)) => {
+                *t = tick;
+                let out = graph.clone();
+                g.hits += 1;
+                Some(out)
+            }
+            None => {
+                g.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Best cached snapshot with timestamp `≤ ts` — the "closest snapshot"
+    /// lookup of Sec. 4.3. The latest graph also qualifies when current.
+    pub fn floor(&self, ts: Timestamp) -> Option<(Timestamp, Arc<Graph>)> {
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        if g.latest_ts <= ts && !g.latest.nodes().next().is_none() {
+            // The live graph is the cheapest base when it's old enough.
+            return Some((g.latest_ts, g.latest.clone()));
+        }
+        let found = g
+            .cache
+            .range(..=ts)
+            .next_back()
+            .map(|(k, (graph, _))| (*k, graph.clone()));
+        match &found {
+            Some((k, _)) => {
+                g.hits += 1;
+                let k = *k;
+                if let Some((_, t)) = g.cache.get_mut(&k) {
+                    *t = tick;
+                }
+            }
+            None => g.misses += 1,
+        }
+        found
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let g = self.inner.lock();
+        (g.hits, g.misses)
+    }
+
+    /// Number of cached historical snapshots.
+    pub fn len(&self) -> usize {
+        self.inner.lock().cache.len()
+    }
+
+    /// `true` when no historical snapshots are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated bytes held by the historical cache.
+    pub fn cached_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpg::NodeId;
+
+    fn graph_with_nodes(n: u64) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.apply(&Update::AddNode {
+                id: NodeId::new(i),
+                labels: vec![],
+                props: vec![],
+            })
+            .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn latest_graph_tracks_commits() {
+        let gs = GraphStore::new(1 << 20);
+        gs.apply_commit(
+            5,
+            &[Update::AddNode {
+                id: NodeId::new(1),
+                labels: vec![],
+                props: vec![],
+            }],
+        )
+        .unwrap();
+        let (g, ts) = gs.latest();
+        assert_eq!(ts, 5);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn cow_latest_does_not_disturb_readers() {
+        let gs = GraphStore::new(1 << 20);
+        gs.apply_commit(
+            1,
+            &[Update::AddNode {
+                id: NodeId::new(1),
+                labels: vec![],
+                props: vec![],
+            }],
+        )
+        .unwrap();
+        let (before, _) = gs.latest();
+        gs.apply_commit(
+            2,
+            &[Update::AddNode {
+                id: NodeId::new(2),
+                labels: vec![],
+                props: vec![],
+            }],
+        )
+        .unwrap();
+        // The reader's Arc still sees the old state (copy-on-write).
+        assert_eq!(before.node_count(), 1);
+        assert_eq!(gs.latest().0.node_count(), 2);
+    }
+
+    #[test]
+    fn floor_prefers_closest_at_or_before() {
+        let gs = GraphStore::new(1 << 24);
+        gs.put(10, Arc::new(graph_with_nodes(1)));
+        gs.put(20, Arc::new(graph_with_nodes(2)));
+        gs.put(30, Arc::new(graph_with_nodes(3)));
+        assert_eq!(gs.floor(25).unwrap().0, 20);
+        assert_eq!(gs.floor(30).unwrap().0, 30);
+        assert!(gs.floor(5).is_none());
+    }
+
+    #[test]
+    fn floor_uses_latest_when_applicable() {
+        let gs = GraphStore::new(1 << 24);
+        gs.apply_commit(
+            50,
+            &[Update::AddNode {
+                id: NodeId::new(1),
+                labels: vec![],
+                props: vec![],
+            }],
+        )
+        .unwrap();
+        let (ts, g) = gs.floor(60).unwrap();
+        assert_eq!(ts, 50);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn budget_evicts_lru() {
+        let one = Arc::new(graph_with_nodes(10));
+        let size = one.heap_size();
+        let gs = GraphStore::new(size * 2 + size / 2); // fits two
+        gs.put(1, one.clone());
+        gs.put(2, Arc::new(graph_with_nodes(10)));
+        assert_eq!(gs.len(), 2);
+        // Touch 1 so 2 is the LRU.
+        assert!(gs.get(1).is_some());
+        gs.put(3, Arc::new(graph_with_nodes(10)));
+        assert_eq!(gs.len(), 2);
+        assert!(gs.get(2).is_none(), "2 was evicted");
+        assert!(gs.get(1).is_some());
+        assert!(gs.get(3).is_some());
+    }
+
+    #[test]
+    fn oversized_snapshot_is_not_cached() {
+        let gs = GraphStore::new(64);
+        gs.put(1, Arc::new(graph_with_nodes(100)));
+        assert!(gs.is_empty());
+        assert_eq!(gs.cached_bytes(), 0);
+    }
+}

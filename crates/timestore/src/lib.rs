@@ -1,0 +1,37 @@
+//! # aion-timestore — snapshot-based temporal storage indexed by time
+//!
+//! TimeStore (paper Sec. 4.3) is the half of Aion's hybrid store that
+//! accelerates *global* queries: full-graph restoration at arbitrary time
+//! points, diffs between time points, graph windows and temporal graphs.
+//!
+//! Components, mirroring the paper:
+//!
+//! * [`log::ChangeLog`] — "a log that contains all graph changes (similar to
+//!   a DB write-ahead log with no retention policy)", ordered by
+//!   monotonically increasing transaction timestamps, holding fully
+//!   materialized entries or deltas in the Sec. 4.2 record format. Frames
+//!   are checksummed so recovery can detect a torn tail.
+//! * a B+Tree index `timestamp → log offset` for `O(log n)` seeks into the
+//!   log (Table 2, row 1);
+//! * eager snapshots written "based on a user-defined policy"
+//!   ([`policy::SnapshotPolicy`], operation-based by default) to snapshot
+//!   files, referenced from "a second B+Tree indexed by time" (Table 2,
+//!   row 2);
+//! * [`graphstore::GraphStore`] — "an in-memory Least Recently Used (LRU)
+//!   cache for snapshots", which also maintains the *latest* graph by
+//!   synchronously applying committed updates (Sec. 5.1 "Snapshot
+//!   replication", the HTAP-style design).
+//!
+//! To retrieve a graph at timestamp `t`, [`store::TimeStore`] fetches the
+//! snapshot with the closest timestamp `≤ t` (from GraphStore or disk) and
+//! replays the forward changes from the log (Sec. 4.3).
+
+pub mod graphstore;
+pub mod log;
+pub mod policy;
+pub mod store;
+
+pub use graphstore::GraphStore;
+pub use log::{ChangeLog, CommitFrame};
+pub use policy::SnapshotPolicy;
+pub use store::{TimeStore, TimeStoreConfig, TimeStoreStats};

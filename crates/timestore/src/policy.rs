@@ -1,0 +1,67 @@
+//! Snapshot creation policies (Sec. 4.3): "eagerly creates snapshots based
+//! on a user-defined policy … time-based or operation-based (the number of
+//! updates), with the default being operation-based".
+
+use lpg::Timestamp;
+
+/// When TimeStore materializes a new full snapshot to disk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SnapshotPolicy {
+    /// Snapshot after every `n` applied updates (the paper's default kind).
+    EveryNOps(u64),
+    /// Snapshot whenever at least `dt` time units passed since the last one.
+    EveryInterval(u64),
+    /// Never snapshot automatically (reconstruction always replays the log).
+    Never,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        SnapshotPolicy::EveryNOps(10_000)
+    }
+}
+
+impl SnapshotPolicy {
+    /// Decides whether to snapshot, given the updates applied and time
+    /// elapsed since the last snapshot.
+    pub fn should_snapshot(&self, ops_since: u64, last_ts: Timestamp, now: Timestamp) -> bool {
+        match *self {
+            SnapshotPolicy::EveryNOps(n) => ops_since >= n,
+            SnapshotPolicy::EveryInterval(dt) => now.saturating_sub(last_ts) >= dt,
+            SnapshotPolicy::Never => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_policy() {
+        let p = SnapshotPolicy::EveryNOps(100);
+        assert!(!p.should_snapshot(99, 0, 50));
+        assert!(p.should_snapshot(100, 0, 50));
+        assert!(p.should_snapshot(101, 0, 0));
+    }
+
+    #[test]
+    fn interval_policy() {
+        let p = SnapshotPolicy::EveryInterval(10);
+        assert!(!p.should_snapshot(1_000_000, 5, 14));
+        assert!(p.should_snapshot(0, 5, 15));
+    }
+
+    #[test]
+    fn never_policy() {
+        assert!(!SnapshotPolicy::Never.should_snapshot(u64::MAX, 0, u64::MAX));
+    }
+
+    #[test]
+    fn default_is_operation_based() {
+        assert!(matches!(
+            SnapshotPolicy::default(),
+            SnapshotPolicy::EveryNOps(_)
+        ));
+    }
+}

@@ -1,0 +1,454 @@
+//! The TimeStore facade: log + time indexes + snapshots + GraphStore.
+
+use crate::graphstore::GraphStore;
+use crate::log::{ChangeLog, CommitFrame};
+use crate::policy::SnapshotPolicy;
+use btree::BTree;
+use encoding::{keys, snapshot};
+use lpg::{
+    Graph, GraphError, Interval, Result, TemporalGraph, Timestamp, TimestampedUpdate, Update,
+    TS_MAX,
+};
+use pagestore::PageStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Tuning knobs for a [`TimeStore`].
+#[derive(Clone, Debug)]
+pub struct TimeStoreConfig {
+    /// Pages held by the index page cache.
+    pub cache_pages: usize,
+    /// Snapshot creation policy.
+    pub policy: SnapshotPolicy,
+    /// Byte budget of the in-memory GraphStore snapshot cache.
+    pub graphstore_bytes: usize,
+}
+
+impl Default for TimeStoreConfig {
+    fn default() -> Self {
+        TimeStoreConfig {
+            cache_pages: 1024,
+            policy: SnapshotPolicy::default(),
+            graphstore_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Size/footprint counters for the storage-overhead experiments (Fig. 10).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimeStoreStats {
+    /// Change-log bytes.
+    pub log_bytes: u64,
+    /// Index file bytes (both B+Trees).
+    pub index_bytes: u64,
+    /// Total bytes of serialized snapshot files.
+    pub snapshot_bytes: u64,
+    /// Number of on-disk snapshots.
+    pub snapshot_count: u64,
+    /// Updates ingested.
+    pub updates: u64,
+    /// Commits ingested.
+    pub commits: u64,
+}
+
+struct MutableState {
+    latest_ts: Timestamp,
+    ops_since_snapshot: u64,
+    last_snapshot_ts: Timestamp,
+    updates: u64,
+    commits: u64,
+    snapshot_bytes: u64,
+    snapshot_count: u64,
+}
+
+/// Snapshot-based temporal storage indexed by time (Sec. 4.3).
+pub struct TimeStore {
+    log: ChangeLog,
+    /// B+Tree: commit ts → log offset.
+    time_index: BTree,
+    /// B+Tree: snapshot ts → snapshot file name.
+    snap_index: BTree,
+    index_store: Arc<PageStore>,
+    graphstore: GraphStore,
+    snap_dir: PathBuf,
+    policy: SnapshotPolicy,
+    state: Mutex<MutableState>,
+}
+
+const SLOT_TIME_INDEX: usize = 0;
+const SLOT_SNAP_INDEX: usize = 1;
+
+impl TimeStore {
+    /// Opens a TimeStore rooted at directory `dir`, recovering state from
+    /// the log (the log is the source of truth; index tails are rebuilt).
+    pub fn open<P: AsRef<Path>>(dir: P, config: TimeStoreConfig) -> Result<TimeStore> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let snap_dir = dir.join("snapshots");
+        std::fs::create_dir_all(&snap_dir)?;
+        let log = ChangeLog::open(dir.join("timestore.log"))?;
+        let index_store = Arc::new(PageStore::open(
+            dir.join("timestore.idx"),
+            config.cache_pages,
+        )?);
+        let time_index = BTree::open(index_store.clone(), SLOT_TIME_INDEX)
+            .map_err(|e| GraphError::Storage(e.to_string()))?;
+        let snap_index = BTree::open(index_store.clone(), SLOT_SNAP_INDEX)
+            .map_err(|e| GraphError::Storage(e.to_string()))?;
+        let store = TimeStore {
+            log,
+            time_index,
+            snap_index,
+            index_store,
+            graphstore: GraphStore::new(config.graphstore_bytes),
+            snap_dir,
+            policy: config.policy,
+            state: Mutex::new(MutableState {
+                latest_ts: 0,
+                ops_since_snapshot: 0,
+                last_snapshot_ts: 0,
+                updates: 0,
+                commits: 0,
+                snapshot_bytes: 0,
+                snapshot_count: 0,
+            }),
+        };
+        store.recover()?;
+        Ok(store)
+    }
+
+    /// Recovery: reindex any log frames missing from the time index (crash
+    /// between log append and index flush), then rebuild the latest graph.
+    fn recover(&self) -> Result<()> {
+        // Find the highest indexed (ts, offset).
+        let mut last_indexed_offset: Option<u64> = None;
+        if let Some((_, v)) = self
+            .time_index
+            .seek_floor(&keys::ts_key(TS_MAX))
+            .map_err(storage_err)?
+        {
+            last_indexed_offset = Some(decode_u64(&v)?);
+        }
+        // Scan the log from the last indexed frame (or the start).
+        let scan_from = match last_indexed_offset {
+            Some(off) => {
+                let (_, next) = self.log.read_at(off)?;
+                next
+            }
+            None => 0,
+        };
+        for (offset, frame) in self.log.scan_from(scan_from)? {
+            self.time_index
+                .insert(&keys::ts_key(frame.ts), &offset.to_le_bytes())
+                .map_err(storage_err)?;
+        }
+        // Count stats and rebuild the latest graph from the best snapshot.
+        let mut state = self.state.lock();
+        let mut latest_ts = 0;
+        let mut commits = 0u64;
+        let mut updates = 0u64;
+        for (_, frame) in self.log.scan_from(0)? {
+            latest_ts = frame.ts;
+            commits += 1;
+            updates += frame.records.len() as u64;
+        }
+        state.latest_ts = latest_ts;
+        state.commits = commits;
+        state.updates = updates;
+        // Snapshot file accounting.
+        for entry in std::fs::read_dir(&self.snap_dir)? {
+            let entry = entry?;
+            state.snapshot_bytes += entry.metadata()?.len();
+            state.snapshot_count += 1;
+        }
+        state.last_snapshot_ts = 0;
+        drop(state);
+        if latest_ts > 0 {
+            let graph = self.reconstruct_at(latest_ts)?;
+            self.graphstore
+                .set_latest(Arc::try_unwrap(graph).unwrap_or_else(|a| (*a).clone()), latest_ts);
+        }
+        Ok(())
+    }
+
+    /// Ingests one committed transaction. Timestamps must be strictly
+    /// increasing across commits ("no further changes are allowed on past
+    /// updates").
+    pub fn append_commit(&self, ts: Timestamp, updates: &[Update]) -> Result<()> {
+        {
+            let state = self.state.lock();
+            if ts <= state.latest_ts && state.commits > 0 {
+                return Err(GraphError::NonMonotonicCommit {
+                    attempted: ts,
+                    latest: state.latest_ts,
+                });
+            }
+        }
+        let frame = CommitFrame::from_updates(ts, updates);
+        let offset = self.log.append(&frame)?;
+        self.time_index
+            .insert(&keys::ts_key(ts), &offset.to_le_bytes())
+            .map_err(storage_err)?;
+        self.graphstore.apply_commit(ts, updates)?;
+        let should_snapshot;
+        {
+            let mut state = self.state.lock();
+            state.latest_ts = ts;
+            state.commits += 1;
+            state.updates += updates.len() as u64;
+            state.ops_since_snapshot += updates.len() as u64;
+            should_snapshot =
+                self.policy
+                    .should_snapshot(state.ops_since_snapshot, state.last_snapshot_ts, ts);
+        }
+        if should_snapshot {
+            self.write_snapshot(ts)?;
+        }
+        Ok(())
+    }
+
+    /// Forces a snapshot of the latest graph at its current timestamp.
+    pub fn write_snapshot(&self, ts: Timestamp) -> Result<()> {
+        let (graph, latest_ts) = self.graphstore.latest();
+        debug_assert_eq!(latest_ts, ts);
+        let bytes = snapshot::encode_graph(&graph);
+        let name = format!("snap_{ts:020}.aisnap");
+        let path = self.snap_dir.join(&name);
+        std::fs::write(&path, &bytes)?;
+        self.snap_index
+            .insert(&keys::ts_key(ts), name.as_bytes())
+            .map_err(storage_err)?;
+        self.graphstore.put(ts, graph);
+        let mut state = self.state.lock();
+        state.ops_since_snapshot = 0;
+        state.last_snapshot_ts = ts;
+        state.snapshot_bytes += bytes.len() as u64;
+        state.snapshot_count += 1;
+        Ok(())
+    }
+
+    /// The latest committed timestamp.
+    pub fn latest_ts(&self) -> Timestamp {
+        self.state.lock().latest_ts
+    }
+
+    /// The latest graph, zero-copy.
+    pub fn latest_graph(&self) -> Arc<Graph> {
+        self.graphstore.latest().0
+    }
+
+    /// Direct access to the in-memory GraphStore.
+    pub fn graphstore(&self) -> &GraphStore {
+        &self.graphstore
+    }
+
+    /// `getDiff(start, end)`: every update with commit ts in `[start, end)`,
+    /// in timestamp order — the primitive behind incremental execution.
+    pub fn diff(&self, start: Timestamp, end: Timestamp) -> Result<Vec<TimestampedUpdate>> {
+        if start >= end {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let scan = self
+            .time_index
+            .scan(&keys::ts_key(start), &keys::ts_key(end))
+            .map_err(storage_err)?;
+        for entry in scan {
+            let (_, v) = entry.map_err(storage_err)?;
+            let offset = decode_u64(&v)?;
+            let (frame, _) = self.log.read_at(offset)?;
+            out.extend(frame.to_updates());
+        }
+        Ok(out)
+    }
+
+    /// `getGraph` at a single point: the full graph as of `ts` (inclusive).
+    ///
+    /// Fetches the closest snapshot `≤ ts` from the GraphStore or disk, then
+    /// replays forward log changes (Sec. 4.3).
+    pub fn snapshot_at(&self, ts: Timestamp) -> Result<Arc<Graph>> {
+        self.reconstruct_at(ts)
+    }
+
+    fn reconstruct_at(&self, ts: Timestamp) -> Result<Arc<Graph>> {
+        // Exact in-memory hit?
+        if let Some(g) = self.graphstore.get(ts) {
+            return Ok(g);
+        }
+        // Best base from memory or disk.
+        let mem = self.graphstore.floor(ts);
+        let disk = self
+            .snap_index
+            .seek_floor(&keys::ts_key(ts))
+            .map_err(storage_err)?;
+        let (base_ts, base): (Timestamp, Arc<Graph>) = match (mem, disk) {
+            (Some((mts, g)), Some((k, _))) if mts >= decode_ts(&k)? => (mts, g),
+            (Some((mts, g)), None) => (mts, g),
+            (mem, Some((k, name))) => {
+                let disk_ts = decode_ts(&k)?;
+                let path = self.snap_dir.join(String::from_utf8_lossy(&name).as_ref());
+                match std::fs::read(&path).ok().and_then(|b| snapshot::decode_graph(&b)) {
+                    Some(g) => {
+                        let g = Arc::new(g);
+                        self.graphstore.put(disk_ts, g.clone());
+                        (disk_ts, g)
+                    }
+                    None => {
+                        // A corrupt or missing snapshot file is recoverable:
+                        // the change log holds the full history. Prefer any
+                        // older in-memory base, else replay from the start.
+                        match mem {
+                            Some((mts, g)) => (mts, g),
+                            None => (0, Arc::new(Graph::new())),
+                        }
+                    }
+                }
+            }
+            (None, None) => (0, Arc::new(Graph::new())),
+        };
+        if base_ts == ts {
+            return Ok(base);
+        }
+        // Replay (base_ts, ts] on a CoW copy.
+        let deltas = self.diff(base_ts.saturating_add(1), ts.saturating_add(1))?;
+        if deltas.is_empty() {
+            return Ok(base);
+        }
+        let mut graph = (*base).clone();
+        for u in &deltas {
+            graph.apply(&u.op)?;
+        }
+        let graph = Arc::new(graph);
+        self.graphstore.put(ts, graph.clone());
+        Ok(graph)
+    }
+
+    /// `getGraph(start, end, step)`: materializes snapshots every `step`
+    /// time units over `[start, end)` with one base + incremental forward
+    /// replay.
+    pub fn graphs(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+        step: u64,
+    ) -> Result<Vec<(Timestamp, Arc<Graph>)>> {
+        if start >= end || step == 0 {
+            return Err(GraphError::InvalidTimeRange);
+        }
+        let mut out = Vec::new();
+        let mut current = (*self.reconstruct_at(start)?).clone();
+        out.push((start, Arc::new(current.clone())));
+        let mut t = start;
+        while t.saturating_add(step) < end {
+            let next = t + step;
+            for u in &self.diff(t + 1, next + 1)? {
+                current.apply(&u.op)?;
+            }
+            out.push((next, Arc::new(current.clone())));
+            t = next;
+        }
+        Ok(out)
+    }
+
+    /// `getWindow(start, end)`: the union graph of everything valid at some
+    /// point in `[start, end)`. For each member entity the state is its
+    /// latest within the window; relationships keep membership even when an
+    /// endpoint was deleted mid-window only if both endpoints are members.
+    pub fn window(&self, start: Timestamp, end: Timestamp) -> Result<Graph> {
+        if start >= end {
+            return Err(GraphError::InvalidTimeRange);
+        }
+        let tg = self.temporal_graph(start, end)?;
+        let mut out = Graph::new();
+        // Latest state of every node seen in the window.
+        for chain in tg.nodes.values() {
+            let last = chain.last().expect("non-empty chain");
+            out.apply(&Update::AddNode {
+                id: last.data.id,
+                labels: last.data.labels.clone(),
+                props: last.data.props.clone(),
+            })?;
+        }
+        for chain in tg.rels.values() {
+            let last = chain.last().expect("non-empty chain");
+            let r = &last.data;
+            // Dangling relationships (an endpoint never present in the
+            // window) are pruned, mirroring Gradoop's verification join.
+            if out.has_node(r.src) && out.has_node(r.tgt) {
+                out.apply(&Update::AddRel {
+                    id: r.id,
+                    src: r.src,
+                    tgt: r.tgt,
+                    label: r.label,
+                    props: r.props.clone(),
+                })?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `getTemporalGraph(start, end)`: the full temporal LPG over
+    /// `[start, end)` with per-entity version intervals.
+    pub fn temporal_graph(&self, start: Timestamp, end: Timestamp) -> Result<TemporalGraph> {
+        if start >= end {
+            return Err(GraphError::InvalidTimeRange);
+        }
+        let base = self.reconstruct_at(start)?;
+        let updates = self.diff(start.saturating_add(1), end)?;
+        Ok(TemporalGraph::build(
+            &base,
+            Interval::new(start, end),
+            &updates,
+        ))
+    }
+
+    /// Per-entity diffs grouped by entity — the `List<Entity>` shape of the
+    /// paper's `getDiff`.
+    pub fn diff_by_entity(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<HashMap<lpg::EntityId, Vec<TimestampedUpdate>>> {
+        let mut map: HashMap<lpg::EntityId, Vec<TimestampedUpdate>> = HashMap::new();
+        for u in self.diff(start, end)? {
+            map.entry(u.op.entity()).or_default().push(u);
+        }
+        Ok(map)
+    }
+
+    /// Footprint and ingest counters (Fig. 10).
+    pub fn stats(&self) -> TimeStoreStats {
+        let state = self.state.lock();
+        TimeStoreStats {
+            log_bytes: self.log.size_bytes(),
+            index_bytes: self.index_store.size_bytes(),
+            snapshot_bytes: state.snapshot_bytes,
+            snapshot_count: state.snapshot_count,
+            updates: state.updates,
+            commits: state.commits,
+        }
+    }
+
+    /// Flushes indexes and log to disk.
+    pub fn sync(&self) -> Result<()> {
+        self.log.sync()?;
+        self.index_store.sync()?;
+        Ok(())
+    }
+}
+
+fn storage_err(e: std::io::Error) -> GraphError {
+    GraphError::Storage(e.to_string())
+}
+
+fn decode_u64(v: &[u8]) -> Result<u64> {
+    v.try_into()
+        .map(u64::from_le_bytes)
+        .map_err(|_| GraphError::Storage("bad index value".into()))
+}
+
+fn decode_ts(k: &[u8]) -> Result<Timestamp> {
+    keys::decode_ts_key(k).ok_or_else(|| GraphError::Storage("bad index key".into()))
+}

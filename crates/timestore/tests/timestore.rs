@@ -1,0 +1,253 @@
+//! End-to-end TimeStore tests: ingest → reconstruct → diff → window →
+//! temporal graph → recovery, all checked against the naive-replay oracle.
+
+use lpg::{Graph, Interval, NodeId, PropertyValue, RelId, StrId, TemporalGraph, TimestampedUpdate, Update};
+use tempfile::tempdir;
+use timestore::{SnapshotPolicy, TimeStore, TimeStoreConfig};
+
+fn add_node(i: u64) -> Update {
+    Update::AddNode {
+        id: NodeId::new(i),
+        labels: vec![StrId::new((i % 4) as u32)],
+        props: vec![(StrId::new(0), PropertyValue::Int(i as i64))],
+    }
+}
+
+fn add_rel(id: u64, src: u64, tgt: u64) -> Update {
+    Update::AddRel {
+        id: RelId::new(id),
+        src: NodeId::new(src),
+        tgt: NodeId::new(tgt),
+        label: Some(StrId::new(9)),
+        props: vec![(StrId::new(1), PropertyValue::Float(id as f64))],
+    }
+}
+
+/// A deterministic update history: nodes, rels, property churn, deletions.
+fn history() -> Vec<(u64, Vec<Update>)> {
+    let mut commits = Vec::new();
+    let mut ts = 0u64;
+    for i in 0..30 {
+        ts += 1;
+        commits.push((ts, vec![add_node(i)]));
+    }
+    for i in 0..60 {
+        ts += 1;
+        commits.push((ts, vec![add_rel(i, i % 30, (i * 7 + 1) % 30)]));
+    }
+    for i in 0..20 {
+        ts += 1;
+        commits.push((
+            ts,
+            vec![Update::SetNodeProp {
+                id: NodeId::new(i % 30),
+                key: StrId::new(2),
+                value: PropertyValue::Int(i as i64 * 10),
+            }],
+        ));
+    }
+    for i in 0..10 {
+        ts += 1;
+        commits.push((ts, vec![Update::DeleteRel { id: RelId::new(i) }]));
+    }
+    commits
+}
+
+fn config(policy: SnapshotPolicy) -> TimeStoreConfig {
+    TimeStoreConfig {
+        cache_pages: 64,
+        policy,
+        graphstore_bytes: 4 << 20,
+    }
+}
+
+fn oracle_at(commits: &[(u64, Vec<Update>)], ts: u64) -> Graph {
+    let mut g = Graph::new();
+    for (cts, ops) in commits {
+        if *cts > ts {
+            break;
+        }
+        g.apply_all(ops.iter()).unwrap();
+    }
+    g
+}
+
+#[test]
+fn reconstruction_matches_oracle_at_every_commit() {
+    let dir = tempdir().unwrap();
+    let ts_store =
+        TimeStore::open(dir.path(), config(SnapshotPolicy::EveryNOps(25))).unwrap();
+    let commits = history();
+    for (ts, ops) in &commits {
+        ts_store.append_commit(*ts, ops).unwrap();
+    }
+    for probe in [1u64, 5, 30, 31, 45, 90, 100, 111, 120, 200] {
+        let got = ts_store.snapshot_at(probe).unwrap();
+        let want = oracle_at(&commits, probe);
+        assert!(got.same_as(&want), "mismatch at ts {probe}");
+    }
+}
+
+#[test]
+fn snapshots_accelerate_but_do_not_change_results() {
+    let commits = history();
+    let mut graphs = Vec::new();
+    for policy in [SnapshotPolicy::Never, SnapshotPolicy::EveryNOps(10)] {
+        let dir = tempdir().unwrap();
+        let store = TimeStore::open(dir.path(), config(policy)).unwrap();
+        for (ts, ops) in &commits {
+            store.append_commit(*ts, ops).unwrap();
+        }
+        graphs.push((*store.snapshot_at(77).unwrap()).clone());
+    }
+    assert!(graphs[0].same_as(&graphs[1]));
+}
+
+#[test]
+fn diff_returns_exactly_the_window() {
+    let dir = tempdir().unwrap();
+    let store = TimeStore::open(dir.path(), config(SnapshotPolicy::Never)).unwrap();
+    for (ts, ops) in history() {
+        store.append_commit(ts, &ops).unwrap();
+    }
+    let diff = store.diff(31, 41).unwrap();
+    assert_eq!(diff.len(), 10, "ten rel-insert commits in [31,41)");
+    assert!(diff.iter().all(|u| (31..41).contains(&u.ts)));
+    assert!(diff.iter().all(|u| matches!(u.op, Update::AddRel { .. })));
+    assert!(store.diff(10, 10).unwrap().is_empty());
+    assert!(store.diff(1_000, 2_000).unwrap().is_empty());
+}
+
+#[test]
+fn monotonic_commit_enforced() {
+    let dir = tempdir().unwrap();
+    let store = TimeStore::open(dir.path(), config(SnapshotPolicy::Never)).unwrap();
+    store.append_commit(5, &[add_node(1)]).unwrap();
+    let err = store.append_commit(5, &[add_node(2)]).unwrap_err();
+    assert!(matches!(err, lpg::GraphError::NonMonotonicCommit { .. }));
+    store.append_commit(6, &[add_node(2)]).unwrap();
+}
+
+#[test]
+fn graphs_sequence_with_step() {
+    let dir = tempdir().unwrap();
+    let store = TimeStore::open(dir.path(), config(SnapshotPolicy::EveryNOps(40))).unwrap();
+    let commits = history();
+    for (ts, ops) in &commits {
+        store.append_commit(*ts, ops).unwrap();
+    }
+    let series = store.graphs(10, 110, 25).unwrap();
+    assert_eq!(series.len(), 4); // 10, 35, 60, 85
+    for (ts, g) in &series {
+        let want = oracle_at(&commits, *ts);
+        assert!(g.same_as(&want), "series mismatch at {ts}");
+    }
+    assert!(store.graphs(10, 10, 5).is_err());
+    assert!(store.graphs(10, 20, 0).is_err());
+}
+
+#[test]
+fn temporal_graph_matches_naive_replay() {
+    let dir = tempdir().unwrap();
+    let store = TimeStore::open(dir.path(), config(SnapshotPolicy::EveryNOps(33))).unwrap();
+    let commits = history();
+    for (ts, ops) in &commits {
+        store.append_commit(*ts, ops).unwrap();
+    }
+    let (lo, hi) = (20u64, 100u64);
+    let got = store.temporal_graph(lo, hi).unwrap();
+    // Oracle: build from scratch.
+    let base = oracle_at(&commits, lo);
+    let updates: Vec<TimestampedUpdate> = commits
+        .iter()
+        .filter(|(ts, _)| *ts > lo && *ts < hi)
+        .flat_map(|(ts, ops)| ops.iter().map(move |o| TimestampedUpdate::new(*ts, o.clone())))
+        .collect();
+    let want = TemporalGraph::build(&base, Interval::new(lo, hi), &updates);
+    assert_eq!(got.version_count(), want.version_count());
+    for probe in [20u64, 50, 80, 99] {
+        assert!(got.graph_at(probe).same_as(&want.graph_at(probe)));
+    }
+}
+
+#[test]
+fn window_unions_entities_and_prunes_dangling() {
+    let dir = tempdir().unwrap();
+    let store = TimeStore::open(dir.path(), config(SnapshotPolicy::Never)).unwrap();
+    // ts1-2: two nodes; ts3: rel; ts4: delete rel; ts5: third node.
+    store.append_commit(1, &[add_node(0)]).unwrap();
+    store.append_commit(2, &[add_node(1)]).unwrap();
+    store.append_commit(3, &[add_rel(0, 0, 1)]).unwrap();
+    store
+        .append_commit(4, &[Update::DeleteRel { id: RelId::new(0) }])
+        .unwrap();
+    store.append_commit(5, &[add_node(2)]).unwrap();
+    // Window [3,5): rel 0 was valid at 3, node 2 not yet present.
+    let w = store.window(3, 5).unwrap();
+    assert_eq!(w.node_count(), 2);
+    assert_eq!(w.rel_count(), 1, "rel valid at window start is included");
+    assert!(!w.has_node(NodeId::new(2)));
+    // Window [4,6): rel deleted before, node 2 present.
+    let w = store.window(4, 6).unwrap();
+    assert_eq!(w.rel_count(), 0);
+    assert!(w.has_node(NodeId::new(2)));
+}
+
+#[test]
+fn recovery_after_reopen_preserves_everything() {
+    let dir = tempdir().unwrap();
+    let commits = history();
+    {
+        let store = TimeStore::open(dir.path(), config(SnapshotPolicy::EveryNOps(30))).unwrap();
+        for (ts, ops) in &commits {
+            store.append_commit(*ts, ops).unwrap();
+        }
+        store.sync().unwrap();
+    }
+    let store = TimeStore::open(dir.path(), config(SnapshotPolicy::EveryNOps(30))).unwrap();
+    assert_eq!(store.latest_ts(), commits.last().unwrap().0);
+    let want = oracle_at(&commits, u64::MAX);
+    assert!(store.latest_graph().same_as(&want));
+    // Historical reads still work.
+    let got = store.snapshot_at(60).unwrap();
+    assert!(got.same_as(&oracle_at(&commits, 60)));
+    // Ingestion continues.
+    store.append_commit(1_000, &[add_node(999)]).unwrap();
+    assert_eq!(store.latest_graph().node_count(), want.node_count() + 1);
+}
+
+#[test]
+fn recovery_reindexes_unflushed_index_tail() {
+    let dir = tempdir().unwrap();
+    let commits = history();
+    {
+        let store = TimeStore::open(dir.path(), config(SnapshotPolicy::Never)).unwrap();
+        for (ts, ops) in &commits {
+            store.append_commit(*ts, ops).unwrap();
+        }
+        // Only the log is synced; the index pages may be lost.
+        store.sync().unwrap();
+    }
+    // Simulate losing the index entirely (worst case).
+    std::fs::remove_file(dir.path().join("timestore.idx")).unwrap();
+    let store = TimeStore::open(dir.path(), config(SnapshotPolicy::Never)).unwrap();
+    assert_eq!(store.latest_ts(), commits.last().unwrap().0);
+    let got = store.snapshot_at(45).unwrap();
+    assert!(got.same_as(&oracle_at(&commits, 45)));
+}
+
+#[test]
+fn stats_track_footprint() {
+    let dir = tempdir().unwrap();
+    let store = TimeStore::open(dir.path(), config(SnapshotPolicy::EveryNOps(50))).unwrap();
+    for (ts, ops) in history() {
+        store.append_commit(ts, &ops).unwrap();
+    }
+    let stats = store.stats();
+    assert!(stats.log_bytes > 0);
+    assert!(stats.index_bytes > 0);
+    assert!(stats.snapshot_count >= 2);
+    assert!(stats.snapshot_bytes > 0);
+    assert_eq!(stats.commits, 120);
+    assert_eq!(stats.updates, 120);
+}

@@ -1,0 +1,128 @@
+//! The six evaluation datasets of Table 3, as shape specifications.
+
+/// Shape parameters of one evaluation dataset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dataset {
+    /// Dataset name as in Table 3.
+    pub name: &'static str,
+    /// Application domain.
+    pub domain: &'static str,
+    /// Node count |V| at full scale.
+    pub nodes: u64,
+    /// Relationship count |E| at full scale (before undirected doubling).
+    pub rels: u64,
+    /// Whether the source graph is directed; undirected graphs get each
+    /// edge replaced by two directed relationships (Sec. 6.1).
+    pub directed: bool,
+}
+
+impl Dataset {
+    /// |E| / |V| as reported in Table 3.
+    pub fn avg_degree(&self) -> f64 {
+        self.rels as f64 / self.nodes as f64
+    }
+
+    /// Scales the dataset down by `scale` (1.0 = full size), preserving
+    /// the average degree. Scales below ~1e-5 are clamped to a minimum of
+    /// 100 nodes.
+    pub fn scaled(&self, scale: f64) -> Dataset {
+        let nodes = ((self.nodes as f64 * scale) as u64).max(100);
+        let rels = (nodes as f64 * self.avg_degree()) as u64;
+        Dataset {
+            nodes,
+            rels,
+            ..*self
+        }
+    }
+}
+
+/// Table 3, in paper order.
+pub const DATASETS: [Dataset; 6] = [
+    Dataset {
+        name: "DBLP",
+        domain: "citation",
+        nodes: 300_000,
+        rels: 2_100_000,
+        directed: false,
+    },
+    Dataset {
+        name: "WikiTalk",
+        domain: "communication",
+        nodes: 1_000_000,
+        rels: 7_800_000,
+        directed: true,
+    },
+    Dataset {
+        name: "Pokec",
+        domain: "social",
+        nodes: 1_600_000,
+        rels: 30_000_000,
+        directed: true,
+    },
+    Dataset {
+        name: "LiveJournal",
+        domain: "social",
+        nodes: 4_800_000,
+        rels: 69_000_000,
+        directed: true,
+    },
+    Dataset {
+        name: "DBPedia",
+        domain: "hyperlink",
+        nodes: 18_000_000,
+        rels: 172_000_000,
+        directed: true,
+    },
+    Dataset {
+        name: "Orkut",
+        domain: "social",
+        nodes: 3_000_000,
+        rels: 234_000_000,
+        directed: false,
+    },
+];
+
+/// Looks a dataset up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Dataset> {
+    DATASETS
+        .iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_degrees_match_paper() {
+        // Paper reports |E|/|V| of 7, 7.8, 18.8, 14.4, 9.5, 78.
+        let expected = [7.0, 7.8, 18.75, 14.375, 9.56, 78.0];
+        for (d, e) in DATASETS.iter().zip(expected) {
+            assert!(
+                (d.avg_degree() - e).abs() / e < 0.05,
+                "{}: {} vs {}",
+                d.name,
+                d.avg_degree(),
+                e
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_degree() {
+        let d = by_name("pokec").unwrap();
+        let s = d.scaled(0.001);
+        assert!(s.nodes >= 100);
+        assert!((s.avg_degree() - d.avg_degree()).abs() < 0.5);
+        // Tiny scales clamp.
+        let tiny = d.scaled(1e-9);
+        assert_eq!(tiny.nodes, 100);
+    }
+
+    #[test]
+    fn lookup() {
+        assert_eq!(by_name("DBLP").unwrap().directed, false);
+        assert!(by_name("nope").is_none());
+    }
+}

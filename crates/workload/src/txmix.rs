@@ -1,0 +1,111 @@
+//! Client transaction mixes for the Bolt experiments (Fig. 13): "the reads
+//! retrieve temporal graph entities at arbitrary time points, and the
+//! writes create or update nodes and relationships".
+
+use lpg::{NodeId, RelId, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One client operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientOp {
+    /// Read a node's state at a time point.
+    ReadNode(NodeId, Timestamp),
+    /// Read a relationship's state at a time point.
+    ReadRel(RelId, Timestamp),
+    /// Create a fresh node (id chosen above the existing range).
+    CreateNode(NodeId),
+    /// Update a node property.
+    UpdateNode(NodeId),
+}
+
+/// A reproducible operation mix with a given write fraction.
+pub struct TxMix {
+    rng: SmallRng,
+    write_fraction: f64,
+    nodes: u64,
+    rels: u64,
+    max_ts: Timestamp,
+    next_new_node: u64,
+}
+
+impl TxMix {
+    /// A mix over an ingested graph of `nodes`/`rels` with history up to
+    /// `max_ts`. `write_fraction` ∈ [0, 1] (0.0 / 0.1 / 0.2 in Fig. 13).
+    pub fn new(seed: u64, write_fraction: f64, nodes: u64, rels: u64, max_ts: Timestamp) -> TxMix {
+        TxMix {
+            rng: SmallRng::seed_from_u64(seed),
+            write_fraction,
+            nodes: nodes.max(1),
+            rels: rels.max(1),
+            max_ts: max_ts.max(1),
+            next_new_node: nodes + 1_000_000,
+        }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> ClientOp {
+        if self.rng.gen::<f64>() < self.write_fraction {
+            if self.rng.gen::<bool>() {
+                let id = self.next_new_node;
+                self.next_new_node += 1;
+                ClientOp::CreateNode(NodeId::new(id))
+            } else {
+                ClientOp::UpdateNode(NodeId::new(self.rng.gen_range(0..self.nodes)))
+            }
+        } else {
+            let ts = self.rng.gen_range(1..=self.max_ts);
+            if self.rng.gen::<bool>() {
+                ClientOp::ReadNode(NodeId::new(self.rng.gen_range(0..self.nodes)), ts)
+            } else {
+                ClientOp::ReadRel(RelId::new(self.rng.gen_range(0..self.rels)), ts)
+            }
+        }
+    }
+
+    /// Draws `n` operations.
+    pub fn take(&mut self, n: usize) -> Vec<ClientOp> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let mut mix = TxMix::new(1, 0.2, 1000, 1000, 500);
+        let ops = mix.take(10_000);
+        let writes = ops
+            .iter()
+            .filter(|o| matches!(o, ClientOp::CreateNode(_) | ClientOp::UpdateNode(_)))
+            .count();
+        let frac = writes as f64 / ops.len() as f64;
+        assert!((frac - 0.2).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    fn read_only_mix_has_no_writes() {
+        let mut mix = TxMix::new(2, 0.0, 10, 10, 10);
+        assert!(mix
+            .take(1000)
+            .iter()
+            .all(|o| matches!(o, ClientOp::ReadNode(..) | ClientOp::ReadRel(..))));
+    }
+
+    #[test]
+    fn created_node_ids_are_unique_and_fresh() {
+        let mut mix = TxMix::new(3, 1.0, 10, 10, 10);
+        let mut created = Vec::new();
+        for op in mix.take(1000) {
+            if let ClientOp::CreateNode(id) = op {
+                assert!(id.raw() > 10);
+                created.push(id);
+            }
+        }
+        let len = created.len();
+        created.dedup();
+        assert_eq!(created.len(), len);
+    }
+}

@@ -1,0 +1,100 @@
+//! Quickstart: open a temporal graph database, commit a few transactions,
+//! and travel through its history — the Table 1 API end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use aion::{Aion, AionConfig};
+use lpg::{Direction, NodeId, PropertyValue, RelId};
+
+fn main() -> lpg::Result<()> {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let db = Aion::open(AionConfig::new(dir.path()))?;
+
+    // Interned vocabulary (the 4-byte string-store references of Sec. 4.2).
+    let person = db.intern("Person");
+    let knows = db.intern("KNOWS");
+    let name = db.intern("name");
+    let since = db.intern("since");
+
+    // --- Write transactions (each gets a commit timestamp) -----------------
+    let ada = NodeId::new(1);
+    let bob = NodeId::new(2);
+    let t1 = db.write(|txn| {
+        txn.add_node(ada, vec![person], vec![(name, PropertyValue::Str(db.intern("Ada")))])
+    })?;
+    let t2 = db.write(|txn| {
+        txn.add_node(bob, vec![person], vec![(name, PropertyValue::Str(db.intern("Bob")))])
+    })?;
+    let t3 = db.write(|txn| {
+        txn.add_rel(
+            RelId::new(1),
+            ada,
+            bob,
+            Some(knows),
+            vec![(since, PropertyValue::Int(2024))],
+        )
+    })?;
+    let t4 = db.write(|txn| txn.set_node_prop(ada, name, PropertyValue::Str(db.intern("Ada L."))))?;
+    let t5 = db.write(|txn| txn.delete_rel(RelId::new(1)))?;
+    println!("committed at timestamps {t1}, {t2}, {t3}, {t4}, {t5}");
+    db.lineage_barrier(t5); // wait for the background cascade (demo only)
+
+    // --- Point queries: entity history (LineageStore) ----------------------
+    let history = db.get_node(ada, 0, t5 + 1)?;
+    println!("\nAda has {} versions:", history.len());
+    for v in &history {
+        println!(
+            "  [{}, {:?})  name = {:?}",
+            v.valid.start,
+            v.valid.end,
+            v.data.prop(name)
+        );
+    }
+
+    // --- Relationship history ----------------------------------------------
+    let rels = db.get_relationships(ada, Direction::Outgoing, 0, t5 + 1)?;
+    println!("\nAda's outgoing relationship histories: {}", rels.len());
+    for chain in &rels {
+        for v in chain {
+            println!("  rel {} valid [{}, {})", v.data.id, v.valid.start, v.valid.end);
+        }
+    }
+
+    // --- Global queries: time travel (TimeStore) ---------------------------
+    let then = db.get_graph_at(t3)?;
+    let now = db.latest_graph();
+    println!(
+        "\nat t={t3}: {} nodes / {} rels; now: {} nodes / {} rels",
+        then.node_count(),
+        then.rel_count(),
+        now.node_count(),
+        now.rel_count()
+    );
+
+    // --- Diffs and temporal graphs -----------------------------------------
+    let diff = db.get_diff(t3, t5 + 1)?;
+    println!("\nupdates in [{t3}, {}):", t5 + 1);
+    for u in &diff {
+        println!("  ts {} → {:?}", u.ts, u.op);
+    }
+    let tg = db.get_temporal_graph(1, t5 + 1)?;
+    println!(
+        "\ntemporal graph over [1, {}): {} entity versions",
+        t5 + 1,
+        tg.version_count()
+    );
+
+    // --- Temporal Cypher ----------------------------------------------------
+    let result = query::execute(
+        &db,
+        &format!("USE GDB FOR SYSTEM_TIME BETWEEN 1 AND {} MATCH (n) WHERE id(n) = 1 RETURN n", t5 + 1),
+        &query::Params::new(),
+    )?;
+    println!("\ntemporal Cypher found {} versions of node 1:", result.rows.len());
+    for row in &result.rows {
+        println!("  {}", row[0]);
+    }
+    Ok(())
+}

@@ -1,0 +1,195 @@
+//! Failure injection: crashes between the synchronous TimeStore append and
+//! the asynchronous LineageStore cascade, torn log tails, lost index
+//! files and corrupt snapshot files — in every case the change log is the
+//! source of truth and recovery must restore a fully consistent system.
+
+use aion::{Aion, AionConfig};
+use lpg::{Direction, NodeId, PropertyValue, RelId, StrId};
+use std::fs::OpenOptions;
+use tempfile::tempdir;
+
+fn seed(db: &Aion, n: u64) -> u64 {
+    let label = db.intern("N");
+    for i in 0..n {
+        db.write(|txn| {
+            txn.add_node(
+                NodeId::new(i),
+                vec![label],
+                vec![(db.intern("v"), PropertyValue::Int(i as i64))],
+            )
+        })
+        .unwrap();
+    }
+    for i in 0..n {
+        db.write(|txn| {
+            txn.add_rel(RelId::new(i), NodeId::new(i), NodeId::new((i + 1) % n), None, vec![])
+        })
+        .unwrap();
+    }
+    db.latest_ts()
+}
+
+#[test]
+fn lineage_store_lost_entirely() {
+    let dir = tempdir().unwrap();
+    let last;
+    {
+        let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+        last = seed(&db, 20);
+        db.lineage_barrier(last);
+        db.sync().unwrap();
+    }
+    std::fs::remove_file(dir.path().join("lineage.db")).unwrap();
+    let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+    // Catch-up replay rebuilt the whole fine-grained history.
+    assert_eq!(db.lineagestore().applied_ts(), last);
+    let hist = db.get_node(NodeId::new(7), 0, last + 1).unwrap();
+    assert_eq!(hist.len(), 1);
+    let hits = db
+        .lineagestore()
+        .expand(NodeId::new(0), Direction::Outgoing, 3, last)
+        .unwrap();
+    assert_eq!(hits.len(), 3);
+}
+
+#[test]
+fn lineage_store_lags_behind() {
+    // Simulate a crash mid-cascade: open with sync_lineage, write some,
+    // then re-open after manually rolling the watermark back by deleting
+    // the lineage store and replacing it with a stale copy.
+    let dir = tempdir().unwrap();
+    let mid;
+    let last;
+    {
+        let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+        mid = seed(&db, 10);
+        db.lineage_barrier(mid);
+        db.sync().unwrap();
+        // Keep a stale copy of the lineage store.
+        std::fs::copy(
+            dir.path().join("lineage.db"),
+            dir.path().join("lineage.stale"),
+        )
+        .unwrap();
+        // More commits the stale copy will not contain.
+        last = {
+            let l = db.intern("Late");
+            db.write(|txn| txn.add_node(NodeId::new(500), vec![l], vec![])).unwrap()
+        };
+        db.lineage_barrier(last);
+        db.sync().unwrap();
+    }
+    std::fs::rename(
+        dir.path().join("lineage.stale"),
+        dir.path().join("lineage.db"),
+    )
+    .unwrap();
+    let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+    // Recovery replayed the missing tail into the LineageStore.
+    assert_eq!(db.lineagestore().applied_ts(), last);
+    assert!(db
+        .lineagestore()
+        .node_at(NodeId::new(500), last)
+        .unwrap()
+        .is_some());
+}
+
+#[test]
+fn torn_log_tail_truncated_and_system_still_opens() {
+    let dir = tempdir().unwrap();
+    {
+        let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+        seed(&db, 10);
+        db.sync().unwrap();
+    }
+    // Append garbage to the log (a torn frame from a crash mid-write).
+    let log_path = dir.path().join("timestore").join("timestore.log");
+    {
+        use std::io::Write;
+        let mut f = OpenOptions::new().append(true).open(&log_path).unwrap();
+        f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+    }
+    let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+    // All committed data survives; the torn tail is gone; writes continue.
+    assert_eq!(db.latest_graph().node_count(), 10);
+    let ts = db
+        .write(|txn| txn.add_node(NodeId::new(99), vec![], vec![]))
+        .unwrap();
+    assert!(db.get_graph_at(ts).unwrap().has_node(NodeId::new(99)));
+}
+
+#[test]
+fn corrupt_snapshot_file_falls_back_to_log_replay() {
+    let dir = tempdir().unwrap();
+    let last;
+    {
+        let mut cfg = AionConfig::new(dir.path());
+        cfg.timestore.policy = timestore::SnapshotPolicy::EveryNOps(10);
+        let db = Aion::open(cfg).unwrap();
+        last = seed(&db, 20);
+        db.sync().unwrap();
+    }
+    // Corrupt every snapshot file.
+    let snap_dir = dir.path().join("timestore").join("snapshots");
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&snap_dir).unwrap() {
+        let path = entry.unwrap().path();
+        std::fs::write(&path, b"garbage").unwrap();
+        corrupted += 1;
+    }
+    assert!(corrupted > 0, "the policy must have produced snapshots");
+    let mut cfg = AionConfig::new(dir.path());
+    cfg.timestore.policy = timestore::SnapshotPolicy::Never;
+    // Tiny GraphStore so reconstruction cannot dodge the corrupt files via
+    // the in-memory cache.
+    cfg.timestore.graphstore_bytes = 1;
+    let db = Aion::open(cfg).unwrap();
+    // Historical reads still work (log replay from scratch).
+    let g = db.get_graph_at(last / 2).unwrap();
+    assert!(g.node_count() > 0);
+    let full = db.get_graph_at(last).unwrap();
+    assert_eq!(full.node_count(), 20);
+    assert_eq!(full.rel_count(), 20);
+}
+
+#[test]
+fn index_file_lost_rebuilt_from_log() {
+    let dir = tempdir().unwrap();
+    let last;
+    {
+        let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+        last = seed(&db, 15);
+        db.sync().unwrap();
+    }
+    std::fs::remove_file(dir.path().join("timestore").join("timestore.idx")).unwrap();
+    let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+    assert_eq!(db.latest_ts(), last);
+    let diff = db.get_diff(1, last + 1).unwrap();
+    assert_eq!(diff.len(), 30);
+    // Interleaved reads across the rebuilt index.
+    for probe in [1, last / 3, last / 2, last] {
+        let g = db.get_graph_at(probe).unwrap();
+        g.check_consistency().unwrap();
+    }
+}
+
+#[test]
+fn uncommitted_transaction_leaves_no_trace_after_restart() {
+    let dir = tempdir().unwrap();
+    let last;
+    {
+        let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+        last = seed(&db, 5);
+        // A failing transaction (duplicate node).
+        let err = db.write(|txn| txn.add_node(NodeId::new(0), vec![], vec![]));
+        assert!(err.is_err());
+        db.sync().unwrap();
+    }
+    let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+    assert_eq!(db.latest_ts(), last);
+    assert_eq!(db.latest_graph().node_count(), 5);
+    let tg = db.get_temporal_graph(1, last + 1).unwrap();
+    // Every version present exactly once: no phantom writes.
+    assert_eq!(tg.nodes.len(), 5);
+    let _ = StrId::new(0);
+}
