@@ -125,7 +125,10 @@ mod tests {
             src: NodeId::new(0),
             tgt: NodeId::new(1),
             label: None,
-            props: v.map(|x| (K, PropertyValue::Float(x))).into_iter().collect(),
+            props: v
+                .map(|x| (K, PropertyValue::Float(x)))
+                .into_iter()
+                .collect(),
         }
     }
 

@@ -5,6 +5,7 @@
 
 use dyngraph::DynGraph;
 use lpg::{Direction, NodeId, TimestampedUpdate, Update};
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Static BFS: hop distance from `source` following outgoing relationships.
@@ -21,8 +22,8 @@ pub fn bfs_levels(graph: &DynGraph, source: NodeId) -> HashMap<NodeId, u32> {
         let lu = levels[&u];
         for rid in graph.adj(u, Direction::Outgoing) {
             let Some(rel) = graph.rel(*rid) else { continue };
-            if !levels.contains_key(&rel.tgt) {
-                levels.insert(rel.tgt, lu + 1);
+            if let Entry::Vacant(slot) = levels.entry(rel.tgt) {
+                slot.insert(lu + 1);
                 queue.push_back(rel.tgt);
             }
         }
@@ -287,7 +288,9 @@ mod tests {
         let mut g = diamond();
         let mut inc = IncrementalBfs::new(&g, nid(0));
         for rel in [0u64, 3] {
-            let op = Update::DeleteRel { id: RelId::new(rel) };
+            let op = Update::DeleteRel {
+                id: RelId::new(rel),
+            };
             g.apply(&op).unwrap();
             inc.apply_diff(&g, &[tsu(rel + 1, op)]);
         }

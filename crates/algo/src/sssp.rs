@@ -227,7 +227,12 @@ mod tests {
             g.apply(&add_node(i)).unwrap();
         }
         // 0→1 (1), 1→3 (1), 0→2 (5), 2→3 (1)
-        for (id, s, t, w) in [(0u64, 0, 1, 1.0), (1, 1, 3, 1.0), (2, 0, 2, 5.0), (3, 2, 3, 1.0)] {
+        for (id, s, t, w) in [
+            (0u64, 0, 1, 1.0),
+            (1, 1, 3, 1.0),
+            (2, 0, 2, 5.0),
+            (3, 2, 3, 1.0),
+        ] {
             g.apply(&add_wrel(id, s, t, w)).unwrap();
         }
         g

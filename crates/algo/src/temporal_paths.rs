@@ -12,8 +12,7 @@ use lpg::{NodeId, Relationship, TemporalGraph, Timestamp, Version, TS_MAX};
 use std::collections::HashMap;
 
 fn sorted_by_departure(tg: &TemporalGraph) -> Vec<&Version<Relationship>> {
-    let mut rels: Vec<&Version<Relationship>> =
-        tg.rels.values().flat_map(|c| c.iter()).collect();
+    let mut rels: Vec<&Version<Relationship>> = tg.rels.values().flat_map(|c| c.iter()).collect();
     rels.sort_by_key(|v| v.valid.start);
     rels
 }
@@ -30,7 +29,11 @@ pub fn earliest_arrival(
     arrival.insert(source, t_start);
     for v in sorted_by_departure(tg) {
         let dep = v.valid.start;
-        let arr = if v.valid.end == TS_MAX { dep } else { v.valid.end };
+        let arr = if v.valid.end == TS_MAX {
+            dep
+        } else {
+            v.valid.end
+        };
         if let Some(&at_src) = arrival.get(&v.data.src) {
             // Board only if we are already at the source when it departs.
             if dep >= at_src {
@@ -54,8 +57,7 @@ pub fn latest_departure(
 ) -> HashMap<NodeId, Timestamp> {
     let mut departure: HashMap<NodeId, Timestamp> = HashMap::new();
     departure.insert(target, deadline);
-    let mut rels: Vec<&Version<Relationship>> =
-        tg.rels.values().flat_map(|c| c.iter()).collect();
+    let mut rels: Vec<&Version<Relationship>> = tg.rels.values().flat_map(|c| c.iter()).collect();
     rels.sort_by_key(|v| std::cmp::Reverse(arrival_of(v)));
     for v in rels {
         let dep = v.valid.start;
@@ -98,33 +100,40 @@ mod tests {
         let ts = 0u64;
         let mut updates = Vec::new();
         for i in 0..5u64 {
-            updates.push(TimestampedUpdate::new(ts, Update::AddNode {
-                id: nid(i),
-                labels: vec![],
-                props: vec![],
-            }));
+            updates.push(TimestampedUpdate::new(
+                ts,
+                Update::AddNode {
+                    id: nid(i),
+                    labels: vec![],
+                    props: vec![],
+                },
+            ));
         }
         // flights: (id, src, tgt, dep, arr)
         let flights = [
             (0u64, 0u64, 2u64, 1u64, 3u64),
-            (1, 2, 1, 4, 8),   // connects from flight 0
+            (1, 2, 1, 4, 8), // connects from flight 0
             (2, 0, 3, 2, 5),
             (3, 3, 1, 10, 13), // slower alternative
             (4, 0, 4, 1, 4),
-            (5, 4, 1, 5, 7),   // 0→4→1 arrives 7
-            (6, 2, 1, 2, 6),   // departs before flight 0 arrives: unusable
+            (5, 4, 1, 5, 7), // 0→4→1 arrives 7
+            (6, 2, 1, 2, 6), // departs before flight 0 arrives: unusable
         ];
         for (id, s, t, dep, arr) in flights {
-            updates.push(TimestampedUpdate::new(dep, Update::AddRel {
-                id: RelId::new(id),
-                src: nid(s),
-                tgt: nid(t),
-                label: None,
-                props: vec![],
-            }));
-            updates.push(TimestampedUpdate::new(arr, Update::DeleteRel {
-                id: RelId::new(id),
-            }));
+            updates.push(TimestampedUpdate::new(
+                dep,
+                Update::AddRel {
+                    id: RelId::new(id),
+                    src: nid(s),
+                    tgt: nid(t),
+                    label: None,
+                    props: vec![],
+                },
+            ));
+            updates.push(TimestampedUpdate::new(
+                arr,
+                Update::DeleteRel { id: RelId::new(id) },
+            ));
         }
         updates.sort_by_key(|u| u.ts);
         TemporalGraph::build(&base, Interval::new(0, 50), &updates)
@@ -240,23 +249,30 @@ mod fastest_tests {
         let mut updates = Vec::new();
         let max_node = flights.iter().map(|f| f.1.max(f.2)).max().unwrap_or(0);
         for i in 0..=max_node {
-            updates.push(TimestampedUpdate::new(0, Update::AddNode {
-                id: nid(i),
-                labels: vec![],
-                props: vec![],
-            }));
+            updates.push(TimestampedUpdate::new(
+                0,
+                Update::AddNode {
+                    id: nid(i),
+                    labels: vec![],
+                    props: vec![],
+                },
+            ));
         }
         for &(id, s, t, dep, arr) in flights {
-            updates.push(TimestampedUpdate::new(dep, Update::AddRel {
-                id: RelId::new(id),
-                src: nid(s),
-                tgt: nid(t),
-                label: None,
-                props: vec![],
-            }));
-            updates.push(TimestampedUpdate::new(arr, Update::DeleteRel {
-                id: RelId::new(id),
-            }));
+            updates.push(TimestampedUpdate::new(
+                dep,
+                Update::AddRel {
+                    id: RelId::new(id),
+                    src: nid(s),
+                    tgt: nid(t),
+                    label: None,
+                    props: vec![],
+                },
+            ));
+            updates.push(TimestampedUpdate::new(
+                arr,
+                Update::DeleteRel { id: RelId::new(id) },
+            ));
         }
         updates.sort_by_key(|u| u.ts);
         TemporalGraph::build(&Graph::new(), Interval::new(0, 1_000), &updates)
@@ -266,11 +282,7 @@ mod fastest_tests {
     fn direct_vs_connection_duration() {
         // Direct 0→2 takes 15 (dep 5, arr 20); via 1 it takes 9
         // (dep 10 → arr 13, dep 15 → arr 19).
-        let tg = network(&[
-            (0, 0, 2, 5, 20),
-            (1, 0, 1, 10, 13),
-            (2, 1, 2, 15, 19),
-        ]);
+        let tg = network(&[(0, 0, 2, 5, 20), (1, 0, 1, 10, 13), (2, 1, 2, 15, 19)]);
         let fastest = fastest_duration(&tg, nid(0));
         assert_eq!(fastest[&nid(2)], 9, "connection beats the direct flight");
         assert_eq!(fastest[&nid(1)], 3);
@@ -285,14 +297,14 @@ mod fastest_tests {
     }
 
     #[test]
-    fn pareto_frontier_keeps_useful_early_arrivals(){
+    fn pareto_frontier_keeps_useful_early_arrivals() {
         // To catch the 1→2 leg departing at 6, the slower-but-earlier
         // 0→1 arrival must survive in the frontier even though a later
         // start pair exists.
         let tg = network(&[
-            (0, 0, 1, 1, 5),   // start 1, arrive 5 (duration 4)
-            (1, 0, 1, 7, 9),   // start 7, arrive 9 (duration 2, dominates for node 1)
-            (2, 1, 2, 6, 8),   // only reachable via the early arrival
+            (0, 0, 1, 1, 5), // start 1, arrive 5 (duration 4)
+            (1, 0, 1, 7, 9), // start 7, arrive 9 (duration 2, dominates for node 1)
+            (2, 1, 2, 6, 8), // only reachable via the early arrival
         ]);
         let fastest = fastest_duration(&tg, nid(0));
         assert_eq!(fastest[&nid(1)], 2);

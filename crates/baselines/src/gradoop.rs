@@ -188,9 +188,8 @@ impl TemporalBackend for GradoopLike {
             .nodes
             .iter()
             .any(|n| n.id == row.tgt && n.from <= ts && ts < n.to);
-        (src_ok && tgt_ok).then(|| {
-            Relationship::new(row.id, row.src, row.tgt, row.label, row.props.clone())
-        })
+        (src_ok && tgt_ok)
+            .then(|| Relationship::new(row.id, row.src, row.tgt, row.label, row.props.clone()))
     }
 
     fn snapshot_at(&self, ts: Timestamp) -> Graph {

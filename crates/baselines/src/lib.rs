@@ -31,7 +31,7 @@ pub mod classic;
 pub mod gradoop;
 pub mod raphtory;
 
-use lpg::{Graph, Relationship, RelId, Timestamp, Update};
+use lpg::{Graph, RelId, Relationship, Timestamp, Update};
 
 /// The uniform surface the benchmark harness drives.
 pub trait TemporalBackend {

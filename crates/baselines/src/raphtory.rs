@@ -20,7 +20,10 @@ use std::collections::HashMap;
 
 #[derive(Clone, Debug)]
 enum NodeEvent {
-    Added { labels: Vec<lpg::StrId>, props: lpg::Props },
+    Added {
+        labels: Vec<lpg::StrId>,
+        props: lpg::Props,
+    },
     Deleted,
     SetProp(lpg::StrId, lpg::PropertyValue),
     RemoveProp(lpg::StrId),
@@ -75,10 +78,13 @@ impl RaphtoryLike {
     }
 
     fn rel_endpoints(&self, id: RelId) -> Option<(NodeId, NodeId)> {
-        self.rel_history.get(&id)?.iter().find_map(|(_, e)| match e {
-            RelEvent::Added { src, tgt, .. } => Some((*src, *tgt)),
-            _ => None,
-        })
+        self.rel_history
+            .get(&id)?
+            .iter()
+            .find_map(|(_, e)| match e {
+                RelEvent::Added { src, tgt, .. } => Some((*src, *tgt)),
+                _ => None,
+            })
     }
 
     /// Reconstructs a node state at `ts` by replaying its event list.
@@ -309,7 +315,7 @@ impl TemporalBackend for RaphtoryLike {
     fn snapshot_at(&self, ts: Timestamp) -> Graph {
         // All-history scan + filter (|U|).
         let mut g = Graph::new();
-        for (&id, _) in &self.node_history {
+        for &id in self.node_history.keys() {
             if let Some(n) = self.node_state(id, ts) {
                 g.apply(&Update::AddNode {
                     id,
@@ -319,7 +325,7 @@ impl TemporalBackend for RaphtoryLike {
                 .expect("replay is consistent");
             }
         }
-        for (&id, _) in &self.rel_history {
+        for &id in self.rel_history.keys() {
             if let Some(r) = self.rel_state(id, ts) {
                 if g.has_node(r.src) && g.has_node(r.tgt) {
                     g.apply(&Update::AddRel {

@@ -66,7 +66,9 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("csr_projection", |b| {
-        b.iter(|| std::hint::black_box(Csr::project(&after, Direction::Outgoing, None).edge_count()))
+        b.iter(|| {
+            std::hint::black_box(Csr::project(&after, Direction::Outgoing, None).edge_count())
+        })
     });
 
     g.finish();

@@ -29,8 +29,7 @@ fn bench(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let dir = tempdir().unwrap();
-                let store =
-                    Arc::new(PageStore::open(dir.path().join("b.db"), 1024).unwrap());
+                let store = Arc::new(PageStore::open(dir.path().join("b.db"), 1024).unwrap());
                 (dir, BTree::open(store, 0).unwrap())
             },
             |(_d, tree)| {
@@ -61,11 +60,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("scan_1k_entries", |b| {
         b.iter(|| {
             let start = key(probe % 90_000);
-            let count = tree
-                .scan(&start, &[])
-                .unwrap()
-                .take(1_000)
-                .count();
+            let count = tree.scan(&start, &[]).unwrap().take(1_000).count();
             std::hint::black_box(count)
         })
     });

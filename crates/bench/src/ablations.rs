@@ -58,7 +58,9 @@ pub fn graphstore_cache(cfg: &BenchConfig) {
         ingest_aion(&db, &w);
         db.sync().expect("sync");
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let probes: Vec<u64> = (0..cfg.snapshot_runs).map(|_| w.random_ts(&mut rng)).collect();
+        let probes: Vec<u64> = (0..cfg.snapshot_runs)
+            .map(|_| w.random_ts(&mut rng))
+            .collect();
         let t = Timer::start();
         for &ts in &probes {
             std::hint::black_box(db.get_graph_at(ts).expect("snapshot").node_count());
@@ -120,6 +122,8 @@ pub fn planner_threshold(cfg: &BenchConfig) {
         }
         println!();
     }
-    println!("(the paper's 30% keeps 1-2 hop queries on the LineageStore and sends\n\
-              deep expansions to the TimeStore — matching the Fig. 8 crossover)");
+    println!(
+        "(the paper's 30% keeps 1-2 hop queries on the LineageStore and sends\n\
+              deep expansions to the TimeStore — matching the Fig. 8 crossover)"
+    );
 }

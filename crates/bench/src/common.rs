@@ -92,7 +92,8 @@ pub fn open_aion(dir: &Path, sync_lineage: bool) -> Aion {
 /// probes then hit the same history distribution in every system.
 pub fn ingest_aion(db: &Aion, w: &GeneratedWorkload) {
     for (ts, ops) in w.batches(1_000) {
-        db.write_at(ts, |txn| apply_batch(txn, &ops)).expect("ingest");
+        db.write_at(ts, |txn| apply_batch(txn, &ops))
+            .expect("ingest");
     }
     db.lineage_barrier(db.latest_ts());
 }

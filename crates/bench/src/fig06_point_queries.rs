@@ -11,7 +11,14 @@ use rand::SeedableRng;
 use tempfile::tempdir;
 
 /// Datasets measured, in paper order.
-pub const DATASETS: [&str; 6] = ["DBLP", "WikiTalk", "Pokec", "LiveJournal", "DBPedia", "Orkut"];
+pub const DATASETS: [&str; 6] = [
+    "DBLP",
+    "WikiTalk",
+    "Pokec",
+    "LiveJournal",
+    "DBPedia",
+    "Orkut",
+];
 
 /// Paper shape hint per dataset: Raphtory-over-Aion throughput ratio.
 const PAPER_RATIO: [f64; 6] = [1.30, 1.30, 1.07, 1.07, 1.07, 1.07];
@@ -43,7 +50,12 @@ pub fn run(cfg: &BenchConfig) -> Vec<(String, f64, f64)> {
         let t = Timer::start();
         let mut hits = 0usize;
         for (rel, ts) in &probes {
-            if db.lineagestore().rel_at(*rel, *ts).expect("lookup").is_some() {
+            if db
+                .lineagestore()
+                .rel_at(*rel, *ts)
+                .expect("lookup")
+                .is_some()
+            {
                 hits += 1;
             }
         }

@@ -5,14 +5,23 @@
 //! DBLP / WikiTalk / Pokec / LiveJournal, 30–50 % on the biggest graphs,
 //! and 6.6–52.2× faster than Gradoop.
 
-use crate::common::{banner, build_gradoop, build_raphtory, ingest_aion, open_aion, BenchConfig, Timer};
+use crate::common::{
+    banner, build_gradoop, build_raphtory, ingest_aion, open_aion, BenchConfig, Timer,
+};
 use baselines::TemporalBackend;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tempfile::tempdir;
 
 /// Datasets measured.
-pub const DATASETS: [&str; 6] = ["DBLP", "WikiTalk", "Pokec", "LiveJournal", "DBPedia", "Orkut"];
+pub const DATASETS: [&str; 6] = [
+    "DBLP",
+    "WikiTalk",
+    "Pokec",
+    "LiveJournal",
+    "DBPedia",
+    "Orkut",
+];
 
 /// Paper Aion-over-Raphtory speedups per dataset.
 const PAPER_VS_RAPHTORY: [f64; 6] = [7.3, 4.5, 3.5, 3.0, 1.4, 1.4];
@@ -37,7 +46,9 @@ pub fn run(cfg: &BenchConfig) -> Vec<(String, f64, f64, f64)> {
         let gradoop = build_gradoop(&w);
 
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5555);
-        let probes: Vec<u64> = (0..cfg.snapshot_runs).map(|_| w.random_ts(&mut rng)).collect();
+        let probes: Vec<u64> = (0..cfg.snapshot_runs)
+            .map(|_| w.random_ts(&mut rng))
+            .collect();
 
         let t = Timer::start();
         for &ts in &probes {

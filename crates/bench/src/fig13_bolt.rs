@@ -111,7 +111,12 @@ pub fn run(cfg: &BenchConfig) -> Vec<BoltRow> {
             rate,
             relative: rate / base,
         };
-        println!("{:<12} {:>14} {:>11.2}x", label, fmt_rate(rate), row.relative);
+        println!(
+            "{:<12} {:>14} {:>11.2}x",
+            label,
+            fmt_rate(rate),
+            row.relative
+        );
         out.push(row);
     }
     out

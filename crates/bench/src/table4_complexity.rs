@@ -10,7 +10,9 @@
 //! * snapshot retrieval grows linearly (`|U|`) for Raphtory/Gradoop while
 //!   Aion pays `|G| + δ(|U|)` (snapshot copy + bounded replay).
 
-use crate::common::{banner, build_gradoop, build_raphtory, ingest_aion, open_aion, BenchConfig, Timer};
+use crate::common::{
+    banner, build_gradoop, build_raphtory, ingest_aion, open_aion, BenchConfig, Timer,
+};
 use baselines::TemporalBackend;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -115,6 +117,8 @@ pub fn run(cfg: &BenchConfig) -> Vec<ComplexityRow> {
             row.system, row.point_scaling, row.snapshot_scaling
         );
     }
-    println!("(Aion point lookups are O(log|U|): the factor should sit well below the linear systems')");
+    println!(
+        "(Aion point lookups are O(log|U|): the factor should sit well below the linear systems')"
+    );
     rows
 }

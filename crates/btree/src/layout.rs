@@ -67,6 +67,24 @@ fn slot(page: &PageBuf, i: usize) -> usize {
     page.read_u16(SLOTS_OFF + i * 2) as usize
 }
 
+fn read_u16_at(b: &[u8], off: usize) -> u16 {
+    let mut a = [0u8; 2];
+    a.copy_from_slice(&b[off..off + 2]);
+    u16::from_le_bytes(a)
+}
+
+fn read_u32_at(b: &[u8], off: usize) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[off..off + 4]);
+    u32::from_le_bytes(a)
+}
+
+fn read_u64_at(b: &[u8], off: usize) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[off..off + 8]);
+    u64::from_le_bytes(a)
+}
+
 /// Contiguous free bytes between the slot directory and the cell heap.
 pub fn free_space(page: &PageBuf) -> usize {
     data_start(page).saturating_sub(SLOTS_OFF + ncells(page) * 2)
@@ -100,7 +118,7 @@ impl LeafCell<'_> {
 
     /// The overflow chain head (only valid when [`Self::is_overflow`]).
     pub fn overflow_page(&self) -> u64 {
-        u64::from_le_bytes(self.inline[..8].try_into().unwrap())
+        read_u64_at(self.inline, 0)
     }
 }
 
@@ -109,8 +127,8 @@ pub fn leaf_cell(page: &PageBuf, i: usize) -> LeafCell<'_> {
     let off = slot(page, i);
     let b = page.bytes();
     let flags = b[off];
-    let klen = u16::from_le_bytes(b[off + 1..off + 3].try_into().unwrap()) as usize;
-    let vlen = u32::from_le_bytes(b[off + 3..off + 7].try_into().unwrap()) as usize;
+    let klen = read_u16_at(b, off + 1) as usize;
+    let vlen = read_u32_at(b, off + 3) as usize;
     let key = &b[off + 7..off + 7 + klen];
     let inline_len = if flags & FLAG_OVERFLOW != 0 { 8 } else { vlen };
     let inline = &b[off + 7 + klen..off + 7 + klen + inline_len];
@@ -126,7 +144,7 @@ pub fn leaf_cell(page: &PageBuf, i: usize) -> LeafCell<'_> {
 pub fn leaf_key(page: &PageBuf, i: usize) -> &[u8] {
     let off = slot(page, i);
     let b = page.bytes();
-    let klen = u16::from_le_bytes(b[off + 1..off + 3].try_into().unwrap()) as usize;
+    let klen = read_u16_at(b, off + 1) as usize;
     &b[off + 7..off + 7 + klen]
 }
 
@@ -161,10 +179,7 @@ pub fn leaf_insert(page: &mut PageBuf, i: usize, flags: u8, key: &[u8], vlen: u3
         b[new_start + 7..new_start + 7 + key.len()].copy_from_slice(key);
         b[new_start + 7 + key.len()..new_start + size].copy_from_slice(inline);
         // Shift the slot directory right of i.
-        b.copy_within(
-            SLOTS_OFF + i * 2..SLOTS_OFF + n * 2,
-            SLOTS_OFF + i * 2 + 2,
-        );
+        b.copy_within(SLOTS_OFF + i * 2..SLOTS_OFF + n * 2, SLOTS_OFF + i * 2 + 2);
     }
     page.write_u16(SLOTS_OFF + i * 2, new_start as u16);
     page.write_u16(NCELLS_OFF, (n + 1) as u16);
@@ -177,8 +192,8 @@ pub fn leaf_remove(page: &mut PageBuf, i: usize) -> usize {
     let off = slot(page, i);
     let b = page.bytes();
     let flags = b[off];
-    let klen = u16::from_le_bytes(b[off + 1..off + 3].try_into().unwrap()) as usize;
-    let vlen = u32::from_le_bytes(b[off + 3..off + 7].try_into().unwrap()) as usize;
+    let klen = read_u16_at(b, off + 1) as usize;
+    let vlen = read_u32_at(b, off + 3) as usize;
     let inline = if flags & FLAG_OVERFLOW != 0 { 8 } else { vlen };
     let size = leaf_cell_size(klen, inline);
     let n = ncells(page);
@@ -188,6 +203,66 @@ pub fn leaf_remove(page: &mut PageBuf, i: usize) -> usize {
     );
     page.write_u16(NCELLS_OFF, (n - 1) as u16);
     size
+}
+
+// ------------------------------------------------------- checked accessors
+//
+// The verifier walks pages that may be arbitrarily corrupt, so it cannot
+// use the trusting accessors above (whose slicing panics on out-of-range
+// offsets). These duplicates bounds-check every step and return `None`
+// instead.
+
+/// Bounds-checked slot lookup: `None` when the slot directory itself runs
+/// past the page or the stored offset points outside the page.
+pub fn checked_slot(page: &PageBuf, i: usize) -> Option<usize> {
+    let slot_off = SLOTS_OFF.checked_add(i.checked_mul(2)?)?;
+    if slot_off + 2 > PAGE_SIZE {
+        return None;
+    }
+    let off = page.read_u16(slot_off) as usize;
+    (off < PAGE_SIZE).then_some(off)
+}
+
+/// Bounds-checked leaf cell decode.
+pub fn checked_leaf_cell(page: &PageBuf, i: usize) -> Option<LeafCell<'_>> {
+    let off = checked_slot(page, i)?;
+    let b = page.bytes();
+    if off + 7 > PAGE_SIZE {
+        return None;
+    }
+    let flags = b[off];
+    let klen = read_u16_at(b, off + 1) as usize;
+    let vlen = read_u32_at(b, off + 3) as usize;
+    let inline_len = if flags & FLAG_OVERFLOW != 0 { 8 } else { vlen };
+    let end = off
+        .checked_add(7)?
+        .checked_add(klen)?
+        .checked_add(inline_len)?;
+    if end > PAGE_SIZE {
+        return None;
+    }
+    Some(LeafCell {
+        flags,
+        key: &b[off + 7..off + 7 + klen],
+        vlen,
+        inline: &b[off + 7 + klen..end],
+    })
+}
+
+/// Bounds-checked internal cell decode into `(key, child)`.
+pub fn checked_internal_cell(page: &PageBuf, i: usize) -> Option<(&[u8], u64)> {
+    let off = checked_slot(page, i)?;
+    let b = page.bytes();
+    if off + 10 > PAGE_SIZE {
+        return None;
+    }
+    let klen = read_u16_at(b, off) as usize;
+    let child = read_u64_at(b, off + 2);
+    let end = off.checked_add(10)?.checked_add(klen)?;
+    if end > PAGE_SIZE {
+        return None;
+    }
+    Some((&b[off + 10..end], child))
 }
 
 // ------------------------------------------------------------ internal cells
@@ -201,14 +276,14 @@ pub fn internal_cell_size(klen: usize) -> usize {
 pub fn internal_key(page: &PageBuf, i: usize) -> &[u8] {
     let off = slot(page, i);
     let b = page.bytes();
-    let klen = u16::from_le_bytes(b[off..off + 2].try_into().unwrap()) as usize;
+    let klen = read_u16_at(b, off) as usize;
     &b[off + 10..off + 10 + klen]
 }
 
 /// Child pointer of internal cell `i`.
 pub fn internal_child(page: &PageBuf, i: usize) -> u64 {
     let off = slot(page, i);
-    u64::from_le_bytes(page.bytes()[off + 2..off + 10].try_into().unwrap())
+    read_u64_at(page.bytes(), off + 2)
 }
 
 /// The child page that covers `key`: the last cell whose separator key is
@@ -244,10 +319,7 @@ pub fn internal_insert(page: &mut PageBuf, i: usize, key: &[u8], child: u64) {
         b[new_start..new_start + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
         b[new_start + 2..new_start + 10].copy_from_slice(&child.to_le_bytes());
         b[new_start + 10..new_start + size].copy_from_slice(key);
-        b.copy_within(
-            SLOTS_OFF + i * 2..SLOTS_OFF + n * 2,
-            SLOTS_OFF + i * 2 + 2,
-        );
+        b.copy_within(SLOTS_OFF + i * 2..SLOTS_OFF + n * 2, SLOTS_OFF + i * 2 + 2);
     }
     page.write_u16(SLOTS_OFF + i * 2, new_start as u16);
     page.write_u16(NCELLS_OFF, (n + 1) as u16);
@@ -277,12 +349,12 @@ pub fn compact(page: &mut PageBuf) {
         let b = page.bytes();
         let size = if is_leaf {
             let flags = b[off];
-            let klen = u16::from_le_bytes(b[off + 1..off + 3].try_into().unwrap()) as usize;
-            let vlen = u32::from_le_bytes(b[off + 3..off + 7].try_into().unwrap()) as usize;
+            let klen = read_u16_at(b, off + 1) as usize;
+            let vlen = read_u32_at(b, off + 3) as usize;
             let inline = if flags & FLAG_OVERFLOW != 0 { 8 } else { vlen };
             leaf_cell_size(klen, inline)
         } else {
-            let klen = u16::from_le_bytes(b[off..off + 2].try_into().unwrap()) as usize;
+            let klen = read_u16_at(b, off) as usize;
             internal_cell_size(klen)
         };
         cells.push(b[off..off + size].to_vec());
@@ -307,12 +379,12 @@ pub fn live_bytes(page: &PageBuf) -> usize {
         let b = page.bytes();
         total += if is_leaf {
             let flags = b[off];
-            let klen = u16::from_le_bytes(b[off + 1..off + 3].try_into().unwrap()) as usize;
-            let vlen = u32::from_le_bytes(b[off + 3..off + 7].try_into().unwrap()) as usize;
+            let klen = read_u16_at(b, off + 1) as usize;
+            let vlen = read_u32_at(b, off + 3) as usize;
             let inline = if flags & FLAG_OVERFLOW != 0 { 8 } else { vlen };
             leaf_cell_size(klen, inline)
         } else {
-            let klen = u16::from_le_bytes(b[off..off + 2].try_into().unwrap()) as usize;
+            let klen = read_u16_at(b, off) as usize;
             internal_cell_size(klen)
         };
     }

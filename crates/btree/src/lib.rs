@@ -28,6 +28,8 @@ pub mod layout;
 pub mod overflow;
 pub mod scan;
 pub mod tree;
+pub mod verify;
 
 pub use scan::Scan;
 pub use tree::{BTree, MAX_INLINE_VALUE, MAX_KEY};
+pub use verify::{VerifyClass, VerifyReport, Violation};

@@ -21,7 +21,12 @@ pub struct Scan {
 }
 
 impl Scan {
-    pub(crate) fn new(tree: BTree, start_leaf: PageId, low: &[u8], high: &[u8]) -> io::Result<Scan> {
+    pub(crate) fn new(
+        tree: BTree,
+        start_leaf: PageId,
+        low: &[u8],
+        high: &[u8],
+    ) -> io::Result<Scan> {
         let mut s = Scan {
             tree,
             next_leaf: start_leaf,

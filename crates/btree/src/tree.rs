@@ -61,6 +61,11 @@ impl BTree {
         &self.store
     }
 
+    /// The meta slot holding this tree's root pointer.
+    pub(crate) fn slot(&self) -> usize {
+        self.slot
+    }
+
     fn root(&self) -> PageId {
         PageId(self.store.root(self.slot))
     }
@@ -95,17 +100,19 @@ impl BTree {
             Inline(Vec<u8>),
             Overflow(PageId),
         }
-        let hit = self.store.read(leaf, |p| match layout::leaf_search(p, key) {
-            Ok(i) => {
-                let cell = layout::leaf_cell(p, i);
-                if cell.is_overflow() {
-                    Hit::Overflow(PageId(cell.overflow_page()))
-                } else {
-                    Hit::Inline(cell.inline.to_vec())
+        let hit = self
+            .store
+            .read(leaf, |p| match layout::leaf_search(p, key) {
+                Ok(i) => {
+                    let cell = layout::leaf_cell(p, i);
+                    if cell.is_overflow() {
+                        Hit::Overflow(PageId(cell.overflow_page()))
+                    } else {
+                        Hit::Inline(cell.inline.to_vec())
+                    }
                 }
-            }
-            Err(_) => Hit::Miss,
-        })?;
+                Err(_) => Hit::Miss,
+            })?;
         match hit {
             Hit::Miss => Ok(None),
             Hit::Inline(v) => Ok(Some(v)),
@@ -129,7 +136,11 @@ impl BTree {
         assert!(key.len() <= MAX_KEY, "key too large");
         let (flags, vlen, inline) = if value.len() > MAX_INLINE_VALUE {
             let head = overflow::write_chain(&self.store, value)?;
-            (FLAG_OVERFLOW, value.len() as u32, head.0.to_le_bytes().to_vec())
+            (
+                FLAG_OVERFLOW,
+                value.len() as u32,
+                head.0.to_le_bytes().to_vec(),
+            )
         } else {
             (0u8, value.len() as u32, value.to_vec())
         };
@@ -139,9 +150,7 @@ impl BTree {
         let old_overflow = self.store.write(leaf, |p| {
             if let Ok(i) = layout::leaf_search(p, key) {
                 let cell = layout::leaf_cell(p, i);
-                let ovf = cell
-                    .is_overflow()
-                    .then(|| PageId(cell.overflow_page()));
+                let ovf = cell.is_overflow().then(|| PageId(cell.overflow_page()));
                 layout::leaf_remove(p, i);
                 ovf
             } else {
@@ -165,7 +174,11 @@ impl BTree {
         })?;
         if fits {
             self.store.write(leaf, |p| {
-                let i = layout::leaf_search(p, key).unwrap_err();
+                // The cell for `key` was removed above, so the search can
+                // only miss; fold both arms to stay panic-free regardless.
+                let i = match layout::leaf_search(p, key) {
+                    Ok(i) | Err(i) => i,
+                };
                 layout::leaf_insert(p, i, flags, key, vlen, &inline);
             })?;
             return Ok(());
@@ -178,7 +191,9 @@ impl BTree {
             if layout::free_space(p) < needed {
                 layout::compact(p);
             }
-            let i = layout::leaf_search(p, key).unwrap_err();
+            let i = match layout::leaf_search(p, key) {
+                Ok(i) | Err(i) => i,
+            };
             layout::leaf_insert(p, i, flags, key, vlen, &inline);
         })?;
         self.insert_into_parent(&mut path, sep, new_leaf)?;
@@ -206,9 +221,10 @@ impl BTree {
             let mut cells = Vec::with_capacity(n - split_at);
             for i in split_at..n {
                 let off_cell = layout::leaf_cell(p, i);
-                let mut raw = Vec::with_capacity(
-                    layout::leaf_cell_size(off_cell.key.len(), off_cell.inline.len()),
-                );
+                let mut raw = Vec::with_capacity(layout::leaf_cell_size(
+                    off_cell.key.len(),
+                    off_cell.inline.len(),
+                ));
                 raw.push(off_cell.flags);
                 raw.extend_from_slice(&(off_cell.key.len() as u16).to_le_bytes());
                 raw.extend_from_slice(&(off_cell.vlen as u32).to_le_bytes());
@@ -228,8 +244,12 @@ impl BTree {
             layout::set_link(p, old_sibling);
             for (i, raw) in moved.iter().enumerate() {
                 let flags = raw[0];
-                let klen = u16::from_le_bytes(raw[1..3].try_into().unwrap()) as usize;
-                let vlen = u32::from_le_bytes(raw[3..7].try_into().unwrap());
+                let mut klen2 = [0u8; 2];
+                klen2.copy_from_slice(&raw[1..3]);
+                let klen = u16::from_le_bytes(klen2) as usize;
+                let mut vlen4 = [0u8; 4];
+                vlen4.copy_from_slice(&raw[3..7]);
+                let vlen = u32::from_le_bytes(vlen4);
                 let key = &raw[7..7 + klen];
                 let inline = &raw[7 + klen..];
                 layout::leaf_insert(p, i, flags, key, vlen, inline);
@@ -322,27 +342,27 @@ impl BTree {
     /// split), its child becomes the new node's leftmost child.
     fn split_internal(&self, node: PageId) -> io::Result<(Vec<u8>, PageId)> {
         let new_page = self.store.allocate()?;
-        let (promoted, new_link, moved): (Vec<u8>, u64, Vec<(Vec<u8>, u64)>) =
-            self.store.write(node, |p| {
-                let n = layout::ncells(p);
-                debug_assert!(n >= 3);
-                let mid = n / 2;
-                let promoted = layout::internal_key(p, mid).to_vec();
-                let new_link = layout::internal_child(p, mid);
-                let moved: Vec<(Vec<u8>, u64)> = (mid + 1..n)
-                    .map(|i| {
-                        (
-                            layout::internal_key(p, i).to_vec(),
-                            layout::internal_child(p, i),
-                        )
-                    })
-                    .collect();
-                for _ in mid..n {
-                    layout::internal_remove(p, mid);
-                }
-                layout::compact(p);
-                (promoted, new_link, moved)
-            })?;
+        type SplitPlan = (Vec<u8>, u64, Vec<(Vec<u8>, u64)>);
+        let (promoted, new_link, moved): SplitPlan = self.store.write(node, |p| {
+            let n = layout::ncells(p);
+            debug_assert!(n >= 3);
+            let mid = n / 2;
+            let promoted = layout::internal_key(p, mid).to_vec();
+            let new_link = layout::internal_child(p, mid);
+            let moved: Vec<(Vec<u8>, u64)> = (mid + 1..n)
+                .map(|i| {
+                    (
+                        layout::internal_key(p, i).to_vec(),
+                        layout::internal_child(p, i),
+                    )
+                })
+                .collect();
+            for _ in mid..n {
+                layout::internal_remove(p, mid);
+            }
+            layout::compact(p);
+            (promoted, new_link, moved)
+        })?;
         self.store.write(new_page, |p| {
             layout::init(p, INTERNAL);
             layout::set_link(p, new_link);
@@ -394,11 +414,13 @@ impl BTree {
             Found(usize),
             Before,
         }
-        let out = self.store.read(leaf, |p| match layout::leaf_search(p, key) {
-            Ok(i) => Outcome::Found(i),
-            Err(0) => Outcome::Before,
-            Err(i) => Outcome::Found(i - 1),
-        })?;
+        let out = self
+            .store
+            .read(leaf, |p| match layout::leaf_search(p, key) {
+                Ok(i) => Outcome::Found(i),
+                Err(0) => Outcome::Before,
+                Err(i) => Outcome::Found(i - 1),
+            })?;
         match out {
             Outcome::Found(i) => self.read_leaf_entry(leaf, i).map(Some),
             Outcome::Before => {
@@ -655,11 +677,7 @@ mod tests {
         for (i, key) in keys.iter().rev().enumerate() {
             t.insert(key, &[i as u8]).unwrap();
         }
-        let got: Vec<Vec<u8>> = t
-            .scan(&[], &[])
-            .unwrap()
-            .map(|r| r.unwrap().0)
-            .collect();
+        let got: Vec<Vec<u8>> = t.scan(&[], &[]).unwrap().map(|r| r.unwrap().0).collect();
         assert_eq!(got, keys.iter().map(|s| s.to_vec()).collect::<Vec<_>>());
     }
 }

@@ -26,7 +26,10 @@ fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (key_strategy(), proptest::collection::vec(any::<u8>(), 0..2100))
+        (
+            key_strategy(),
+            proptest::collection::vec(any::<u8>(), 0..2100)
+        )
             .prop_map(|(k, v)| Op::Insert(k, v)),
         key_strategy().prop_map(Op::Remove),
         key_strategy().prop_map(Op::Get),

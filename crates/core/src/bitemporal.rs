@@ -8,7 +8,7 @@
 //! fall back to using the system time."
 
 use crate::txn::AppTimeKeys;
-use lpg::{Interval, Props, PropertyValue, TimeRange, Version, TS_MAX};
+use lpg::{Interval, PropertyValue, Props, TimeRange, Version, TS_MAX};
 
 /// Reads an entity's application-time validity from its property bag.
 /// `None` when no application start time is set.

@@ -206,6 +206,13 @@ impl Aion {
         &self.lineage
     }
 
+    /// Audits both stores and their agreement at `level`; see
+    /// [`check::CheckLevel`] for what each level covers. A clean report
+    /// ([`check::ConsistencyReport::is_clean`]) means every invariant held.
+    pub fn check_consistency(&self, level: check::CheckLevel) -> Result<check::ConsistencyReport> {
+        check::check_stores(&self.timestore, &self.lineage, level)
+    }
+
     /// Registers an after-commit event listener (Sec. 5.1: "graph updates
     /// are passed to Aion from Neo4j via an event listener … triggered in
     /// the after-commit phase of each write transaction").
@@ -291,7 +298,10 @@ impl Aion {
         // Statistics fold (labels resolved against the new latest graph).
         let latest = self.timestore.latest_graph();
         self.stats.record_commit(&updates, |id| {
-            latest.node(id).map(|n| n.labels.clone()).unwrap_or_default()
+            latest
+                .node(id)
+                .map(|n| n.labels.clone())
+                .unwrap_or_default()
         });
         let event = CommitEvent {
             ts,
@@ -345,9 +355,14 @@ impl Aion {
         let base = self.timestore.snapshot_at(start)?;
         let mut state = base.node(id).cloned();
         let updates = self.timestore.diff(start.saturating_add(1), end)?;
-        Ok(entity_versions(start, end, &mut state, updates.iter().filter(
-            |u| u.op.entity() == lpg::EntityId::Node(id),
-        ))?)
+        entity_versions(
+            start,
+            end,
+            &mut state,
+            updates
+                .iter()
+                .filter(|u| u.op.entity() == lpg::EntityId::Node(id)),
+        )
     }
 
     /// `getRelationship(relId, start, end)`.
@@ -364,9 +379,14 @@ impl Aion {
         let base = self.timestore.snapshot_at(start)?;
         let mut state = base.rel(id).cloned();
         let updates = self.timestore.diff(start.saturating_add(1), end)?;
-        Ok(rel_versions(start, end, &mut state, updates.iter().filter(
-            |u| u.op.entity() == lpg::EntityId::Rel(id),
-        ))?)
+        rel_versions(
+            start,
+            end,
+            &mut state,
+            updates
+                .iter()
+                .filter(|u| u.op.entity() == lpg::EntityId::Rel(id)),
+        )
     }
 
     /// `getRelationships(nodeId, direction, start, end)` — one version list
@@ -457,7 +477,12 @@ impl Aion {
                 let n = match dir {
                     Direction::Outgoing => rel.tgt,
                     Direction::Incoming => rel.src,
-                    Direction::Both => rel.other_end(cur).expect("incident"),
+                    // `relationships(cur, ..)` only yields incident rels,
+                    // so `other_end` cannot miss; skip rather than panic.
+                    Direction::Both => match rel.other_end(cur) {
+                        Some(n) => n,
+                        None => continue,
+                    },
                 };
                 if seen.insert(n) {
                     out.push((n, hop + 1));
@@ -550,7 +575,8 @@ fn entity_versions<'a>(
             }
             Update::DeleteNode { .. } => *state = None,
             op => {
-                if let (Some(node), Some(delta)) = (state.as_mut(), lpg::EntityDelta::from_update(op))
+                if let (Some(node), Some(delta)) =
+                    (state.as_mut(), lpg::EntityDelta::from_update(op))
                 {
                     delta.apply_to_node(node);
                 }
@@ -594,7 +620,8 @@ fn rel_versions<'a>(
             }
             Update::DeleteRel { .. } => *state = None,
             op => {
-                if let (Some(rel), Some(delta)) = (state.as_mut(), lpg::EntityDelta::from_update(op))
+                if let (Some(rel), Some(delta)) =
+                    (state.as_mut(), lpg::EntityDelta::from_update(op))
                 {
                     delta.apply_to_rel(rel);
                 }

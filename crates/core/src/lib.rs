@@ -42,6 +42,7 @@ pub mod procedures;
 pub mod stats;
 pub mod txn;
 
+pub use check::{CheckLevel, ConsistencyReport};
 pub use db::{Aion, AionConfig, StoreChoice};
 pub use planner::Planner;
 pub use stats::Statistics;

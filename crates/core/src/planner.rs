@@ -62,9 +62,7 @@ impl Planner {
                 let total = (stats.node_count() + stats.rel_count()).max(1);
                 1.0 / total as f64
             }
-            AccessPattern::Expand { seeds, hops } => {
-                stats.estimate_expand_fraction(seeds, hops)
-            }
+            AccessPattern::Expand { seeds, hops } => stats.estimate_expand_fraction(seeds, hops),
             AccessPattern::Global => 1.0,
             AccessPattern::Cardinality(rows) => {
                 let total = (stats.node_count() + stats.rel_count()).max(1);

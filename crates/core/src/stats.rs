@@ -39,7 +39,11 @@ impl Statistics {
 
     /// Folds one committed update batch into the histograms. `node_labels`
     /// resolves a node's labels at commit time (for pattern counts).
-    pub fn record_commit(&self, updates: &[Update], node_labels: impl Fn(lpg::NodeId) -> Vec<StrId>) {
+    pub fn record_commit(
+        &self,
+        updates: &[Update],
+        node_labels: impl Fn(lpg::NodeId) -> Vec<StrId>,
+    ) {
         let mut g = self.inner.write();
         for u in updates {
             g.updates += 1;
@@ -96,12 +100,22 @@ impl Statistics {
 
     /// Nodes carrying `label`.
     pub fn label_count(&self, label: StrId) -> u64 {
-        self.inner.read().label_counts.get(&label).copied().unwrap_or(0)
+        self.inner
+            .read()
+            .label_counts
+            .get(&label)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Relationships of `rel_type`.
     pub fn type_count(&self, rel_type: StrId) -> u64 {
-        self.inner.read().type_counts.get(&rel_type).copied().unwrap_or(0)
+        self.inner
+            .read()
+            .type_counts
+            .get(&rel_type)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Estimated cardinality of `(:A)-[:R]->(:B)` using the paper's rule:
@@ -197,7 +211,13 @@ mod tests {
                     props: vec![],
                 },
             ],
-            |n| if n == NodeId::new(1) { vec![sid(1)] } else { vec![sid(1), sid(2)] },
+            |n| {
+                if n == NodeId::new(1) {
+                    vec![sid(1)]
+                } else {
+                    vec![sid(1), sid(2)]
+                }
+            },
         );
         assert_eq!(s.node_count(), 2);
         assert_eq!(s.rel_count(), 1);
@@ -208,7 +228,11 @@ mod tests {
         // min rule.
         assert_eq!(s.pattern_count(Some(sid(1)), sid(9), Some(sid(2))), 1);
         assert_eq!(s.pattern_count(None, sid(9), Some(sid(2))), 1);
-        assert_eq!(s.pattern_count(Some(sid(2)), sid(9), None), 0, "label 2 is only on the target");
+        assert_eq!(
+            s.pattern_count(Some(sid(2)), sid(9), None),
+            0,
+            "label 2 is only on the target"
+        );
         assert_eq!(s.pattern_count(Some(sid(3)), sid(9), None), 0);
         s.record_commit(&[Update::DeleteRel { id: RelId::new(1) }], no_labels);
         assert_eq!(s.rel_count(), 0);

@@ -368,7 +368,9 @@ mod tests {
         assert!(txn
             .set_node_prop(nid(1), StrId::new(0), PropertyValue::Int(1))
             .is_err());
-        assert!(txn.set_rel_prop(rid(1), StrId::new(0), PropertyValue::Int(1)).is_err());
+        assert!(txn
+            .set_rel_prop(rid(1), StrId::new(0), PropertyValue::Int(1))
+            .is_err());
         assert!(txn.add_label(nid(1), StrId::new(0)).is_err());
         txn.add_node(nid(1), vec![], vec![]).unwrap();
         txn.set_node_prop(nid(1), StrId::new(0), PropertyValue::Int(1))

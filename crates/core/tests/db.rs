@@ -67,7 +67,9 @@ fn transactional_writes_and_reads() {
     assert_eq!(hist[0].valid.start, ts[3]);
 
     // Relationship history.
-    let rels = db.get_relationships(nid(3), Direction::Both, 0, last + 1).unwrap();
+    let rels = db
+        .get_relationships(nid(3), Direction::Both, 0, last + 1)
+        .unwrap();
     assert_eq!(rels.len(), 2, "ring: one in, one out");
 
     // Time travel: before the rel insertions started.
@@ -126,8 +128,13 @@ fn planner_routes_small_and_large_expansions() {
         StoreChoice::Time
     );
     // Both expansion paths agree on results.
-    let via_lineage = db.lineagestore().expand(nid(0), Direction::Outgoing, 3, last).unwrap();
-    let via_snapshot = db.expand_via_snapshot(nid(0), Direction::Outgoing, 3, last).unwrap();
+    let via_lineage = db
+        .lineagestore()
+        .expand(nid(0), Direction::Outgoing, 3, last)
+        .unwrap();
+    let via_snapshot = db
+        .expand_via_snapshot(nid(0), Direction::Outgoing, 3, last)
+        .unwrap();
     assert_eq!(via_lineage.len(), via_snapshot.len());
     let hits = db.expand(nid(0), Direction::Outgoing, 3, last).unwrap();
     assert_eq!(hits.len(), 3);
@@ -188,7 +195,8 @@ fn bitemporal_filtering() {
         )
     })
     .unwrap();
-    db.write(|txn| txn.add_node(nid(2), vec![], vec![])).unwrap();
+    db.write(|txn| txn.add_node(nid(2), vec![], vec![]))
+        .unwrap();
     let last = db.latest_ts();
     db.lineage_barrier(last);
     // Node 1 is visible only within app time [100, 200).
@@ -237,10 +245,15 @@ fn recovery_reopens_with_lineage_catchup() {
     assert_eq!(db.latest_ts(), last);
     let hist = db.get_node(nid(5), 0, last + 1).unwrap();
     assert_eq!(hist.len(), 1);
-    let hits = db.lineagestore().expand(nid(0), Direction::Outgoing, 2, last).unwrap();
+    let hits = db
+        .lineagestore()
+        .expand(nid(0), Direction::Outgoing, 2, last)
+        .unwrap();
     assert_eq!(hits.len(), 2);
     // Writes continue with fresh timestamps.
-    let ts2 = db.write(|txn| txn.add_node(nid(1000), vec![], vec![])).unwrap();
+    let ts2 = db
+        .write(|txn| txn.add_node(nid(1000), vec![], vec![]))
+        .unwrap();
     assert!(ts2 > last);
 }
 
@@ -299,7 +312,10 @@ fn incremental_procedures_match_classic() {
     for ((t1, a), (_, b)) in classic.points.iter().zip(incr.points.iter()) {
         for (id, ra) in a {
             let rb = b[id];
-            assert!((ra - rb).abs() < 1e-6, "pagerank mismatch at {t1} node {id}");
+            assert!(
+                (ra - rb).abs() < 1e-6,
+                "pagerank mismatch at {t1} node {id}"
+            );
         }
     }
     assert!(

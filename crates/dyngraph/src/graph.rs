@@ -202,9 +202,7 @@ impl DynGraph {
                 self.live_nodes += 1;
             }
             Update::DeleteNode { id } => {
-                let d = self
-                    .dense(*id)
-                    .ok_or(GraphError::NodeNotFound(*id))? as usize;
+                let d = self.dense(*id).ok_or(GraphError::NodeNotFound(*id))? as usize;
                 if !self.out_adj[d].is_empty() || !self.in_adj[d].is_empty() {
                     return Err(GraphError::NodeHasRelationships(*id));
                 }
@@ -233,17 +231,13 @@ impl DynGraph {
                 if rels.len() <= id.index() {
                     rels.resize_with(id.index() + 1, || None);
                 }
-                rels[id.index()] =
-                    Some(Relationship::new(*id, *src, *tgt, *label, props.clone()));
+                rels[id.index()] = Some(Relationship::new(*id, *src, *tgt, *label, props.clone()));
                 Arc::make_mut(&mut self.out_adj)[ds].push(*id);
                 Arc::make_mut(&mut self.in_adj)[dt].push(*id);
                 self.live_rels += 1;
             }
             Update::DeleteRel { id } => {
-                let rel = self
-                    .rel(*id)
-                    .cloned()
-                    .ok_or(GraphError::RelNotFound(*id))?;
+                let rel = self.rel(*id).cloned().ok_or(GraphError::RelNotFound(*id))?;
                 Arc::make_mut(&mut self.rels)[id.index()] = None;
                 let ds = self.idmap.dense(rel.src).expect("endpoint mapped") as usize;
                 let dt = self.idmap.dense(rel.tgt).expect("endpoint mapped") as usize;
@@ -415,7 +409,10 @@ mod tests {
         assert_eq!(g.dense(nid(1_000_000)), Some(0));
         assert_eq!(g.dense(nid(3)), Some(1));
         assert_eq!(g.degree(nid(1_000_000), Direction::Outgoing), 1);
-        assert_eq!(g.neighbours(nid(3), Direction::Incoming), vec![nid(1_000_000)]);
+        assert_eq!(
+            g.neighbours(nid(3), Direction::Incoming),
+            vec![nid(1_000_000)]
+        );
         assert_eq!(g.adj(nid(1_000_000), Direction::Outgoing), &[rid(0)]);
     }
 
@@ -486,7 +483,8 @@ mod tests {
             g.apply(&add_node(i * 3)).unwrap();
         }
         for i in 0..80u64 {
-            g.apply(&add_rel(i, (i % 50) * 3, ((i * 7) % 50) * 3)).unwrap();
+            g.apply(&add_rel(i, (i % 50) * 3, ((i * 7) % 50) * 3))
+                .unwrap();
         }
         let plain = g.to_graph();
         plain.check_consistency().unwrap();

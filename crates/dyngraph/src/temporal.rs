@@ -77,10 +77,7 @@ impl TemporalDynGraph {
                 self.version_count += 1;
             }
             Update::DeleteNode { id } => {
-                let d = self
-                    .idmap
-                    .dense(*id)
-                    .ok_or(GraphError::NodeNotFound(*id))? as usize;
+                let d = self.idmap.dense(*id).ok_or(GraphError::NodeNotFound(*id))? as usize;
                 if !alive(&self.nodes[d]) {
                     return Err(GraphError::NodeNotFound(*id));
                 }
@@ -146,10 +143,7 @@ impl TemporalDynGraph {
                 // label modification is a deletion followed by an insertion".
                 match modify.entity() {
                     lpg::EntityId::Node(id) => {
-                        let d = self
-                            .idmap
-                            .dense(id)
-                            .ok_or(GraphError::NodeNotFound(id))? as usize;
+                        let d = self.idmap.dense(id).ok_or(GraphError::NodeNotFound(id))? as usize;
                         let chain = &mut self.nodes[d];
                         let last = chain
                             .last_mut()
@@ -263,9 +257,7 @@ impl TemporalDynGraph {
             valid.extend(state.into_iter().filter(|(_, on)| *on).map(|(r, _)| r));
             valid.sort_unstable();
         }
-        valid
-            .into_iter()
-            .filter_map(move |r| self.rel_at(r, ts))
+        valid.into_iter().filter_map(move |r| self.rel_at(r, ts))
     }
 
     /// Materializes the regular LPG valid at `ts`.

@@ -37,7 +37,9 @@ fn ops_strategy() -> impl Strategy<Value = Vec<Update>> {
                 2 if !live_rels.is_empty() => {
                     let i = (a as usize) % live_rels.len();
                     let (rid, _, _) = live_rels.remove(i);
-                    out.push(Update::DeleteRel { id: RelId::new(rid) });
+                    out.push(Update::DeleteRel {
+                        id: RelId::new(rid),
+                    });
                 }
                 3 if live_nodes.contains(&a) => out.push(Update::SetNodeProp {
                     id: NodeId::new(a),

@@ -38,13 +38,19 @@ pub fn entity_ts_key(id: u64, ts: Timestamp) -> [u8; 16] {
     k
 }
 
+fn be_u64(key: &[u8], off: usize) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&key[off..off + 8]);
+    u64::from_be_bytes(a)
+}
+
 /// Decodes an [`entity_ts_key`] into `(id, ts)`.
 pub fn decode_entity_ts_key(key: &[u8]) -> Option<(u64, Timestamp)> {
     if key.len() != 16 {
         return None;
     }
-    let id = u64::from_be_bytes(key[..8].try_into().unwrap());
-    let ts = u64::from_be_bytes(key[8..].try_into().unwrap());
+    let id = be_u64(key, 0);
+    let ts = be_u64(key, 8);
     Some((id, ts))
 }
 
@@ -79,10 +85,10 @@ pub fn decode_neigh_key(key: &[u8]) -> Option<(NodeId, NodeId, RelId, Timestamp)
     if key.len() != 32 {
         return None;
     }
-    let a = u64::from_be_bytes(key[..8].try_into().unwrap());
-    let b = u64::from_be_bytes(key[8..16].try_into().unwrap());
-    let r = u64::from_be_bytes(key[16..24].try_into().unwrap());
-    let ts = u64::from_be_bytes(key[24..].try_into().unwrap());
+    let a = be_u64(key, 0);
+    let b = be_u64(key, 8);
+    let r = be_u64(key, 16);
+    let ts = be_u64(key, 24);
     Some((NodeId::new(a), NodeId::new(b), RelId::new(r), ts))
 }
 

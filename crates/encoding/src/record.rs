@@ -26,9 +26,7 @@
 //! type-specific value bytes.
 
 use crate::varint;
-use lpg::{
-    EntityDelta, NodeId, PropChange, PropertyValue, Props, RelId, StrId, Timestamp, Update,
-};
+use lpg::{EntityDelta, NodeId, PropChange, PropertyValue, Props, RelId, StrId, Timestamp, Update};
 
 const TYPE_MASK: u8 = 0b0000_0011;
 const TYPE_NODE: u8 = 0;
@@ -127,7 +125,10 @@ impl RecordBody {
             },
             Update::DeleteRel { .. } => RecordBody::RelDeleted,
             other => {
-                let delta = EntityDelta::from_update(other).expect("modify update");
+                // Adds and deletes are matched above, so only modify
+                // variants reach here; an empty delta is the panic-free
+                // fallback should that invariant ever be violated.
+                let delta = EntityDelta::from_update(other).unwrap_or_default();
                 if other.is_rel() {
                     RecordBody::RelDelta(delta)
                 } else {
@@ -559,7 +560,7 @@ mod tests {
     fn corrupt_input_returns_none() {
         assert_eq!(RecordBody::from_bytes(&[]), None);
         assert_eq!(RecordBody::from_bytes(&[0xFF]), None); // bad type bits
-        // Truncated node record.
+                                                           // Truncated node record.
         let full = RecordBody::NodeFull {
             labels: vec![sid(1)],
             props: vec![(sid(0), PropertyValue::Int(1))],

@@ -21,11 +21,10 @@ pub fn encode_graph(graph: &Graph) -> Vec<u8> {
     out.push(VERSION);
     varint::write_u64(&mut out, graph.node_count() as u64);
     // Deterministic order aids testing and delta-friendly file diffs.
-    let mut node_ids: Vec<NodeId> = graph.nodes().map(|n| n.id).collect();
-    node_ids.sort_unstable();
-    for id in node_ids {
-        let n = graph.node(id).expect("listed node");
-        varint::write_u64(&mut out, id.raw());
+    let mut nodes: Vec<_> = graph.nodes().collect();
+    nodes.sort_unstable_by_key(|n| n.id);
+    for n in nodes {
+        varint::write_u64(&mut out, n.id.raw());
         RecordBody::NodeFull {
             labels: n.labels.clone(),
             props: n.props.clone(),
@@ -33,11 +32,10 @@ pub fn encode_graph(graph: &Graph) -> Vec<u8> {
         .encode(&mut out);
     }
     varint::write_u64(&mut out, graph.rel_count() as u64);
-    let mut rel_ids: Vec<RelId> = graph.rels().map(|r| r.id).collect();
-    rel_ids.sort_unstable();
-    for id in rel_ids {
-        let r = graph.rel(id).expect("listed rel");
-        varint::write_u64(&mut out, id.raw());
+    let mut rels: Vec<_> = graph.rels().collect();
+    rels.sort_unstable_by_key(|r| r.id);
+    for r in rels {
+        varint::write_u64(&mut out, r.id.raw());
         RecordBody::RelFull {
             src: r.src,
             tgt: r.tgt,

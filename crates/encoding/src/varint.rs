@@ -69,8 +69,10 @@ pub fn write_f64(out: &mut Vec<u8>, v: f64) {
 /// Reads a fixed 8-byte little-endian float.
 pub fn read_f64(buf: &[u8], pos: &mut usize) -> Option<f64> {
     let bytes = buf.get(*pos..*pos + 8)?;
+    let mut a = [0u8; 8];
+    a.copy_from_slice(bytes);
     *pos += 8;
-    Some(f64::from_le_bytes(bytes.try_into().unwrap()))
+    Some(f64::from_le_bytes(a))
 }
 
 /// Appends a fixed 4-byte little-endian u32 (string-store references).
@@ -81,8 +83,10 @@ pub fn write_u32(out: &mut Vec<u8>, v: u32) {
 /// Reads a fixed 4-byte little-endian u32.
 pub fn read_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
     let bytes = buf.get(*pos..*pos + 4)?;
+    let mut a = [0u8; 4];
+    a.copy_from_slice(bytes);
     *pos += 4;
-    Some(u32::from_le_bytes(bytes.try_into().unwrap()))
+    Some(u32::from_le_bytes(a))
 }
 
 #[cfg(test)]

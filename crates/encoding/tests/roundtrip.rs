@@ -47,7 +47,10 @@ fn delta_strategy() -> impl Strategy<Value = EntityDelta> {
 
 fn body_strategy() -> impl Strategy<Value = RecordBody> {
     prop_oneof![
-        (proptest::collection::vec(sid_strategy(), 0..4), props_strategy())
+        (
+            proptest::collection::vec(sid_strategy(), 0..4),
+            props_strategy()
+        )
             .prop_map(|(labels, props)| RecordBody::NodeFull { labels, props }),
         (
             any::<u64>(),
@@ -72,7 +75,77 @@ fn body_strategy() -> impl Strategy<Value = RecordBody> {
     ]
 }
 
+/// Values at LEB128 group boundaries (2^(7k) ± 1) where an off-by-one in
+/// the continuation-bit logic would corrupt the stream, mixed with
+/// arbitrary values.
+fn varint_boundary_strategy() -> impl Strategy<Value = u64> {
+    let mut arms = vec![Just(0u64).boxed(), Just(u64::MAX).boxed()];
+    for k in 1..=9u32 {
+        let edge = 1u64 << (7 * k);
+        arms.push(Just(edge - 1).boxed());
+        arms.push(Just(edge).boxed());
+        arms.push(Just(edge + 1).boxed());
+    }
+    arms.push(any::<u64>().boxed());
+    proptest::strategy::Union::new(arms)
+}
+
 proptest! {
+    #[test]
+    fn varint_u64_boundaries_roundtrip(v in varint_boundary_strategy()) {
+        let mut buf = Vec::new();
+        encoding::varint::write_u64(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(encoding::varint::read_u64(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+        // Width follows the 7-bit group count.
+        let want = (64 - v.leading_zeros() as usize).div_ceil(7).max(1);
+        prop_assert_eq!(buf.len(), want);
+    }
+
+    #[test]
+    fn varint_i64_boundaries_roundtrip(v in varint_boundary_strategy(), flip in any::<bool>()) {
+        // Map the unsigned boundary onto both sides of zero: zigzag must
+        // keep |v| small encodings small and extremes lossless.
+        let signed = if flip { (v as i64).wrapping_neg() } else { v as i64 };
+        let mut buf = Vec::new();
+        encoding::varint::write_i64(&mut buf, signed);
+        let mut pos = 0;
+        prop_assert_eq!(encoding::varint::read_i64(&buf, &mut pos), Some(signed));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncation_never_panics(v in varint_boundary_strategy(), cut in any::<u64>()) {
+        let mut buf = Vec::new();
+        encoding::varint::write_u64(&mut buf, v);
+        let cut = (cut as usize) % buf.len();
+        let mut pos = 0;
+        // Either decodes a (possibly different) value from the prefix or
+        // cleanly reports None — never panics or reads past the slice.
+        let _ = encoding::varint::read_u64(&buf[..cut], &mut pos);
+        prop_assert!(pos <= cut);
+    }
+
+    #[test]
+    fn boundary_ids_roundtrip_through_records(ts in varint_boundary_strategy(),
+                                              entity in varint_boundary_strategy(),
+                                              raw in varint_boundary_strategy()) {
+        let rec = LogRecord {
+            ts,
+            entity,
+            body: RecordBody::NodeFull {
+                labels: vec![],
+                props: vec![(StrId::new(0), PropertyValue::Int(raw as i64))],
+            },
+        };
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(LogRecord::decode(&buf, &mut pos), Some(rec));
+        prop_assert_eq!(pos, buf.len());
+    }
+
     #[test]
     fn body_roundtrips(body in body_strategy()) {
         let bytes = body.to_bytes();

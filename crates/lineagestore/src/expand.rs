@@ -39,7 +39,7 @@ impl LineageStore {
                 break;
             }
             for _ in 0..qsize {
-                let cid = queue.pop_front().expect("qsize checked");
+                let Some(cid) = queue.pop_front() else { break };
                 let rels = self.rels_at(cid, dir, t)?; // line 8
                 for r in rels {
                     // Neighbour id depends on the direction of traversal.
@@ -145,7 +145,9 @@ mod tests {
     fn expand_counts_hops_outgoing() {
         let (_d, s) = store();
         build_chain(&s);
-        let hits = s.expand(NodeId::new(0), Direction::Outgoing, 3, 20).unwrap();
+        let hits = s
+            .expand(NodeId::new(0), Direction::Outgoing, 3, 20)
+            .unwrap();
         let mut by_hop: Vec<(u64, u32)> = hits.iter().map(|h| (h.node.id.raw(), h.hop)).collect();
         by_hop.sort_unstable();
         assert_eq!(by_hop, vec![(1, 1), (2, 2), (3, 3)]);
@@ -156,11 +158,16 @@ mod tests {
         let (_d, s) = store();
         build_chain(&s);
         // At ts 10 only rel 0 exists.
-        let hits = s.expand(NodeId::new(0), Direction::Outgoing, 3, 10).unwrap();
+        let hits = s
+            .expand(NodeId::new(0), Direction::Outgoing, 3, 10)
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].node.id, NodeId::new(1));
         // Before any relationship: empty.
-        assert!(s.expand(NodeId::new(0), Direction::Outgoing, 3, 5).unwrap().is_empty());
+        assert!(s
+            .expand(NodeId::new(0), Direction::Outgoing, 3, 5)
+            .unwrap()
+            .is_empty());
         // Before the node existed: error.
         assert!(matches!(
             s.expand(NodeId::new(0), Direction::Outgoing, 1, 0),
@@ -172,7 +179,9 @@ mod tests {
     fn expand_incoming_and_both() {
         let (_d, s) = store();
         build_chain(&s);
-        let inc = s.expand(NodeId::new(0), Direction::Incoming, 1, 20).unwrap();
+        let inc = s
+            .expand(NodeId::new(0), Direction::Incoming, 1, 20)
+            .unwrap();
         assert_eq!(inc.len(), 1);
         assert_eq!(inc[0].node.id, NodeId::new(2));
         let both = s.expand(NodeId::new(0), Direction::Both, 1, 20).unwrap();
@@ -200,10 +209,14 @@ mod tests {
         build_chain(&s);
         s.apply_update(15, &Update::DeleteRel { id: RelId::new(1) })
             .unwrap();
-        let hits = s.expand(NodeId::new(0), Direction::Outgoing, 3, 20).unwrap();
+        let hits = s
+            .expand(NodeId::new(0), Direction::Outgoing, 3, 20)
+            .unwrap();
         assert_eq!(hits.len(), 1, "path beyond deleted rel unreachable");
         // Time travel back before the deletion still sees the full chain.
-        let hits = s.expand(NodeId::new(0), Direction::Outgoing, 3, 14).unwrap();
+        let hits = s
+            .expand(NodeId::new(0), Direction::Outgoing, 3, 14)
+            .unwrap();
         assert_eq!(hits.len(), 3);
     }
 

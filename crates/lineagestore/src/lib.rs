@@ -24,9 +24,11 @@
 //!
 //! [`expand`] implements Algorithm 1 (n-hop expansion at a time point).
 
+pub mod audit;
 pub mod entry;
 pub mod expand;
 pub mod store;
 
+pub use audit::AuditFinding;
 pub use entry::LineageEntry;
 pub use store::{LineageStore, LineageStoreConfig, LineageStoreStats};

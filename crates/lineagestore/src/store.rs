@@ -4,8 +4,8 @@ use crate::entry::LineageEntry;
 use btree::BTree;
 use encoding::{keys, RecordBody};
 use lpg::{
-    EntityDelta, Graph, GraphError, Interval, Node, NodeId, Relationship, RelId, Result,
-    Timestamp, Update, Version,
+    EntityDelta, Graph, GraphError, Interval, Node, NodeId, RelId, Relationship, Result, Timestamp,
+    Update, Version,
 };
 use pagestore::PageStore;
 use parking_lot::Mutex;
@@ -52,11 +52,11 @@ pub struct LineageStoreStats {
 
 /// Fine-grained temporal storage: history indexed by entity id (Sec. 4.4).
 pub struct LineageStore {
-    store: Arc<PageStore>,
-    nodes: BTree,
-    rels: BTree,
-    out_n: BTree,
-    in_n: BTree,
+    pub(crate) store: Arc<PageStore>,
+    pub(crate) nodes: BTree,
+    pub(crate) rels: BTree,
+    pub(crate) out_n: BTree,
+    pub(crate) in_n: BTree,
     threshold: Option<u32>,
     stats: Mutex<LineageStoreStats>,
 }
@@ -160,27 +160,25 @@ impl LineageStore {
             }
             Update::DeleteRel { id } => {
                 // The tombstone needs the endpoints for the neighbour indexes.
-                let rel = self
-                    .rel_at(*id, ts)?
-                    .ok_or(GraphError::RelNotFound(*id))?;
+                let rel = self.rel_at(*id, ts)?.ok_or(GraphError::RelNotFound(*id))?;
                 self.put_full(&self.rels, id.raw(), ts, RecordBody::RelDeleted)?;
                 self.put_neighbours(rel.src, rel.tgt, *id, ts, true)
             }
             modify => {
-                let delta = EntityDelta::from_update(modify).expect("modify update");
+                let Some(delta) = EntityDelta::from_update(modify) else {
+                    return Err(GraphError::CorruptRecord(format!(
+                        "update at ts {ts} is neither an add/delete nor a modify operation"
+                    )));
+                };
+                // The entity id names the tree; a modify update always
+                // carries the same kind as its entity id, so a single
+                // exhaustive match replaces the old `unreachable!` arms.
                 let (tree, raw, body_of): (&BTree, u64, fn(EntityDelta) -> RecordBody) =
-                    if modify.is_rel() {
-                        let RelId(raw) = match modify.entity() {
-                            lpg::EntityId::Rel(r) => r,
-                            _ => unreachable!(),
-                        };
-                        (&self.rels, raw, RecordBody::RelDelta)
-                    } else {
-                        let NodeId(raw) = match modify.entity() {
-                            lpg::EntityId::Node(n) => n,
-                            _ => unreachable!(),
-                        };
-                        (&self.nodes, raw, RecordBody::NodeDelta)
+                    match modify.entity() {
+                        lpg::EntityId::Rel(RelId(raw)) => (&self.rels, raw, RecordBody::RelDelta),
+                        lpg::EntityId::Node(NodeId(raw)) => {
+                            (&self.nodes, raw, RecordBody::NodeDelta)
+                        }
                     };
                 self.put_delta(tree, raw, ts, delta, body_of)
             }
@@ -389,9 +387,7 @@ impl LineageStore {
         }
         match self.reconstruct(&self.nodes, id.raw(), kts, &entry)? {
             RecordBody::NodeFull { labels, props } => Ok(Some(Node::new(id, labels, props))),
-            other => Err(GraphError::Storage(format!(
-                "node index held {other:?}"
-            ))),
+            other => Err(GraphError::Storage(format!("node index held {other:?}"))),
         }
     }
 

@@ -174,8 +174,18 @@ fn rel_history_and_endpoint_lookup() {
     assert_eq!(hist[1].valid, Interval::new(6, 8));
     assert_eq!(hist[1].data.src, NodeId::new(1));
     // rels_at respects the deletion.
-    assert_eq!(s.rels_at(NodeId::new(1), Direction::Outgoing, 7).unwrap().len(), 1);
-    assert_eq!(s.rels_at(NodeId::new(1), Direction::Outgoing, 8).unwrap().len(), 0);
+    assert_eq!(
+        s.rels_at(NodeId::new(1), Direction::Outgoing, 7)
+            .unwrap()
+            .len(),
+        1
+    );
+    assert_eq!(
+        s.rels_at(NodeId::new(1), Direction::Outgoing, 8)
+            .unwrap()
+            .len(),
+        0
+    );
     // rels_history groups by relationship.
     let per_rel = s
         .rels_history(NodeId::new(2), Direction::Incoming, 0, 10)
@@ -203,10 +213,20 @@ fn multigraph_edges_between_same_pair() {
         .unwrap();
     }
     // All three parallel edges are retrievable — unlike Raphtory (Sec. 6.2).
-    assert_eq!(s.rels_at(NodeId::new(1), Direction::Outgoing, 10).unwrap().len(), 3);
+    assert_eq!(
+        s.rels_at(NodeId::new(1), Direction::Outgoing, 10)
+            .unwrap()
+            .len(),
+        3
+    );
     s.apply_update(10, &Update::DeleteRel { id: RelId::new(1) })
         .unwrap();
-    assert_eq!(s.rels_at(NodeId::new(1), Direction::Outgoing, 10).unwrap().len(), 2);
+    assert_eq!(
+        s.rels_at(NodeId::new(1), Direction::Outgoing, 10)
+            .unwrap()
+            .len(),
+        2
+    );
 }
 
 #[test]
@@ -264,7 +284,9 @@ fn history_strategy() -> impl Strategy<Value = Vec<(u64, Update)>> {
                             continue;
                         }
                         let (rid, _, _) = live_rels.remove((a as usize) % live_rels.len());
-                        Update::DeleteRel { id: RelId::new(rid) }
+                        Update::DeleteRel {
+                            id: RelId::new(rid),
+                        }
                     }
                     3 => {
                         if !live_nodes.contains(&a) {

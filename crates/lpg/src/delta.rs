@@ -173,7 +173,10 @@ mod tests {
             value: PropertyValue::Int(5),
         };
         let d = EntityDelta::from_update(&set).unwrap();
-        assert_eq!(d.props, vec![PropChange::Set(sid(1), PropertyValue::Int(5))]);
+        assert_eq!(
+            d.props,
+            vec![PropChange::Set(sid(1), PropertyValue::Int(5))]
+        );
         let add = Update::AddNode {
             id: NodeId::new(1),
             labels: vec![],

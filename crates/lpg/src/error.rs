@@ -39,8 +39,16 @@ pub enum GraphError {
         /// The latest already-committed timestamp.
         latest: u64,
     },
-    /// Underlying storage failure (I/O, corruption, …).
+    /// Underlying storage failure (I/O, …).
     Storage(String),
+    /// A stored record failed to decode or violated a structural
+    /// invariant: on-disk corruption surfaced as a typed error instead
+    /// of a panic, so `aion-fsck` can report it and reads can degrade
+    /// gracefully.
+    CorruptRecord(String),
+    /// A query-execution invariant was violated (malformed plan reached
+    /// the executor).
+    ExecError(String),
     /// The query referenced an unknown label, key, or parameter.
     Unknown(String),
 }
@@ -67,6 +75,8 @@ impl fmt::Display for GraphError {
                 "commit timestamp {attempted} is not after latest {latest}"
             ),
             GraphError::Storage(msg) => write!(f, "storage error: {msg}"),
+            GraphError::CorruptRecord(msg) => write!(f, "corrupt record: {msg}"),
+            GraphError::ExecError(msg) => write!(f, "execution error: {msg}"),
             GraphError::Unknown(what) => write!(f, "unknown reference: {what}"),
         }
     }
@@ -91,7 +101,7 @@ mod tests {
             node: NodeId::new(3),
         };
         assert!(e.to_string().contains("missing node 3"));
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let g: GraphError = io.into();
         assert!(matches!(g, GraphError::Storage(_)));
     }

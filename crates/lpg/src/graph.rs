@@ -157,8 +157,10 @@ impl Graph {
                         node: *tgt,
                     });
                 }
-                self.rels
-                    .insert(*id, Relationship::new(*id, *src, *tgt, *label, props.clone()));
+                self.rels.insert(
+                    *id,
+                    Relationship::new(*id, *src, *tgt, *label, props.clone()),
+                );
                 self.out_adj.entry(*src).or_default().push(*id);
                 self.in_adj.entry(*tgt).or_default().push(*id);
             }
@@ -172,21 +174,33 @@ impl Graph {
                 }
             }
             Update::SetNodeProp { id, key, value } => {
-                let n = self.nodes.get_mut(id).ok_or(GraphError::NodeNotFound(*id))?;
+                let n = self
+                    .nodes
+                    .get_mut(id)
+                    .ok_or(GraphError::NodeNotFound(*id))?;
                 prop_set(&mut n.props, *key, value.clone());
             }
             Update::RemoveNodeProp { id, key } => {
-                let n = self.nodes.get_mut(id).ok_or(GraphError::NodeNotFound(*id))?;
+                let n = self
+                    .nodes
+                    .get_mut(id)
+                    .ok_or(GraphError::NodeNotFound(*id))?;
                 prop_remove(&mut n.props, *key);
             }
             Update::AddLabel { id, label } => {
-                let n = self.nodes.get_mut(id).ok_or(GraphError::NodeNotFound(*id))?;
+                let n = self
+                    .nodes
+                    .get_mut(id)
+                    .ok_or(GraphError::NodeNotFound(*id))?;
                 if let Err(i) = n.labels.binary_search(label) {
                     n.labels.insert(i, *label);
                 }
             }
             Update::RemoveLabel { id, label } => {
-                let n = self.nodes.get_mut(id).ok_or(GraphError::NodeNotFound(*id))?;
+                let n = self
+                    .nodes
+                    .get_mut(id)
+                    .ok_or(GraphError::NodeNotFound(*id))?;
                 if let Ok(i) = n.labels.binary_search(label) {
                     n.labels.remove(i);
                 }
@@ -231,10 +245,7 @@ impl Graph {
                     node: r.tgt,
                 });
             }
-            let out_ok = self
-                .out_adj
-                .get(&r.src)
-                .is_some_and(|v| v.contains(&r.id));
+            let out_ok = self.out_adj.get(&r.src).is_some_and(|v| v.contains(&r.id));
             let in_ok = self.in_adj.get(&r.tgt).is_some_and(|v| v.contains(&r.id));
             if !out_ok || !in_ok {
                 return Err(GraphError::Storage(format!(
@@ -268,7 +279,10 @@ impl Graph {
         self.nodes
             .iter()
             .all(|(id, n)| other.nodes.get(id) == Some(n))
-            && self.rels.iter().all(|(id, r)| other.rels.get(id) == Some(r))
+            && self
+                .rels
+                .iter()
+                .all(|(id, r)| other.rels.get(id) == Some(r))
     }
 }
 
@@ -307,17 +321,17 @@ mod tests {
     fn insert_constraints() {
         let mut g = Graph::new();
         g.apply(&add_node(1)).unwrap();
-        assert_eq!(
-            g.apply(&add_node(1)),
-            Err(GraphError::NodeExists(nid(1)))
-        );
+        assert_eq!(g.apply(&add_node(1)), Err(GraphError::NodeExists(nid(1))));
         assert!(matches!(
             g.apply(&add_rel(1, 1, 2)),
             Err(GraphError::EndpointMissing { .. })
         ));
         g.apply(&add_node(2)).unwrap();
         g.apply(&add_rel(1, 1, 2)).unwrap();
-        assert_eq!(g.apply(&add_rel(1, 1, 2)), Err(GraphError::RelExists(rid(1))));
+        assert_eq!(
+            g.apply(&add_rel(1, 1, 2)),
+            Err(GraphError::RelExists(rid(1)))
+        );
         g.check_consistency().unwrap();
     }
 

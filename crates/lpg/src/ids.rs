@@ -222,6 +222,6 @@ mod tests {
     fn timestamp_domain_bounds() {
         assert_eq!(TS_MIN, 0);
         assert_eq!(TS_MAX, u64::MAX);
-        assert!(TS_MIN < TS_MAX);
+        const { assert!(TS_MIN < TS_MAX) }
     }
 }

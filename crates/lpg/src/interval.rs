@@ -33,10 +33,7 @@ impl Interval {
     /// `[start, ∞)` — an entity inserted at `start` and never deleted.
     #[inline]
     pub fn open_ended(start: Timestamp) -> Self {
-        Interval {
-            start,
-            end: TS_MAX,
-        }
+        Interval { start, end: TS_MAX }
     }
 
     /// Whether the point `t` lies inside `[start, end)`.

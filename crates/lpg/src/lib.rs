@@ -38,7 +38,9 @@ pub mod update;
 pub mod value;
 
 pub use delta::{EntityDelta, PropChange};
-pub use entity::{prop_get, prop_remove, prop_set, Node, Props, Relationship, TemporalNode, TemporalRel, Version};
+pub use entity::{
+    prop_get, prop_remove, prop_set, Node, Props, Relationship, TemporalNode, TemporalRel, Version,
+};
 pub use error::{GraphError, Result};
 pub use graph::Graph;
 pub use ids::{Direction, EntityId, NodeId, RelId, StrId, Timestamp, TS_MAX, TS_MIN};

@@ -46,7 +46,7 @@ pub struct PageBuf(Box<[u8; PAGE_SIZE]>);
 impl PageBuf {
     /// A zeroed page.
     pub fn zeroed() -> Self {
-        PageBuf(vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap())
+        PageBuf(Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Immutable byte view.
@@ -64,7 +64,9 @@ impl PageBuf {
     /// Reads a little-endian `u64` at `off`.
     #[inline]
     pub fn read_u64(&self, off: usize) -> u64 {
-        u64::from_le_bytes(self.0[off..off + 8].try_into().unwrap())
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&self.0[off..off + 8]);
+        u64::from_le_bytes(a)
     }
 
     /// Writes a little-endian `u64` at `off`.
@@ -76,7 +78,9 @@ impl PageBuf {
     /// Reads a little-endian `u16` at `off`.
     #[inline]
     pub fn read_u16(&self, off: usize) -> u16 {
-        u16::from_le_bytes(self.0[off..off + 2].try_into().unwrap())
+        let mut a = [0u8; 2];
+        a.copy_from_slice(&self.0[off..off + 2]);
+        u16::from_le_bytes(a)
     }
 
     /// Writes a little-endian `u16` at `off`.

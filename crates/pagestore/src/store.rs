@@ -35,6 +35,15 @@ pub struct PageStore {
     inner: Mutex<Inner>,
 }
 
+/// `load` guarantees residency, so a subsequent cache miss means the
+/// cache itself misbehaved; surface it as an error, never a panic.
+fn cache_miss_after_load(page: PageId) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("page {} missing from cache immediately after load", page.0),
+    )
+}
+
 impl PageStore {
     /// Opens (or creates) a page store at `path` with a cache of
     /// `cache_pages` pages.
@@ -110,7 +119,8 @@ impl PageStore {
         self.file
             .read_exact_at(buf.bytes_mut().as_mut_slice(), page.offset())?;
         if let Some((pid, dirty)) = inner.cache.insert(page, buf, false) {
-            self.file.write_all_at(dirty.bytes().as_slice(), pid.offset())?;
+            self.file
+                .write_all_at(dirty.bytes().as_slice(), pid.offset())?;
         }
         Ok(())
     }
@@ -120,7 +130,10 @@ impl PageStore {
         debug_assert!(!page.is_null());
         let mut inner = self.inner.lock();
         self.load(&mut inner, page)?;
-        Ok(f(inner.cache.get(page).expect("just loaded")))
+        match inner.cache.get(page) {
+            Some(buf) => Ok(f(buf)),
+            None => Err(cache_miss_after_load(page)),
+        }
     }
 
     /// Runs `f` over a mutable view of `page`, marking it dirty.
@@ -128,7 +141,10 @@ impl PageStore {
         debug_assert!(!page.is_null());
         let mut inner = self.inner.lock();
         self.load(&mut inner, page)?;
-        Ok(f(inner.cache.get_mut(page).expect("just loaded")))
+        match inner.cache.get_mut(page) {
+            Some(buf) => Ok(f(buf)),
+            None => Err(cache_miss_after_load(page)),
+        }
     }
 
     /// Allocates a zeroed page, reusing the free list when possible.
@@ -137,7 +153,10 @@ impl PageStore {
         let page = if !inner.free_head.is_null() {
             let head = inner.free_head;
             self.load(&mut inner, head)?;
-            let next = PageId(inner.cache.get(head).expect("loaded").read_u64(0));
+            let next = match inner.cache.get(head) {
+                Some(buf) => PageId(buf.read_u64(0)),
+                None => return Err(cache_miss_after_load(head)),
+            };
             inner.free_head = next;
             head
         } else {
@@ -147,7 +166,8 @@ impl PageStore {
         };
         inner.meta_dirty = true;
         if let Some((pid, dirty)) = inner.cache.insert(page, PageBuf::zeroed(), true) {
-            self.file.write_all_at(dirty.bytes().as_slice(), pid.offset())?;
+            self.file
+                .write_all_at(dirty.bytes().as_slice(), pid.offset())?;
         }
         Ok(page)
     }
@@ -158,14 +178,70 @@ impl PageStore {
         let mut inner = self.inner.lock();
         let old_head = inner.free_head;
         self.load(&mut inner, page)?;
-        inner
-            .cache
-            .get_mut(page)
-            .expect("loaded")
-            .write_u64(0, old_head.0);
+        match inner.cache.get_mut(page) {
+            Some(buf) => buf.write_u64(0, old_head.0),
+            None => return Err(cache_miss_after_load(page)),
+        }
         inner.free_head = page;
         inner.meta_dirty = true;
         Ok(())
+    }
+
+    /// Walks the free list, returning the pages on it in LIFO order. The
+    /// walk is defensive — it stops (without error) at a pointer outside
+    /// the file or once it has visited `page_count` pages, so a corrupt
+    /// list terminates; callers detect corruption by checking the returned
+    /// pages for duplicates or overlap with live data.
+    pub fn free_list(&self) -> io::Result<Vec<PageId>> {
+        let mut inner = self.inner.lock();
+        let cap = inner.page_count as usize;
+        let mut out = Vec::new();
+        let mut cur = inner.free_head;
+        while !cur.is_null() && out.len() < cap {
+            if cur.0 >= inner.page_count {
+                break;
+            }
+            self.load(&mut inner, cur)?;
+            let next = match inner.cache.get(cur) {
+                Some(buf) => PageId(buf.read_u64(0)),
+                None => return Err(cache_miss_after_load(cur)),
+            };
+            out.push(cur);
+            cur = next;
+        }
+        Ok(out)
+    }
+
+    /// Reconciles a set of reachable (live) pages against the free list:
+    /// every allocated page other than the meta page must be exactly one of
+    /// live or free. Returns a description of each discrepancy — duplicate
+    /// free-list entries, pages both live and free, and leaked pages.
+    pub fn reconcile_free_list(
+        &self,
+        reachable: &std::collections::BTreeSet<u64>,
+    ) -> io::Result<Vec<String>> {
+        let free = self.free_list()?;
+        let mut problems = Vec::new();
+        let mut free_set = std::collections::BTreeSet::new();
+        for p in &free {
+            if !free_set.insert(p.0) {
+                problems.push(format!("page {} appears twice on the free list", p.0));
+            }
+            if reachable.contains(&p.0) {
+                problems.push(format!("page {} is both live and on the free list", p.0));
+            }
+        }
+        let leaked: Vec<u64> = (1..self.page_count())
+            .filter(|p| !reachable.contains(p) && !free_set.contains(p))
+            .collect();
+        if !leaked.is_empty() {
+            problems.push(format!(
+                "{} page(s) neither reachable nor free (first: {})",
+                leaked.len(),
+                leaked[0]
+            ));
+        }
+        Ok(problems)
     }
 
     /// Writes every dirty page (and the meta page) back to the file.
@@ -173,7 +249,8 @@ impl PageStore {
         let mut inner = self.inner.lock();
         for (pid, buf) in inner.cache.take_dirty() {
             // Grow the file lazily: write_all_at extends as needed.
-            self.file.write_all_at(buf.bytes().as_slice(), pid.offset())?;
+            self.file
+                .write_all_at(buf.bytes().as_slice(), pid.offset())?;
         }
         if inner.meta_dirty {
             let mut meta = PageBuf::zeroed();

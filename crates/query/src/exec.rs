@@ -88,11 +88,10 @@ fn sort_rows(result: &mut QueryResult, order: &OrderBy, _params: &Params) -> Res
     let key = match (col, &order.item) {
         (Some(i), _) => Key::Column(i),
         (None, ReturnItem::Prop(v, k)) => {
-            let i = result
-                .columns
-                .iter()
-                .position(|c| c == v)
-                .ok_or_else(|| GraphError::Unknown(format!("ORDER BY: unknown variable {v}")))?;
+            let i =
+                result.columns.iter().position(|c| c == v).ok_or_else(|| {
+                    GraphError::Unknown(format!("ORDER BY: unknown variable {v}"))
+                })?;
             Key::NodeProp(i, k.clone())
         }
         (None, other) => {
@@ -135,17 +134,11 @@ fn value_order(a: &Value, b: &Value) -> std::cmp::Ordering {
     match (a, b) {
         (Value::Int(x), Value::Int(y)) => x.cmp(y),
         (Value::Float(x), Value::Float(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
-        (Value::Int(x), Value::Float(y)) => {
-            (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal)
-        }
-        (Value::Float(x), Value::Int(y)) => {
-            x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal)
-        }
+        (Value::Int(x), Value::Float(y)) => (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Value::Float(x), Value::Int(y)) => x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal),
         (Value::Str(x), Value::Str(y)) => x.cmp(y),
         (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
-        (x, y) => x
-            .entity_id()
-            .cmp(&y.entity_id()),
+        (x, y) => x.entity_id().cmp(&y.entity_id()),
     }
 }
 
@@ -183,15 +176,17 @@ fn run_call(db: &Aion, name: &str, args: &[Literal], params: &Params) -> Result<
                 ));
             };
             let key = db.intern(prop);
-            let series =
-                db.proc_avg_series(key, int_at(1)?, int_at(2)?, int_at(3)?, mode_at(4))?;
+            let series = db.proc_avg_series(key, int_at(1)?, int_at(2)?, int_at(3)?, mode_at(4))?;
             Ok(QueryResult {
                 columns: vec!["ts".into(), "avg".into()],
                 rows: series
                     .points
                     .into_iter()
                     .map(|(ts, v)| {
-                        vec![Value::Int(ts as i64), v.map(Value::Float).unwrap_or(Value::Null)]
+                        vec![
+                            Value::Int(ts as i64),
+                            v.map(Value::Float).unwrap_or(Value::Null),
+                        ]
                     })
                     .collect(),
             })
@@ -364,32 +359,30 @@ fn run_match(
     let mut rows: Vec<Binding> = Vec::new();
     let interner = db.interner();
     for pattern in patterns {
-        let anchor_var = pattern.start.var.clone().unwrap_or_else(|| "_anchor".into());
+        let anchor_var = pattern
+            .start
+            .var
+            .clone()
+            .unwrap_or_else(|| "_anchor".into());
         match &pattern.rel {
             None => {
                 // Single node pattern.
-                if let Some(&id) = pattern
-                    .start
-                    .var
-                    .as_deref()
-                    .and_then(|v| id_of.get(v))
-                {
+                if let Some(&id) = pattern.start.var.as_deref().and_then(|v| id_of.get(v)) {
                     // Point or history lookup by id.
                     let versions = db.get_node(NodeId::new(id), window.start, window.end)?;
                     for v in versions {
                         let mut b = Binding::new();
                         let valid = (!point_mode).then_some((v.valid.start, v.valid.end));
-                        b.insert(anchor_var.clone(), Value::from_node(&v.data, interner, valid));
+                        b.insert(
+                            anchor_var.clone(),
+                            Value::from_node(&v.data, interner, valid),
+                        );
                         push_binding(&mut rows, b, patterns.len() > 1);
                     }
                 } else {
                     // Label scan over the snapshot at `at`.
                     let g = db.get_graph_at(at)?;
-                    let label = pattern
-                        .start
-                        .label
-                        .as_deref()
-                        .map(|l| db.intern(l));
+                    let label = pattern.start.label.as_deref().map(|l| db.intern(l));
                     for n in g.nodes() {
                         if let Some(l) = label {
                             if !n.has_label(l) {
@@ -418,11 +411,7 @@ fn run_match(
                     continue;
                 }
                 // Anchored traversal: the anchor needs an id constraint.
-                let Some(&anchor_id) = pattern
-                    .start
-                    .var
-                    .as_deref()
-                    .and_then(|v| id_of.get(v))
+                let Some(&anchor_id) = pattern.start.var.as_deref().and_then(|v| id_of.get(v))
                 else {
                     return Err(GraphError::Unknown(
                         "traversal patterns require `id(anchor) = …` or `id(rel) = …` in WHERE"
@@ -437,8 +426,12 @@ fn run_match(
                 if rel.hops <= 1 {
                     // Single hop: bind rel and neighbour.
                     let rel_type = rel.rel_type.as_deref().map(|t| db.intern(t));
-                    let histories =
-                        db.get_relationships(NodeId::new(anchor_id), dir, window.start, window.end)?;
+                    let histories = db.get_relationships(
+                        NodeId::new(anchor_id),
+                        dir,
+                        window.start,
+                        window.end,
+                    )?;
                     let anchor_node = db
                         .get_node(NodeId::new(anchor_id), window.start, window.end)?
                         .into_iter()
@@ -459,15 +452,17 @@ fn run_match(
                                 );
                             }
                             if let Some(rv) = &rel.var {
-                                let valid =
-                                    (!point_mode).then_some((v.valid.start, v.valid.end));
+                                let valid = (!point_mode).then_some((v.valid.start, v.valid.end));
                                 b.insert(rv.clone(), Value::from_rel(&v.data, interner, valid));
                             }
                             if let (Some(ev), Some(other)) = (&end.var, other) {
                                 let node_versions =
                                     db.get_node(other, v.valid.start, v.valid.start + 1)?;
                                 if let Some(nv) = node_versions.into_iter().next() {
-                                    b.insert(ev.clone(), Value::from_node(&nv.data, interner, None));
+                                    b.insert(
+                                        ev.clone(),
+                                        Value::from_node(&nv.data, interner, None),
+                                    );
                                 }
                             }
                             push_binding(&mut rows, b, patterns.len() > 1);
@@ -570,7 +565,14 @@ fn run_match(
                             .and_then(Value::entity_id)
                             .map(|id| Value::Int(id as i64))
                             .unwrap_or(Value::Null),
-                        ReturnItem::Count(_) => unreachable!(),
+                        // The aggregate branch above returns early whenever
+                        // a COUNT item is present, so reaching one here
+                        // means the planner produced a malformed plan.
+                        ReturnItem::Count(_) => {
+                            return Err(GraphError::ExecError(
+                                "COUNT item reached the non-aggregate row builder".into(),
+                            ))
+                        }
                     });
                 }
                 out.push(row);
@@ -651,12 +653,12 @@ fn value_cmp(actual: &Value, op: CmpOp, expected: &Value) -> bool {
         (Value::Bool(a), Value::Bool(b)) => a.partial_cmp(b),
         _ => None,
     };
-    match (ord, op) {
-        (Some(Ordering::Equal), CmpOp::Eq | CmpOp::Le | CmpOp::Ge) => true,
-        (Some(Ordering::Less), CmpOp::Lt | CmpOp::Le | CmpOp::Neq) => true,
-        (Some(Ordering::Greater), CmpOp::Gt | CmpOp::Ge | CmpOp::Neq) => true,
-        _ => false,
-    }
+    matches!(
+        (ord, op),
+        (Some(Ordering::Equal), CmpOp::Eq | CmpOp::Le | CmpOp::Ge)
+            | (Some(Ordering::Less), CmpOp::Lt | CmpOp::Le | CmpOp::Neq)
+            | (Some(Ordering::Greater), CmpOp::Gt | CmpOp::Ge | CmpOp::Neq)
+    )
 }
 
 fn app_time_pass(db: &Aion, v: &Value, range: TimeRange) -> bool {

@@ -286,7 +286,10 @@ mod tests {
 
     #[test]
     fn lexes_the_fig1_queries() {
-        let toks = lex("USE GDB FOR SYSTEM_TIME BETWEEN 1 AND 2 MATCH (n: Node) WHERE id(n) = $id RETURN n").unwrap();
+        let toks = lex(
+            "USE GDB FOR SYSTEM_TIME BETWEEN 1 AND 2 MATCH (n: Node) WHERE id(n) = $id RETURN n",
+        )
+        .unwrap();
         assert!(toks.contains(&Token::Ident("SYSTEM_TIME".into())));
         assert!(toks.contains(&Token::Param("id".into())));
         assert!(toks.contains(&Token::Int(2)));

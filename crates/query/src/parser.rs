@@ -53,7 +53,9 @@ impl Parser {
     }
 
     fn peek_str(&self) -> String {
-        self.peek().map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+        self.peek()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "<eof>".into())
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -467,10 +469,9 @@ mod tests {
 
     #[test]
     fn fig1b_neighbourhood() {
-        let q = parse(
-            "USE GDB FOR SYSTEM_TIME AS OF 5 MATCH (n)-[*3]->(m) WHERE id(n) = 7 RETURN m",
-        )
-        .unwrap();
+        let q =
+            parse("USE GDB FOR SYSTEM_TIME AS OF 5 MATCH (n)-[*3]->(m) WHERE id(n) = 7 RETURN m")
+                .unwrap();
         let Query::Match { time, patterns, .. } = q else {
             panic!()
         };
@@ -497,15 +498,27 @@ mod tests {
     #[test]
     fn create_and_set_and_delete() {
         let q = parse("CREATE (n:Person {_id: 5, name: 'ada', age: 36})").unwrap();
-        let Query::Create { patterns } = q else { panic!() };
+        let Query::Create { patterns } = q else {
+            panic!()
+        };
         assert_eq!(patterns[0].start.props.len(), 3);
 
-        let q = parse("MATCH (a), (b) WHERE id(a) = 1 AND id(b) = 2 CREATE (a)-[:KNOWS {_id: 9}]->(b)").unwrap();
-        let Query::Match { action: Action::Create(pats), patterns, .. } = q else {
+        let q =
+            parse("MATCH (a), (b) WHERE id(a) = 1 AND id(b) = 2 CREATE (a)-[:KNOWS {_id: 9}]->(b)")
+                .unwrap();
+        let Query::Match {
+            action: Action::Create(pats),
+            patterns,
+            ..
+        } = q
+        else {
             panic!()
         };
         assert_eq!(patterns.len(), 2);
-        assert_eq!(pats[0].rel.as_ref().unwrap().0.rel_type.as_deref(), Some("KNOWS"));
+        assert_eq!(
+            pats[0].rel.as_ref().unwrap().0.rel_type.as_deref(),
+            Some("KNOWS")
+        );
 
         let q = parse("MATCH (n) WHERE id(n) = 5 SET n.age = 37").unwrap();
         assert!(matches!(
@@ -517,19 +530,32 @@ mod tests {
         ));
 
         let q = parse("MATCH (n) WHERE id(n) = 5 DELETE n").unwrap();
-        assert!(matches!(q, Query::Match { action: Action::Delete(_), .. }));
+        assert!(matches!(
+            q,
+            Query::Match {
+                action: Action::Delete(_),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn undirected_and_left_patterns() {
         let q = parse("MATCH (n)<-[r:REL]-(m) WHERE id(n) = 1 RETURN m").unwrap();
-        let Query::Match { patterns, .. } = q else { panic!() };
+        let Query::Match { patterns, .. } = q else {
+            panic!()
+        };
         assert_eq!(
             patterns[0].rel.as_ref().unwrap().0.direction,
             RelDirection::Left
         );
         let q = parse("MATCH (n)-[r]-(m) WHERE id(n) = 1 RETURN count(m)").unwrap();
-        let Query::Match { patterns, action, .. } = q else { panic!() };
+        let Query::Match {
+            patterns, action, ..
+        } = q
+        else {
+            panic!()
+        };
         assert_eq!(
             patterns[0].rel.as_ref().unwrap().0.direction,
             RelDirection::Undirected
@@ -541,15 +567,26 @@ mod tests {
     fn parse_errors_are_reported() {
         assert!(parse("MATCH (n RETURN n").is_err());
         assert!(parse("USE GDB FOR SYSTEM_TIME NEVER MATCH (n) RETURN n").is_err());
-        assert!(parse("MATCH (n) WHERE id(n) = 1").is_err(), "missing action");
-        assert!(parse("MATCH (n) RETURN n extra").is_err(), "trailing tokens");
+        assert!(
+            parse("MATCH (n) WHERE id(n) = 1").is_err(),
+            "missing action"
+        );
+        assert!(
+            parse("MATCH (n) RETURN n extra").is_err(),
+            "trailing tokens"
+        );
         assert!(parse("FETCH (n)").is_err());
     }
 
     #[test]
     fn prop_comparison_predicates() {
         let q = parse("MATCH (n) WHERE n.age >= 30 AND n.name = 'bob' RETURN n.age").unwrap();
-        let Query::Match { predicates, action, .. } = q else { panic!() };
+        let Query::Match {
+            predicates, action, ..
+        } = q
+        else {
+            panic!()
+        };
         assert_eq!(predicates.len(), 2);
         assert!(matches!(
             predicates[0],

@@ -93,7 +93,11 @@ impl Value {
     }
 
     /// Converts a relationship snapshot.
-    pub fn from_rel(r: &lpg::Relationship, interner: &Interner, valid: Option<(u64, u64)>) -> Value {
+    pub fn from_rel(
+        r: &lpg::Relationship,
+        interner: &Interner,
+        valid: Option<(u64, u64)>,
+    ) -> Value {
         Value::Rel {
             id: r.id.raw(),
             src: r.src.raw(),
@@ -139,7 +143,9 @@ impl fmt::Display for Value {
             Value::Int(v) => write!(f, "{v}"),
             Value::Float(v) => write!(f, "{v}"),
             Value::Str(s) => write!(f, "{s:?}"),
-            Value::Node { id, labels, valid, .. } => {
+            Value::Node {
+                id, labels, valid, ..
+            } => {
                 write!(f, "(#{id}")?;
                 for l in labels {
                     write!(f, ":{l}")?;
@@ -149,7 +155,13 @@ impl fmt::Display for Value {
                 }
                 write!(f, ")")
             }
-            Value::Rel { id, src, tgt, rel_type, .. } => {
+            Value::Rel {
+                id,
+                src,
+                tgt,
+                rel_type,
+                ..
+            } => {
                 write!(f, "[#{id} {src}->{tgt}")?;
                 if let Some(t) = rel_type {
                     write!(f, " :{t}")?;
@@ -187,8 +199,15 @@ mod tests {
             vec![(name, PropertyValue::Str(ada))],
         );
         let v = Value::from_node(&n, &interner, Some((1, 5)));
-        let Value::Node { id, labels, props, valid } = &v else {
-            panic!()
+        assert!(matches!(v, Value::Node { .. }), "expected a node value");
+        let Value::Node {
+            id,
+            labels,
+            props,
+            valid,
+        } = &v
+        else {
+            return; // unreachable: asserted above
         };
         assert_eq!(*id, 7);
         assert_eq!(labels, &vec!["Person".to_string()]);

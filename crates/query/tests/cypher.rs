@@ -20,7 +20,10 @@ fn seed(db: &Aion) -> u64 {
     for i in 0..5 {
         exec(
             db,
-            &format!("CREATE (n:Person {{_id: {i}, age: {}, name: 'p{i}'}})", 20 + i),
+            &format!(
+                "CREATE (n:Person {{_id: {i}, age: {}, name: 'p{i}'}})",
+                20 + i
+            ),
         );
     }
     for i in 0..4 {
@@ -42,7 +45,10 @@ fn create_and_point_read() {
     db.lineage_barrier(last);
     let r = exec(&db, "MATCH (n) WHERE id(n) = 2 RETURN n");
     assert_eq!(r.rows.len(), 1);
-    let Value::Node { id, labels, props, .. } = &r.rows[0][0] else {
+    let Value::Node {
+        id, labels, props, ..
+    } = &r.rows[0][0]
+    else {
         panic!("expected node, got {:?}", r.rows[0][0])
     };
     assert_eq!(*id, 2);
@@ -60,7 +66,12 @@ fn parameterized_lookup() {
     let r = execute(&db, "MATCH (n) WHERE id(n) = $id RETURN n.name", &params).unwrap();
     assert_eq!(r.rows, vec![vec![Value::Str("p3".into())]]);
     // Missing parameter is an error.
-    assert!(execute(&db, "MATCH (n) WHERE id(n) = $nope RETURN n", &Params::new()).is_err());
+    assert!(execute(
+        &db,
+        "MATCH (n) WHERE id(n) = $nope RETURN n",
+        &Params::new()
+    )
+    .is_err());
 }
 
 #[test]
@@ -79,7 +90,9 @@ fn fig1a_history_between() {
     let r = exec(&db, &q);
     assert_eq!(r.rows.len(), 3, "three versions of node 1");
     // Versions carry intervals.
-    let Value::Node { valid, .. } = &r.rows[0][0] else { panic!() };
+    let Value::Node { valid, .. } = &r.rows[0][0] else {
+        panic!()
+    };
     assert!(valid.is_some());
 }
 
@@ -130,7 +143,12 @@ fn single_hop_with_rel_binding() {
     let r = exec(&db, &q);
     assert_eq!(r.columns, vec!["r".to_string(), "m".to_string()]);
     assert_eq!(r.rows.len(), 1);
-    let Value::Rel { src, tgt, rel_type, .. } = &r.rows[0][0] else { panic!() };
+    let Value::Rel {
+        src, tgt, rel_type, ..
+    } = &r.rows[0][0]
+    else {
+        panic!()
+    };
     assert_eq!((*src, *tgt), (1, 2));
     assert_eq!(rel_type.as_deref(), Some("KNOWS"));
     // Incoming direction.
@@ -199,7 +217,9 @@ fn rel_with_where_on_rel_pattern() {
     db.lineage_barrier(last);
     let r = exec(
         &db,
-        &format!("USE GDB FOR SYSTEM_TIME AS OF {last} MATCH (n)-[*4]->(m) WHERE id(n) = 0 RETURN m"),
+        &format!(
+            "USE GDB FOR SYSTEM_TIME AS OF {last} MATCH (n)-[*4]->(m) WHERE id(n) = 0 RETURN m"
+        ),
     );
     assert_eq!(r.rows.len(), 2, "chain is cut after node 2");
 }
@@ -214,20 +234,33 @@ fn order_by_and_limit() {
     let ages: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
     assert_eq!(ages, vec![20, 21, 22, 23, 24]);
     // Descending with limit.
-    let r = exec(&db, "MATCH (n:Person) RETURN n.age ORDER BY n.age DESC LIMIT 2");
+    let r = exec(
+        &db,
+        "MATCH (n:Person) RETURN n.age ORDER BY n.age DESC LIMIT 2",
+    );
     let ages: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
     assert_eq!(ages, vec![24, 23]);
     // Order by a property through a returned node column.
     let r = exec(&db, "MATCH (n:Person) RETURN n ORDER BY n.age DESC LIMIT 1");
     assert_eq!(r.rows.len(), 1);
-    let query::Value::Node { id, .. } = &r.rows[0][0] else { panic!() };
+    let query::Value::Node { id, .. } = &r.rows[0][0] else {
+        panic!()
+    };
     assert_eq!(*id, 4);
     // Order by id().
-    let r = exec(&db, "MATCH (n:Person) RETURN id(n) ORDER BY id(n) DESC LIMIT 3");
+    let r = exec(
+        &db,
+        "MATCH (n:Person) RETURN id(n) ORDER BY id(n) DESC LIMIT 3",
+    );
     let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
     assert_eq!(ids, vec![4, 3, 2]);
     // Unknown order key errors.
-    assert!(execute(&db, "MATCH (n:Person) RETURN n.age ORDER BY m.x", &Params::new()).is_err());
+    assert!(execute(
+        &db,
+        "MATCH (n:Person) RETURN n.age ORDER BY m.x",
+        &Params::new()
+    )
+    .is_err());
     // LIMIT without ORDER BY.
     let r = exec(&db, "MATCH (n:Person) RETURN n LIMIT 2");
     assert_eq!(r.rows.len(), 2);

@@ -10,7 +10,8 @@ fn seeded_db() -> (tempfile::TempDir, Aion, u64) {
     let db = Aion::open(AionConfig::new(dir.path())).unwrap();
     let weight = db.intern("weight");
     for i in 0..30u64 {
-        db.write(|txn| txn.add_node(lpg::NodeId::new(i), vec![], vec![])).unwrap();
+        db.write(|txn| txn.add_node(lpg::NodeId::new(i), vec![], vec![]))
+            .unwrap();
     }
     for i in 0..30u64 {
         db.write(|txn| {
@@ -40,7 +41,11 @@ fn call_avg_series() {
     let ts: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
     assert!(ts.windows(2).all(|w| w[0] < w[1]));
     // Classic mode returns the same values.
-    let qc = format!("CALL aion.avg('weight', {}, {}, 10, 'classic')", last / 2, last + 1);
+    let qc = format!(
+        "CALL aion.avg('weight', {}, {}, 10, 'classic')",
+        last / 2,
+        last + 1
+    );
     let rc = execute(&db, &qc, &Params::new()).unwrap();
     assert_eq!(r.rows.len(), rc.rows.len());
     for (a, b) in r.rows.iter().zip(rc.rows.iter()) {
@@ -65,7 +70,11 @@ fn call_bfs_and_pagerank() {
     // Reachability grows (ring is being completed).
     let reached: Vec<i64> = r.rows.iter().map(|row| row[1].as_int().unwrap()).collect();
     assert!(reached.windows(2).all(|w| w[0] <= w[1]));
-    assert_eq!(*reached.last().unwrap(), 30, "full ring reachable at the end");
+    assert_eq!(
+        *reached.last().unwrap(),
+        30,
+        "full ring reachable at the end"
+    );
 
     let r = execute(
         &db,
@@ -73,7 +82,10 @@ fn call_bfs_and_pagerank() {
         &Params::new(),
     )
     .unwrap();
-    assert_eq!(r.columns, vec!["ts".to_string(), "topNode".to_string(), "rank".to_string()]);
+    assert_eq!(
+        r.columns,
+        vec!["ts".to_string(), "topNode".to_string(), "rank".to_string()]
+    );
     assert!(!r.rows.is_empty());
 }
 
@@ -95,9 +107,15 @@ fn call_diff_and_window() {
         &Params::new(),
     )
     .unwrap();
-    assert_eq!(r.columns, vec!["ts".to_string(), "op".to_string(), "entity".to_string()]);
+    assert_eq!(
+        r.columns,
+        vec!["ts".to_string(), "op".to_string(), "entity".to_string()]
+    );
     assert_eq!(r.rows.len(), 30, "thirty rel inserts");
-    assert!(r.rows.iter().all(|row| row[1] == Value::Str("addRel".into())));
+    assert!(r
+        .rows
+        .iter()
+        .all(|row| row[1] == Value::Str("addRel".into())));
     // Window over the full history contains every node.
     let r = execute(
         &db,

@@ -34,7 +34,7 @@ impl Client {
             params,
         })? {
             Response::Ok(result) => Ok(result),
-            Response::Err(msg) => Err(io::Error::new(io::ErrorKind::Other, msg)),
+            Response::Err(msg) => Err(io::Error::other(msg)),
         }
     }
 
@@ -42,7 +42,7 @@ impl Client {
     pub fn ping(&mut self) -> io::Result<()> {
         match self.call(&Request::Ping)? {
             Response::Ok(_) => Ok(()),
-            Response::Err(msg) => Err(io::Error::new(io::ErrorKind::Other, msg)),
+            Response::Err(msg) => Err(io::Error::other(msg)),
         }
     }
 

@@ -396,7 +396,10 @@ mod tests {
         };
         let back = decode_request(&encode_request(&req)).unwrap();
         assert_eq!(back, req);
-        assert_eq!(decode_request(&encode_request(&Request::Ping)).unwrap(), Request::Ping);
+        assert_eq!(
+            decode_request(&encode_request(&Request::Ping)).unwrap(),
+            Request::Ping
+        );
         assert_eq!(
             decode_request(&encode_request(&Request::Shutdown)).unwrap(),
             Request::Shutdown
@@ -411,7 +414,10 @@ mod tests {
                 Value::Node {
                     id: 3,
                     labels: vec!["Person".into()],
-                    props: vec![("age".into(), Value::Int(30)), ("ok".into(), Value::Bool(true))],
+                    props: vec![
+                        ("age".into(), Value::Int(30)),
+                        ("ok".into(), Value::Bool(true)),
+                    ],
                     valid: Some((1, 9)),
                 },
                 Value::Rel {

@@ -22,8 +22,7 @@ fn query_over_the_wire() {
     client
         .run("CREATE (n:Person {_id: 1, name: 'ada'})", vec![])
         .unwrap();
-    client.run("CREATE (n:Person {_id: 2})", vec![])
-        .unwrap();
+    client.run("CREATE (n:Person {_id: 2})", vec![]).unwrap();
     db.lineage_barrier(db.latest_ts());
     let r = client
         .run(
@@ -32,7 +31,9 @@ fn query_over_the_wire() {
         )
         .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Str("ada".into())]]);
-    let r = client.run("MATCH (n:Person) RETURN count(n)", vec![]).unwrap();
+    let r = client
+        .run("MATCH (n:Person) RETURN count(n)", vec![])
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
     assert!(server.query_count() >= 4);
 }
@@ -45,7 +46,9 @@ fn errors_propagate_without_closing_connection() {
     assert!(err.to_string().contains("parse") || err.to_string().contains("unknown"));
     // Connection still usable.
     client.run("CREATE (n {_id: 5})", vec![]).unwrap();
-    let r = client.run("MATCH (n) WHERE id(n) = 5 RETURN id(n)", vec![]).unwrap();
+    let r = client
+        .run("MATCH (n) WHERE id(n) = 5 RETURN id(n)", vec![])
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(5)]]);
 }
 
@@ -56,8 +59,11 @@ fn concurrent_clients() {
     {
         let mut c = Client::connect(server.addr()).unwrap();
         for i in 0..20 {
-            c.run(&format!("CREATE (n:Person {{_id: {i}, v: {}}})", i + 1), vec![])
-                .unwrap();
+            c.run(
+                &format!("CREATE (n:Person {{_id: {i}, v: {}}})", i + 1),
+                vec![],
+            )
+            .unwrap();
         }
         db.lineage_barrier(db.latest_ts());
     }
@@ -95,8 +101,6 @@ fn shutdown_stops_accepting() {
     client.ping().unwrap();
     server.shutdown();
     // New connections are refused or die immediately.
-    let still_up = Client::connect(addr)
-        .and_then(|mut c| c.ping())
-        .is_ok();
+    let still_up = Client::connect(addr).and_then(|mut c| c.ping()).is_ok();
     assert!(!still_up, "server should not serve after shutdown");
 }

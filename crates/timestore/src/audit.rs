@@ -1,0 +1,296 @@
+//! Deep consistency audit of a [`TimeStore`] (the TimeStore half of
+//! `aion-fsck`).
+//!
+//! Structural pass (always):
+//!
+//! * both index B+Trees pass [`btree::BTree::verify`];
+//! * page accounting: every allocated index page is either reachable from
+//!   a tree root or on the free list, and never both.
+//!
+//! Deep pass (`deep = true`) additionally checks the log/index/snapshot
+//! agreement the recovery path relies on:
+//!
+//! * every time-index entry decodes, is monotone in both timestamp and log
+//!   offset, and points at a log frame carrying exactly that timestamp;
+//! * every log frame is indexed (no orphaned commits);
+//! * every snapshot-index entry names an existing, decodable snapshot file
+//!   whose contents equal an independent log replay at that timestamp;
+//! * a full log replay reproduces the live in-memory graph.
+
+use crate::store::TimeStore;
+use encoding::{keys, snapshot};
+use lpg::{Graph, Result};
+
+/// One audit finding: a named invariant plus what was observed.
+#[derive(Clone, Debug)]
+pub struct AuditFinding {
+    /// Short machine-matchable invariant name, e.g. `"time-index/order"`.
+    pub check: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.check, self.detail)
+    }
+}
+
+pub(crate) fn storage_err(e: std::io::Error) -> lpg::GraphError {
+    lpg::GraphError::Storage(e.to_string())
+}
+
+impl TimeStore {
+    /// Runs the audit; see the module docs for the invariant list. Returns
+    /// every violation found (empty = consistent). IO errors abort the
+    /// audit; corruption is reported, never panicked on.
+    pub fn audit(&self, deep: bool) -> Result<Vec<AuditFinding>> {
+        let mut findings = Vec::new();
+
+        // Structural pass: both index trees, then page accounting.
+        let mut reachable = std::collections::BTreeSet::new();
+        reachable.insert(0); // meta page
+        for (name, tree) in [
+            ("time-index", &self.time_index),
+            ("snapshot-index", &self.snap_index),
+        ] {
+            let report = tree.verify().map_err(storage_err)?;
+            for v in &report.violations {
+                findings.push(AuditFinding {
+                    check: match name {
+                        "time-index" => "time-index/structure",
+                        _ => "snapshot-index/structure",
+                    },
+                    detail: format!("{v}"),
+                });
+            }
+            reachable.extend(report.reachable.iter().copied());
+        }
+        for problem in self
+            .index_store
+            .reconcile_free_list(&reachable)
+            .map_err(storage_err)?
+        {
+            findings.push(AuditFinding {
+                check: "index-pages/accounting",
+                detail: problem,
+            });
+        }
+        if !deep {
+            return Ok(findings);
+        }
+
+        // Deep pass: time index ↔ log agreement.
+        let mut indexed_offsets = std::collections::BTreeSet::new();
+        let mut prev: Option<(u64, u64)> = None; // (ts, offset)
+        for item in self.time_index.scan(&[], &[]).map_err(storage_err)? {
+            let (key, value) = item.map_err(storage_err)?;
+            let Some(ts) = keys::decode_ts_key(&key) else {
+                findings.push(AuditFinding {
+                    check: "time-index/key",
+                    detail: format!("undecodable {}-byte key {key:?}", key.len()),
+                });
+                continue;
+            };
+            let Ok(bytes) = <[u8; 8]>::try_from(value.as_slice()) else {
+                findings.push(AuditFinding {
+                    check: "time-index/value",
+                    detail: format!("entry at ts {ts} holds a {}-byte offset", value.len()),
+                });
+                continue;
+            };
+            let offset = u64::from_le_bytes(bytes);
+            if let Some((pts, poff)) = prev {
+                if ts <= pts {
+                    findings.push(AuditFinding {
+                        check: "time-index/order",
+                        detail: format!("timestamp {ts} not above predecessor {pts}"),
+                    });
+                }
+                if offset <= poff {
+                    findings.push(AuditFinding {
+                        check: "time-index/order",
+                        detail: format!(
+                            "offset {offset} at ts {ts} not above predecessor offset {poff}"
+                        ),
+                    });
+                }
+            }
+            prev = Some((ts, offset));
+            indexed_offsets.insert(offset);
+            match self.log.read_at(offset) {
+                Ok((frame, _)) => {
+                    if frame.ts != ts {
+                        findings.push(AuditFinding {
+                            check: "time-index/envelope",
+                            detail: format!(
+                                "index says ts {ts} at offset {offset}, frame carries ts {}",
+                                frame.ts
+                            ),
+                        });
+                    }
+                }
+                Err(e) => findings.push(AuditFinding {
+                    check: "time-index/envelope",
+                    detail: format!("offset {offset} (ts {ts}) is unreadable: {e}"),
+                }),
+            }
+        }
+
+        // Every log frame must be indexed, and the replay of the whole log
+        // must reproduce the live graph; snapshots are compared against the
+        // running replay as it passes their timestamps.
+        let mut snaps: Vec<(u64, String)> = Vec::new();
+        for item in self.snap_index.scan(&[], &[]).map_err(storage_err)? {
+            let (key, value) = item.map_err(storage_err)?;
+            let Some(ts) = keys::decode_ts_key(&key) else {
+                findings.push(AuditFinding {
+                    check: "snapshot-index/key",
+                    detail: format!("undecodable {}-byte key {key:?}", key.len()),
+                });
+                continue;
+            };
+            snaps.push((ts, String::from_utf8_lossy(&value).into_owned()));
+        }
+        let mut snap_iter = snaps.iter().peekable();
+        let mut replay = Graph::new();
+        let mut replay_ok = true;
+        for (offset, frame) in self.log.scan_from(0)? {
+            if !indexed_offsets.contains(&offset) {
+                findings.push(AuditFinding {
+                    check: "time-index/coverage",
+                    detail: format!(
+                        "log frame at offset {offset} (ts {}) is unindexed",
+                        frame.ts
+                    ),
+                });
+            }
+            for u in frame.to_updates() {
+                if let Err(e) = replay.apply(&u.op) {
+                    findings.push(AuditFinding {
+                        check: "log/replay",
+                        detail: format!("update at ts {} does not apply: {e}", u.ts),
+                    });
+                    replay_ok = false;
+                }
+            }
+            while let Some((sts, name)) = snap_iter.peek() {
+                if *sts > frame.ts {
+                    break;
+                }
+                self.audit_snapshot(*sts, name, replay_ok.then_some(&replay), &mut findings);
+                snap_iter.next();
+            }
+        }
+        for (sts, name) in snap_iter {
+            findings.push(AuditFinding {
+                check: "snapshot-index/envelope",
+                detail: format!("snapshot {name} at ts {sts} is beyond the last log frame"),
+            });
+        }
+        if replay_ok && !replay.same_as(&self.latest_graph()) {
+            findings.push(AuditFinding {
+                check: "log/replay",
+                detail: "full log replay does not reproduce the live graph".into(),
+            });
+        }
+        if let Err(e) = self.latest_graph().check_consistency() {
+            findings.push(AuditFinding {
+                check: "graph/consistency",
+                detail: format!("live graph fails self-check: {e}"),
+            });
+        }
+        Ok(findings)
+    }
+
+    /// Checks one snapshot file: readable, decodable, internally consistent
+    /// and (when the log replay is trustworthy) equal to the replayed state
+    /// at its timestamp.
+    fn audit_snapshot(
+        &self,
+        ts: u64,
+        name: &str,
+        replay: Option<&Graph>,
+        findings: &mut Vec<AuditFinding>,
+    ) {
+        let path = self.snap_dir.join(name);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                findings.push(AuditFinding {
+                    check: "snapshot/file",
+                    detail: format!("snapshot {name} at ts {ts} unreadable: {e}"),
+                });
+                return;
+            }
+        };
+        let Some(graph) = snapshot::decode_graph(&bytes) else {
+            findings.push(AuditFinding {
+                check: "snapshot/decode",
+                detail: format!("snapshot {name} at ts {ts} does not decode"),
+            });
+            return;
+        };
+        if let Err(e) = graph.check_consistency() {
+            findings.push(AuditFinding {
+                check: "snapshot/consistency",
+                detail: format!("snapshot {name} at ts {ts} fails self-check: {e}"),
+            });
+        }
+        if let Some(expected) = replay {
+            if !graph.same_as(expected) {
+                findings.push(AuditFinding {
+                    check: "snapshot/replay",
+                    detail: format!(
+                        "snapshot {name} at ts {ts} diverges from the log replay at that point"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TimeStoreConfig;
+    use lpg::{NodeId, Update};
+    use tempfile::tempdir;
+
+    fn add_node(i: u64) -> Update {
+        Update::AddNode {
+            id: NodeId::new(i),
+            labels: vec![],
+            props: vec![],
+        }
+    }
+
+    #[test]
+    fn fresh_store_audits_clean() {
+        let dir = tempdir().unwrap();
+        let ts = TimeStore::open(dir.path(), TimeStoreConfig::default()).unwrap();
+        for i in 1..200u64 {
+            ts.append_commit(i, &[add_node(i)]).unwrap();
+        }
+        ts.write_snapshot(199).unwrap();
+        ts.sync().unwrap();
+        let findings = ts.audit(true).unwrap();
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+
+    #[test]
+    fn missing_snapshot_file_detected() {
+        let dir = tempdir().unwrap();
+        let ts = TimeStore::open(dir.path(), TimeStoreConfig::default()).unwrap();
+        for i in 1..50u64 {
+            ts.append_commit(i, &[add_node(i)]).unwrap();
+        }
+        ts.write_snapshot(49).unwrap();
+        ts.sync().unwrap();
+        for entry in std::fs::read_dir(dir.path().join("snapshots")).unwrap() {
+            std::fs::remove_file(entry.unwrap().path()).unwrap();
+        }
+        let findings = ts.audit(true).unwrap();
+        assert!(findings.iter().any(|f| f.check == "snapshot/file"));
+    }
+}

@@ -88,15 +88,21 @@ impl GraphStore {
         }
         g.bytes += size;
         while g.bytes > self.budget {
-            // Evict the least recently used snapshot.
+            // Evict the least recently used snapshot. An empty cache with
+            // a non-zero byte count would be an accounting bug; reset the
+            // counter instead of panicking.
             let victim = g
                 .cache
                 .iter()
                 .min_by_key(|(_, (_, t))| *t)
-                .map(|(ts, _)| *ts)
-                .expect("bytes > 0 implies non-empty");
-            let (old, _) = g.cache.remove(&victim).unwrap();
-            g.bytes -= old.heap_size();
+                .map(|(ts, _)| *ts);
+            let Some(victim) = victim else {
+                g.bytes = 0;
+                break;
+            };
+            if let Some((old, _)) = g.cache.remove(&victim) {
+                g.bytes -= old.heap_size();
+            }
         }
     }
 
@@ -125,7 +131,7 @@ impl GraphStore {
         let mut g = self.inner.lock();
         g.tick += 1;
         let tick = g.tick;
-        if g.latest_ts <= ts && !g.latest.nodes().next().is_none() {
+        if g.latest_ts <= ts && g.latest.nodes().next().is_some() {
             // The live graph is the cheapest base when it's old enough.
             return Some((g.latest_ts, g.latest.clone()));
         }

@@ -26,11 +26,13 @@
 //! snapshot with the closest timestamp `≤ t` (from GraphStore or disk) and
 //! replays the forward changes from the log (Sec. 4.3).
 
+pub mod audit;
 pub mod graphstore;
 pub mod log;
 pub mod policy;
 pub mod store;
 
+pub use audit::AuditFinding;
 pub use graphstore::GraphStore;
 pub use log::{ChangeLog, CommitFrame};
 pub use policy::SnapshotPolicy;

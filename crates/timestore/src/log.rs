@@ -5,8 +5,8 @@
 //! One frame per committed transaction keeps commit batching intact and
 //! makes the frame boundary the natural recovery unit.
 
-use encoding::{updates_from_record, RecordBody};
 use encoding::varint;
+use encoding::{updates_from_record, RecordBody};
 use lpg::{GraphError, Result, Timestamp, TimestampedUpdate, Update};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -142,8 +142,12 @@ impl ChangeLog {
         }
         let mut head = [0u8; 8];
         self.file.read_exact_at(&mut head, offset).ok()?;
-        let len = u32::from_le_bytes(head[..4].try_into().unwrap()) as u64;
-        let checksum = u32::from_le_bytes(head[4..].try_into().unwrap());
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&head[..4]);
+        let len = u32::from_le_bytes(len4) as u64;
+        let mut sum4 = [0u8; 4];
+        sum4.copy_from_slice(&head[4..]);
+        let checksum = u32::from_le_bytes(sum4);
         if offset + 8 + len > file_len {
             return None;
         }

@@ -65,14 +65,14 @@ struct MutableState {
 
 /// Snapshot-based temporal storage indexed by time (Sec. 4.3).
 pub struct TimeStore {
-    log: ChangeLog,
+    pub(crate) log: ChangeLog,
     /// B+Tree: commit ts → log offset.
-    time_index: BTree,
+    pub(crate) time_index: BTree,
     /// B+Tree: snapshot ts → snapshot file name.
-    snap_index: BTree,
-    index_store: Arc<PageStore>,
+    pub(crate) snap_index: BTree,
+    pub(crate) index_store: Arc<PageStore>,
     graphstore: GraphStore,
-    snap_dir: PathBuf,
+    pub(crate) snap_dir: PathBuf,
     policy: SnapshotPolicy,
     state: Mutex<MutableState>,
 }
@@ -167,8 +167,10 @@ impl TimeStore {
         drop(state);
         if latest_ts > 0 {
             let graph = self.reconstruct_at(latest_ts)?;
-            self.graphstore
-                .set_latest(Arc::try_unwrap(graph).unwrap_or_else(|a| (*a).clone()), latest_ts);
+            self.graphstore.set_latest(
+                Arc::try_unwrap(graph).unwrap_or_else(|a| (*a).clone()),
+                latest_ts,
+            );
         }
         Ok(())
     }
@@ -289,7 +291,10 @@ impl TimeStore {
             (mem, Some((k, name))) => {
                 let disk_ts = decode_ts(&k)?;
                 let path = self.snap_dir.join(String::from_utf8_lossy(&name).as_ref());
-                match std::fs::read(&path).ok().and_then(|b| snapshot::decode_graph(&b)) {
+                match std::fs::read(&path)
+                    .ok()
+                    .and_then(|b| snapshot::decode_graph(&b))
+                {
                     Some(g) => {
                         let g = Arc::new(g);
                         self.graphstore.put(disk_ts, g.clone());
@@ -364,7 +369,8 @@ impl TimeStore {
         let mut out = Graph::new();
         // Latest state of every node seen in the window.
         for chain in tg.nodes.values() {
-            let last = chain.last().expect("non-empty chain");
+            // temporal_graph never emits empty chains; skip defensively.
+            let Some(last) = chain.last() else { continue };
             out.apply(&Update::AddNode {
                 id: last.data.id,
                 labels: last.data.labels.clone(),
@@ -372,7 +378,7 @@ impl TimeStore {
             })?;
         }
         for chain in tg.rels.values() {
-            let last = chain.last().expect("non-empty chain");
+            let Some(last) = chain.last() else { continue };
             let r = &last.data;
             // Dangling relationships (an endpoint never present in the
             // window) are pruned, mirroring Gradoop's verification join.

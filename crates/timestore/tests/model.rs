@@ -45,7 +45,9 @@ fn history_strategy() -> impl Strategy<Value = Vec<Vec<Update>>> {
                     2 if !live_rels.is_empty() => {
                         let i = (a as usize) % live_rels.len();
                         let (rid, _, _) = live_rels.remove(i);
-                        batch.push(Update::DeleteRel { id: RelId::new(rid) });
+                        batch.push(Update::DeleteRel {
+                            id: RelId::new(rid),
+                        });
                     }
                     3 if live_nodes.contains(&a) => {
                         batch.push(Update::SetNodeProp {

@@ -1,7 +1,9 @@
 //! End-to-end TimeStore tests: ingest → reconstruct → diff → window →
 //! temporal graph → recovery, all checked against the naive-replay oracle.
 
-use lpg::{Graph, Interval, NodeId, PropertyValue, RelId, StrId, TemporalGraph, TimestampedUpdate, Update};
+use lpg::{
+    Graph, Interval, NodeId, PropertyValue, RelId, StrId, TemporalGraph, TimestampedUpdate, Update,
+};
 use tempfile::tempdir;
 use timestore::{SnapshotPolicy, TimeStore, TimeStoreConfig};
 
@@ -75,8 +77,7 @@ fn oracle_at(commits: &[(u64, Vec<Update>)], ts: u64) -> Graph {
 #[test]
 fn reconstruction_matches_oracle_at_every_commit() {
     let dir = tempdir().unwrap();
-    let ts_store =
-        TimeStore::open(dir.path(), config(SnapshotPolicy::EveryNOps(25))).unwrap();
+    let ts_store = TimeStore::open(dir.path(), config(SnapshotPolicy::EveryNOps(25))).unwrap();
     let commits = history();
     for (ts, ops) in &commits {
         ts_store.append_commit(*ts, ops).unwrap();
@@ -161,7 +162,10 @@ fn temporal_graph_matches_naive_replay() {
     let updates: Vec<TimestampedUpdate> = commits
         .iter()
         .filter(|(ts, _)| *ts > lo && *ts < hi)
-        .flat_map(|(ts, ops)| ops.iter().map(move |o| TimestampedUpdate::new(*ts, o.clone())))
+        .flat_map(|(ts, ops)| {
+            ops.iter()
+                .map(move |o| TimestampedUpdate::new(*ts, o.clone()))
+        })
         .collect();
     let want = TemporalGraph::build(&base, Interval::new(lo, hi), &updates);
     assert_eq!(got.version_count(), want.version_count());

@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn lookup() {
-        assert_eq!(by_name("DBLP").unwrap().directed, false);
+        assert!(!by_name("DBLP").unwrap().directed);
         assert!(by_name("nope").is_none());
     }
 }

@@ -107,23 +107,21 @@ pub fn generate(dataset: Dataset, seed: u64) -> GeneratedWorkload {
     let mut created = vec![false; n as usize];
     let mut ts = 0u64;
     let mut next_rel = 0u64;
-    let emit_node = |id: u64,
-                         ts: &mut u64,
-                         updates: &mut Vec<TimestampedUpdate>,
-                         created: &mut Vec<bool>| {
-        if !created[id as usize] {
-            created[id as usize] = true;
-            *ts += 1;
-            updates.push(TimestampedUpdate::new(
-                *ts,
-                Update::AddNode {
-                    id: NodeId::new(id),
-                    labels: vec![vocab.label],
-                    props: vec![],
-                },
-            ));
-        }
-    };
+    let emit_node =
+        |id: u64, ts: &mut u64, updates: &mut Vec<TimestampedUpdate>, created: &mut Vec<bool>| {
+            if !created[id as usize] {
+                created[id as usize] = true;
+                *ts += 1;
+                updates.push(TimestampedUpdate::new(
+                    *ts,
+                    Update::AddNode {
+                        id: NodeId::new(id),
+                        labels: vec![vocab.label],
+                        props: vec![],
+                    },
+                ));
+            }
+        };
     for (src, tgt) in edges {
         emit_node(src, &mut ts, &mut updates, &mut created);
         emit_node(tgt, &mut ts, &mut updates, &mut created);
@@ -144,7 +142,10 @@ pub fn generate(dataset: Dataset, seed: u64) -> GeneratedWorkload {
                     src: NodeId::new(s),
                     tgt: NodeId::new(t),
                     label: Some(vocab.rel_type),
-                    props: vec![(vocab.weight, PropertyValue::Float(rng.gen_range(0.0..100.0)))],
+                    props: vec![(
+                        vocab.weight,
+                        PropertyValue::Float(rng.gen_range(0.0..100.0)),
+                    )],
                 },
             ));
         }
@@ -218,7 +219,11 @@ mod tests {
         // deduplication may fall slightly short on dense graphs.
         let expect = spec.rels / 2 * 2;
         assert!(w.rel_ids.len() as u64 <= expect);
-        assert!(w.rel_ids.len() as u64 >= expect * 9 / 10, "{}", w.rel_ids.len());
+        assert!(
+            w.rel_ids.len() as u64 >= expect * 9 / 10,
+            "{}",
+            w.rel_ids.len()
+        );
         assert_eq!(w.rel_ids.len() % 2, 0, "edges come in direction pairs");
         let directed = by_name("wikitalk").unwrap().scaled(0.0005);
         let w = generate(directed, 1);

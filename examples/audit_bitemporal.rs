@@ -76,7 +76,11 @@ fn main() -> lpg::Result<()> {
         )?;
         println!(
             "  contract #{id}: {}",
-            if hits.is_empty() { "not in force" } else { "in force" }
+            if hits.is_empty() {
+                "not in force"
+            } else {
+                "in force"
+            }
         );
     }
 
@@ -88,7 +92,10 @@ fn main() -> lpg::Result<()> {
         ),
         &query::Params::new(),
     )?;
-    println!("\nCypher bitemporal lookup of contract #2 value: {}", r.rows[0][0]);
+    println!(
+        "\nCypher bitemporal lookup of contract #2 value: {}",
+        r.rows[0][0]
+    );
 
     // Full system-time history of contract #1 — the audit trail itself.
     let trail = db.get_node(NodeId::new(1), 0, t3 + 1)?;

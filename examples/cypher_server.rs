@@ -55,7 +55,9 @@ fn main() -> std::io::Result<()> {
     // Variable-hop expansion (Fig. 1b).
     let last = db.latest_ts();
     let r = client.run(
-        &format!("USE GDB FOR SYSTEM_TIME AS OF {last} MATCH (n)-[*2]->(m) WHERE id(n) = 1 RETURN id(m)"),
+        &format!(
+            "USE GDB FOR SYSTEM_TIME AS OF {last} MATCH (n)-[*2]->(m) WHERE id(n) = 1 RETURN id(m)"
+        ),
         vec![],
     )?;
     println!(

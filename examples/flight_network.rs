@@ -34,19 +34,21 @@ fn main() -> lpg::Result<()> {
     // the flight's validity: the relationship is inserted at departure and
     // deleted at arrival, exactly the Fig. 2 annotation.
     let flights: &[(u64, usize, usize, u64, u64)] = &[
-        (0, 0, 1, 10, 12),  // AMS→LHR dep 10 arr 12
-        (1, 1, 2, 14, 21),  // LHR→JFK dep 14 arr 21
-        (2, 0, 2, 11, 20),  // AMS→JFK direct, dep 11 arr 20
-        (3, 2, 3, 23, 29),  // JFK→SFO dep 23 arr 29
-        (4, 2, 3, 21, 27),  // JFK→SFO earlier, dep 21 arr 27 (tight!)
-        (5, 3, 4, 30, 41),  // SFO→NRT dep 30 arr 41
-        (6, 1, 4, 15, 27),  // LHR→NRT direct, dep 15 arr 27
+        (0, 0, 1, 10, 12), // AMS→LHR dep 10 arr 12
+        (1, 1, 2, 14, 21), // LHR→JFK dep 14 arr 21
+        (2, 0, 2, 11, 20), // AMS→JFK direct, dep 11 arr 20
+        (3, 2, 3, 23, 29), // JFK→SFO dep 23 arr 29
+        (4, 2, 3, 21, 27), // JFK→SFO earlier, dep 21 arr 27 (tight!)
+        (5, 3, 4, 30, 41), // SFO→NRT dep 30 arr 41
+        (6, 1, 4, 15, 27), // LHR→NRT direct, dep 15 arr 27
     ];
     // Build the flight schedule as graph history: a flight's relationship
     // is inserted at its departure time and deleted at its arrival time,
     // committed with `write_at` so system time equals flight time — exactly
     // the Fig. 2 interval annotation.
-    let mut events: Vec<(u64, u64, Option<(usize, usize)>)> = Vec::new();
+    // (timestamp, flight id, Some(endpoints) = departure / None = arrival)
+    type FlightEvent = (u64, u64, Option<(usize, usize)>);
+    let mut events: Vec<FlightEvent> = Vec::new();
     for &(id, from, to, dep, arr) in flights {
         events.push((dep, id, Some((from, to))));
         events.push((arr, id, None));
@@ -100,9 +102,6 @@ fn main() -> lpg::Result<()> {
 
     // Contrast: the graph "as of" a time point only sees in-air flights.
     let mid = db.get_graph_at(15)?;
-    println!(
-        "\nsnapshot at t=15: {} flights in the air",
-        mid.rel_count()
-    );
+    println!("\nsnapshot at t=15: {} flights in the air", mid.rel_count());
     Ok(())
 }

@@ -22,10 +22,18 @@ fn main() -> lpg::Result<()> {
     let ada = NodeId::new(1);
     let bob = NodeId::new(2);
     let t1 = db.write(|txn| {
-        txn.add_node(ada, vec![person], vec![(name, PropertyValue::Str(db.intern("Ada")))])
+        txn.add_node(
+            ada,
+            vec![person],
+            vec![(name, PropertyValue::Str(db.intern("Ada")))],
+        )
     })?;
     let t2 = db.write(|txn| {
-        txn.add_node(bob, vec![person], vec![(name, PropertyValue::Str(db.intern("Bob")))])
+        txn.add_node(
+            bob,
+            vec![person],
+            vec![(name, PropertyValue::Str(db.intern("Bob")))],
+        )
     })?;
     let t3 = db.write(|txn| {
         txn.add_rel(
@@ -36,7 +44,8 @@ fn main() -> lpg::Result<()> {
             vec![(since, PropertyValue::Int(2024))],
         )
     })?;
-    let t4 = db.write(|txn| txn.set_node_prop(ada, name, PropertyValue::Str(db.intern("Ada L."))))?;
+    let t4 =
+        db.write(|txn| txn.set_node_prop(ada, name, PropertyValue::Str(db.intern("Ada L."))))?;
     let t5 = db.write(|txn| txn.delete_rel(RelId::new(1)))?;
     println!("committed at timestamps {t1}, {t2}, {t3}, {t4}, {t5}");
     db.lineage_barrier(t5); // wait for the background cascade (demo only)
@@ -58,7 +67,10 @@ fn main() -> lpg::Result<()> {
     println!("\nAda's outgoing relationship histories: {}", rels.len());
     for chain in &rels {
         for v in chain {
-            println!("  rel {} valid [{}, {})", v.data.id, v.valid.start, v.valid.end);
+            println!(
+                "  rel {} valid [{}, {})",
+                v.data.id, v.valid.start, v.valid.end
+            );
         }
     }
 
@@ -89,10 +101,16 @@ fn main() -> lpg::Result<()> {
     // --- Temporal Cypher ----------------------------------------------------
     let result = query::execute(
         &db,
-        &format!("USE GDB FOR SYSTEM_TIME BETWEEN 1 AND {} MATCH (n) WHERE id(n) = 1 RETURN n", t5 + 1),
+        &format!(
+            "USE GDB FOR SYSTEM_TIME BETWEEN 1 AND {} MATCH (n) WHERE id(n) = 1 RETURN n",
+            t5 + 1
+        ),
         &query::Params::new(),
     )?;
-    println!("\ntemporal Cypher found {} versions of node 1:", result.rows.len());
+    println!(
+        "\ntemporal Cypher found {} versions of node 1:",
+        result.rows.len()
+    );
     for row in &result.rows {
         println!("  {}", row[0]);
     }

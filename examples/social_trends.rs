@@ -68,7 +68,8 @@ fn main() -> lpg::Result<()> {
     let half = last / 2;
     let step = (last - half) / 10;
     let cfg = PageRankConfig::default();
-    let series = db.proc_pagerank_series(cfg, half, last + 1, step.max(1), ExecMode::Incremental)?;
+    let series =
+        db.proc_pagerank_series(cfg, half, last + 1, step.max(1), ExecMode::Incremental)?;
     println!("\ntop influencer per snapshot (incremental PageRank):");
     for (ts, ranks) in &series.points {
         if let Some((node, rank)) = ranks
@@ -78,7 +79,10 @@ fn main() -> lpg::Result<()> {
             println!("  t={ts:>6}: node {node} (rank {rank:.5})");
         }
     }
-    println!("(total power iterations across the series: {})", series.work);
+    println!(
+        "(total power iterations across the series: {})",
+        series.work
+    );
 
     // --- Compare with the classic recomputation ----------------------------
     let classic = db.proc_pagerank_series(cfg, half, last + 1, step.max(1), ExecMode::Classic)?;
@@ -93,7 +97,10 @@ fn main() -> lpg::Result<()> {
     let avg = db.proc_avg_series(weight, half, last + 1, step.max(1), ExecMode::Incremental)?;
     println!("\nrunning AVG(weight) per snapshot:");
     for (ts, value) in avg.points.iter().take(5) {
-        println!("  t={ts:>6}: {:?}", value.map(|v| (v * 100.0).round() / 100.0));
+        println!(
+            "  t={ts:>6}: {:?}",
+            value.map(|v| (v * 100.0).round() / 100.0)
+        );
     }
     Ok(())
 }

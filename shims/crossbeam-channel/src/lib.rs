@@ -1,0 +1,41 @@
+//! Offline stand-in for `crossbeam-channel` 0.5: the unbounded-channel
+//! subset used by the cascade worker, delegated to `std::sync::mpsc`.
+
+use std::sync::mpsc;
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.0.iter()
+    }
+}
+
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}

@@ -18,11 +18,18 @@ fn writers_and_readers_race_safely() {
     // Seed a ring.
     const N: u64 = 40;
     for i in 0..N {
-        db.write(|txn| txn.add_node(NodeId::new(i), vec![], vec![])).unwrap();
+        db.write(|txn| txn.add_node(NodeId::new(i), vec![], vec![]))
+            .unwrap();
     }
     for i in 0..N {
         db.write(|txn| {
-            txn.add_rel(RelId::new(i), NodeId::new(i), NodeId::new((i + 1) % N), None, vec![])
+            txn.add_rel(
+                RelId::new(i),
+                NodeId::new(i),
+                NodeId::new((i + 1) % N),
+                None,
+                vec![],
+            )
         })
         .unwrap();
     }
@@ -43,11 +50,7 @@ fn writers_and_readers_race_safely() {
                 i += 1;
                 let ts = db
                     .write(|txn| {
-                        txn.set_node_prop(
-                            NodeId::new(i % N),
-                            value,
-                            PropertyValue::Int(i as i64),
-                        )
+                        txn.set_node_prop(NodeId::new(i % N), value, PropertyValue::Int(i as i64))
                     })
                     .expect("write");
                 assert!(ts > last, "commit timestamps must increase");

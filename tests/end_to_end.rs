@@ -99,7 +99,9 @@ fn expansion_paths_agree() {
     for hops in [1u32, 2, 3] {
         for _ in 0..10 {
             let start = w.random_node(&mut rng);
-            let a = db.lineagestore().expand(start, Direction::Outgoing, hops, last);
+            let a = db
+                .lineagestore()
+                .expand(start, Direction::Outgoing, hops, last);
             let b = db.expand_via_snapshot(start, Direction::Outgoing, hops, last);
             match (a, b) {
                 (Ok(x), Ok(y)) => {

@@ -22,7 +22,13 @@ fn seed(db: &Aion, n: u64) -> u64 {
     }
     for i in 0..n {
         db.write(|txn| {
-            txn.add_rel(RelId::new(i), NodeId::new(i), NodeId::new((i + 1) % n), None, vec![])
+            txn.add_rel(
+                RelId::new(i),
+                NodeId::new(i),
+                NodeId::new((i + 1) % n),
+                None,
+                vec![],
+            )
         })
         .unwrap();
     }
@@ -74,7 +80,8 @@ fn lineage_store_lags_behind() {
         // More commits the stale copy will not contain.
         last = {
             let l = db.intern("Late");
-            db.write(|txn| txn.add_node(NodeId::new(500), vec![l], vec![])).unwrap()
+            db.write(|txn| txn.add_node(NodeId::new(500), vec![l], vec![]))
+                .unwrap()
         };
         db.lineage_barrier(last);
         db.sync().unwrap();
@@ -170,6 +177,264 @@ fn index_file_lost_rebuilt_from_log() {
     for probe in [1, last / 3, last / 2, last] {
         let g = db.get_graph_at(probe).unwrap();
         g.check_consistency().unwrap();
+    }
+}
+
+// --------------------------------------------------------------------------
+// Corruption injection: flip bytes in the on-disk structures and assert the
+// `aion-fsck` machinery (the `check` crate the binary is built on) reports
+// each corruption class as a typed finding instead of panicking.
+//
+// Classes covered: B+Tree key ordering, overflow-chain integrity, lineage
+// interval overlap, and cross-store divergence.
+
+mod corruption {
+    use check::{check_lineagestore, check_stores, CheckLevel, Subsystem};
+    use lineagestore::{LineageStore, LineageStoreConfig};
+    use lpg::{NodeId, PropertyValue, RelId, StrId, Update};
+    use pagestore::PAGE_SIZE;
+    use tempfile::tempdir;
+    use timestore::{TimeStore, TimeStoreConfig};
+
+    // Raw slotted-page layout (crates/btree/src/layout.rs): all integers LE.
+    const LEAF: u8 = 1;
+    const NCELLS_OFF: usize = 2;
+    const SLOTS_OFF: usize = 16;
+    const FLAG_OVERFLOW: u8 = 1;
+
+    fn read_u16(b: &[u8], off: usize) -> usize {
+        u16::from_le_bytes([b[off], b[off + 1]]) as usize
+    }
+
+    fn read_u64(b: &[u8], off: usize) -> u64 {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&b[off..off + 8]);
+        u64::from_le_bytes(a)
+    }
+
+    /// Page indexes (excluding the meta page 0) whose first byte tags a leaf.
+    fn leaf_pages(file: &[u8]) -> Vec<usize> {
+        (1..file.len() / PAGE_SIZE)
+            .filter(|p| file[p * PAGE_SIZE] == LEAF)
+            .collect()
+    }
+
+    /// Seeds a standalone LineageStore with chains long enough to span the
+    /// materialization threshold, plus relationships and a tombstone.
+    fn seed_lineage(ls: &LineageStore, big_value_node: Option<u64>) {
+        let mut t = 0u64;
+        for i in 0..20u64 {
+            t += 1;
+            let props = if big_value_node == Some(i) {
+                // Large enough to exceed MAX_INLINE_VALUE (1 KiB) so the
+                // materialized record lands in an overflow chain.
+                vec![(
+                    StrId::new(1),
+                    PropertyValue::IntArray((0..1500).map(|x| i64::MAX - x).collect()),
+                )]
+            } else {
+                vec![]
+            };
+            ls.apply_commit(
+                t,
+                &[Update::AddNode {
+                    id: NodeId::new(i),
+                    labels: vec![StrId::new(0)],
+                    props,
+                }],
+            )
+            .unwrap();
+            if i > 0 {
+                t += 1;
+                ls.apply_commit(
+                    t,
+                    &[Update::AddRel {
+                        id: RelId::new(i),
+                        src: NodeId::new(i - 1),
+                        tgt: NodeId::new(i),
+                        label: None,
+                        props: vec![],
+                    }],
+                )
+                .unwrap();
+            }
+        }
+        // Property churn: several versions per node so entity chains have
+        // adjacent same-entity cells within one leaf.
+        for round in 0..6u64 {
+            for node in 0..6u64 {
+                t += 1;
+                ls.apply_commit(
+                    t,
+                    &[Update::SetNodeProp {
+                        id: NodeId::new(node),
+                        key: StrId::new(2),
+                        value: PropertyValue::Int((round * 10 + node) as i64),
+                    }],
+                )
+                .unwrap();
+            }
+        }
+        t += 1;
+        ls.apply_commit(t, &[Update::DeleteRel { id: RelId::new(3) }])
+            .unwrap();
+        ls.sync().unwrap();
+    }
+
+    fn build_lineage_db(dir: &std::path::Path, big_value_node: Option<u64>) -> std::path::PathBuf {
+        let path = dir.join("lineage.db");
+        let ls = LineageStore::open(&path, LineageStoreConfig::default()).unwrap();
+        seed_lineage(&ls, big_value_node);
+        path
+    }
+
+    #[test]
+    fn fsck_detects_btree_key_order_corruption() {
+        let dir = tempdir().unwrap();
+        let path = build_lineage_db(dir.path(), None);
+        let mut file = std::fs::read(&path).unwrap();
+        // Swap the first two slot-directory entries of a leaf: its keys are
+        // now out of order on disk.
+        let page = leaf_pages(&file)
+            .into_iter()
+            .find(|&p| read_u16(&file, p * PAGE_SIZE + NCELLS_OFF) >= 2)
+            .expect("a leaf with two cells must exist");
+        let s = page * PAGE_SIZE + SLOTS_OFF;
+        file.swap(s, s + 2);
+        file.swap(s + 1, s + 3);
+        std::fs::write(&path, &file).unwrap();
+
+        let ls = LineageStore::open(&path, LineageStoreConfig::default()).unwrap();
+        let findings = check_lineagestore(&ls, CheckLevel::Quick).unwrap();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.check.ends_with("/structure") && f.detail.contains("[key-order]")),
+            "key-order corruption not reported: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fsck_detects_overflow_chain_corruption() {
+        let dir = tempdir().unwrap();
+        let path = build_lineage_db(dir.path(), Some(2));
+        let mut file = std::fs::read(&path).unwrap();
+        // Find a leaf cell flagged as overflow and point its chain head's
+        // `next` pointer far outside the file.
+        let mut corrupted = false;
+        'outer: for page in leaf_pages(&file) {
+            let base = page * PAGE_SIZE;
+            for i in 0..read_u16(&file, base + NCELLS_OFF) {
+                let off = base + read_u16(&file, base + SLOTS_OFF + i * 2);
+                if file[off] & FLAG_OVERFLOW != 0 {
+                    let klen = read_u16(&file, off + 1);
+                    let head = read_u64(&file, off + 7 + klen) as usize;
+                    let next_off = head * PAGE_SIZE;
+                    file[next_off..next_off + 8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+                    corrupted = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(
+            corrupted,
+            "the big property must have produced an overflow chain"
+        );
+        std::fs::write(&path, &file).unwrap();
+
+        let ls = LineageStore::open(&path, LineageStoreConfig::default()).unwrap();
+        let findings = check_lineagestore(&ls, CheckLevel::Quick).unwrap();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.check.ends_with("/structure") && f.detail.contains("[overflow-chain]")),
+            "overflow corruption not reported: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fsck_detects_lineage_interval_overlap() {
+        let dir = tempdir().unwrap();
+        let path = build_lineage_db(dir.path(), None);
+        let mut file = std::fs::read(&path).unwrap();
+        // Find two adjacent history cells for the same entity (16-byte
+        // entity_ts keys share their first 8 bytes) and rewrite the second
+        // version's timestamp to its predecessor's: the derived validity
+        // intervals now overlap.
+        let mut injected = false;
+        'outer: for page in leaf_pages(&file) {
+            let base = page * PAGE_SIZE;
+            let ncells = read_u16(&file, base + NCELLS_OFF);
+            for i in 0..ncells.saturating_sub(1) {
+                let a = base + read_u16(&file, base + SLOTS_OFF + i * 2);
+                let b = base + read_u16(&file, base + SLOTS_OFF + (i + 1) * 2);
+                if read_u16(&file, a + 1) == 16
+                    && read_u16(&file, b + 1) == 16
+                    && file[a + 7..a + 15] == file[b + 7..b + 15]
+                {
+                    let ts = file[a + 15..a + 23].to_vec();
+                    file[b + 15..b + 23].copy_from_slice(&ts);
+                    injected = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(
+            injected,
+            "property churn must produce adjacent same-entity versions"
+        );
+        std::fs::write(&path, &file).unwrap();
+
+        let ls = LineageStore::open(&path, LineageStoreConfig::default()).unwrap();
+        let findings = check_lineagestore(&ls, CheckLevel::Deep).unwrap();
+        assert!(
+            findings.iter().any(|f| f.check == "chain/interval"),
+            "interval overlap not reported: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fsck_detects_cross_store_divergence() {
+        let dir = tempdir().unwrap();
+        let ts = TimeStore::open(dir.path().join("timestore"), TimeStoreConfig::default()).unwrap();
+        let ls = LineageStore::open(dir.path().join("lineage.db"), LineageStoreConfig::default())
+            .unwrap();
+        let mut t = 0u64;
+        for i in 0..25u64 {
+            t += 1;
+            let ops = vec![Update::AddNode {
+                id: NodeId::new(i),
+                labels: vec![StrId::new(0)],
+                props: vec![],
+            }];
+            ts.append_commit(t, &ops).unwrap();
+            ls.apply_commit(t, &ops).unwrap();
+        }
+        // A phantom write only the LineageStore sees, below its watermark:
+        // the stores now answer historical queries differently.
+        ls.apply_update(
+            t,
+            &Update::AddNode {
+                id: NodeId::new(7_777),
+                labels: vec![],
+                props: vec![],
+            },
+        )
+        .unwrap();
+        ts.sync().unwrap();
+        ls.sync().unwrap();
+        drop((ts, ls));
+
+        let ts = TimeStore::open(dir.path().join("timestore"), TimeStoreConfig::default()).unwrap();
+        let ls = LineageStore::open(dir.path().join("lineage.db"), LineageStoreConfig::default())
+            .unwrap();
+        let report = check_stores(&ts, &ls, CheckLevel::Full).unwrap();
+        assert!(
+            report
+                .by_subsystem(Subsystem::CrossStore)
+                .any(|f| f.check == "differential"),
+            "divergence not reported:\n{report}"
+        );
     }
 }
 

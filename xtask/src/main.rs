@@ -1,0 +1,377 @@
+//! `cargo xtask` — dependency-free workspace automation.
+//!
+//! ```text
+//! cargo xtask lint    static panic-freedom + manifest audit
+//! ```
+//!
+//! The `lint` pass enforces two policies that `rustc`/`clippy` cannot
+//! express on stable without external crates:
+//!
+//! 1. **Panic-free storage layer.** Non-test code in the five storage
+//!    crates (`pagestore`, `btree`, `encoding`, `timestore`,
+//!    `lineagestore`) must not contain `.unwrap()`, `.expect(`,
+//!    `panic!(`, `unreachable!(`, `todo!(` or `unimplemented!(`.
+//!    Corruption must surface as typed errors that `aion-fsck` can
+//!    report, never as a process abort. Test modules (`#[cfg(test)]`)
+//!    and doc comments are exempt.
+//! 2. **Lint-table coverage.** Every workspace crate manifest must opt
+//!    into the shared `[workspace.lints]` table via
+//!    `[lints] workspace = true`, so `warnings = "deny"` and the curated
+//!    clippy set apply uniformly.
+//!
+//! Exit status: 0 = clean, 1 = violations, 2 = usage/IO error.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose non-test code must be panic-free.
+const PANIC_FREE_CRATES: &[&str] = &[
+    "crates/pagestore",
+    "crates/btree",
+    "crates/encoding",
+    "crates/timestore",
+    "crates/lineagestore",
+];
+
+/// Forbidden tokens in non-test storage code. Matched after comment
+/// stripping; `unwrap_or`/`unwrap_or_else`/`unwrap_or_default` do not
+/// match because the token requires the closing paren immediately.
+const FORBIDDEN: &[&str] = &[
+    ".unwrap()",
+    ".unwrap_err()",
+    ".expect(",
+    ".expect_err(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    token: &'static str,
+    text: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: forbidden `{}` in non-test code: {}",
+            self.file.display(),
+            self.line,
+            self.token,
+            self.text.trim()
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask always lives one level below the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+    let mut errors = Vec::new();
+
+    for krate in PANIC_FREE_CRATES {
+        let src = root.join(krate).join("src");
+        if let Err(e) = scan_dir(&src, &mut violations) {
+            errors.push(format!("{}: {e}", src.display()));
+        }
+    }
+
+    let mut missing_lints = Vec::new();
+    match collect_manifests(&root) {
+        Ok(manifests) => {
+            for m in manifests {
+                match std::fs::read_to_string(&m) {
+                    Ok(body) => {
+                        if !manifest_opts_into_workspace_lints(&body) {
+                            missing_lints.push(m);
+                        }
+                    }
+                    Err(e) => errors.push(format!("{}: {e}", m.display())),
+                }
+            }
+        }
+        Err(e) => errors.push(format!("manifest walk: {e}")),
+    }
+
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("xtask lint: {e}");
+        }
+        return ExitCode::from(2);
+    }
+
+    for v in &violations {
+        println!("{v}");
+    }
+    for m in &missing_lints {
+        println!(
+            "{}: missing `[lints] workspace = true` (required for the workspace lint gate)",
+            m.display()
+        );
+    }
+    if violations.is_empty() && missing_lints.is_empty() {
+        println!(
+            "xtask lint: clean ({} storage crate(s) panic-free, all manifests opted into workspace lints)",
+            PANIC_FREE_CRATES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation(s)",
+            violations.len() + missing_lints.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+/// Every `Cargo.toml` directly under `crates/`, plus `xtask` and the root
+/// package manifest. Shims are vendored stand-ins and are exempt.
+fn collect_manifests(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = vec![root.join("Cargo.toml"), root.join("xtask/Cargo.toml")];
+    for entry in std::fs::read_dir(root.join("crates"))? {
+        let manifest = entry?.path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn manifest_opts_into_workspace_lints(body: &str) -> bool {
+    let mut in_lints = false;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+        } else if in_lints && line.replace(' ', "") == "workspace=true" {
+            return true;
+        }
+    }
+    false
+}
+
+fn scan_dir(dir: &Path, violations: &mut Vec<Violation>) -> std::io::Result<()> {
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&d)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let body = std::fs::read_to_string(&path)?;
+                scan_file(&path, &body, violations);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Line-oriented scan. Tracks `#[cfg(test)]` items by brace depth: once a
+/// `#[cfg(test)]` attribute is seen, everything until the braces of the
+/// following item balance is test code and exempt. Comments (`//`, `/* */`)
+/// and string literals are stripped before token matching so prose
+/// mentioning `panic!(` does not trip the gate.
+fn scan_file(path: &Path, body: &str, violations: &mut Vec<Violation>) {
+    let mut in_block_comment = false;
+    // None = production code; Some(depth) = inside a #[cfg(test)] item
+    // whose brace depth must return to `depth` to end.
+    let mut test_region: Option<i64> = None;
+    let mut pending_test_attr = false;
+    let mut depth: i64 = 0;
+
+    for (idx, raw) in body.lines().enumerate() {
+        let code = strip_noise(raw, &mut in_block_comment);
+        let trimmed = code.trim();
+
+        if test_region.is_none() && trimmed.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+
+        if pending_test_attr && opens > 0 {
+            // The attribute's item starts here; exempt until depth drops
+            // back to the level before its first `{`.
+            test_region = Some(depth);
+            pending_test_attr = false;
+        }
+
+        let exempt = test_region.is_some() || pending_test_attr;
+        if !exempt {
+            for token in FORBIDDEN {
+                if code.contains(token) {
+                    violations.push(Violation {
+                        file: path.to_path_buf(),
+                        line: idx + 1,
+                        token,
+                        text: raw.to_string(),
+                    });
+                }
+            }
+        }
+
+        depth += opens - closes;
+        if let Some(base) = test_region {
+            if closes > 0 && depth <= base {
+                test_region = None;
+            }
+        }
+    }
+}
+
+/// Removes line comments, block comments, and string-literal contents so
+/// only real code tokens remain. Keeps the quotes themselves so column
+/// structure stays roughly intact. Not a full lexer — raw strings with
+/// embedded quotes and similar corner cases are out of scope for a lint
+/// heuristic — but char-level escape tracking covers the codebase today.
+fn strip_noise(line: &str, in_block_comment: &mut bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if *in_block_comment {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                *in_block_comment = false;
+            }
+            continue;
+        }
+        if in_str {
+            if c == '\\' {
+                chars.next();
+            } else if c == '"' {
+                in_str = false;
+                out.push('"');
+            }
+            continue;
+        }
+        if in_char {
+            if c == '\\' {
+                chars.next();
+            } else if c == '\'' {
+                in_char = false;
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => break,
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                *in_block_comment = true;
+            }
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            // Lifetime vs char literal: a quote right after an ident
+            // char or `&`/`<` is a lifetime; treat quote followed by
+            // escape or by `x'` as a char literal.
+            '\'' => {
+                let next = chars.peek().copied();
+                let looks_like_char = matches!(next, Some(n) if n == '\\')
+                    || matches!(
+                        (next, {
+                            let mut ahead = chars.clone();
+                            ahead.next();
+                            ahead.next()
+                        }),
+                        (Some(_), Some('\''))
+                    );
+                if looks_like_char {
+                    in_char = true;
+                } else {
+                    out.push('\'');
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_str(body: &str) -> Vec<String> {
+        let mut v = Vec::new();
+        scan_file(Path::new("t.rs"), body, &mut v);
+        v.into_iter().map(|x| x.token.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_in_production_code() {
+        assert_eq!(scan_str("fn f() { x.unwrap(); }"), vec![".unwrap()"]);
+    }
+
+    #[test]
+    fn ignores_test_modules_and_comments() {
+        let body = "\
+// x.unwrap() in a comment\n\
+/* panic!(\"no\") */\n\
+fn ok() { let _ = x.unwrap_or_default(); }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { x.unwrap(); panic!(\"fine here\"); }\n\
+}\n";
+        assert!(scan_str(body).is_empty());
+    }
+
+    #[test]
+    fn resumes_after_test_module_ends() {
+        let body = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { x.unwrap(); }\n\
+}\n\
+fn bad() { y.expect(\"boom\"); }\n";
+        assert_eq!(scan_str(body), vec![".expect("]);
+    }
+
+    #[test]
+    fn string_literals_do_not_trip_the_gate() {
+        assert!(scan_str("fn f() { let s = \"call panic!( never\"; }").is_empty());
+    }
+
+    #[test]
+    fn manifest_lints_detection() {
+        assert!(manifest_opts_into_workspace_lints(
+            "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n"
+        ));
+        assert!(!manifest_opts_into_workspace_lints(
+            "[package]\nname = \"x\"\n"
+        ));
+        assert!(!manifest_opts_into_workspace_lints(
+            "[lints.rust]\nworkspace = true\n"
+        ));
+    }
+}
