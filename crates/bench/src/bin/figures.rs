@@ -3,9 +3,15 @@
 //!
 //! ```text
 //! figures <experiment|all> [--edges N] [--ops N] [--runs N] [--seed N]
+//!         [--metrics-dir DIR]
 //!
 //! experiments: table3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 //! ```
+//!
+//! With `--metrics-dir DIR`, the harness drops one
+//! `BENCH_<experiment>_metrics.json` sidecar per experiment: the
+//! process-wide metrics snapshot (cumulative across the run, so diff
+//! successive sidecars for per-experiment deltas).
 
 use aion_bench::*;
 
@@ -13,6 +19,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = BenchConfig::default();
     let mut which: Vec<String> = Vec::new();
+    let mut metrics_dir: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,6 +37,10 @@ fn main() {
             }
             "--seed" => {
                 cfg.seed = args[i + 1].parse().expect("--seed N");
+                i += 2;
+            }
+            "--metrics-dir" => {
+                metrics_dir = Some(std::path::PathBuf::from(&args[i + 1]));
                 i += 2;
             }
             other => {
@@ -96,7 +107,27 @@ fn main() {
             "ablations" => {
                 ablations::run(&cfg);
             }
-            other => eprintln!("unknown experiment: {other}"),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                continue;
+            }
         }
+        if let Some(dir) = &metrics_dir {
+            write_metrics_sidecar(dir, &exp);
+        }
+    }
+}
+
+/// Dumps the cumulative metrics snapshot next to the experiment output so
+/// perf investigations can correlate figures with storage-layer behaviour
+/// (cache hit rates, replay counts, commit latency) without a rerun.
+fn write_metrics_sidecar(dir: &std::path::Path, exp: &str) {
+    let path = dir.join(format!("BENCH_{exp}_metrics.json"));
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, obs::snapshot().to_json()))
+    {
+        eprintln!("aion-bench: cannot write {}: {e}", path.display());
+    } else {
+        println!("metrics sidecar: {}", path.display());
     }
 }

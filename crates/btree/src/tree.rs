@@ -42,6 +42,26 @@ pub const MAX_INLINE_VALUE: usize = 1024;
 pub struct BTree {
     store: Arc<PageStore>,
     slot: usize,
+    metrics: Metrics,
+}
+
+/// Process-wide metric handles, fetched once per tree so descent and
+/// split paths only pay a relaxed atomic op.
+#[derive(Clone)]
+struct Metrics {
+    page_reads: Arc<obs::Counter>,
+    splits: Arc<obs::Counter>,
+    overflow_walks: Arc<obs::Counter>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            page_reads: obs::counter("btree.page.reads"),
+            splits: obs::counter("btree.splits"),
+            overflow_walks: obs::counter("btree.overflow.walks"),
+        }
+    }
 }
 
 impl BTree {
@@ -53,7 +73,11 @@ impl BTree {
             store.write(root, |p| layout::init(p, LEAF))?;
             store.set_root(slot, root.0);
         }
-        Ok(BTree { store, slot })
+        Ok(BTree {
+            store,
+            slot,
+            metrics: Metrics::new(),
+        })
     }
 
     /// The shared page store (for size accounting).
@@ -84,6 +108,7 @@ impl BTree {
                     (false, (idx, child))
                 }
             })?;
+            self.metrics.page_reads.inc();
             if is_leaf {
                 return Ok((path, page));
             }
@@ -117,6 +142,7 @@ impl BTree {
             Hit::Miss => Ok(None),
             Hit::Inline(v) => Ok(Some(v)),
             Hit::Overflow(head) => {
+                self.metrics.overflow_walks.inc();
                 let mut out = Vec::new();
                 overflow::read_chain(&self.store, head, &mut out)?;
                 Ok(Some(out))
@@ -202,6 +228,7 @@ impl BTree {
 
     /// Splits `leaf`, returning the separator key and the new right sibling.
     fn split_leaf(&self, leaf: PageId) -> io::Result<(Vec<u8>, PageId)> {
+        self.metrics.splits.inc();
         let new_page = self.store.allocate()?;
         let moved: Vec<Vec<u8>> = self.store.write(leaf, |p| {
             let n = layout::ncells(p);
@@ -341,6 +368,7 @@ impl BTree {
     /// Splits an internal node; the middle key moves up (B+Tree internal
     /// split), its child becomes the new node's leftmost child.
     fn split_internal(&self, node: PageId) -> io::Result<(Vec<u8>, PageId)> {
+        self.metrics.splits.inc();
         let new_page = self.store.allocate()?;
         type SplitPlan = (Vec<u8>, u64, Vec<(Vec<u8>, u64)>);
         let (promoted, new_link, moved): SplitPlan = self.store.write(node, |p| {

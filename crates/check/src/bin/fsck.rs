@@ -1,9 +1,13 @@
 //! `aion-fsck` — offline consistency checker for an Aion data directory.
 //!
 //! ```text
-//! aion-fsck check <dir> [--level quick|deep|full]   audit an existing DB
-//! aion-fsck gen <dir> [--scale F] [--seed N]        generate a workload DB
+//! aion-fsck check <dir> [--level quick|deep|full] [--metrics]
+//! aion-fsck gen <dir> [--scale F] [--seed N] [--metrics]
 //! ```
+//!
+//! `--metrics` prints the process-wide metrics registry in Prometheus
+//! text exposition format after the run — CI smoke tests parse it to
+//! assert the storage layers actually recorded work.
 //!
 //! `<dir>` is an Aion data directory: `<dir>/timestore/` (change log,
 //! index, snapshots) and `<dir>/lineage.db` (the four history indexes).
@@ -27,7 +31,7 @@ fn main() -> ExitCode {
         Some("gen") => run_gen(&args[1..]),
         _ => {
             eprintln!(
-                "usage: aion-fsck check <dir> [--level quick|deep|full]\n       aion-fsck gen <dir> [--scale F] [--seed N]"
+                "usage: aion-fsck check <dir> [--level quick|deep|full] [--metrics]\n       aion-fsck gen <dir> [--scale F] [--seed N] [--metrics]"
             );
             ExitCode::from(2)
         }
@@ -40,6 +44,14 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Prints the metrics registry as Prometheus text exposition when the
+/// `--metrics` flag is present.
+fn maybe_print_metrics(args: &[String]) {
+    if args.iter().any(|a| a == "--metrics") {
+        print!("{}", obs::snapshot().to_prometheus());
+    }
 }
 
 fn open_stores(dir: &std::path::Path) -> Result<(TimeStore, LineageStore), lpg::GraphError> {
@@ -79,6 +91,7 @@ fn run_check(args: &[String]) -> ExitCode {
     match check_stores(&ts, &ls, level) {
         Ok(report) => {
             print!("{report}");
+            maybe_print_metrics(args);
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {
@@ -114,6 +127,7 @@ fn run_gen(args: &[String]) -> ExitCode {
     match generate_db(std::path::Path::new(dir), scale, seed) {
         Ok((commits, max_ts)) => {
             println!("generated {commits} commit(s) up to ts {max_ts} in {dir}");
+            maybe_print_metrics(args);
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -177,6 +191,20 @@ fn generate_db(
         commits += 1;
     }
     ts.write_snapshot(t)?;
+    // Read back a few historical points: this exercises snapshot replay,
+    // the GraphStore cache and lineage expansion, so a `--metrics` run
+    // reports the read path of every layer, not just ingest.
+    let mid = ts.snapshot_at(t / 2)?;
+    let latest = ts.snapshot_at(t)?;
+    if latest.node(NodeId::new(0)).is_none() || mid.node(NodeId::new(0)).is_none() {
+        return Err(lpg::GraphError::Storage(
+            "generated database lost node 0".into(),
+        ));
+    }
+    match ls.expand(NodeId::new(0), lpg::Direction::Both, 2, t) {
+        Ok(_) | Err(lpg::GraphError::NodeNotFound(_)) => {}
+        Err(e) => return Err(e),
+    }
     ts.sync()?;
     ls.sync()?;
     Ok((commits, t))

@@ -86,6 +86,8 @@ pub struct Aion {
     next_ts: AtomicU64,
     commit_lock: Mutex<()>,
     listeners: RwLock<Vec<Listener>>,
+    commits: Arc<obs::Counter>,
+    commit_latency: Arc<obs::Histogram>,
 }
 
 impl Aion {
@@ -168,6 +170,8 @@ impl Aion {
             app_keys,
             commit_lock: Mutex::new(()),
             listeners: RwLock::new(Vec::new()),
+            commits: obs::counter("core.commits"),
+            commit_latency: obs::histogram("core.commit.latency_ns"),
         })
     }
 
@@ -204,6 +208,15 @@ impl Aion {
     /// Direct LineageStore access (benchmarks and ablations).
     pub fn lineagestore(&self) -> &Arc<LineageStore> {
         &self.lineage
+    }
+
+    /// A point-in-time snapshot of every metric the process has recorded:
+    /// pagestore cache behaviour, btree structure work, timestore log and
+    /// snapshot activity, lineagestore ingest/expand traffic, query stage
+    /// timings and commit latency. Counters are process-global, so the
+    /// snapshot also reflects other [`Aion`] instances in this process.
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        obs::snapshot()
     }
 
     /// Audits both stores and their agreement at `level`; see
@@ -276,6 +289,8 @@ impl Aion {
 
     /// Commits a validated update batch (stage 1 + 2 of Fig. 4).
     fn commit(&self, updates: Vec<Update>, forced_ts: Option<Timestamp>) -> Result<Timestamp> {
+        let _timer = self.commit_latency.start_timer();
+        self.commits.inc();
         let _guard = self.commit_lock.lock();
         let ts = match forced_ts {
             Some(ts) => {

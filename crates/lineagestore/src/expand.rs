@@ -25,6 +25,7 @@ impl LineageStore {
         hops: u32,
         t: Timestamp,
     ) -> Result<Vec<ExpandHit>> {
+        self.metrics.expands.inc();
         if self.node_at(id, t)?.is_none() {
             return Err(GraphError::NodeNotFound(id));
         }
@@ -63,6 +64,7 @@ impl LineageStore {
                 }
             }
         }
+        self.metrics.expand_fanout.record(result.len() as u64);
         Ok(result)
     }
 

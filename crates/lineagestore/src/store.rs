@@ -50,6 +50,24 @@ pub struct LineageStoreStats {
     pub chain_reconstructions: u64,
 }
 
+pub(crate) struct Metrics {
+    pub(crate) commits_applied: Arc<obs::Counter>,
+    pub(crate) updates_applied: Arc<obs::Counter>,
+    pub(crate) expands: Arc<obs::Counter>,
+    pub(crate) expand_fanout: Arc<obs::Histogram>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            commits_applied: obs::counter("lineagestore.commits.applied"),
+            updates_applied: obs::counter("lineagestore.updates.applied"),
+            expands: obs::counter("lineagestore.expands"),
+            expand_fanout: obs::histogram("lineagestore.expand.fanout"),
+        }
+    }
+}
+
 /// Fine-grained temporal storage: history indexed by entity id (Sec. 4.4).
 pub struct LineageStore {
     pub(crate) store: Arc<PageStore>,
@@ -59,6 +77,7 @@ pub struct LineageStore {
     pub(crate) in_n: BTree,
     threshold: Option<u32>,
     stats: Mutex<LineageStoreStats>,
+    pub(crate) metrics: Metrics,
 }
 
 impl LineageStore {
@@ -74,6 +93,7 @@ impl LineageStore {
             store,
             threshold: config.chain_threshold,
             stats: Mutex::new(LineageStoreStats::default()),
+            metrics: Metrics::new(),
         })
     }
 
@@ -115,6 +135,7 @@ impl LineageStore {
     /// Applies one committed transaction's updates at timestamp `ts` and
     /// advances the watermark.
     pub fn apply_commit(&self, ts: Timestamp, updates: &[Update]) -> Result<()> {
+        self.metrics.commits_applied.inc();
         for u in updates {
             self.apply_update(ts, u)?;
         }
@@ -125,6 +146,7 @@ impl LineageStore {
     /// Applies a single update at timestamp `ts`.
     pub fn apply_update(&self, ts: Timestamp, op: &Update) -> Result<()> {
         self.stats.lock().updates += 1;
+        self.metrics.updates_applied.inc();
         match op {
             Update::AddNode { id, labels, props } => self.put_full(
                 &self.nodes,

@@ -7,6 +7,7 @@ use std::fs::{File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::Arc;
 
 const MAGIC: u64 = 0x4149_4F4E_5047_5331; // "AIONPGS1"
 const META_MAGIC_OFF: usize = 0;
@@ -24,6 +25,29 @@ struct Inner {
     meta_dirty: bool,
 }
 
+/// Handles into the process-wide metrics registry, fetched once at open
+/// so the hot path is a relaxed atomic op per event. All page stores in
+/// the process aggregate into the same series.
+struct Metrics {
+    cache_hits: Arc<obs::Counter>,
+    cache_misses: Arc<obs::Counter>,
+    cache_evictions: Arc<obs::Counter>,
+    read_latency: Arc<obs::Histogram>,
+    writeback_latency: Arc<obs::Histogram>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            cache_hits: obs::counter("pagestore.cache.hits"),
+            cache_misses: obs::counter("pagestore.cache.misses"),
+            cache_evictions: obs::counter("pagestore.cache.evictions"),
+            read_latency: obs::histogram("pagestore.read.latency_ns"),
+            writeback_latency: obs::histogram("pagestore.writeback.latency_ns"),
+        }
+    }
+}
+
 /// A file of [`PAGE_SIZE`] pages behind an LRU cache.
 ///
 /// All access goes through closures ([`PageStore::read`] /
@@ -33,6 +57,7 @@ struct Inner {
 pub struct PageStore {
     file: File,
     inner: Mutex<Inner>,
+    metrics: Metrics,
 }
 
 /// `load` guarantees residency, so a subsequent cache miss means the
@@ -81,6 +106,7 @@ impl PageStore {
         Ok(PageStore {
             file,
             inner: Mutex::new(inner),
+            metrics: Metrics::new(),
         })
     }
 
@@ -113,12 +139,19 @@ impl PageStore {
 
     fn load(&self, inner: &mut Inner, page: PageId) -> io::Result<()> {
         if inner.cache.get(page).is_some() {
+            self.metrics.cache_hits.inc();
             return Ok(());
         }
+        self.metrics.cache_misses.inc();
         let mut buf = PageBuf::zeroed();
-        self.file
-            .read_exact_at(buf.bytes_mut().as_mut_slice(), page.offset())?;
+        {
+            let _t = self.metrics.read_latency.start_timer();
+            self.file
+                .read_exact_at(buf.bytes_mut().as_mut_slice(), page.offset())?;
+        }
         if let Some((pid, dirty)) = inner.cache.insert(page, buf, false) {
+            self.metrics.cache_evictions.inc();
+            let _t = self.metrics.writeback_latency.start_timer();
             self.file
                 .write_all_at(dirty.bytes().as_slice(), pid.offset())?;
         }
@@ -166,6 +199,8 @@ impl PageStore {
         };
         inner.meta_dirty = true;
         if let Some((pid, dirty)) = inner.cache.insert(page, PageBuf::zeroed(), true) {
+            self.metrics.cache_evictions.inc();
+            let _t = self.metrics.writeback_latency.start_timer();
             self.file
                 .write_all_at(dirty.bytes().as_slice(), pid.offset())?;
         }
@@ -248,6 +283,7 @@ impl PageStore {
     pub fn flush(&self) -> io::Result<()> {
         let mut inner = self.inner.lock();
         for (pid, buf) in inner.cache.take_dirty() {
+            let _t = self.metrics.writeback_latency.start_timer();
             // Grow the file lazily: write_all_at extends as needed.
             self.file
                 .write_all_at(buf.bytes().as_slice(), pid.offset())?;

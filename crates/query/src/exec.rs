@@ -9,9 +9,32 @@ use lpg::{
     Direction, GraphError, NodeId, PropertyValue, RelId, Result, StrId, TimeRange, Timestamp,
 };
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Query parameters (`$name` bindings).
 pub type Params = HashMap<String, Value>;
+
+/// Per-stage executor metrics, resolved once per process.
+struct StageMetrics {
+    executed: Arc<obs::Counter>,
+    parse_latency: Arc<obs::Histogram>,
+    bind_latency: Arc<obs::Histogram>,
+    filter_latency: Arc<obs::Histogram>,
+    action_latency: Arc<obs::Histogram>,
+    exec_latency: Arc<obs::Histogram>,
+}
+
+fn stage_metrics() -> &'static StageMetrics {
+    static METRICS: OnceLock<StageMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| StageMetrics {
+        executed: obs::counter("query.executed"),
+        parse_latency: obs::histogram("query.parse.latency_ns"),
+        bind_latency: obs::histogram("query.bind.latency_ns"),
+        filter_latency: obs::histogram("query.filter.latency_ns"),
+        action_latency: obs::histogram("query.action.latency_ns"),
+        exec_latency: obs::histogram("query.exec.latency_ns"),
+    })
+}
 
 /// A tabular query result.
 #[derive(Clone, PartialEq, Debug)]
@@ -33,7 +56,13 @@ impl QueryResult {
 
 /// Parses and executes `text` against `db`.
 pub fn execute(db: &Aion, text: &str, params: &Params) -> Result<QueryResult> {
-    let query = crate::parser::parse(text).map_err(|e| GraphError::Unknown(e.to_string()))?;
+    let m = stage_metrics();
+    m.executed.inc();
+    let _total = m.exec_latency.start_timer();
+    let query = {
+        let _parse = m.parse_latency.start_timer();
+        crate::parser::parse(text).map_err(|e| GraphError::Unknown(e.to_string()))?
+    };
     run(db, &query, params)
 }
 
@@ -214,9 +243,11 @@ fn run_call(db: &Aion, name: &str, args: &[Literal], params: &Params) -> Result<
                     .points
                     .into_iter()
                     .map(|(ts, ranks)| {
+                        // NaN ranks (degenerate damping inputs) must not
+                        // panic mid-query; total_cmp orders them below +inf.
                         let top = ranks
                             .iter()
-                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite ranks"))
+                            .max_by(|a, b| a.1.total_cmp(b.1))
                             .map(|(n, r)| (*n, *r));
                         match top {
                             Some((n, r)) => vec![
@@ -356,6 +387,7 @@ fn run_match(
     }
 
     // Bind patterns to rows.
+    let bind_timer = stage_metrics().bind_latency.start_timer();
     let mut rows: Vec<Binding> = Vec::new();
     let interner = db.interner();
     for pattern in patterns {
@@ -488,7 +520,10 @@ fn run_match(
         }
     }
 
+    drop(bind_timer);
+
     // Property predicates + application-time filter.
+    let filter_timer = stage_metrics().filter_latency.start_timer();
     let rows: Vec<Binding> = rows
         .into_iter()
         .filter(|b| {
@@ -514,8 +549,10 @@ fn run_match(
             })
         })
         .collect();
+    drop(filter_timer);
 
     // Action.
+    let _action_timer = stage_metrics().action_latency.start_timer();
     match action {
         Action::Return(items) => {
             let columns: Vec<String> = items

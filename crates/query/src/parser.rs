@@ -88,7 +88,7 @@ impl Parser {
         false
     }
 
-    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+    fn expect_token(&mut self, t: Token) -> Result<(), ParseError> {
         match self.next() {
             Some(found) if found == t => Ok(()),
             other => Err(self.err(&format!(
@@ -181,7 +181,7 @@ impl Parser {
             name.push('.');
             name.push_str(&self.ident()?);
         }
-        self.expect(Token::LParen)?;
+        self.expect_token(Token::LParen)?;
         let mut args = Vec::new();
         if self.peek() != Some(&Token::RParen) {
             loop {
@@ -191,7 +191,7 @@ impl Parser {
                 }
             }
         }
-        self.expect(Token::RParen)?;
+        self.expect_token(Token::RParen)?;
         Ok(Query::Call { name, args })
     }
 
@@ -212,11 +212,11 @@ impl Parser {
         }
         if self.eat_kw("CONTAINED") {
             self.expect_kw("IN")?;
-            self.expect(Token::LParen)?;
+            self.expect_token(Token::LParen)?;
             let a = self.int()?;
-            self.expect(Token::Comma)?;
+            self.expect_token(Token::Comma)?;
             let b = self.int()?;
-            self.expect(Token::RParen)?;
+            self.expect_token(Token::RParen)?;
             return Ok(TimeSpec::ContainedIn(a, b));
         }
         Err(self.err("expected AS OF / FROM / BETWEEN / CONTAINED IN"))
@@ -257,9 +257,9 @@ impl Parser {
             Action::Return(items)
         } else if self.eat_kw("SET") {
             let var = self.ident()?;
-            self.expect(Token::Dot)?;
+            self.expect_token(Token::Dot)?;
             let key = self.ident()?;
-            self.expect(Token::Eq)?;
+            self.expect_token(Token::Eq)?;
             Action::Set(var, key, self.literal()?)
         } else if self.eat_kw("DELETE") {
             let mut vars = vec![self.ident()?];
@@ -303,7 +303,7 @@ impl Parser {
     }
 
     fn node_pattern(&mut self) -> Result<NodePattern, ParseError> {
-        self.expect(Token::LParen)?;
+        self.expect_token(Token::LParen)?;
         let mut node = NodePattern::default();
         if let Some(Token::Ident(_)) = self.peek() {
             node.var = Some(self.ident()?);
@@ -314,7 +314,7 @@ impl Parser {
         if self.peek() == Some(&Token::LBrace) {
             node.props = self.prop_map()?;
         }
-        self.expect(Token::RParen)?;
+        self.expect_token(Token::RParen)?;
         Ok(node)
     }
 
@@ -322,9 +322,9 @@ impl Parser {
         // Leading `<-[` or `-[`.
         let from_left = self.eat(&Token::ArrowLeft);
         if !from_left {
-            self.expect(Token::Dash)?;
+            self.expect_token(Token::Dash)?;
         }
-        self.expect(Token::LBracket)?;
+        self.expect_token(Token::LBracket)?;
         let mut rel = RelPattern {
             var: None,
             rel_type: None,
@@ -344,12 +344,12 @@ impl Parser {
         if self.peek() == Some(&Token::LBrace) {
             rel.props = self.prop_map()?;
         }
-        self.expect(Token::RBracket)?;
+        self.expect_token(Token::RBracket)?;
         // Trailing `]->` or `]-`.
         let to_right = if self.eat(&Token::ArrowRight) {
             true
         } else {
-            self.expect(Token::Dash)?;
+            self.expect_token(Token::Dash)?;
             false
         };
         rel.direction = match (from_left, to_right) {
@@ -362,19 +362,19 @@ impl Parser {
     }
 
     fn prop_map(&mut self) -> Result<Vec<(String, Literal)>, ParseError> {
-        self.expect(Token::LBrace)?;
+        self.expect_token(Token::LBrace)?;
         let mut props = Vec::new();
         if self.peek() != Some(&Token::RBrace) {
             loop {
                 let key = self.ident()?;
-                self.expect(Token::Colon)?;
+                self.expect_token(Token::Colon)?;
                 props.push((key, self.literal()?));
                 if !self.eat(&Token::Comma) {
                     break;
                 }
             }
         }
-        self.expect(Token::RBrace)?;
+        self.expect_token(Token::RBrace)?;
         Ok(props)
     }
 
@@ -383,22 +383,22 @@ impl Parser {
         if self.eat_kw("APPLICATION_TIME") {
             self.expect_kw("CONTAINED")?;
             self.expect_kw("IN")?;
-            self.expect(Token::LParen)?;
+            self.expect_token(Token::LParen)?;
             let a = self.int()?;
-            self.expect(Token::Comma)?;
+            self.expect_token(Token::Comma)?;
             let b = self.int()?;
-            self.expect(Token::RParen)?;
+            self.expect_token(Token::RParen)?;
             return Ok(Predicate::AppTimeContainedIn(a, b));
         }
         let name = self.ident()?;
         if name.eq_ignore_ascii_case("id") && self.eat(&Token::LParen) {
             let var = self.ident()?;
-            self.expect(Token::RParen)?;
-            self.expect(Token::Eq)?;
+            self.expect_token(Token::RParen)?;
+            self.expect_token(Token::Eq)?;
             return Ok(Predicate::IdEquals(var, self.literal()?));
         }
         // var.key <op> literal
-        self.expect(Token::Dot)?;
+        self.expect_token(Token::Dot)?;
         let key = self.ident()?;
         let op = match self.next() {
             Some(Token::Eq) => CmpOp::Eq,
@@ -421,12 +421,12 @@ impl Parser {
         let name = self.ident()?;
         if name.eq_ignore_ascii_case("count") && self.eat(&Token::LParen) {
             let var = self.ident()?;
-            self.expect(Token::RParen)?;
+            self.expect_token(Token::RParen)?;
             return Ok(ReturnItem::Count(var));
         }
         if name.eq_ignore_ascii_case("id") && self.eat(&Token::LParen) {
             let var = self.ident()?;
-            self.expect(Token::RParen)?;
+            self.expect_token(Token::RParen)?;
             return Ok(ReturnItem::Id(var));
         }
         if self.eat(&Token::Dot) {

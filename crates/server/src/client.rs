@@ -35,6 +35,7 @@ impl Client {
         })? {
             Response::Ok(result) => Ok(result),
             Response::Err(msg) => Err(io::Error::other(msg)),
+            other => Err(unexpected_response(&other)),
         }
     }
 
@@ -43,6 +44,16 @@ impl Client {
         match self.call(&Request::Ping)? {
             Response::Ok(_) => Ok(()),
             Response::Err(msg) => Err(io::Error::other(msg)),
+            other => Err(unexpected_response(&other)),
+        }
+    }
+
+    /// Fetches the server's process-wide metrics snapshot.
+    pub fn metrics(&mut self) -> io::Result<obs::MetricsSnapshot> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(snap) => Ok(snap),
+            Response::Err(msg) => Err(io::Error::other(msg)),
+            other => Err(unexpected_response(&other)),
         }
     }
 
@@ -51,4 +62,11 @@ impl Client {
         let _ = self.call(&Request::Shutdown)?;
         Ok(())
     }
+}
+
+fn unexpected_response(resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response variant: {resp:?}"),
+    )
 }

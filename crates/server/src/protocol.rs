@@ -5,13 +5,18 @@
 //! request  := 0x01 "RUN"  u16 qlen, query, u16 nparams, nparams × param
 //!           | 0x02 "PING"
 //!           | 0x03 "SHUTDOWN"
+//!           | 0x04 "METRICS"
 //! param    := u16 klen, key, value
 //! response := 0x00 "OK"   u16 ncols, ncols × str, u32 nrows, rows × row
 //!           | 0x01 "ERR"  str
+//!           | 0x02 "METRICS" u32 nctr, nctr × (str, u64),
+//!                            u32 ngauge, ngauge × (str, i64),
+//!                            u32 nhist, nhist × (str, 5 × u64)
 //! row      := ncols × value
 //! value    := tag, payload (see `write_value`)
 //! ```
 
+use obs::{HistogramSnapshot, MetricsSnapshot};
 use query::{QueryResult, Value};
 use std::io::{self, Read, Write};
 
@@ -29,6 +34,8 @@ pub enum Request {
     Ping,
     /// Ask the server to stop accepting connections.
     Shutdown,
+    /// Fetch a snapshot of the server's process-wide metrics.
+    Metrics,
 }
 
 /// Response messages.
@@ -38,6 +45,8 @@ pub enum Response {
     Ok(QueryResult),
     /// Failure with message.
     Err(String),
+    /// Metrics snapshot (reply to [`Request::Metrics`]).
+    Metrics(MetricsSnapshot),
 }
 
 const TAG_NULL: u8 = 0;
@@ -65,27 +74,30 @@ fn read_str(buf: &[u8], pos: &mut usize) -> io::Result<String> {
 }
 
 fn read_u32(buf: &[u8], pos: &mut usize) -> io::Result<u32> {
-    let bytes = buf
+    let bytes: [u8; 4] = buf
         .get(*pos..*pos + 4)
+        .and_then(|b| b.try_into().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated u32"))?;
     *pos += 4;
-    Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    Ok(u32::from_le_bytes(bytes))
 }
 
 fn read_u64(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
-    let bytes = buf
+    let bytes: [u8; 8] = buf
         .get(*pos..*pos + 8)
+        .and_then(|b| b.try_into().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated u64"))?;
     *pos += 8;
-    Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+    Ok(u64::from_le_bytes(bytes))
 }
 
 fn read_u16(buf: &[u8], pos: &mut usize) -> io::Result<u16> {
-    let bytes = buf
+    let bytes: [u8; 2] = buf
         .get(*pos..*pos + 2)
+        .and_then(|b| b.try_into().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated u16"))?;
     *pos += 2;
-    Ok(u16::from_le_bytes(bytes.try_into().unwrap()))
+    Ok(u16::from_le_bytes(bytes))
 }
 
 fn read_u8(buf: &[u8], pos: &mut usize) -> io::Result<u8> {
@@ -280,6 +292,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Ping => out.push(0x02),
         Request::Shutdown => out.push(0x03),
+        Request::Metrics => out.push(0x04),
     }
     out
 }
@@ -301,6 +314,7 @@ pub fn decode_request(buf: &[u8]) -> io::Result<Request> {
         }
         0x02 => Request::Ping,
         0x03 => Request::Shutdown,
+        0x04 => Request::Metrics,
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -331,6 +345,26 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.push(0x01);
             write_str(&mut out, msg);
         }
+        Response::Metrics(snap) => {
+            out.push(0x02);
+            out.extend_from_slice(&(snap.counters.len() as u32).to_le_bytes());
+            for (name, v) in &snap.counters {
+                write_str(&mut out, name);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out.extend_from_slice(&(snap.gauges.len() as u32).to_le_bytes());
+            for (name, v) in &snap.gauges {
+                write_str(&mut out, name);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out.extend_from_slice(&(snap.histograms.len() as u32).to_le_bytes());
+            for h in &snap.histograms {
+                write_str(&mut out, &h.name);
+                for v in [h.count, h.sum, h.p50, h.p95, h.p99] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
     }
     out
 }
@@ -346,6 +380,14 @@ pub fn decode_response(buf: &[u8]) -> io::Result<Response> {
                 columns.push(read_str(buf, &mut pos)?);
             }
             let nrows = read_u32(buf, &mut pos)? as usize;
+            // Zero-column rows consume no payload bytes, so a malformed
+            // header could otherwise demand billions of loop iterations.
+            if ncols == 0 && nrows > 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "rows without columns",
+                ));
+            }
             let mut rows = Vec::with_capacity(nrows.min(1 << 20));
             for _ in 0..nrows {
                 let mut row = Vec::with_capacity(ncols);
@@ -357,6 +399,43 @@ pub fn decode_response(buf: &[u8]) -> io::Result<Response> {
             Ok(Response::Ok(QueryResult { columns, rows }))
         }
         0x01 => Ok(Response::Err(read_str(buf, &mut pos)?)),
+        0x02 => {
+            let nctr = read_u32(buf, &mut pos)? as usize;
+            let mut counters = Vec::with_capacity(nctr.min(65_536));
+            for _ in 0..nctr {
+                let name = read_str(buf, &mut pos)?;
+                counters.push((name, read_u64(buf, &mut pos)?));
+            }
+            let ngauge = read_u32(buf, &mut pos)? as usize;
+            let mut gauges = Vec::with_capacity(ngauge.min(65_536));
+            for _ in 0..ngauge {
+                let name = read_str(buf, &mut pos)?;
+                gauges.push((name, read_u64(buf, &mut pos)? as i64));
+            }
+            let nhist = read_u32(buf, &mut pos)? as usize;
+            let mut histograms = Vec::with_capacity(nhist.min(65_536));
+            for _ in 0..nhist {
+                let name = read_str(buf, &mut pos)?;
+                let count = read_u64(buf, &mut pos)?;
+                let sum = read_u64(buf, &mut pos)?;
+                let p50 = read_u64(buf, &mut pos)?;
+                let p95 = read_u64(buf, &mut pos)?;
+                let p99 = read_u64(buf, &mut pos)?;
+                histograms.push(HistogramSnapshot {
+                    name,
+                    count,
+                    sum,
+                    p50,
+                    p95,
+                    p99,
+                });
+            }
+            Ok(Response::Metrics(MetricsSnapshot {
+                counters,
+                gauges,
+                histograms,
+            }))
+        }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unknown response kind {other}"),
@@ -364,9 +443,22 @@ pub fn decode_response(buf: &[u8]) -> io::Result<Response> {
     }
 }
 
-/// Writes one length-prefixed frame.
+/// Validates a frame payload length against the u32 length prefix. A
+/// payload over `u32::MAX` bytes must be rejected, not silently truncated
+/// by an `as u32` cast (which would desynchronise the stream).
+fn frame_len(payload_len: usize) -> io::Result<u32> {
+    u32::try_from(payload_len).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32::MAX bytes",
+        )
+    })
+}
+
+/// Writes one length-prefixed frame. Fails with [`io::ErrorKind::InvalidInput`]
+/// if the payload cannot be represented in the u32 length prefix.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&frame_len(payload.len())?.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
@@ -462,5 +554,55 @@ mod tests {
         assert!(decode_request(&[0xFF]).is_err());
         assert!(decode_response(&[0x55]).is_err());
         assert!(read_value(&[200], &mut 0).is_err());
+    }
+
+    #[test]
+    fn metrics_request_roundtrip() {
+        assert_eq!(
+            decode_request(&encode_request(&Request::Metrics)).unwrap(),
+            Request::Metrics
+        );
+    }
+
+    #[test]
+    fn metrics_response_roundtrip() {
+        let resp = Response::Metrics(MetricsSnapshot {
+            counters: vec![("pagestore.cache.hits".into(), 17), ("x".into(), 0)],
+            gauges: vec![("queue.depth".into(), -3)],
+            histograms: vec![HistogramSnapshot {
+                name: "core.commit.latency_ns".into(),
+                count: 5,
+                sum: 1000,
+                p50: 128,
+                p95: 512,
+                p99: 512,
+            }],
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        // An empty snapshot round-trips too.
+        let empty = Response::Metrics(MetricsSnapshot::default());
+        assert_eq!(decode_response(&encode_response(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn oversized_write_frame_rejected() {
+        // The length check is separable from write_frame so this test does
+        // not have to allocate a >4 GiB payload.
+        assert_eq!(frame_len(0).unwrap(), 0);
+        assert_eq!(frame_len(u32::MAX as usize).unwrap(), u32::MAX);
+        if let Some(too_big) = (u32::MAX as usize).checked_add(1) {
+            let err = frame_len(too_big).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        }
+    }
+
+    #[test]
+    fn oversized_read_frame_rejected() {
+        // A header advertising more than the 256 MiB cap must be refused
+        // before any payload allocation happens.
+        let header = ((257u32 << 20).to_le_bytes()).to_vec();
+        let mut cursor = std::io::Cursor::new(header);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

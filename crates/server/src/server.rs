@@ -11,6 +11,34 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A `Run` request slower than this is counted and logged (slow-query log).
+const SLOW_QUERY_NS: u64 = 100_000_000;
+
+struct Metrics {
+    requests: Arc<obs::Counter>,
+    run_latency: Arc<obs::Histogram>,
+    ping_latency: Arc<obs::Histogram>,
+    metrics_latency: Arc<obs::Histogram>,
+    slow_queries: Arc<obs::Counter>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            requests: obs::counter("server.requests"),
+            run_latency: obs::histogram("server.request.run.latency_ns"),
+            ping_latency: obs::histogram("server.request.ping.latency_ns"),
+            metrics_latency: obs::histogram("server.request.metrics.latency_ns"),
+            slow_queries: obs::counter("server.slow_queries"),
+        }
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// A running Aion server.
 pub struct Server {
@@ -46,7 +74,7 @@ impl Server {
                     let _ = std::thread::Builder::new()
                         .name("aion-server-worker".into())
                         .spawn(move || {
-                            let _ = handle_connection(stream, &db, &stop, &queries);
+                            let _ = handle_connection(stream, &db, &stop, &queries, addr);
                         });
                 }
             })?;
@@ -92,18 +120,40 @@ fn handle_connection(
     db: &Aion,
     stop: &AtomicBool,
     queries: &AtomicU64,
+    addr: SocketAddr,
 ) -> io::Result<()> {
+    let metrics = Metrics::new();
     stream.set_nodelay(true)?;
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(f) => f,
             Err(_) => return Ok(()), // client hung up
         };
+        // A stop request (from any connection) drains live workers: refuse
+        // further work instead of silently serving a half-down server.
+        if stop.load(Ordering::Acquire) {
+            let _ = write_frame(
+                &mut stream,
+                &encode_response(&Response::Err("server is shutting down".into())),
+            );
+            return Ok(());
+        }
+        metrics.requests.inc();
+        let started = Instant::now();
         let response = match decode_request(&frame) {
-            Ok(Request::Ping) => Response::Ok(query::QueryResult {
-                columns: vec!["pong".into()],
-                rows: vec![],
-            }),
+            Ok(Request::Ping) => {
+                let r = Response::Ok(query::QueryResult {
+                    columns: vec!["pong".into()],
+                    rows: vec![],
+                });
+                metrics.ping_latency.record(elapsed_ns(started));
+                r
+            }
+            Ok(Request::Metrics) => {
+                let r = Response::Metrics(obs::snapshot());
+                metrics.metrics_latency.record(elapsed_ns(started));
+                r
+            }
             Ok(Request::Shutdown) => {
                 stop.store(true, Ordering::Release);
                 write_frame(
@@ -113,15 +163,30 @@ fn handle_connection(
                         rows: vec![],
                     })),
                 )?;
+                // The accept thread blocks in `incoming()` and only checks
+                // the stop flag after a connection arrives; without a wake
+                // the listener would linger until the next organic connect.
+                let _ = TcpStream::connect(addr);
                 return Ok(());
             }
             Ok(Request::Run { query, params }) => {
                 queries.fetch_add(1, Ordering::Relaxed);
                 let params: Params = params.into_iter().collect();
-                match query::execute(db, &query, &params) {
+                let r = match query::execute(db, &query, &params) {
                     Ok(result) => Response::Ok(result),
                     Err(e) => Response::Err(e.to_string()),
+                };
+                let elapsed = elapsed_ns(started);
+                metrics.run_latency.record(elapsed);
+                if elapsed > SLOW_QUERY_NS {
+                    metrics.slow_queries.inc();
+                    let preview: String = query.chars().take(200).collect();
+                    eprintln!(
+                        "[aion-server] slow query ({} ms): {preview}",
+                        elapsed / 1_000_000
+                    );
                 }
+                r
             }
             Err(e) => Response::Err(format!("protocol error: {e}")),
         };

@@ -1,0 +1,48 @@
+//! Client-initiated shutdown: the stop request must wake the blocked
+//! accept loop (not just set the flag), and workers serving other live
+//! connections must stop taking new work.
+
+use aion::{Aion, AionConfig};
+use aion_server::{Client, Server};
+use std::sync::Arc;
+use std::time::Duration;
+use tempfile::tempdir;
+
+#[test]
+fn client_shutdown_wakes_accept_loop_and_drains_workers() {
+    let dir = tempdir().unwrap();
+    let db = Arc::new(Aion::open(AionConfig::new(dir.path())).unwrap());
+    let server = Server::start(db.clone()).unwrap();
+    let addr = server.addr();
+
+    // Two live connections: one will issue the shutdown, the other must
+    // observe it on its next request instead of being served forever.
+    let mut bystander = Client::connect(addr).unwrap();
+    bystander.ping().unwrap();
+    let mut instigator = Client::connect(addr).unwrap();
+    instigator.shutdown_server().unwrap();
+
+    // The bystander's connection is still open, but its worker checks the
+    // stop flag between requests: the next request is refused. This makes
+    // no new connection, so it cannot accidentally wake the accept loop.
+    let err = bystander.ping().unwrap_err();
+    assert!(
+        err.to_string().contains("shutting down")
+            || err.kind() == std::io::ErrorKind::UnexpectedEof,
+        "live connection must be refused after shutdown, got: {err}"
+    );
+
+    // The accept thread was blocked in `incoming()` when the shutdown
+    // arrived over the wire. The handler wakes it with a throwaway
+    // connection; without that wake the listener would linger and serve
+    // this connect. One second is generous for the wake to land.
+    std::thread::sleep(Duration::from_secs(1));
+    let served = Client::connect(addr).and_then(|mut c| c.ping()).is_ok();
+    assert!(
+        !served,
+        "listener must go down after client-initiated shutdown without further connections"
+    );
+
+    // Dropping the handle after a wire-initiated shutdown stays prompt.
+    drop(server);
+}

@@ -53,6 +53,30 @@ pub struct TimeStoreStats {
     pub commits: u64,
 }
 
+struct Metrics {
+    log_appends: Arc<obs::Counter>,
+    snapshot_creates: Arc<obs::Counter>,
+    snapshot_create_latency: Arc<obs::Histogram>,
+    snapshot_replays: Arc<obs::Counter>,
+    snapshot_replay_latency: Arc<obs::Histogram>,
+    graphstore_hits: Arc<obs::Counter>,
+    graphstore_misses: Arc<obs::Counter>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            log_appends: obs::counter("timestore.log.appends"),
+            snapshot_creates: obs::counter("timestore.snapshot.creates"),
+            snapshot_create_latency: obs::histogram("timestore.snapshot.create.latency_ns"),
+            snapshot_replays: obs::counter("timestore.snapshot.replays"),
+            snapshot_replay_latency: obs::histogram("timestore.snapshot.replay.latency_ns"),
+            graphstore_hits: obs::counter("timestore.graphstore.hits"),
+            graphstore_misses: obs::counter("timestore.graphstore.misses"),
+        }
+    }
+}
+
 struct MutableState {
     latest_ts: Timestamp,
     ops_since_snapshot: u64,
@@ -75,6 +99,7 @@ pub struct TimeStore {
     pub(crate) snap_dir: PathBuf,
     policy: SnapshotPolicy,
     state: Mutex<MutableState>,
+    metrics: Metrics,
 }
 
 const SLOT_TIME_INDEX: usize = 0;
@@ -114,6 +139,7 @@ impl TimeStore {
                 snapshot_bytes: 0,
                 snapshot_count: 0,
             }),
+            metrics: Metrics::new(),
         };
         store.recover()?;
         Ok(store)
@@ -190,6 +216,7 @@ impl TimeStore {
         }
         let frame = CommitFrame::from_updates(ts, updates);
         let offset = self.log.append(&frame)?;
+        self.metrics.log_appends.inc();
         self.time_index
             .insert(&keys::ts_key(ts), &offset.to_le_bytes())
             .map_err(storage_err)?;
@@ -213,6 +240,8 @@ impl TimeStore {
 
     /// Forces a snapshot of the latest graph at its current timestamp.
     pub fn write_snapshot(&self, ts: Timestamp) -> Result<()> {
+        let _timer = self.metrics.snapshot_create_latency.start_timer();
+        self.metrics.snapshot_creates.inc();
         let (graph, latest_ts) = self.graphstore.latest();
         debug_assert_eq!(latest_ts, ts);
         let bytes = snapshot::encode_graph(&graph);
@@ -277,8 +306,10 @@ impl TimeStore {
     fn reconstruct_at(&self, ts: Timestamp) -> Result<Arc<Graph>> {
         // Exact in-memory hit?
         if let Some(g) = self.graphstore.get(ts) {
+            self.metrics.graphstore_hits.inc();
             return Ok(g);
         }
+        self.metrics.graphstore_misses.inc();
         // Best base from memory or disk.
         let mem = self.graphstore.floor(ts);
         let disk = self
@@ -317,6 +348,8 @@ impl TimeStore {
             return Ok(base);
         }
         // Replay (base_ts, ts] on a CoW copy.
+        let _timer = self.metrics.snapshot_replay_latency.start_timer();
+        self.metrics.snapshot_replays.inc();
         let deltas = self.diff(base_ts.saturating_add(1), ts.saturating_add(1))?;
         if deltas.is_empty() {
             return Ok(base);

@@ -21,10 +21,12 @@ pub use aion_server;
 pub use algo;
 pub use baselines;
 pub use btree;
+pub use check;
 pub use dyngraph;
 pub use encoding;
 pub use lineagestore;
 pub use lpg;
+pub use obs;
 pub use pagestore;
 pub use query;
 pub use timestore;

@@ -1,0 +1,117 @@
+//! Observability smoke test: after a workload runs through the full
+//! stack — ingest, snapshots, reopen, historical reads, temporal Cypher —
+//! `Aion::metrics()` must report non-zero activity in every layer, and
+//! both exposition formats must be well-formed.
+
+use aion::{Aion, AionConfig};
+use aion_suite::*;
+use lpg::{Direction, NodeId};
+use tempfile::tempdir;
+
+#[test]
+fn metrics_cover_every_layer_after_a_workload() {
+    let spec = workload::DATASETS[0].scaled(0.0005);
+    let w = workload::generate(spec, 11);
+    let dir = tempdir().unwrap();
+
+    // Ingest, snapshot, close.
+    {
+        let mut config = AionConfig::new(dir.path());
+        // A snapshot mid-stream so the reopened instance has a real base.
+        config.timestore.policy = timestore::SnapshotPolicy::EveryNOps(200);
+        let db = Aion::open(config).unwrap();
+        for (ts, ops) in w.batches(50) {
+            db.write_at(ts, |txn| {
+                for op in &ops {
+                    match op {
+                        lpg::Update::AddNode { id, labels, props } => {
+                            txn.add_node(*id, labels.clone(), props.clone())?
+                        }
+                        lpg::Update::AddRel {
+                            id,
+                            src,
+                            tgt,
+                            label,
+                            props,
+                        } => txn.add_rel(*id, *src, *tgt, *label, props.clone())?,
+                        other => panic!("generator emits inserts only, got {other:?}"),
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        db.lineage_barrier(db.latest_ts());
+        db.sync().unwrap();
+    }
+
+    // Reopen and read history: point lookups replay deltas on a snapshot
+    // base (timestore), expansion routes through the lineage store, and
+    // temporal Cypher runs the query stages.
+    let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+    let latest = db.latest_ts();
+    for t in [latest / 4, latest / 2, latest] {
+        let g = db.get_graph_at(t).unwrap();
+        assert!(g.node_count() > 0 || t == 0);
+    }
+    let _ = db.expand(NodeId::new(0), Direction::Both, 2, latest);
+    let r = query::execute(
+        &db,
+        "MATCH (n) WHERE id(n) = 0 RETURN id(n)",
+        &query::Params::new(),
+    )
+    .unwrap();
+    assert_eq!(r.rows.len(), 1);
+
+    let snap = db.metrics();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let hist_count = |name: &str| snap.histogram(name).map(|h| h.count).unwrap_or(0);
+
+    // Pagestore: the reopened index reads pages from disk.
+    assert!(
+        counter("pagestore.cache.hits") + counter("pagestore.cache.misses") > 0,
+        "pagestore cache traffic"
+    );
+    assert!(counter("btree.page.reads") > 0, "btree page reads");
+    // Timestore: ingest appended to the log; the reopen + historical reads
+    // replayed deltas onto snapshot bases.
+    assert!(counter("timestore.log.appends") > 0, "log appends");
+    assert!(
+        counter("timestore.snapshot.replays") > 0,
+        "snapshot replays"
+    );
+    assert!(hist_count("timestore.snapshot.replay.latency_ns") > 0);
+    // Lineagestore: the cascade applied every commit.
+    assert!(
+        counter("lineagestore.updates.applied") > 0,
+        "lineage ingest"
+    );
+    // Core + query: commits and the executed statement were timed.
+    assert!(counter("core.commits") > 0, "commits");
+    assert!(hist_count("core.commit.latency_ns") > 0);
+    assert!(counter("query.executed") > 0, "queries");
+    assert!(hist_count("query.exec.latency_ns") > 0, "query latency");
+
+    // Exposition formats parse: every Prometheus line is a comment or a
+    // `name value` pair; the JSON is non-empty and brace-balanced.
+    let prom = snap.to_prometheus();
+    assert!(!prom.is_empty());
+    for line in prom.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts.next().unwrap();
+        assert!(name.starts_with("aion_"), "metric name prefix: {line}");
+        let value = parts.next().unwrap_or_else(|| panic!("no value: {line}"));
+        assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+        assert!(parts.next().is_none(), "trailing tokens: {line}");
+    }
+    let json = snap.to_json();
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "balanced JSON"
+    );
+    assert!(json.contains("\"counters\""));
+}

@@ -7,9 +7,10 @@
 //! The `lint` pass enforces two policies that `rustc`/`clippy` cannot
 //! express on stable without external crates:
 //!
-//! 1. **Panic-free storage layer.** Non-test code in the five storage
-//!    crates (`pagestore`, `btree`, `encoding`, `timestore`,
-//!    `lineagestore`) must not contain `.unwrap()`, `.expect(`,
+//! 1. **Panic-free service path.** Non-test code in the storage crates
+//!    (`pagestore`, `btree`, `encoding`, `timestore`, `lineagestore`)
+//!    plus the request-serving crates (`obs`, `query`, `server`) must
+//!    not contain `.unwrap()`, `.expect(`,
 //!    `panic!(`, `unreachable!(`, `todo!(` or `unimplemented!(`.
 //!    Corruption must surface as typed errors that `aion-fsck` can
 //!    report, never as a process abort. Test modules (`#[cfg(test)]`)
@@ -32,6 +33,9 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "crates/encoding",
     "crates/timestore",
     "crates/lineagestore",
+    "crates/obs",
+    "crates/query",
+    "crates/server",
 ];
 
 /// Forbidden tokens in non-test storage code. Matched after comment
@@ -134,7 +138,7 @@ fn run_lint() -> ExitCode {
     }
     if violations.is_empty() && missing_lints.is_empty() {
         println!(
-            "xtask lint: clean ({} storage crate(s) panic-free, all manifests opted into workspace lints)",
+            "xtask lint: clean ({} crate(s) panic-free, all manifests opted into workspace lints)",
             PANIC_FREE_CRATES.len()
         );
         ExitCode::SUCCESS
