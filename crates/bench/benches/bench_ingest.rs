@@ -25,6 +25,7 @@ fn bench(c: &mut Criterion) {
                         cache_pages: 2048,
                         policy: SnapshotPolicy::EveryNOps(5_000),
                         graphstore_bytes: 32 << 20,
+                        ..Default::default()
                     },
                 )
                 .unwrap();
@@ -45,6 +46,7 @@ fn bench(c: &mut Criterion) {
                     LineageStoreConfig {
                         cache_pages: 2048,
                         chain_threshold: Some(4),
+                        ..Default::default()
                     },
                 )
                 .unwrap();

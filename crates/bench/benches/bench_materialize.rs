@@ -13,6 +13,7 @@ fn build(threshold: Option<u32>) -> (tempfile::TempDir, LineageStore, u64) {
         LineageStoreConfig {
             cache_pages: 2048,
             chain_threshold: threshold,
+            ..Default::default()
         },
     )
     .unwrap();

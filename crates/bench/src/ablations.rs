@@ -29,10 +29,12 @@ fn open_with(dir: &std::path::Path, graphstore_bytes: usize, sync_lineage: bool)
         // acquisition cost (cache hit vs disk read + decode) dominates.
         policy: SnapshotPolicy::EveryNOps(1_000),
         graphstore_bytes,
+        ..Default::default()
     };
     cfg.lineage = LineageStoreConfig {
         cache_pages: 4096,
         chain_threshold: Some(4),
+        ..Default::default()
     };
     Aion::open(cfg).expect("open")
 }

@@ -77,10 +77,12 @@ pub fn open_aion(dir: &Path, sync_lineage: bool) -> Aion {
         cache_pages: 4096,
         policy: SnapshotPolicy::EveryNOps(5_000),
         graphstore_bytes: 128 << 20,
+        ..Default::default()
     };
     cfg.lineage = LineageStoreConfig {
         cache_pages: 4096,
         chain_threshold: Some(4),
+        ..Default::default()
     };
     Aion::open(cfg).expect("open aion")
 }

@@ -66,6 +66,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<IngestRow> {
                 cache_pages: 4096,
                 policy: SnapshotPolicy::EveryNOps(5_000),
                 graphstore_bytes: 64 << 20,
+                ..Default::default()
             },
         )
         .expect("open");
@@ -81,6 +82,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<IngestRow> {
             LineageStoreConfig {
                 cache_pages: 4096,
                 chain_threshold: Some(4),
+                ..Default::default()
             },
         )
         .expect("open");
@@ -98,6 +100,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<IngestRow> {
                 cache_pages: 4096,
                 policy: SnapshotPolicy::EveryNOps(5_000),
                 graphstore_bytes: 64 << 20,
+                ..Default::default()
             },
         )
         .expect("open");
@@ -106,6 +109,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<IngestRow> {
             LineageStoreConfig {
                 cache_pages: 4096,
                 chain_threshold: Some(4),
+                ..Default::default()
             },
         )
         .expect("open");

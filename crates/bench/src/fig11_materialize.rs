@@ -61,6 +61,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<MaterializeRow> {
             LineageStoreConfig {
                 cache_pages: 4096,
                 chain_threshold: Some(threshold),
+                ..Default::default()
             },
         )
         .expect("open");

@@ -10,7 +10,7 @@ use crate::txn::CommitEvent;
 use crossbeam_channel::{unbounded, Sender};
 use lineagestore::LineageStore;
 use lpg::Timestamp;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -23,6 +23,7 @@ enum Job {
 pub struct Cascade {
     tx: Sender<Job>,
     applied: Arc<AtomicU64>,
+    wedged: Arc<AtomicBool>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -32,18 +33,28 @@ impl Cascade {
         let (tx, rx) = unbounded::<Job>();
         let applied = Arc::new(AtomicU64::new(lineage.applied_ts()));
         let applied2 = applied.clone();
+        let wedged = Arc::new(AtomicBool::new(false));
+        let wedged2 = wedged.clone();
         let worker = std::thread::Builder::new()
             .name("aion-cascade".into())
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
                     match job {
                         Job::Apply(event) => {
-                            // An application failure here means the stores
-                            // diverged — surface loudly in debug, skip in
-                            // release (the TimeStore remains authoritative
-                            // and recovery re-syncs).
-                            if let Err(e) = lineage.apply_commit(event.ts, &event.updates) {
-                                debug_assert!(false, "cascade apply failed: {e}");
+                            // An application failure means the LineageStore
+                            // cannot represent this commit (I/O error, torn
+                            // state). Advancing the watermark past it would
+                            // let queries read a silently incomplete store,
+                            // so wedge instead: stop applying, keep the
+                            // watermark where it is, and let the TimeStore
+                            // fallback serve queries until the next reopen
+                            // rebuilds the LineageStore from the log.
+                            if wedged2.load(Ordering::Acquire) {
+                                continue;
+                            }
+                            if lineage.apply_commit(event.ts, &event.updates).is_err() {
+                                wedged2.store(true, Ordering::Release);
+                                continue;
                             }
                             applied2.store(event.ts, Ordering::Release);
                         }
@@ -55,6 +66,7 @@ impl Cascade {
         Cascade {
             tx,
             applied,
+            wedged,
             worker: Some(worker),
         }
     }
@@ -69,9 +81,15 @@ impl Cascade {
         self.applied.load(Ordering::Acquire)
     }
 
-    /// Blocks until everything at or below `ts` has been applied.
+    /// Whether the worker hit an apply error and stopped advancing.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.load(Ordering::Acquire)
+    }
+
+    /// Blocks until everything at or below `ts` has been applied, or the
+    /// cascade wedges (in which case the watermark will never reach `ts`).
     pub fn barrier(&self, ts: Timestamp) {
-        while self.applied_ts() < ts {
+        while self.applied_ts() < ts && !self.is_wedged() {
             std::thread::yield_now();
         }
     }

@@ -13,9 +13,10 @@ use lpg::{
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashSet, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use timestore::{TimeStore, TimeStoreConfig};
+use vfs::VfsRef;
 
 pub use crate::planner::StoreChoice;
 
@@ -31,8 +32,19 @@ pub struct AionConfig {
     /// Apply the LineageStore synchronously with each commit (the `TS+LS`
     /// configuration of Fig. 9). Default `false`: background cascade.
     pub sync_lineage: bool,
+    /// Fsync the TimeStore after every commit before acknowledging it.
+    /// Default `false`: commits become durable only at an explicit
+    /// [`Aion::sync`] (group durability — the paper's ingest numbers assume
+    /// batched flushing). With `true`, every acknowledged commit survives a
+    /// crash, at the cost of one fsync per commit.
+    pub sync_on_commit: bool,
     /// Planner threshold (fraction of graph accessed; paper: 0.3).
     pub planner_threshold: f64,
+    /// The file system every storage layer runs on. Defaults to the
+    /// production passthrough ([`VfsRef::std`]); the crash-consistency
+    /// harness swaps in [`vfs::SimVfs`]. Overrides the `vfs` handles inside
+    /// `timestore` and `lineage` sub-configs.
+    pub vfs: VfsRef,
 }
 
 impl AionConfig {
@@ -43,7 +55,9 @@ impl AionConfig {
             timestore: TimeStoreConfig::default(),
             lineage: LineageStoreConfig::default(),
             sync_lineage: false,
+            sync_on_commit: false,
             planner_threshold: 0.3,
+            vfs: VfsRef::std(),
         }
     }
 }
@@ -84,6 +98,8 @@ pub struct Aion {
     planner: Planner,
     app_keys: AppTimeKeys,
     next_ts: AtomicU64,
+    sync_on_commit: bool,
+    lineage_wedged: AtomicBool,
     commit_lock: Mutex<()>,
     listeners: RwLock<Vec<Listener>>,
     commits: Arc<obs::Counter>,
@@ -95,33 +111,27 @@ impl Aion {
     /// the LineageStore up with the TimeStore log if it lags (crash during
     /// the asynchronous cascade).
     pub fn open(config: AionConfig) -> Result<Aion> {
-        std::fs::create_dir_all(&config.dir)?;
-        let timestore = TimeStore::open(config.dir.join("timestore"), config.timestore.clone())?;
-        let lineage = Arc::new(LineageStore::open(
-            config.dir.join("lineage.db"),
-            config.lineage.clone(),
-        )?);
-        // Catch-up replay: the TimeStore log is the source of truth.
-        let lag_from = lineage.applied_ts();
-        let latest = timestore.latest_ts();
-        if lag_from < latest {
-            let pending = timestore.diff(lag_from + 1, latest.saturating_add(1))?;
-            let mut batch_ts = None;
-            let mut batch: Vec<Update> = Vec::new();
-            for u in pending {
-                if batch_ts != Some(u.ts) {
-                    if let Some(ts) = batch_ts {
-                        lineage.apply_commit(ts, &batch)?;
-                        batch.clear();
-                    }
-                    batch_ts = Some(u.ts);
-                }
-                batch.push(u.op);
+        let fs = config.vfs.clone();
+        fs.create_dir_all(&config.dir)?;
+        let mut ts_config = config.timestore.clone();
+        ts_config.vfs = fs.clone();
+        let timestore = TimeStore::open(config.dir.join("timestore"), ts_config)?;
+        // The LineageStore is derived state: open it with page verification
+        // on, and if that (or catch-up replay) fails — torn pages from a
+        // crash mid-cascade, a corrupt index — wipe it and rebuild from the
+        // TimeStore log, which is the source of truth.
+        let mut ls_config = config.lineage.clone();
+        ls_config.vfs = fs.clone();
+        ls_config.verify_pages = true;
+        let lineage_path = config.dir.join("lineage.db");
+        let lineage = match Self::open_lineage(&timestore, &lineage_path, ls_config.clone()) {
+            Ok(l) => l,
+            Err(_) => {
+                let _ = fs.remove_file(&lineage_path);
+                let _ = fs.remove_file(&pagestore::PageStore::sums_path(&lineage_path));
+                Self::open_lineage(&timestore, &lineage_path, ls_config)?
             }
-            if let Some(ts) = batch_ts {
-                lineage.apply_commit(ts, &batch)?;
-            }
-        }
+        };
         let interner = Arc::new(Interner::new());
         let app_keys = AppTimeKeys {
             start: interner.intern("_app_start"),
@@ -162,6 +172,8 @@ impl Aion {
         Ok(Aion {
             interner,
             next_ts: AtomicU64::new(timestore.latest_ts() + 1),
+            sync_on_commit: config.sync_on_commit,
+            lineage_wedged: AtomicBool::new(false),
             timestore,
             lineage,
             cascade,
@@ -173,6 +185,38 @@ impl Aion {
             commits: obs::counter("core.commits"),
             commit_latency: obs::histogram("core.commit.latency_ns"),
         })
+    }
+
+    /// Opens the LineageStore and replays any TimeStore commits it missed
+    /// (crash during the asynchronous cascade).
+    fn open_lineage(
+        timestore: &TimeStore,
+        path: &std::path::Path,
+        config: LineageStoreConfig,
+    ) -> Result<Arc<LineageStore>> {
+        let lineage = Arc::new(LineageStore::open(path, config)?);
+        // Catch-up replay: the TimeStore log is the source of truth.
+        let lag_from = lineage.applied_ts();
+        let latest = timestore.latest_ts();
+        if lag_from < latest {
+            let pending = timestore.diff(lag_from + 1, latest.saturating_add(1))?;
+            let mut batch_ts = None;
+            let mut batch: Vec<Update> = Vec::new();
+            for u in pending {
+                if batch_ts != Some(u.ts) {
+                    if let Some(ts) = batch_ts {
+                        lineage.apply_commit(ts, &batch)?;
+                        batch.clear();
+                    }
+                    batch_ts = Some(u.ts);
+                }
+                batch.push(u.op);
+            }
+            if let Some(ts) = batch_ts {
+                lineage.apply_commit(ts, &batch)?;
+            }
+        }
+        Ok(lineage)
     }
 
     /// The database string store.
@@ -308,8 +352,22 @@ impl Aion {
             None => self.next_ts.fetch_add(1, Ordering::SeqCst),
         };
         // Stage 2a: synchronous TimeStore append (also updates the latest
-        // in-memory graph).
-        self.timestore.append_commit(ts, &updates)?;
+        // in-memory graph). An error out of the append (or the durability
+        // fsync below) can strike *after* the commit reached the log, so
+        // the commit's durability is unknown; wedge the LineageStore so
+        // later commits cannot advance its watermark past the hole.
+        if let Err(e) = self.timestore.append_commit(ts, &updates) {
+            self.lineage_wedged.store(true, Ordering::Release);
+            return Err(e);
+        }
+        if self.sync_on_commit {
+            // Durability before acknowledgement: a commit this returns from
+            // is on disk (log first, index after — see TimeStore::sync).
+            if let Err(e) = self.timestore.sync() {
+                self.lineage_wedged.store(true, Ordering::Release);
+                return Err(e);
+            }
+        }
         // Statistics fold (labels resolved against the new latest graph).
         let latest = self.timestore.latest_graph();
         self.stats.record_commit(&updates, |id| {
@@ -322,10 +380,21 @@ impl Aion {
             ts,
             updates: Arc::new(updates),
         };
-        // Stage 2b: LineageStore — synchronous or via the cascade.
+        // Stage 2b: LineageStore — synchronous or via the cascade. A
+        // failed apply wedges the LineageStore: applying *later* commits
+        // would advance its watermark past the hole and let queries read a
+        // silently incomplete store. Wedged, the watermark stalls, queries
+        // fall back to the TimeStore, and the next reopen replays the gap
+        // from the log.
         match &self.cascade {
+            _ if self.lineage_wedged.load(Ordering::Acquire) => {}
             Some(c) => c.submit(event.clone()),
-            None => self.lineage.apply_commit(ts, &event.updates)?,
+            None => {
+                if let Err(e) = self.lineage.apply_commit(ts, &event.updates) {
+                    self.lineage_wedged.store(true, Ordering::Release);
+                    return Err(e);
+                }
+            }
         }
         // Stage 1: after-commit listeners.
         for l in self.listeners.read().iter() {
@@ -338,6 +407,15 @@ impl Aion {
     pub fn lineage_barrier(&self, ts: Timestamp) {
         if let Some(c) = &self.cascade {
             c.barrier(ts);
+        }
+    }
+
+    /// Whether the LineageStore applier hit an error and stopped advancing
+    /// (queries fall back to the TimeStore; a reopen replays the gap).
+    pub fn lineage_wedged(&self) -> bool {
+        match &self.cascade {
+            Some(c) => c.is_wedged(),
+            None => self.lineage_wedged.load(Ordering::Acquire),
         }
     }
 

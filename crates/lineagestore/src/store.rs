@@ -11,6 +11,7 @@ use pagestore::PageStore;
 use parking_lot::Mutex;
 use std::path::Path;
 use std::sync::Arc;
+use vfs::VfsRef;
 
 const SLOT_NODES: usize = 0;
 const SLOT_RELS: usize = 1;
@@ -26,6 +27,13 @@ pub struct LineageStoreConfig {
     /// Materialize a full entity once a delta chain would reach this length
     /// (Sec. 6.5; the paper adopts 4). `None` never materializes.
     pub chain_threshold: Option<u32>,
+    /// File system the paged file is opened on.
+    pub vfs: VfsRef,
+    /// Verify the paged file against its checksum sidecar at open and fail
+    /// with `Storage` on mismatch. Defaults to `false` here (tools open
+    /// lineage files directly, corrupt or not); `Aion::open` enables it
+    /// and rebuilds the store from the TimeStore on failure.
+    pub verify_pages: bool,
 }
 
 impl Default for LineageStoreConfig {
@@ -33,6 +41,8 @@ impl Default for LineageStoreConfig {
         LineageStoreConfig {
             cache_pages: 1024,
             chain_threshold: Some(4),
+            vfs: VfsRef::std(),
+            verify_pages: false,
         }
     }
 }
@@ -83,7 +93,12 @@ pub struct LineageStore {
 impl LineageStore {
     /// Opens (or creates) a LineageStore backed by one paged file at `path`.
     pub fn open<P: AsRef<Path>>(path: P, config: LineageStoreConfig) -> Result<LineageStore> {
-        let store = Arc::new(PageStore::open(path, config.cache_pages)?);
+        let store = Arc::new(PageStore::open_with_vfs(
+            &config.vfs,
+            path.as_ref(),
+            config.cache_pages,
+            config.verify_pages,
+        )?);
         let open_tree = |slot| BTree::open(store.clone(), slot).map_err(io_err);
         Ok(LineageStore {
             nodes: open_tree(SLOT_NODES)?,

@@ -17,6 +17,7 @@ fn open(threshold: Option<u32>) -> (tempfile::TempDir, LineageStore) {
         LineageStoreConfig {
             cache_pages: 32,
             chain_threshold: threshold,
+            ..Default::default()
         },
     )
     .unwrap();

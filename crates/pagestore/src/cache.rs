@@ -182,16 +182,25 @@ impl LruCache {
         Some((std::mem::take(&mut e.buf), e.dirty))
     }
 
-    /// Drains every dirty page (clearing its dirty bit) for a full flush.
-    pub fn take_dirty(&mut self) -> Vec<(PageId, PageBuf)> {
+    /// Snapshots every dirty page for a full flush. Dirty bits are left
+    /// set; the caller clears each with [`Self::clear_dirty`] only after
+    /// its write-back succeeds, so a failed flush can be retried without
+    /// losing pages.
+    pub fn dirty_pages(&self) -> Vec<(PageId, PageBuf)> {
         let mut out = Vec::new();
-        for e in &mut self.slab {
+        for e in &self.slab {
             if e.dirty && self.map.contains_key(&e.page) {
-                e.dirty = false;
                 out.push((e.page, e.buf.clone()));
             }
         }
         out
+    }
+
+    /// Clears a page's dirty bit after a successful write-back.
+    pub fn clear_dirty(&mut self, page: PageId) {
+        if let Some(&i) = self.map.get(&page) {
+            self.slab[i].dirty = false;
+        }
     }
 
     /// Page ids currently resident, most recent first (for tests).
@@ -244,11 +253,13 @@ mod tests {
         let mut c = LruCache::new(2);
         c.insert(PageId(1), buf(1), false);
         c.get_mut(PageId(1)).unwrap().write_u64(0, 99);
-        let dirty = c.take_dirty();
+        let dirty = c.dirty_pages();
         assert_eq!(dirty.len(), 1);
         assert_eq!(dirty[0].1.read_u64(0), 99);
-        // take_dirty clears the bit.
-        assert!(c.take_dirty().is_empty());
+        // dirty_pages does not clear the bit; clear_dirty does.
+        assert_eq!(c.dirty_pages().len(), 1);
+        c.clear_dirty(PageId(1));
+        assert!(c.dirty_pages().is_empty());
     }
 
     #[test]

@@ -1,13 +1,21 @@
 //! The paged file: allocation, free list, cached reads and write-back.
+//!
+//! All I/O goes through [`vfs::Vfs`], so the store runs unchanged on the
+//! production `StdVfs` and on the fault-injecting `SimVfs`. Alongside the
+//! page file the store maintains a **checksum sidecar** (`<file>.sums`),
+//! rewritten atomically-by-footer at every [`PageStore::sync`]: it records
+//! one FNV-1a checksum per page plus a footer checksum over the whole
+//! sidecar, so `open_with_vfs(.., verify: true)` can tell a cleanly synced
+//! file from one torn by a crash — a torn file fails verification and the
+//! caller rebuilds it from its source of truth (the change log).
 
 use crate::cache::{CacheStats, LruCache};
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
 use parking_lot::Mutex;
-use std::fs::{File, OpenOptions};
 use std::io;
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::Arc;
+use vfs::{VfsFile, VfsRef};
 
 const MAGIC: u64 = 0x4149_4F4E_5047_5331; // "AIONPGS1"
 const META_MAGIC_OFF: usize = 0;
@@ -17,12 +25,23 @@ const META_ROOTS_OFF: usize = 24;
 /// Number of u64 root slots available to clients on the meta page.
 pub const ROOT_SLOTS: usize = 8;
 
+/// Suffix of the checksum sidecar next to every page file.
+pub const SUMS_SUFFIX: &str = "sums";
+
+const SUMS_MAGIC: u64 = 0x4149_4F4E_5355_4D31; // "AIONSUM1"
+const SUMS_HEADER: usize = 24; // magic + generation + count
+const SUMS_FOOTER: usize = 8;
+
 struct Inner {
     cache: LruCache,
     page_count: u64,
     free_head: PageId,
     roots: [u64; ROOT_SLOTS],
     meta_dirty: bool,
+    /// FNV-1a checksum of each page as last written to the file.
+    sums: Vec<u64>,
+    /// Monotonic sync counter, persisted in the sidecar header.
+    generation: u64,
 }
 
 /// Handles into the process-wide metrics registry, fetched once at open
@@ -55,7 +74,8 @@ impl Metrics {
 /// the pin/unpin discipline of a real page cache with none of the lifetime
 /// hazards.
 pub struct PageStore {
-    file: File,
+    file: Box<dyn VfsFile>,
+    sums_file: Box<dyn VfsFile>,
     inner: Mutex<Inner>,
     metrics: Metrics,
 }
@@ -69,23 +89,90 @@ fn cache_miss_after_load(page: PageId) -> io::Error {
     )
 }
 
+fn unclean(detail: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("page store failed checksum verification ({detail}); rebuild required"),
+    )
+}
+
+fn zero_page_sum() -> u64 {
+    vfs::fnv64(&[0u8; PAGE_SIZE])
+}
+
+/// Parses a sidecar image, returning `(generation, per-page checksums)`.
+fn decode_sidecar(bytes: &[u8]) -> io::Result<(u64, Vec<u64>)> {
+    let le = |b: &[u8]| -> u64 {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&b[..8]);
+        u64::from_le_bytes(a)
+    };
+    if bytes.len() < SUMS_HEADER + SUMS_FOOTER {
+        return Err(unclean("sidecar truncated"));
+    }
+    let body = &bytes[..bytes.len() - SUMS_FOOTER];
+    if le(&bytes[bytes.len() - SUMS_FOOTER..]) != vfs::fnv64(body) {
+        return Err(unclean("sidecar footer checksum mismatch"));
+    }
+    if le(&bytes[0..8]) != SUMS_MAGIC {
+        return Err(unclean("sidecar bad magic"));
+    }
+    let generation = le(&bytes[8..16]);
+    let count = le(&bytes[16..24]) as usize;
+    if body.len() != SUMS_HEADER + count * 8 {
+        return Err(unclean("sidecar count/length mismatch"));
+    }
+    let sums = (0..count)
+        .map(|i| le(&body[SUMS_HEADER + i * 8..]))
+        .collect();
+    Ok((generation, sums))
+}
+
+fn encode_sidecar(generation: u64, sums: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SUMS_HEADER + sums.len() * 8 + SUMS_FOOTER);
+    out.extend_from_slice(&SUMS_MAGIC.to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&(sums.len() as u64).to_le_bytes());
+    for s in sums {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    let footer = vfs::fnv64(&out);
+    out.extend_from_slice(&footer.to_le_bytes());
+    out
+}
+
 impl PageStore {
     /// Opens (or creates) a page store at `path` with a cache of
-    /// `cache_pages` pages.
+    /// `cache_pages` pages, on the production file system and without
+    /// checksum verification.
     pub fn open<P: AsRef<Path>>(path: P, cache_pages: usize) -> io::Result<PageStore> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let len = file.metadata()?.len();
+        PageStore::open_with_vfs(&VfsRef::std(), path.as_ref(), cache_pages, false)
+    }
+
+    /// Opens (or creates) a page store at `path` on `vfs`.
+    ///
+    /// With `verify` set, an existing non-empty file must match its
+    /// checksum sidecar exactly — i.e. be the image of its most recent
+    /// successful [`PageStore::sync`]. A missing, torn, or mismatching
+    /// sidecar yields `InvalidData`, signalling an unclean shutdown; the
+    /// caller is expected to delete the file (and its
+    /// [`PageStore::sums_path`]) and rebuild from its source of truth.
+    pub fn open_with_vfs(
+        vfs: &VfsRef,
+        path: &Path,
+        cache_pages: usize,
+        verify: bool,
+    ) -> io::Result<PageStore> {
+        let file = vfs.open(path)?;
+        let len = file.len()?;
         let mut inner = Inner {
             cache: LruCache::new(cache_pages),
             page_count: 1,
             free_head: PageId::NULL,
             roots: [u64::MAX; ROOT_SLOTS],
             meta_dirty: true,
+            sums: Vec::new(),
+            generation: 0,
         };
         if len >= PAGE_SIZE as u64 {
             let mut meta = PageBuf::zeroed();
@@ -102,12 +189,47 @@ impl PageStore {
                 *slot = meta.read_u64(META_ROOTS_OFF + i * 8);
             }
             inner.meta_dirty = false;
+            // Checksum every page as it sits in the file now, so later
+            // syncs write a sidecar covering pages this session never
+            // touches. Pages past EOF (allocated, never flushed, file
+            // hole) read back as zeros.
+            let zero = zero_page_sum();
+            let mut buf = PageBuf::zeroed();
+            for pid in 0..inner.page_count {
+                let off = pid * PAGE_SIZE as u64;
+                if off + PAGE_SIZE as u64 <= len {
+                    file.read_exact_at(buf.bytes_mut().as_mut_slice(), off)?;
+                    inner.sums.push(vfs::fnv64(buf.bytes().as_slice()));
+                } else {
+                    inner.sums.push(zero);
+                }
+            }
+            if verify {
+                let side = vfs
+                    .read(&vfs::sidecar_path(path, SUMS_SUFFIX))
+                    .map_err(|_| unclean("sidecar missing or unreadable"))?;
+                let (generation, expected) = decode_sidecar(&side)?;
+                if expected.len() as u64 != inner.page_count {
+                    return Err(unclean("sidecar page count differs from meta page"));
+                }
+                if expected != inner.sums {
+                    return Err(unclean("page contents differ from last synced state"));
+                }
+                inner.generation = generation;
+            }
         }
+        let sums_file = vfs.open(&vfs::sidecar_path(path, SUMS_SUFFIX))?;
         Ok(PageStore {
             file,
+            sums_file,
             inner: Mutex::new(inner),
             metrics: Metrics::new(),
         })
+    }
+
+    /// The checksum-sidecar path for a page store at `path`.
+    pub fn sums_path(path: &Path) -> std::path::PathBuf {
+        vfs::sidecar_path(path, SUMS_SUFFIX)
     }
 
     /// Total allocated pages, including the meta page and free pages.
@@ -137,6 +259,22 @@ impl PageStore {
         g.meta_dirty = true;
     }
 
+    /// Writes a page image to the file and records its checksum.
+    fn write_page(
+        &self,
+        inner: &mut Inner,
+        pid: PageId,
+        bytes: &[u8; PAGE_SIZE],
+    ) -> io::Result<()> {
+        self.file.write_all_at(bytes.as_slice(), pid.offset())?;
+        let idx = pid.0 as usize;
+        if inner.sums.len() <= idx {
+            inner.sums.resize(idx + 1, zero_page_sum());
+        }
+        inner.sums[idx] = vfs::fnv64(bytes.as_slice());
+        Ok(())
+    }
+
     fn load(&self, inner: &mut Inner, page: PageId) -> io::Result<()> {
         if inner.cache.get(page).is_some() {
             self.metrics.cache_hits.inc();
@@ -152,8 +290,14 @@ impl PageStore {
         if let Some((pid, dirty)) = inner.cache.insert(page, buf, false) {
             self.metrics.cache_evictions.inc();
             let _t = self.metrics.writeback_latency.start_timer();
-            self.file
-                .write_all_at(dirty.bytes().as_slice(), pid.offset())?;
+            if let Err(e) = self.write_page(inner, pid, dirty.bytes()) {
+                // Write-back failed: the victim's buffer is the only copy
+                // of its updates, so undo the load (the incoming page was
+                // clean) and put the victim back, still dirty.
+                inner.cache.remove(page);
+                inner.cache.insert(pid, dirty, true);
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -201,8 +345,7 @@ impl PageStore {
         if let Some((pid, dirty)) = inner.cache.insert(page, PageBuf::zeroed(), true) {
             self.metrics.cache_evictions.inc();
             let _t = self.metrics.writeback_latency.start_timer();
-            self.file
-                .write_all_at(dirty.bytes().as_slice(), pid.offset())?;
+            self.write_page(&mut inner, pid, dirty.bytes())?;
         }
         Ok(page)
     }
@@ -279,14 +422,15 @@ impl PageStore {
         Ok(problems)
     }
 
-    /// Writes every dirty page (and the meta page) back to the file.
-    pub fn flush(&self) -> io::Result<()> {
-        let mut inner = self.inner.lock();
-        for (pid, buf) in inner.cache.take_dirty() {
+    fn flush_locked(&self, inner: &mut Inner) -> io::Result<()> {
+        for (pid, buf) in inner.cache.dirty_pages() {
             let _t = self.metrics.writeback_latency.start_timer();
-            // Grow the file lazily: write_all_at extends as needed.
-            self.file
-                .write_all_at(buf.bytes().as_slice(), pid.offset())?;
+            // Grow the file lazily: write_all_at extends as needed. The
+            // dirty bit clears only after the write succeeds, so a flush
+            // that fails partway leaves the unwritten pages dirty and a
+            // later flush retries them.
+            self.write_page(inner, pid, buf.bytes())?;
+            inner.cache.clear_dirty(pid);
         }
         if inner.meta_dirty {
             let mut meta = PageBuf::zeroed();
@@ -296,16 +440,33 @@ impl PageStore {
             for (i, slot) in inner.roots.iter().enumerate() {
                 meta.write_u64(META_ROOTS_OFF + i * 8, *slot);
             }
-            self.file.write_all_at(meta.bytes().as_slice(), 0)?;
+            self.write_page(inner, PageId::META, meta.bytes())?;
             inner.meta_dirty = false;
         }
         Ok(())
     }
 
-    /// Flushes and fsyncs.
+    /// Writes every dirty page (and the meta page) back to the file.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner)
+    }
+
+    /// Flushes, fsyncs the page file, then rewrites and fsyncs the
+    /// checksum sidecar. The sidecar's footer checksum makes it an atomic
+    /// unit: if it verifies at open, the page file is exactly the image
+    /// this sync made durable.
     pub fn sync(&self) -> io::Result<()> {
-        self.flush()?;
-        self.file.sync_data()
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner)?;
+        self.file.sync_data()?;
+        inner.generation += 1;
+        let count = inner.page_count as usize;
+        inner.sums.resize(count, zero_page_sum());
+        let bytes = encode_sidecar(inner.generation, &inner.sums[..count]);
+        self.sums_file.set_len(bytes.len() as u64)?;
+        self.sums_file.write_all_at(&bytes, 0)?;
+        self.sums_file.sync_data()
     }
 }
 
@@ -407,5 +568,67 @@ mod tests {
         let path = dir.path().join("junk.db");
         std::fs::write(&path, vec![0x42u8; PAGE_SIZE]).unwrap();
         assert!(PageStore::open(&path, 4).is_err());
+    }
+
+    #[test]
+    fn verify_accepts_synced_file_and_rejects_tampering() {
+        let dir = tempdir().unwrap();
+        let vfs = VfsRef::std();
+        let path = dir.path().join("v.db");
+        {
+            let store = PageStore::open_with_vfs(&vfs, &path, 4, false).unwrap();
+            let p = store.allocate().unwrap();
+            store.write(p, |b| b.write_u64(0, 42)).unwrap();
+            store.sync().unwrap();
+        }
+        // Clean reopen verifies.
+        PageStore::open_with_vfs(&vfs, &path, 4, true).unwrap();
+        // A byte flipped after the last sync is detected.
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let err = PageStore::open_with_vfs(&vfs, &path, 4, true)
+            .err()
+            .unwrap();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Non-verifying open still works (legacy path).
+        PageStore::open_with_vfs(&vfs, &path, 4, false).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_unsynced_shutdown() {
+        let dir = tempdir().unwrap();
+        let vfs = VfsRef::std();
+        let path = dir.path().join("u.db");
+        {
+            let store = PageStore::open_with_vfs(&vfs, &path, 4, false).unwrap();
+            let p = store.allocate().unwrap();
+            store.write(p, |b| b.write_u64(0, 7)).unwrap();
+            store.sync().unwrap();
+            // More writes after the sync: Drop flushes them to the file
+            // but never syncs, so the sidecar no longer matches.
+            store.write(p, |b| b.write_u64(0, 8)).unwrap();
+        }
+        let err = PageStore::open_with_vfs(&vfs, &path, 4, true)
+            .err()
+            .unwrap();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn verify_survives_pages_allocated_but_never_synced_before() {
+        let dir = tempdir().unwrap();
+        let vfs = VfsRef::std();
+        let path = dir.path().join("w.db");
+        {
+            let store = PageStore::open_with_vfs(&vfs, &path, 4, false).unwrap();
+            for _ in 0..8 {
+                store.allocate().unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let store = PageStore::open_with_vfs(&vfs, &path, 4, true).unwrap();
+        assert_eq!(store.page_count(), 9);
     }
 }

@@ -214,7 +214,7 @@ impl TimeStore {
         findings: &mut Vec<AuditFinding>,
     ) {
         let path = self.snap_dir.join(name);
-        let bytes = match std::fs::read(&path) {
+        let bytes = match self.vfs.read(&path) {
             Ok(b) => b,
             Err(e) => {
                 findings.push(AuditFinding {
@@ -224,7 +224,8 @@ impl TimeStore {
                 return;
             }
         };
-        let Some(graph) = snapshot::decode_graph(&bytes) else {
+        let Some(graph) = crate::store::snapshot_payload(&bytes).and_then(snapshot::decode_graph)
+        else {
             findings.push(AuditFinding {
                 check: "snapshot/decode",
                 detail: format!("snapshot {name} at ts {ts} does not decode"),

@@ -9,9 +9,16 @@ use encoding::varint;
 use encoding::{updates_from_record, RecordBody};
 use lpg::{GraphError, Result, Timestamp, TimestampedUpdate, Update};
 use parking_lot::Mutex;
-use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
 use std::path::Path;
+use vfs::{VfsFile, VfsRef};
+
+/// Hard upper bound on a frame's payload. A corrupt length field can
+/// otherwise demand an allocation as large as the file; no legitimate
+/// commit comes anywhere near this.
+pub const MAX_FRAME_LEN: u64 = 64 * 1024 * 1024;
+
+/// Buffer size for the streaming checksum pass over a frame payload.
+const VERIFY_CHUNK: usize = 64 * 1024;
 
 /// One committed transaction in the log.
 #[derive(Clone, PartialEq, Debug)]
@@ -70,16 +77,20 @@ impl CommitFrame {
 
 fn fnv1a(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
-    for &b in bytes {
-        h ^= u32::from(b);
-        h = h.wrapping_mul(0x0100_0193);
-    }
+    fnv1a_feed(&mut h, bytes);
     h
+}
+
+fn fnv1a_feed(h: &mut u32, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u32::from(b);
+        *h = h.wrapping_mul(0x0100_0193);
+    }
 }
 
 /// Append-only log file with torn-tail recovery.
 pub struct ChangeLog {
-    file: File,
+    file: Box<dyn VfsFile>,
     end: Mutex<u64>,
 }
 
@@ -87,13 +98,22 @@ impl ChangeLog {
     /// Opens (or creates) the log, scanning it to find a consistent end.
     /// A torn final frame (crash mid-append) is truncated away.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<ChangeLog> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let len = file.metadata()?.len();
+        ChangeLog::open_with_vfs(&VfsRef::std(), path.as_ref(), 0)
+    }
+
+    /// Opens (or creates) the log on `vfs`; see [`ChangeLog::open`].
+    ///
+    /// `durable_end` is the caller's proof of how far the log was once
+    /// fsynced (the TimeStore records it in its index at every sync). A
+    /// bad frame *below* it cannot be a crash artifact — fsynced bytes
+    /// survive crashes — so it is reported as corruption instead of being
+    /// silently truncated away with every valid frame behind it. Bad
+    /// frames at or past `durable_end` are the torn tail of a crash and
+    /// are truncated. Pass 0 when no durable marker is available
+    /// (truncate-only recovery).
+    pub fn open_with_vfs(vfs: &VfsRef, path: &Path, durable_end: u64) -> Result<ChangeLog> {
+        let file = vfs.open(path)?;
+        let len = file.len()?;
         let log = ChangeLog {
             file,
             end: Mutex::new(0),
@@ -102,6 +122,11 @@ impl ChangeLog {
         while offset < len {
             match log.read_frame_at(offset, len) {
                 Some((_, next)) => offset = next,
+                None if offset < durable_end => {
+                    return Err(GraphError::CorruptRecord(format!(
+                        "corrupt log frame at offset {offset}, below the durable end {durable_end}"
+                    )));
+                }
                 None => break, // torn tail
             }
         }
@@ -115,6 +140,13 @@ impl ChangeLog {
     /// Appends a commit frame; returns its starting offset.
     pub fn append(&self, frame: &CommitFrame) -> Result<u64> {
         let payload = frame.encode();
+        if payload.len() as u64 > MAX_FRAME_LEN {
+            return Err(GraphError::Storage(format!(
+                "commit frame payload of {} bytes exceeds the {} byte frame cap",
+                payload.len(),
+                MAX_FRAME_LEN
+            )));
+        }
         let mut buf = Vec::with_capacity(payload.len() + 8);
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(&fnv1a(&payload).to_le_bytes());
@@ -148,14 +180,28 @@ impl ChangeLog {
         let mut sum4 = [0u8; 4];
         sum4.copy_from_slice(&head[4..]);
         let checksum = u32::from_le_bytes(sum4);
-        if offset + 8 + len > file_len {
+        if len > MAX_FRAME_LEN || offset + 8 + len > file_len {
+            return None;
+        }
+        // Verify the checksum with a streaming pass over a small buffer
+        // *before* allocating `len` bytes, so a corrupt length field never
+        // drives a large allocation of garbage.
+        let mut h: u32 = 0x811c_9dc5;
+        let mut chunk = [0u8; VERIFY_CHUNK];
+        let mut pos = 0u64;
+        while pos < len {
+            let n = VERIFY_CHUNK.min((len - pos) as usize);
+            self.file
+                .read_exact_at(&mut chunk[..n], offset + 8 + pos)
+                .ok()?;
+            fnv1a_feed(&mut h, &chunk[..n]);
+            pos += n as u64;
+        }
+        if h != checksum {
             return None;
         }
         let mut payload = vec![0u8; len as usize];
         self.file.read_exact_at(&mut payload, offset + 8).ok()?;
-        if fnv1a(&payload) != checksum {
-            return None;
-        }
         let frame = CommitFrame::decode(&payload)?;
         Some((frame, offset + 8 + len))
     }
@@ -191,6 +237,7 @@ impl ChangeLog {
 mod tests {
     use super::*;
     use lpg::NodeId;
+    use std::fs::OpenOptions;
     use tempfile::tempdir;
 
     fn add_node(i: u64) -> Update {
@@ -273,6 +320,61 @@ mod tests {
         log.append(&CommitFrame::from_updates(2, &[add_node(2)]))
             .unwrap();
         assert_eq!(log.scan_from(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn oversized_len_frame_is_rejected() {
+        use std::os::unix::fs::FileExt;
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("c.log");
+        let good_end;
+        {
+            let log = ChangeLog::open(&path).unwrap();
+            log.append(&CommitFrame::from_updates(1, &[add_node(1)]))
+                .unwrap();
+            good_end = log.end_offset();
+            log.sync().unwrap();
+        }
+        // A corrupt header claiming a ~4 GiB payload, "backed" by a sparse
+        // file so the length bound alone does not reject it. The frame cap
+        // must discard it instead of allocating gigabytes.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        let mut head = Vec::new();
+        head.extend_from_slice(&u32::MAX.to_le_bytes());
+        head.extend_from_slice(&0u32.to_le_bytes());
+        f.write_all_at(&head, good_end).unwrap();
+        f.set_len(good_end + 8 + u64::from(u32::MAX)).unwrap();
+        drop(f);
+        let log = ChangeLog::open(&path).unwrap();
+        assert_eq!(log.end_offset(), good_end);
+        assert_eq!(log.scan_from(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn in_bound_bogus_len_fails_streaming_verify() {
+        use std::os::unix::fs::FileExt;
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("c.log");
+        let good_end;
+        {
+            let log = ChangeLog::open(&path).unwrap();
+            log.append(&CommitFrame::from_updates(1, &[add_node(1)]))
+                .unwrap();
+            good_end = log.end_offset();
+            log.sync().unwrap();
+        }
+        // A 8 MiB claimed payload under the cap and within the (sparse)
+        // file: the streaming checksum pass rejects it chunk by chunk.
+        let bogus = 8u64 * 1024 * 1024;
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        let mut head = Vec::new();
+        head.extend_from_slice(&(bogus as u32).to_le_bytes());
+        head.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        f.write_all_at(&head, good_end).unwrap();
+        f.set_len(good_end + 8 + bogus).unwrap();
+        drop(f);
+        let log = ChangeLog::open(&path).unwrap();
+        assert_eq!(log.end_offset(), good_end);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use vfs::VfsRef;
 
 /// Tuning knobs for a [`TimeStore`].
 #[derive(Clone, Debug)]
@@ -24,6 +25,13 @@ pub struct TimeStoreConfig {
     pub policy: SnapshotPolicy,
     /// Byte budget of the in-memory GraphStore snapshot cache.
     pub graphstore_bytes: usize,
+    /// File system every file of the store is opened on. Defaults to the
+    /// production `StdVfs`; the crash harness passes a `SimVfs`.
+    pub vfs: VfsRef,
+    /// Verify the index page file against its checksum sidecar at open.
+    /// On mismatch (a crash tore un-synced index pages) the index is
+    /// wiped and rebuilt from the log. Defaults to `true`.
+    pub verify_index_pages: bool,
 }
 
 impl Default for TimeStoreConfig {
@@ -32,8 +40,37 @@ impl Default for TimeStoreConfig {
             cache_pages: 1024,
             policy: SnapshotPolicy::default(),
             graphstore_bytes: 256 << 20,
+            vfs: VfsRef::std(),
+            verify_index_pages: true,
         }
     }
+}
+
+/// Appends the FNV-1a footer that makes a snapshot file self-verifying.
+pub(crate) fn seal_snapshot(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&vfs::fnv64(payload).to_le_bytes());
+    out
+}
+
+/// Verifies a snapshot file's footer, returning the payload when intact.
+pub(crate) fn snapshot_payload(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (payload, footer) = bytes.split_at(bytes.len() - 8);
+    let mut f = [0u8; 8];
+    f.copy_from_slice(footer);
+    (vfs::fnv64(payload) == u64::from_le_bytes(f)).then_some(payload)
+}
+
+/// Parses the timestamp out of a `snap_<ts>.aisnap` file name.
+pub(crate) fn snapshot_name_ts(name: &str) -> Option<Timestamp> {
+    name.strip_prefix("snap_")?
+        .strip_suffix(".aisnap")?
+        .parse()
+        .ok()
 }
 
 /// Size/footprint counters for the storage-overhead experiments (Fig. 10).
@@ -89,6 +126,7 @@ struct MutableState {
 
 /// Snapshot-based temporal storage indexed by time (Sec. 4.3).
 pub struct TimeStore {
+    pub(crate) vfs: VfsRef,
     pub(crate) log: ChangeLog,
     /// B+Tree: commit ts → log offset.
     pub(crate) time_index: BTree,
@@ -104,25 +142,74 @@ pub struct TimeStore {
 
 const SLOT_TIME_INDEX: usize = 0;
 const SLOT_SNAP_INDEX: usize = 1;
+/// Root slot recording how many log bytes were covered by the last
+/// [`TimeStore::sync`]. Set *after* the log fsync and made durable by the
+/// subsequent index fsync, so it never exceeds the durable log length; at
+/// open it separates mid-log corruption (bad frame below it — hard error)
+/// from a crash's torn tail (bad frame past it — truncated).
+const SLOT_DURABLE_LOG_END: usize = 2;
 
 impl TimeStore {
     /// Opens a TimeStore rooted at directory `dir`, recovering state from
     /// the log (the log is the source of truth; index tails are rebuilt).
+    ///
+    /// When the index page file fails checksum verification (or recovery
+    /// through it fails), the index is deleted and rebuilt wholesale from
+    /// the log — the slow path a crash mid-index-writeback leads to.
     pub fn open<P: AsRef<Path>>(dir: P, config: TimeStoreConfig) -> Result<TimeStore> {
         let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
+        config.vfs.create_dir_all(dir)?;
+        config.vfs.create_dir_all(&dir.join("snapshots"))?;
+        match Self::try_open(dir, &config, config.verify_index_pages, false) {
+            Ok(store) => Ok(store),
+            // Corruption below the durable log end is diagnosed against a
+            // checksum-verified index: real damage, not a crash artifact.
+            // Wiping the index would discard the evidence and silently
+            // truncate acknowledged commits — surface it instead. Every
+            // other failure (torn index pages, stale index tail) is
+            // recoverable by rebuilding the index from the log.
+            Err(e @ GraphError::CorruptRecord(_)) if e.to_string().contains("durable end") => {
+                Err(e)
+            }
+            Err(_) => Self::try_open(dir, &config, false, true),
+        }
+    }
+
+    fn try_open(
+        dir: &Path,
+        config: &TimeStoreConfig,
+        verify: bool,
+        wipe_index: bool,
+    ) -> Result<TimeStore> {
+        let vfs = config.vfs.clone();
         let snap_dir = dir.join("snapshots");
-        std::fs::create_dir_all(&snap_dir)?;
-        let log = ChangeLog::open(dir.join("timestore.log"))?;
-        let index_store = Arc::new(PageStore::open(
-            dir.join("timestore.idx"),
+        let idx_path = dir.join("timestore.idx");
+        if wipe_index {
+            let _ = vfs.remove_file(&idx_path);
+            let _ = vfs.remove_file(&PageStore::sums_path(&idx_path));
+        }
+        let index_store = Arc::new(PageStore::open_with_vfs(
+            &vfs,
+            &idx_path,
             config.cache_pages,
+            verify,
         )?);
         let time_index = BTree::open(index_store.clone(), SLOT_TIME_INDEX)
             .map_err(|e| GraphError::Storage(e.to_string()))?;
         let snap_index = BTree::open(index_store.clone(), SLOT_SNAP_INDEX)
             .map_err(|e| GraphError::Storage(e.to_string()))?;
+        // The durable-end marker is only trustworthy when the index file
+        // verified against its checksum sidecar (i.e. is exactly the image
+        // of its last successful sync); otherwise fall back to
+        // truncate-only torn-tail recovery.
+        let durable_end = match index_store.root(SLOT_DURABLE_LOG_END) {
+            _ if !verify => 0,
+            u64::MAX => 0,
+            end => end,
+        };
+        let log = ChangeLog::open_with_vfs(&vfs, &dir.join("timestore.log"), durable_end)?;
         let store = TimeStore {
+            vfs,
             log,
             time_index,
             snap_index,
@@ -183,11 +270,53 @@ impl TimeStore {
         state.latest_ts = latest_ts;
         state.commits = commits;
         state.updates = updates;
-        // Snapshot file accounting.
-        for entry in std::fs::read_dir(&self.snap_dir)? {
-            let entry = entry?;
-            state.snapshot_bytes += entry.metadata()?.len();
-            state.snapshot_count += 1;
+        // Reconcile the snapshot directory with the snapshot index. A
+        // crash can leave torn snapshot files (quarantined — the log
+        // re-derives them), snapshots from a future the durable log never
+        // reached (deleted, preserving the snapshot-index envelope), valid
+        // files the index lost (re-indexed), and index entries whose file
+        // is gone (dropped).
+        let mut valid = std::collections::BTreeSet::new();
+        for (name, _) in self.vfs.read_dir(&self.snap_dir)? {
+            let Some(sts) = snapshot_name_ts(&name) else {
+                continue;
+            };
+            let path = self.snap_dir.join(&name);
+            let intact = self
+                .vfs
+                .read(&path)
+                .ok()
+                .map(|b| (snapshot_payload(&b).is_some(), b.len() as u64));
+            match intact {
+                Some((true, len)) if sts <= latest_ts && sts > 0 => {
+                    valid.insert(sts);
+                    state.snapshot_bytes += len;
+                    state.snapshot_count += 1;
+                    if !self
+                        .snap_index
+                        .contains(&keys::ts_key(sts))
+                        .map_err(storage_err)?
+                    {
+                        self.snap_index
+                            .insert(&keys::ts_key(sts), name.as_bytes())
+                            .map_err(storage_err)?;
+                    }
+                }
+                _ => {
+                    let _ = self.vfs.remove_file(&path);
+                }
+            }
+        }
+        let mut stale = Vec::new();
+        for item in self.snap_index.scan(&[], &[]).map_err(storage_err)? {
+            let (key, _) = item.map_err(storage_err)?;
+            match keys::decode_ts_key(&key) {
+                Some(sts) if valid.contains(&sts) => {}
+                _ => stale.push(key),
+            }
+        }
+        for key in stale {
+            self.snap_index.remove(&key).map_err(storage_err)?;
         }
         state.last_snapshot_ts = 0;
         drop(state);
@@ -244,10 +373,17 @@ impl TimeStore {
         self.metrics.snapshot_creates.inc();
         let (graph, latest_ts) = self.graphstore.latest();
         debug_assert_eq!(latest_ts, ts);
-        let bytes = snapshot::encode_graph(&graph);
+        let bytes = seal_snapshot(&snapshot::encode_graph(&graph));
         let name = format!("snap_{ts:020}.aisnap");
         let path = self.snap_dir.join(&name);
-        std::fs::write(&path, &bytes)?;
+        // Write through a handle and sync before indexing: a crash can
+        // then only leave a torn (quarantinable) or absent file, never a
+        // durable index entry pointing at a non-durable snapshot.
+        let file = self.vfs.open(&path)?;
+        file.set_len(0)?;
+        file.write_all_at(&bytes, 0)?;
+        file.sync_data()?;
+        drop(file);
         self.snap_index
             .insert(&keys::ts_key(ts), name.as_bytes())
             .map_err(storage_err)?;
@@ -322,9 +458,11 @@ impl TimeStore {
             (mem, Some((k, name))) => {
                 let disk_ts = decode_ts(&k)?;
                 let path = self.snap_dir.join(String::from_utf8_lossy(&name).as_ref());
-                match std::fs::read(&path)
+                match self
+                    .vfs
+                    .read(&path)
                     .ok()
-                    .and_then(|b| snapshot::decode_graph(&b))
+                    .and_then(|b| snapshot_payload(&b).and_then(snapshot::decode_graph))
                 {
                     Some(g) => {
                         let g = Arc::new(g);
@@ -473,6 +611,11 @@ impl TimeStore {
     /// Flushes indexes and log to disk.
     pub fn sync(&self) -> Result<()> {
         self.log.sync()?;
+        // Record how far the log is now provably durable (log fsync above,
+        // marker made durable by the index fsync below — the marker can
+        // trail the log but never lead it).
+        self.index_store
+            .set_root(SLOT_DURABLE_LOG_END, self.log.end_offset());
         self.index_store.sync()?;
         Ok(())
     }

@@ -101,6 +101,7 @@ proptest! {
                 cache_pages: 64,
                 policy,
                 graphstore_bytes: 1 << 20,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -60,6 +60,7 @@ fn config(policy: SnapshotPolicy) -> TimeStoreConfig {
         cache_pages: 64,
         policy,
         graphstore_bytes: 4 << 20,
+        ..Default::default()
     }
 }
 

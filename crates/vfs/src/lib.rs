@@ -1,0 +1,242 @@
+//! # aion-vfs — the virtual file system every storage layer runs on
+//!
+//! All file I/O in the storage crates (`pagestore`, `timestore` and the
+//! layers above them) goes through the [`Vfs`] / [`VfsFile`] traits so a
+//! single seam controls durability semantics:
+//!
+//! * [`StdVfs`] — a zero-overhead passthrough to `std::fs` with
+//!   positioned reads/writes (`FileExt`). Production default.
+//! * [`sim::SimVfs`] — a deterministic in-memory file system that, from a
+//!   single `u64` seed, injects torn writes at configurable byte
+//!   granularity, transient `EIO` / `ENOSPC`, and crash points that
+//!   discard any data not yet fsynced. The crash-consistency simulation
+//!   harness (`tests/sim_crash.rs`) is built on it.
+//!
+//! The model deliberately mirrors what a POSIX kernel guarantees — and
+//! nothing more: a `write_all_at` buffers data that only [`VfsFile::sync_data`]
+//! makes durable, and after a crash each un-synced chunk independently may
+//! or may not have reached the platter (the OS flushes dirty pages in any
+//! order). File *creation* is modelled as immediately durable; directory
+//! fsync is out of scope.
+
+use std::fmt;
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+pub mod sim;
+
+pub use sim::{FaultConfig, SimVfs};
+
+/// An open file: positioned I/O plus explicit durability control.
+pub trait VfsFile: Send + Sync {
+    /// Fills `buf` from `offset`; errors if the file is too short.
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()>;
+    /// Writes all of `data` at `offset`, extending the file as needed.
+    /// The data is *not* durable until [`VfsFile::sync_data`] succeeds.
+    fn write_all_at(&self, data: &[u8], offset: u64) -> io::Result<()>;
+    /// Makes every prior write to this file durable.
+    fn sync_data(&self) -> io::Result<()>;
+    /// Truncates or zero-extends the file to `len` bytes.
+    fn set_len(&self, len: u64) -> io::Result<()>;
+    /// Current length in bytes.
+    fn len(&self) -> io::Result<u64>;
+    /// Whether the file is empty.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// A file system root: open/create files and the handful of whole-file and
+/// directory operations the storage layers need.
+pub trait Vfs: Send + Sync {
+    /// Opens `path` read+write, creating it (empty) if absent. Never
+    /// truncates.
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Creates `path` and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Lists the plain files directly under `path` as
+    /// `(file name, length in bytes)`.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<(String, u64)>>;
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Replaces the contents of `path` with `data` (create + truncate).
+    /// Like `std::fs::write`, the result is not durable until a sync.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// A cheaply clonable, `Debug`-friendly handle to a [`Vfs`] — the type
+/// configuration structs embed.
+#[derive(Clone)]
+pub struct VfsRef(Arc<dyn Vfs>);
+
+impl VfsRef {
+    /// Wraps an arbitrary [`Vfs`] implementation.
+    pub fn new(vfs: Arc<dyn Vfs>) -> VfsRef {
+        VfsRef(vfs)
+    }
+
+    /// The production passthrough to `std::fs`.
+    pub fn std() -> VfsRef {
+        VfsRef(Arc::new(StdVfs))
+    }
+}
+
+impl std::ops::Deref for VfsRef {
+    type Target = dyn Vfs;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl fmt::Debug for VfsRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("VfsRef(..)")
+    }
+}
+
+impl Default for VfsRef {
+    fn default() -> Self {
+        VfsRef::std()
+    }
+}
+
+/// FNV-1a over `bytes`, 64-bit. The checksum the storage layers use for
+/// page-checksum sidecars and snapshot footers.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Derives the conventional sidecar path `<path>.<suffix>`.
+pub fn sidecar_path(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".");
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+// ---------------------------------------------------------------- StdVfs
+
+/// The production VFS: a thin veneer over `std::fs`.
+pub struct StdVfs;
+
+struct StdFile(std::fs::File);
+
+impl VfsFile for StdFile {
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        self.0.read_exact_at(buf, offset)
+    }
+
+    fn write_all_at(&self, data: &[u8], offset: u64) -> io::Result<()> {
+        self.0.write_all_at(data, offset)
+    }
+
+    fn sync_data(&self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.0.metadata()?.len())
+    }
+}
+
+impl Vfs for StdVfs {
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(Box::new(StdFile(file)))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<(String, u64)>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            let entry = entry?;
+            let meta = entry.metadata()?;
+            if meta.is_file() {
+                out.push((entry.file_name().to_string_lossy().into_owned(), meta.len()));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.is_file()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_vfs_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let vfs = VfsRef::std();
+        let path = dir.path().join("f.bin");
+        let f = vfs.open(&path).unwrap();
+        f.write_all_at(b"hello", 3).unwrap();
+        assert_eq!(f.len().unwrap(), 8);
+        let mut buf = [0u8; 5];
+        f.read_exact_at(&mut buf, 3).unwrap();
+        assert_eq!(&buf, b"hello");
+        f.sync_data().unwrap();
+        f.set_len(4).unwrap();
+        assert_eq!(f.len().unwrap(), 4);
+        assert!(vfs.exists(&path));
+        vfs.write(&path, b"xyz").unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"xyz");
+        assert_eq!(vfs.read_dir(dir.path()).unwrap(), vec![("f.bin".into(), 3)]);
+        vfs.remove_file(&path).unwrap();
+        assert!(!vfs.exists(&path));
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        assert_eq!(fnv64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+    }
+
+    #[test]
+    fn sidecar_path_appends_suffix() {
+        assert_eq!(
+            sidecar_path(Path::new("/x/lineage.db"), "sums"),
+            PathBuf::from("/x/lineage.db.sums")
+        );
+    }
+}

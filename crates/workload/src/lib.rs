@@ -18,8 +18,10 @@
 
 pub mod datasets;
 pub mod generator;
+pub mod simops;
 pub mod txmix;
 
 pub use datasets::{Dataset, DATASETS};
 pub use generator::{generate, GeneratedWorkload};
+pub use simops::{commit_script, SimOpsConfig};
 pub use txmix::{ClientOp, TxMix};

@@ -30,4 +30,5 @@ pub use obs;
 pub use pagestore;
 pub use query;
 pub use timestore;
+pub use vfs;
 pub use workload;

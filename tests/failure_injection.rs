@@ -126,6 +126,34 @@ fn torn_log_tail_truncated_and_system_still_opens() {
 }
 
 #[test]
+fn mid_log_corruption_detected_not_truncated() {
+    // A bad frame *below* the synced log end is damage, not a torn tail:
+    // truncating there would silently drop every acknowledged commit
+    // behind it, so open must refuse instead.
+    let dir = tempdir().unwrap();
+    {
+        let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+        seed(&db, 10);
+        db.sync().unwrap();
+    }
+    let log_path = dir.path().join("timestore").join("timestore.log");
+    let mut bytes = std::fs::read(&log_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&log_path, &bytes).unwrap();
+    let err = Aion::open(AionConfig::new(dir.path()))
+        .err()
+        .expect("open must fail on mid-log corruption");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("corrupt log frame") && msg.contains("durable end"),
+        "unexpected error: {msg}"
+    );
+    // The log file was left as found for forensics — not truncated.
+    assert_eq!(std::fs::read(&log_path).unwrap().len(), bytes.len());
+}
+
+#[test]
 fn corrupt_snapshot_file_falls_back_to_log_replay() {
     let dir = tempdir().unwrap();
     let last;

@@ -28,6 +28,7 @@ use std::process::ExitCode;
 
 /// Crates whose non-test code must be panic-free.
 const PANIC_FREE_CRATES: &[&str] = &[
+    "crates/vfs",
     "crates/pagestore",
     "crates/btree",
     "crates/encoding",
