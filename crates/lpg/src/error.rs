@@ -49,6 +49,10 @@ pub enum GraphError {
     /// A query-execution invariant was violated (malformed plan reached
     /// the executor).
     ExecError(String),
+    /// The request's execution budget expired (per-request deadline
+    /// passed or the server cancelled it during drain); execution stopped
+    /// cooperatively at a check point, never mid-commit.
+    DeadlineExceeded,
     /// The query referenced an unknown label, key, or parameter.
     Unknown(String),
 }
@@ -77,6 +81,9 @@ impl fmt::Display for GraphError {
             GraphError::Storage(msg) => write!(f, "storage error: {msg}"),
             GraphError::CorruptRecord(msg) => write!(f, "corrupt record: {msg}"),
             GraphError::ExecError(msg) => write!(f, "execution error: {msg}"),
+            GraphError::DeadlineExceeded => {
+                write!(f, "deadline exceeded: query aborted by execution budget")
+            }
             GraphError::Unknown(what) => write!(f, "unknown reference: {what}"),
         }
     }

@@ -8,11 +8,97 @@ use aion::Aion;
 use lpg::{
     Direction, GraphError, NodeId, PropertyValue, RelId, Result, StrId, TimeRange, Timestamp,
 };
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Query parameters (`$name` bindings).
 pub type Params = HashMap<String, Value>;
+
+/// Cooperative execution budget for one query: an optional wall-clock
+/// deadline plus an optional external cancellation flag (set by the
+/// server when it drains). The executor checks the budget at loop
+/// boundaries — bind scans, filters, row building, procedure slices —
+/// and aborts with [`GraphError::DeadlineExceeded`]. It never checks
+/// mid-commit, so a write either fully commits or never starts.
+#[derive(Clone, Default)]
+pub struct ExecBudget {
+    /// Absolute abort time.
+    pub deadline: Option<Instant>,
+    /// External cancellation (e.g. server drain); checked alongside the
+    /// deadline at every budget point.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl ExecBudget {
+    /// No limits (the default for embedded callers).
+    pub fn unlimited() -> ExecBudget {
+        ExecBudget::default()
+    }
+
+    /// A budget that expires `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> ExecBudget {
+        ExecBudget {
+            deadline: Some(Instant::now() + timeout),
+            cancel: None,
+        }
+    }
+
+    fn expired(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+thread_local! {
+    static BUDGET: RefCell<ExecBudget> = RefCell::new(ExecBudget::default());
+}
+
+/// Restores the previous budget when an `execute_with_budget` scope ends,
+/// so nested or sequential executions on one thread cannot leak limits.
+struct BudgetGuard {
+    prev: Option<ExecBudget>,
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            BUDGET.with(|b| *b.borrow_mut() = prev);
+        }
+    }
+}
+
+fn install_budget(budget: ExecBudget) -> BudgetGuard {
+    BudgetGuard {
+        prev: Some(BUDGET.with(|b| std::mem::replace(&mut *b.borrow_mut(), budget))),
+    }
+}
+
+/// Aborts with [`GraphError::DeadlineExceeded`] when the installed
+/// budget has expired. Called at executor loop boundaries.
+fn check_budget() -> Result<()> {
+    if BUDGET.with(|b| b.borrow().expired()) {
+        Err(GraphError::DeadlineExceeded)
+    } else {
+        Ok(())
+    }
+}
+
+/// True when executing `query` cannot mutate the database, which makes
+/// it safe for a client to retry after a transport failure (the server
+/// may or may not have executed the lost attempt).
+pub fn is_read_only(query: &Query) -> bool {
+    match query {
+        Query::Create { .. } => false,
+        Query::Match { action, .. } => matches!(action, Action::Return(_)),
+        // Procedures are analytic reads (series, diff, window, sleep).
+        Query::Call { .. } => true,
+    }
+}
 
 /// Per-stage executor metrics, resolved once per process.
 struct StageMetrics {
@@ -54,11 +140,24 @@ impl QueryResult {
     }
 }
 
-/// Parses and executes `text` against `db`.
+/// Parses and executes `text` against `db` with no execution budget.
 pub fn execute(db: &Aion, text: &str, params: &Params) -> Result<QueryResult> {
+    execute_with_budget(db, text, params, ExecBudget::unlimited())
+}
+
+/// Parses and executes `text` against `db` under `budget`: when the
+/// deadline passes or the cancel flag is raised, execution aborts at the
+/// next budget check with [`GraphError::DeadlineExceeded`].
+pub fn execute_with_budget(
+    db: &Aion,
+    text: &str,
+    params: &Params,
+    budget: ExecBudget,
+) -> Result<QueryResult> {
     let m = stage_metrics();
     m.executed.inc();
     let _total = m.exec_latency.start_timer();
+    let _budget = install_budget(budget);
     let query = {
         let _parse = m.parse_latency.start_timer();
         crate::parser::parse(text).map_err(|e| GraphError::Unknown(e.to_string()))?
@@ -177,6 +276,7 @@ fn value_order(a: &Value, b: &Value) -> std::cmp::Ordering {
 /// * `aion.avg(prop, start, end, step [, 'classic'])` → `(ts, avg)` rows
 /// * `aion.bfs(sourceId, start, end, step [, 'classic'])` → `(ts, reached)`
 /// * `aion.pagerank(start, end, step [, 'classic'])` → `(ts, topNode, rank)`
+/// * `aion.sleep(ms)` → `(slept_ms)` after a budget-aware pause (ops/testing)
 /// * `aion.diff(start, end)` → `(ts, op, entity)` rows (getDiff)
 /// * `aion.window(start, end)` → member nodes of the union graph (getWindow)
 fn run_call(db: &Aion, name: &str, args: &[Literal], params: &Params) -> Result<QueryResult> {
@@ -198,6 +298,26 @@ fn run_call(db: &Aion, name: &str, args: &[Literal], params: &Params) -> Result<
         }
     };
     match name.to_ascii_lowercase().as_str() {
+        // Holds the worker for `ms` milliseconds (capped at 10 s),
+        // checking the execution budget between 5 ms slices. Exists for
+        // operational testing: it makes "a slow request" deterministic,
+        // so deadline aborts, drain, and force-close have exact tests.
+        "aion.sleep" => {
+            let ms = int_at(0)?.min(10_000);
+            let until = Instant::now() + Duration::from_millis(ms);
+            loop {
+                check_budget()?;
+                let now = Instant::now();
+                if now >= until {
+                    break;
+                }
+                std::thread::sleep((until - now).min(Duration::from_millis(5)));
+            }
+            Ok(QueryResult {
+                columns: vec!["slept_ms".into()],
+                rows: vec![vec![Value::Int(ms as i64)]],
+            })
+        }
         "aion.avg" => {
             let Some(Value::Str(prop)) = vals.first() else {
                 return Err(GraphError::Unknown(
@@ -416,6 +536,7 @@ fn run_match(
                     let g = db.get_graph_at(at)?;
                     let label = pattern.start.label.as_deref().map(|l| db.intern(l));
                     for n in g.nodes() {
+                        check_budget()?;
                         if let Some(l) = label {
                             if !n.has_label(l) {
                                 continue;
@@ -469,6 +590,7 @@ fn run_match(
                         .into_iter()
                         .next_back();
                     for chain in histories {
+                        check_budget()?;
                         for v in chain {
                             if let Some(t) = rel_type {
                                 if v.data.label != Some(t) {
@@ -504,6 +626,7 @@ fn run_match(
                     // Variable-length expansion (Fig. 1b): planner-routed.
                     let hits = db.expand(NodeId::new(anchor_id), dir, rel.hops, at)?;
                     for (node_id, hop) in hits {
+                        check_budget()?;
                         let versions = db.get_node(node_id, at, at)?;
                         let Some(v) = versions.into_iter().next() else {
                             continue;
@@ -524,9 +647,11 @@ fn run_match(
 
     // Property predicates + application-time filter.
     let filter_timer = stage_metrics().filter_latency.start_timer();
-    let rows: Vec<Binding> = rows
-        .into_iter()
-        .filter(|b| {
+    let mut kept: Vec<Binding> = Vec::with_capacity(rows.len());
+    for b in rows {
+        check_budget()?;
+        let pass = {
+            let b = &b;
             predicates.iter().all(|p| match p {
                 Predicate::PropCmp(var, key, op, lit) => {
                     let Ok(expected) = resolve_literal(lit, params) else {
@@ -547,8 +672,12 @@ fn run_match(
                 }
                 Predicate::IdEquals(..) => true, // already applied at bind time
             })
-        })
-        .collect();
+        };
+        if pass {
+            kept.push(b);
+        }
+    }
+    let rows = kept;
     drop(filter_timer);
 
     // Action.
@@ -583,6 +712,7 @@ fn run_match(
             }
             let mut out = Vec::with_capacity(rows.len());
             for b in &rows {
+                check_budget()?;
                 let mut row = Vec::with_capacity(items.len());
                 for item in items {
                     row.push(match item {

@@ -40,6 +40,6 @@ pub mod parser;
 pub mod value;
 
 pub use ast::Query;
-pub use exec::{execute, Params, QueryResult};
+pub use exec::{execute, execute_with_budget, is_read_only, ExecBudget, Params, QueryResult};
 pub use parser::parse;
 pub use value::Value;

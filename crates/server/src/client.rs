@@ -1,40 +1,190 @@
 //! Blocking client: one TCP connection, synchronous request/response —
-//! the shape of one paper client thread.
+//! the shape of one paper client thread — hardened for lossy networks.
+//!
+//! Resilience model (DESIGN.md §11):
+//!
+//! * **Timeouts everywhere.** Connecting is bounded by
+//!   [`ClientConfig::connect_timeout`]; every request (write + read) is
+//!   bounded by [`ClientConfig::request_timeout`]. A dead peer produces
+//!   a timely error, never a hang.
+//! * **Automatic reconnect + bounded retries.** Transport failures drop
+//!   the connection and retry up to [`ClientConfig::retries`] times with
+//!   exponential backoff and decorrelated jitter.
+//! * **Idempotency gating.** Only requests that cannot mutate the
+//!   database are retried after a transport failure: `Ping`, `Metrics`,
+//!   `Shutdown`, and read-only `Run`s (classified by parsing the query).
+//!   A write whose acknowledgement was lost is *never* replayed — the
+//!   caller gets the transport error and must decide, so a commit cannot
+//!   be double-applied. Typed `Overloaded` rejections are the exception:
+//!   the server sheds those before execution, so any request may retry.
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response,
+    decode_response, encode_request, read_frame, write_frame, ErrorCode, Request, Response,
 };
+use crate::rng::SplitMix64;
 use query::{QueryResult, Value};
 use std::io;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Tunable resilience knobs for one [`Client`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// TCP connect budget (also used for each reconnect attempt).
+    pub connect_timeout: Duration,
+    /// Socket read/write timeout covering one request/response exchange.
+    pub request_timeout: Duration,
+    /// Additional attempts after the first failure (0 = never retry).
+    pub retries: u32,
+    /// Lower bound of the decorrelated-jitter backoff.
+    pub backoff_base: Duration,
+    /// Upper bound of any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter RNG, so test schedules are reproducible.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(30),
+            retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
 
 /// A connected Aion client.
 pub struct Client {
-    stream: TcpStream,
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    stream: Option<TcpStream>,
+    rng: SplitMix64,
+    prev_backoff: Duration,
+    connected_once: bool,
+    reconnects: u64,
 }
 
 impl Client {
-    /// Connects to a running [`crate::Server`].
+    /// Connects to a running [`crate::Server`] with default resilience
+    /// settings.
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit resilience settings. The initial
+    /// connection is established eagerly so an unreachable server fails
+    /// here, not on the first request.
+    pub fn connect_with(addr: SocketAddr, cfg: ClientConfig) -> io::Result<Client> {
+        let prev_backoff = cfg.backoff_base;
+        let mut client = Client {
+            addr,
+            rng: SplitMix64::new(cfg.jitter_seed),
+            cfg,
+            stream: None,
+            prev_backoff,
+            connected_once: false,
+            reconnects: 0,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Times this client reopened its connection (diagnostics/tests).
+    pub fn reconnect_count(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.cfg.request_timeout))?;
+            stream.set_write_timeout(Some(self.cfg.request_timeout))?;
+            self.stream = Some(stream);
+            if self.connected_once {
+                self.reconnects += 1;
+            }
+            self.connected_once = true;
+        }
+        match self.stream.as_mut() {
+            Some(s) => Ok(s),
+            // Unreachable: the branch above just populated it.
+            None => Err(io::Error::other("connection unavailable")),
+        }
+    }
+
+    /// Exponential backoff with decorrelated jitter: each sleep is drawn
+    /// uniformly from `[base, 3 × previous]`, capped.
+    fn backoff_sleep(&mut self) {
+        let base = self.cfg.backoff_base.max(Duration::from_micros(100));
+        let span = self.prev_backoff.max(base).saturating_mul(3);
+        let spread = span
+            .saturating_sub(base)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        let sleep = (base + Duration::from_nanos(self.rng.below(spread.saturating_add(1))))
+            .min(self.cfg.backoff_cap);
+        self.prev_backoff = sleep;
+        std::thread::sleep(sleep);
+    }
+
+    /// One wire exchange; any failure poisons the connection.
+    fn attempt(&mut self, payload: &[u8]) -> io::Result<Response> {
+        let result = (|| {
+            let stream = self.ensure_connected()?;
+            write_frame(stream, payload)?;
+            let frame = read_frame(stream)?;
+            decode_response(&frame)
+        })();
+        if result.is_err() {
+            // The stream may hold half a frame; never reuse it.
+            self.stream = None;
+        }
+        result
     }
 
     fn call(&mut self, req: &Request) -> io::Result<Response> {
-        write_frame(&mut self.stream, &encode_request(req))?;
-        let frame = read_frame(&mut self.stream)?;
-        decode_response(&frame)
+        let payload = encode_request(req);
+        let idempotent = request_is_idempotent(req);
+        let mut attempts_left = self.cfg.retries;
+        loop {
+            match self.attempt(&payload) {
+                // Admission-control rejection: the request was never
+                // executed, so retrying is safe even for writes.
+                Ok(Response::Err(e)) if e.code == ErrorCode::Overloaded && attempts_left > 0 => {
+                    attempts_left -= 1;
+                    self.stream = None;
+                    self.backoff_sleep();
+                }
+                Ok(resp) => {
+                    self.prev_backoff = self.cfg.backoff_base;
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    if !idempotent || attempts_left == 0 {
+                        return Err(normalize_transport_error(e));
+                    }
+                    attempts_left -= 1;
+                    self.backoff_sleep();
+                }
+            }
+        }
     }
 
-    /// Executes a query with parameters; errors surface as `io::Error`.
+    /// Executes a query with parameters; errors surface as `io::Error`
+    /// whose kind mirrors the wire error code (`TimedOut`,
+    /// `ResourceBusy`, `ConnectionAborted`, …).
     pub fn run(&mut self, query: &str, params: Vec<(String, Value)>) -> io::Result<QueryResult> {
         match self.call(&Request::Run {
             query: query.to_string(),
             params,
         })? {
             Response::Ok(result) => Ok(result),
-            Response::Err(msg) => Err(io::Error::other(msg)),
+            Response::Err(e) => Err(e.into_io()),
             other => Err(unexpected_response(&other)),
         }
     }
@@ -43,7 +193,7 @@ impl Client {
     pub fn ping(&mut self) -> io::Result<()> {
         match self.call(&Request::Ping)? {
             Response::Ok(_) => Ok(()),
-            Response::Err(msg) => Err(io::Error::other(msg)),
+            Response::Err(e) => Err(e.into_io()),
             other => Err(unexpected_response(&other)),
         }
     }
@@ -52,7 +202,7 @@ impl Client {
     pub fn metrics(&mut self) -> io::Result<obs::MetricsSnapshot> {
         match self.call(&Request::Metrics)? {
             Response::Metrics(snap) => Ok(snap),
-            Response::Err(msg) => Err(io::Error::other(msg)),
+            Response::Err(e) => Err(e.into_io()),
             other => Err(unexpected_response(&other)),
         }
     }
@@ -64,9 +214,65 @@ impl Client {
     }
 }
 
+/// True when replaying `req` after a lost acknowledgement cannot change
+/// database state a second time.
+fn request_is_idempotent(req: &Request) -> bool {
+    match req {
+        Request::Ping | Request::Metrics | Request::Shutdown => true,
+        Request::Run { query, .. } => query::parse(query)
+            .map(|q| query::is_read_only(&q))
+            .unwrap_or(false),
+    }
+}
+
+/// Socket timeouts surface as `WouldBlock` on most platforms; present
+/// them as the `TimedOut` they mean.
+fn normalize_transport_error(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::WouldBlock {
+        io::Error::new(io::ErrorKind::TimedOut, e.to_string())
+    } else {
+        e
+    }
+}
+
 fn unexpected_response(resp: &Response) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
         format!("unexpected response variant: {resp:?}"),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idempotency_classification() {
+        assert!(request_is_idempotent(&Request::Ping));
+        assert!(request_is_idempotent(&Request::Metrics));
+        assert!(request_is_idempotent(&Request::Shutdown));
+        let read = Request::Run {
+            query: "MATCH (n) WHERE id(n) = 1 RETURN n".into(),
+            params: vec![],
+        };
+        assert!(request_is_idempotent(&read));
+        for write in [
+            "CREATE (n {_id: 1})",
+            "MATCH (n) WHERE id(n) = 1 SET n.x = 2",
+            "MATCH (n) WHERE id(n) = 1 DELETE n",
+        ] {
+            assert!(
+                !request_is_idempotent(&Request::Run {
+                    query: write.into(),
+                    params: vec![],
+                }),
+                "{write} must not be retried"
+            );
+        }
+        // Unparseable text is conservatively non-idempotent.
+        assert!(!request_is_idempotent(&Request::Run {
+            query: "NOT CYPHER".into(),
+            params: vec![],
+        }));
+    }
 }

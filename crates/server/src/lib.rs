@@ -13,11 +13,17 @@
 //!   [`aion::Aion`] with one worker thread per connection;
 //! * [`client`] — a blocking client used by the benchmark drivers (each
 //!   benchmark client thread owns one connection, like the paper's 32
-//!   pinned client threads).
+//!   pinned client threads), with timeouts, reconnects, and
+//!   idempotency-gated retries;
+//! * [`chaos`] — a seeded fault-injecting TCP proxy for soak-testing the
+//!   stack under deliberately degraded networks (DESIGN.md §11).
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
+mod rng;
 pub mod server;
 
-pub use client::Client;
-pub use server::Server;
+pub use chaos::{ChaosConfig, ChaosProxy};
+pub use client::{Client, ClientConfig};
+pub use server::{Server, ServerConfig, ServerStats};

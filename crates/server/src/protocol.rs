@@ -1,14 +1,14 @@
 //! The wire format: length-prefixed frames, type-tagged values.
 //!
 //! ```text
-//! frame    := u32 payload_len, payload
+//! frame    := u32 payload_len, u64 fnv64(payload), payload
 //! request  := 0x01 "RUN"  u16 qlen, query, u16 nparams, nparams × param
 //!           | 0x02 "PING"
 //!           | 0x03 "SHUTDOWN"
 //!           | 0x04 "METRICS"
 //! param    := u16 klen, key, value
 //! response := 0x00 "OK"   u16 ncols, ncols × str, u32 nrows, rows × row
-//!           | 0x01 "ERR"  str
+//!           | 0x01 "ERR"  u8 code, str
 //!           | 0x02 "METRICS" u32 nctr, nctr × (str, u64),
 //!                            u32 ngauge, ngauge × (str, i64),
 //!                            u32 nhist, nhist × (str, 5 × u64)
@@ -38,13 +38,81 @@ pub enum Request {
     Metrics,
 }
 
+/// Machine-readable failure class carried on every `ERR` frame, so
+/// clients can make retry decisions without parsing message text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Query/protocol failure: the request was executed (or rejected)
+    /// authoritatively; retrying would repeat the same answer.
+    Generic = 0,
+    /// The per-request deadline expired; execution was aborted at a
+    /// cooperative check point. A write may or may not have committed.
+    Timeout = 1,
+    /// Admission control shed the connection before any request was
+    /// executed; always safe to retry after backoff.
+    Overloaded = 2,
+    /// The server is draining; the request was refused (or aborted)
+    /// because of shutdown, not because of its content.
+    ShuttingDown = 3,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> ErrorCode {
+        match b {
+            1 => ErrorCode::Timeout,
+            2 => ErrorCode::Overloaded,
+            3 => ErrorCode::ShuttingDown,
+            _ => ErrorCode::Generic,
+        }
+    }
+}
+
+/// A typed wire-level error: class + human-readable message.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WireError {
+    /// Failure class (drives client retry policy).
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// A [`ErrorCode::Generic`] error.
+    pub fn generic(message: impl Into<String>) -> WireError {
+        WireError {
+            code: ErrorCode::Generic,
+            message: message.into(),
+        }
+    }
+
+    /// A typed error with an explicit code.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Converts to an `io::Error` whose kind mirrors the wire code.
+    pub fn into_io(self) -> io::Error {
+        let kind = match self.code {
+            ErrorCode::Generic => io::ErrorKind::Other,
+            ErrorCode::Timeout => io::ErrorKind::TimedOut,
+            ErrorCode::Overloaded => io::ErrorKind::ResourceBusy,
+            ErrorCode::ShuttingDown => io::ErrorKind::ConnectionAborted,
+        };
+        io::Error::new(kind, self.message)
+    }
+}
+
 /// Response messages.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Response {
     /// Successful query result.
     Ok(QueryResult),
-    /// Failure with message.
-    Err(String),
+    /// Typed failure.
+    Err(WireError),
     /// Metrics snapshot (reply to [`Request::Metrics`]).
     Metrics(MetricsSnapshot),
 }
@@ -341,9 +409,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 }
             }
         }
-        Response::Err(msg) => {
+        Response::Err(err) => {
             out.push(0x01);
-            write_str(&mut out, msg);
+            out.push(err.code as u8);
+            write_str(&mut out, &err.message);
         }
         Response::Metrics(snap) => {
             out.push(0x02);
@@ -398,7 +467,13 @@ pub fn decode_response(buf: &[u8]) -> io::Result<Response> {
             }
             Ok(Response::Ok(QueryResult { columns, rows }))
         }
-        0x01 => Ok(Response::Err(read_str(buf, &mut pos)?)),
+        0x01 => {
+            let code = ErrorCode::from_u8(read_u8(buf, &mut pos)?);
+            Ok(Response::Err(WireError {
+                code,
+                message: read_str(buf, &mut pos)?,
+            }))
+        }
         0x02 => {
             let nctr = read_u32(buf, &mut pos)? as usize;
             let mut counters = Vec::with_capacity(nctr.min(65_536));
@@ -443,6 +518,21 @@ pub fn decode_response(buf: &[u8]) -> io::Result<Response> {
     }
 }
 
+/// FNV-1a over the payload, carried in every frame header. TCP's
+/// 16-bit checksum is weak and proxies/middleboxes can corrupt bytes
+/// above it; a flipped byte in a `Run` frame could otherwise decode as
+/// a *different valid query* and commit the wrong write. With the
+/// digest, corruption is detected at the framing layer and surfaces as
+/// a connection error the client may retry (idempotency permitting).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Validates a frame payload length against the u32 length prefix. A
 /// payload over `u32::MAX` bytes must be rejected, not silently truncated
 /// by an `as u32` cast (which would desynchronise the stream).
@@ -455,25 +545,50 @@ fn frame_len(payload_len: usize) -> io::Result<u32> {
     })
 }
 
-/// Writes one length-prefixed frame. Fails with [`io::ErrorKind::InvalidInput`]
-/// if the payload cannot be represented in the u32 length prefix.
+/// Writes one length-prefixed, checksummed frame. Fails with
+/// [`io::ErrorKind::InvalidInput`] if the payload cannot be represented
+/// in the u32 length prefix.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.write_all(&frame_len(payload.len())?.to_le_bytes())?;
+    w.write_all(&fnv64(payload).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
 
-/// Reads one length-prefixed frame (up to 256 MiB).
+/// Reads one length-prefixed frame (up to 256 MiB), verifying its
+/// checksum; a digest mismatch is [`io::ErrorKind::InvalidData`].
 pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
-    let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len) as usize;
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header)?;
+    let (len, sum) = parse_frame_header(&header)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    verify_frame_checksum(&payload, sum)?;
+    Ok(payload)
+}
+
+/// Splits a 12-byte frame header into (payload length, checksum),
+/// rejecting lengths over the 256 MiB cap before any allocation.
+pub(crate) fn parse_frame_header(header: &[u8; 12]) -> io::Result<(usize, u64)> {
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
     if len > 256 << 20 {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too big"));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(payload)
+    let sum = u64::from_le_bytes([
+        header[4], header[5], header[6], header[7], header[8], header[9], header[10], header[11],
+    ]);
+    Ok((len, sum))
+}
+
+/// Compares a received payload against its header checksum.
+pub(crate) fn verify_frame_checksum(payload: &[u8], sum: u64) -> io::Result<()> {
+    if fnv64(payload) != sum {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -528,7 +643,7 @@ mod tests {
 
     #[test]
     fn error_and_nested_list_roundtrip() {
-        let resp = Response::Err("boom".into());
+        let resp = Response::Err(WireError::generic("boom"));
         assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
         let mut out = Vec::new();
         let v = Value::List(vec![Value::Null, Value::List(vec![Value::Int(-1)])]);
@@ -554,6 +669,26 @@ mod tests {
         assert!(decode_request(&[0xFF]).is_err());
         assert!(decode_response(&[0x55]).is_err());
         assert!(read_value(&[200], &mut 0).is_err());
+    }
+
+    #[test]
+    fn error_codes_roundtrip_and_map_to_io_kinds() {
+        for (code, kind) in [
+            (ErrorCode::Generic, io::ErrorKind::Other),
+            (ErrorCode::Timeout, io::ErrorKind::TimedOut),
+            (ErrorCode::Overloaded, io::ErrorKind::ResourceBusy),
+            (ErrorCode::ShuttingDown, io::ErrorKind::ConnectionAborted),
+        ] {
+            let resp = Response::Err(WireError::new(code, "m"));
+            let back = decode_response(&encode_response(&resp)).unwrap();
+            assert_eq!(back, resp);
+            let Response::Err(e) = back else {
+                panic!("expected error response")
+            };
+            assert_eq!(e.into_io().kind(), kind);
+        }
+        // Unknown future codes degrade to Generic instead of failing.
+        assert_eq!(ErrorCode::from_u8(200), ErrorCode::Generic);
     }
 
     #[test]
@@ -600,9 +735,25 @@ mod tests {
     fn oversized_read_frame_rejected() {
         // A header advertising more than the 256 MiB cap must be refused
         // before any payload allocation happens.
-        let header = ((257u32 << 20).to_le_bytes()).to_vec();
+        let mut header = ((257u32 << 20).to_le_bytes()).to_vec();
+        header.extend_from_slice(&0u64.to_le_bytes());
         let mut cursor = std::io::Cursor::new(header);
         let err = read_frame(&mut cursor).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupted_frame_rejected_by_checksum() {
+        // A single flipped payload byte (what the chaos proxy injects)
+        // must fail checksum verification rather than decode as some
+        // other valid message.
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &encode_request(&Request::Ping)).unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        let mut cursor = std::io::Cursor::new(frame);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
     }
 }

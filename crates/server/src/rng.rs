@@ -1,0 +1,67 @@
+//! Small deterministic RNG (SplitMix64) shared by the client's retry
+//! jitter and the chaos proxy. Dependency-free and stable across runs,
+//! so a printed seed reproduces a schedule of faults or backoffs.
+
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`; returns 0 when `n == 0`.
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// True with probability `p`.
+    pub(crate) fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounds_hold() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(0), 0);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.1));
+    }
+}

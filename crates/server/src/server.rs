@@ -1,110 +1,418 @@
 //! The TCP server: accept loop + one worker thread per connection, all
-//! executing against a shared [`aion::Aion`].
+//! executing against a shared [`aion::Aion`] — hardened for degraded
+//! networks.
+//!
+//! Resilience model (DESIGN.md §11):
+//!
+//! * **Admission control.** At most [`ServerConfig::max_connections`]
+//!   workers exist at once; connections past the cap receive one typed
+//!   `Overloaded` error frame and are closed (`server.shed`), so load
+//!   spikes degrade into fast rejections instead of unbounded threads.
+//! * **Timeouts.** Sockets poll on a short read timeout: a peer that
+//!   stalls mid-frame for longer than [`ServerConfig::io_timeout`] is
+//!   dropped, and each `Run` executes under a cooperative
+//!   [`query::ExecBudget`] capped at [`ServerConfig::request_deadline`]
+//!   (aborts surface as typed `Timeout` errors, not hung workers).
+//! * **Graceful drain.** Workers are tracked in a [`WorkerSet`];
+//!   [`Server::shutdown`] stops admissions, lets in-flight requests
+//!   finish up to [`ServerConfig::drain_deadline`], then force-closes
+//!   stragglers (`server.drain_forced`) and joins every worker thread,
+//!   so a stopped server owns zero threads.
 
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, Request, Response,
+    decode_request, encode_response, parse_frame_header, verify_frame_checksum, write_frame,
+    ErrorCode, Request, Response, WireError,
 };
 use aion::Aion;
-use query::Params;
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use query::{ExecBudget, Params};
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A `Run` request slower than this is counted and logged (slow-query log).
 const SLOW_QUERY_NS: u64 = 100_000_000;
 
-struct Metrics {
+/// Socket read timeout used as the poll tick: workers wake this often to
+/// check the stop flag while idle at a frame boundary.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Tunable limits for one [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrently served connections; excess connections are
+    /// shed with a typed `Overloaded` error.
+    pub max_connections: usize,
+    /// How long a peer may stall mid-frame (read) or block a response
+    /// (write) before the connection is dropped. Idle waiting *between*
+    /// frames is unbounded — this bounds progress, not lifetime.
+    pub io_timeout: Duration,
+    /// Per-request execution budget: a `Run` past this deadline aborts
+    /// with a typed `Timeout` error at the next cooperative check.
+    pub request_deadline: Duration,
+    /// How long [`Server::shutdown`] waits for in-flight requests before
+    /// force-closing their connections.
+    pub drain_deadline: Duration,
+    /// Slow-query log lines allowed per second (0 disables the log);
+    /// excess lines are counted in `server.slow_log_dropped`.
+    pub slow_log_per_sec: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_connections: 256,
+            io_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(5),
+            slow_log_per_sec: 5,
+        }
+    }
+}
+
+/// Point-in-time resilience counters for one server instance (the same
+/// events also feed the process-wide `server.*` obs metrics, which are
+/// cumulative across every server in the process).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections refused by admission control.
+    pub shed: u64,
+    /// `accept()` failures (e.g. EMFILE), each followed by backoff.
+    pub accept_errors: u64,
+    /// Connections dropped for I/O or protocol failures (clean EOFs are
+    /// not counted).
+    pub conn_errors: u64,
+    /// Connections force-closed because they outlived the drain deadline.
+    pub drain_forced: u64,
+    /// Requests aborted by the per-request deadline or drain cancel.
+    pub deadline_aborts: u64,
+    /// Slow-query log lines suppressed by the rate limiter.
+    pub slow_log_dropped: u64,
+}
+
+#[derive(Default)]
+struct StatsCells {
+    shed: AtomicU64,
+    accept_errors: AtomicU64,
+    conn_errors: AtomicU64,
+    drain_forced: AtomicU64,
+    deadline_aborts: AtomicU64,
+    slow_log_dropped: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            shed: self.shed.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            conn_errors: self.conn_errors.load(Ordering::Relaxed),
+            drain_forced: self.drain_forced.load(Ordering::Relaxed),
+            deadline_aborts: self.deadline_aborts.load(Ordering::Relaxed),
+            slow_log_dropped: self.slow_log_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-instance counters mirrored into the process-wide obs registry.
+struct Telemetry {
+    cells: StatsCells,
     requests: Arc<obs::Counter>,
     run_latency: Arc<obs::Histogram>,
     ping_latency: Arc<obs::Histogram>,
     metrics_latency: Arc<obs::Histogram>,
     slow_queries: Arc<obs::Counter>,
+    shed: Arc<obs::Counter>,
+    accept_errors: Arc<obs::Counter>,
+    conn_errors: Arc<obs::Counter>,
+    drain_forced: Arc<obs::Counter>,
+    deadline_aborts: Arc<obs::Counter>,
+    slow_log_dropped: Arc<obs::Counter>,
+    active_connections: Arc<obs::Gauge>,
 }
 
-impl Metrics {
-    fn new() -> Metrics {
-        Metrics {
+impl Telemetry {
+    fn new() -> Telemetry {
+        Telemetry {
+            cells: StatsCells::default(),
             requests: obs::counter("server.requests"),
             run_latency: obs::histogram("server.request.run.latency_ns"),
             ping_latency: obs::histogram("server.request.ping.latency_ns"),
             metrics_latency: obs::histogram("server.request.metrics.latency_ns"),
             slow_queries: obs::counter("server.slow_queries"),
+            shed: obs::counter("server.shed"),
+            accept_errors: obs::counter("server.accept_errors"),
+            conn_errors: obs::counter("server.conn_errors"),
+            drain_forced: obs::counter("server.drain_forced"),
+            deadline_aborts: obs::counter("server.deadline_aborts"),
+            slow_log_dropped: obs::counter("server.slow_log_dropped"),
+            active_connections: obs::gauge("server.active_connections"),
+        }
+    }
+
+    fn shed(&self) {
+        self.cells.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
+    }
+
+    fn accept_error(&self) {
+        self.cells.accept_errors.fetch_add(1, Ordering::Relaxed);
+        self.accept_errors.inc();
+    }
+
+    fn conn_error(&self) {
+        self.cells.conn_errors.fetch_add(1, Ordering::Relaxed);
+        self.conn_errors.inc();
+    }
+
+    fn drain_forced(&self, n: u64) {
+        self.cells.drain_forced.fetch_add(n, Ordering::Relaxed);
+        self.drain_forced.add(n);
+    }
+
+    fn deadline_abort(&self) {
+        self.cells.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+        self.deadline_aborts.inc();
+    }
+
+    fn slow_log_dropped(&self) {
+        self.cells.slow_log_dropped.fetch_add(1, Ordering::Relaxed);
+        self.slow_log_dropped.inc();
+    }
+}
+
+/// Token-bucket limiter for the slow-query log: refills `per_sec` tokens
+/// per second with a one-second burst, so a pathological workload cannot
+/// flood stderr.
+struct SlowLogLimiter {
+    per_sec: u32,
+    state: Mutex<(f64, Instant)>,
+}
+
+impl SlowLogLimiter {
+    fn new(per_sec: u32) -> SlowLogLimiter {
+        SlowLogLimiter {
+            per_sec,
+            state: Mutex::new((f64::from(per_sec), Instant::now())),
+        }
+    }
+
+    fn allow(&self) -> bool {
+        if self.per_sec == 0 {
+            return false;
+        }
+        let mut state = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let now = Instant::now();
+        let refill = now.duration_since(state.1).as_secs_f64() * f64::from(self.per_sec);
+        state.0 = (state.0 + refill).min(f64::from(self.per_sec));
+        state.1 = now;
+        if state.0 >= 1.0 {
+            state.0 -= 1.0;
+            true
+        } else {
+            false
         }
     }
 }
 
-fn elapsed_ns(started: Instant) -> u64 {
-    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+struct WorkerEntry {
+    handle: Option<JoinHandle<()>>,
+    stream: TcpStream,
+    cancel: Arc<AtomicBool>,
+}
+
+/// Registry of live connection workers: the accept loop registers, each
+/// worker deregisters itself on exit, and shutdown force-closes and
+/// joins whatever remains after the drain deadline.
+struct WorkerSet {
+    inner: Mutex<HashMap<u64, WorkerEntry>>,
+    next_id: AtomicU64,
+    active_gauge: Arc<obs::Gauge>,
+}
+
+impl WorkerSet {
+    fn new(active_gauge: Arc<obs::Gauge>) -> WorkerSet {
+        WorkerSet {
+            inner: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            active_gauge,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, WorkerEntry>> {
+        // A worker that panicked mid-request poisons nothing of value
+        // here: the map only tracks liveness, so recover and continue.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Registers a connection before its worker thread exists; returns
+    /// the worker id and its cancellation flag.
+    fn register(&self, stream: TcpStream) -> (u64, Arc<AtomicBool>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let mut map = self.lock();
+        map.insert(
+            id,
+            WorkerEntry {
+                handle: None,
+                stream,
+                cancel: cancel.clone(),
+            },
+        );
+        self.active_gauge.set(map.len() as i64);
+        (id, cancel)
+    }
+
+    /// Attaches the spawned thread's handle; if the worker already
+    /// finished (fast disconnect), the handle is dropped (detached while
+    /// exiting).
+    fn set_handle(&self, id: u64, handle: JoinHandle<()>) {
+        if let Some(entry) = self.lock().get_mut(&id) {
+            entry.handle = Some(handle);
+        }
+    }
+
+    /// Called by a worker as its last action: removes it from the set.
+    fn finish(&self, id: u64) {
+        let mut map = self.lock();
+        map.remove(&id);
+        self.active_gauge.set(map.len() as i64);
+    }
+
+    fn active(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Cancels and closes every remaining connection, returning the
+    /// thread handles to join plus how many were force-closed.
+    fn force_close_all(&self) -> (Vec<JoinHandle<()>>, u64) {
+        let entries: Vec<WorkerEntry> = {
+            let mut map = self.lock();
+            let drained = map.drain().map(|(_, e)| e).collect();
+            self.active_gauge.set(0);
+            drained
+        };
+        let forced = entries.len() as u64;
+        let mut handles = Vec::with_capacity(entries.len());
+        for entry in entries {
+            entry.cancel.store(true, Ordering::Release);
+            let _ = entry.stream.shutdown(Shutdown::Both);
+            if let Some(h) = entry.handle {
+                handles.push(h);
+            }
+        }
+        (handles, forced)
+    }
+}
+
+/// Everything a connection worker needs, shared across workers.
+struct ServerShared {
+    db: Arc<Aion>,
+    stop: AtomicBool,
+    queries: AtomicU64,
+    tel: Telemetry,
+    slow_log: SlowLogLimiter,
+    workers: WorkerSet,
+    cfg: ServerConfig,
+    addr: SocketAddr,
 }
 
 /// A running Aion server.
 pub struct Server {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<ServerShared>,
     accept_thread: Option<JoinHandle<()>>,
-    queries: Arc<AtomicU64>,
+    drained: bool,
 }
 
 impl Server {
-    /// Starts serving `db` on an ephemeral localhost port.
+    /// Starts serving `db` on an ephemeral localhost port with default
+    /// limits.
     pub fn start(db: Arc<Aion>) -> io::Result<Server> {
+        Server::start_with(db, ServerConfig::default())
+    }
+
+    /// Starts serving `db` with explicit limits.
+    pub fn start_with(db: Arc<Aion>, cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let queries = Arc::new(AtomicU64::new(0));
-        let stop2 = stop.clone();
-        let queries2 = queries.clone();
+        let tel = Telemetry::new();
+        let workers = WorkerSet::new(tel.active_connections.clone());
+        let shared = Arc::new(ServerShared {
+            db,
+            stop: AtomicBool::new(false),
+            queries: AtomicU64::new(0),
+            slow_log: SlowLogLimiter::new(cfg.slow_log_per_sec),
+            tel,
+            workers,
+            cfg,
+            addr,
+        });
+        let shared2 = shared.clone();
         let accept_thread = std::thread::Builder::new()
             .name("aion-server-accept".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if stop2.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let db = db.clone();
-                    let stop = stop2.clone();
-                    let queries = queries2.clone();
-                    // Workers are detached: they exit when their client
-                    // disconnects. Joining them here would deadlock a
-                    // shutdown while any client holds an open connection.
-                    let _ = std::thread::Builder::new()
-                        .name("aion-server-worker".into())
-                        .spawn(move || {
-                            let _ = handle_connection(stream, &db, &stop, &queries, addr);
-                        });
-                }
-            })?;
+            .spawn(move || accept_loop(&listener, &shared2))?;
         Ok(Server {
-            addr,
-            stop,
+            shared,
             accept_thread: Some(accept_thread),
-            queries,
+            drained: false,
         })
     }
 
     /// The address clients should connect to.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.shared.addr
     }
 
     /// Total queries served.
     pub fn query_count(&self) -> u64 {
-        self.queries.load(Ordering::Relaxed)
+        self.shared.queries.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting connections and joins the accept loop.
+    /// Connections currently being served (tracked workers).
+    pub fn active_connections(&self) -> usize {
+        self.shared.workers.active()
+    }
+
+    /// This instance's resilience counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.tel.cells.snapshot()
+    }
+
+    /// Stops admissions, drains in-flight requests up to the drain
+    /// deadline, force-closes stragglers, and joins every thread. After
+    /// return the server owns no threads and no sockets.
     pub fn shutdown(&mut self) {
-        if self.stop.swap(true, Ordering::AcqRel) {
-            return;
-        }
+        self.shared.stop.store(true, Ordering::Release);
         // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(self.shared.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        if self.drained {
+            return;
+        }
+        self.drained = true;
+        // Drain: idle workers notice the stop flag within one poll tick;
+        // busy workers get until the drain deadline to finish their
+        // in-flight request.
+        let deadline = Instant::now() + self.shared.cfg.drain_deadline;
+        while self.shared.workers.active() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (handles, forced) = self.shared.workers.force_close_all();
+        if forced > 0 {
+            self.shared.tel.drain_forced(forced);
+        }
+        for h in handles {
+            let _ = h.join();
         }
     }
 }
@@ -115,30 +423,206 @@ impl Drop for Server {
     }
 }
 
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    // Persistent accept failures (EMFILE, ENFILE) must not busy-spin:
+    // back off exponentially and recover when accepts succeed again.
+    let mut backoff = Duration::from_millis(1);
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => {
+                backoff = Duration::from_millis(1);
+                s
+            }
+            Err(_) => {
+                shared.tel.accept_error();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
+                continue;
+            }
+        };
+        if shared.workers.active() >= shared.cfg.max_connections {
+            shed(stream, shared);
+            continue;
+        }
+        // The registry keeps its own handle on the socket so shutdown
+        // can force-close it; the worker owns the original.
+        let Ok(registered) = stream.try_clone() else {
+            shared.tel.conn_error();
+            continue;
+        };
+        let (id, cancel) = shared.workers.register(registered);
+        let shared2 = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name("aion-server-worker".into())
+            .spawn(move || {
+                if handle_connection(stream, &shared2, &cancel).is_err() {
+                    shared2.tel.conn_error();
+                }
+                shared2.workers.finish(id);
+            });
+        match spawned {
+            Ok(handle) => shared.workers.set_handle(id, handle),
+            Err(_) => {
+                shared.workers.finish(id);
+                shared.tel.conn_error();
+            }
+        }
+    }
+}
+
+/// Admission-control rejection: one typed error frame, then close.
+fn shed(mut stream: TcpStream, shared: &ServerShared) {
+    shared.tel.shed();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = write_frame(
+        &mut stream,
+        &encode_response(&Response::Err(WireError::new(
+            ErrorCode::Overloaded,
+            "server overloaded: connection limit reached",
+        ))),
+    );
+    // Drain whatever request the client already sent before closing.
+    // Closing with unread inbound data makes the kernel send RST, which
+    // can destroy the rejection frame before the client reads it — the
+    // client would then see a raw broken pipe instead of the typed
+    // `Overloaded` error it should retry on.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.read(&mut [0u8; 1024]);
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+/// Outcome of waiting for one inbound frame.
+enum FrameIn {
+    Frame(Vec<u8>),
+    /// Peer closed cleanly at a frame boundary.
+    CleanEof,
+    /// The server began draining while this connection was idle.
+    Stopped,
+    Failed(io::Error),
+}
+
+enum ReadOutcome {
+    Done,
+    CleanEof,
+    Stopped,
+    Failed(io::Error),
+}
+
+/// Fills `buf`, polling on the socket's short read timeout. While no
+/// byte has arrived and `idle_at_start` holds, the wait is unbounded but
+/// interruptible by `stop`; once any byte arrives, the peer must keep
+/// making progress within `io_timeout` or the read fails.
+fn poll_read(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    io_timeout: Duration,
+    idle_at_start: bool,
+) -> ReadOutcome {
+    let mut got = 0usize;
+    let mut last_progress = Instant::now();
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 && idle_at_start {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Failed(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                }
+            }
+            Ok(n) => {
+                got += n;
+                last_progress = Instant::now();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if got == 0 && idle_at_start {
+                    if stop.load(Ordering::Acquire) {
+                        return ReadOutcome::Stopped;
+                    }
+                } else if last_progress.elapsed() >= io_timeout {
+                    return ReadOutcome::Failed(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled mid-frame",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return ReadOutcome::Failed(e),
+        }
+    }
+    ReadOutcome::Done
+}
+
+/// Reads one length-prefixed frame, distinguishing clean hangups from
+/// protocol/IO failures and noticing server drain while idle.
+fn read_frame_poll(stream: &mut TcpStream, stop: &AtomicBool, io_timeout: Duration) -> FrameIn {
+    let mut header = [0u8; 12];
+    match poll_read(stream, &mut header, stop, io_timeout, true) {
+        ReadOutcome::Done => {}
+        ReadOutcome::CleanEof => return FrameIn::CleanEof,
+        ReadOutcome::Stopped => return FrameIn::Stopped,
+        ReadOutcome::Failed(e) => return FrameIn::Failed(e),
+    }
+    let (len, sum) = match parse_frame_header(&header) {
+        Ok(parsed) => parsed,
+        Err(e) => return FrameIn::Failed(e),
+    };
+    let mut payload = vec![0u8; len];
+    match poll_read(stream, &mut payload, stop, io_timeout, false) {
+        ReadOutcome::Done => match verify_frame_checksum(&payload, sum) {
+            Ok(()) => FrameIn::Frame(payload),
+            Err(e) => FrameIn::Failed(e),
+        },
+        ReadOutcome::CleanEof | ReadOutcome::Stopped => FrameIn::Failed(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-frame",
+        )),
+        ReadOutcome::Failed(e) => FrameIn::Failed(e),
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 fn handle_connection(
     mut stream: TcpStream,
-    db: &Aion,
-    stop: &AtomicBool,
-    queries: &AtomicU64,
-    addr: SocketAddr,
+    shared: &ServerShared,
+    cancel: &Arc<AtomicBool>,
 ) -> io::Result<()> {
-    let metrics = Metrics::new();
     stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_write_timeout(Some(shared.cfg.io_timeout))?;
     loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(f) => f,
-            Err(_) => return Ok(()), // client hung up
+        let frame = match read_frame_poll(&mut stream, &shared.stop, shared.cfg.io_timeout) {
+            FrameIn::Frame(f) => f,
+            FrameIn::CleanEof | FrameIn::Stopped => return Ok(()),
+            FrameIn::Failed(e) => return Err(e),
         };
         // A stop request (from any connection) drains live workers: refuse
         // further work instead of silently serving a half-down server.
-        if stop.load(Ordering::Acquire) {
+        if shared.stop.load(Ordering::Acquire) {
             let _ = write_frame(
                 &mut stream,
-                &encode_response(&Response::Err("server is shutting down".into())),
+                &encode_response(&Response::Err(WireError::new(
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down",
+                ))),
             );
             return Ok(());
         }
-        metrics.requests.inc();
+        shared.tel.requests.inc();
         let started = Instant::now();
         let response = match decode_request(&frame) {
             Ok(Request::Ping) => {
@@ -146,16 +630,16 @@ fn handle_connection(
                     columns: vec!["pong".into()],
                     rows: vec![],
                 });
-                metrics.ping_latency.record(elapsed_ns(started));
+                shared.tel.ping_latency.record(elapsed_ns(started));
                 r
             }
             Ok(Request::Metrics) => {
                 let r = Response::Metrics(obs::snapshot());
-                metrics.metrics_latency.record(elapsed_ns(started));
+                shared.tel.metrics_latency.record(elapsed_ns(started));
                 r
             }
             Ok(Request::Shutdown) => {
-                stop.store(true, Ordering::Release);
+                shared.stop.store(true, Ordering::Release);
                 write_frame(
                     &mut stream,
                     &encode_response(&Response::Ok(query::QueryResult {
@@ -166,30 +650,102 @@ fn handle_connection(
                 // The accept thread blocks in `incoming()` and only checks
                 // the stop flag after a connection arrives; without a wake
                 // the listener would linger until the next organic connect.
-                let _ = TcpStream::connect(addr);
+                let _ = TcpStream::connect(shared.addr);
                 return Ok(());
             }
             Ok(Request::Run { query, params }) => {
-                queries.fetch_add(1, Ordering::Relaxed);
+                shared.queries.fetch_add(1, Ordering::Relaxed);
                 let params: Params = params.into_iter().collect();
-                let r = match query::execute(db, &query, &params) {
+                let budget = ExecBudget {
+                    deadline: Some(started + shared.cfg.request_deadline),
+                    cancel: Some(cancel.clone()),
+                };
+                let r = match query::execute_with_budget(&shared.db, &query, &params, budget) {
                     Ok(result) => Response::Ok(result),
-                    Err(e) => Response::Err(e.to_string()),
+                    Err(lpg::GraphError::DeadlineExceeded) => {
+                        shared.tel.deadline_abort();
+                        if shared.stop.load(Ordering::Acquire) {
+                            Response::Err(WireError::new(
+                                ErrorCode::ShuttingDown,
+                                "request aborted by server drain",
+                            ))
+                        } else {
+                            Response::Err(WireError::new(
+                                ErrorCode::Timeout,
+                                format!(
+                                    "request deadline exceeded ({} ms)",
+                                    shared.cfg.request_deadline.as_millis()
+                                ),
+                            ))
+                        }
+                    }
+                    Err(e) => Response::Err(WireError::generic(e.to_string())),
                 };
                 let elapsed = elapsed_ns(started);
-                metrics.run_latency.record(elapsed);
+                shared.tel.run_latency.record(elapsed);
                 if elapsed > SLOW_QUERY_NS {
-                    metrics.slow_queries.inc();
-                    let preview: String = query.chars().take(200).collect();
-                    eprintln!(
-                        "[aion-server] slow query ({} ms): {preview}",
-                        elapsed / 1_000_000
-                    );
+                    shared.tel.slow_queries.inc();
+                    if shared.slow_log.allow() {
+                        let preview: String = query.chars().take(200).collect();
+                        eprintln!(
+                            "[aion-server] slow query ({} ms): {preview}",
+                            elapsed / 1_000_000
+                        );
+                    } else {
+                        shared.tel.slow_log_dropped();
+                    }
                 }
                 r
             }
-            Err(e) => Response::Err(format!("protocol error: {e}")),
+            Err(e) => {
+                // A framing/decode failure means the byte stream can no
+                // longer be trusted (e.g. corruption): answer once, then
+                // close instead of resynchronising on garbage.
+                shared.tel.conn_error();
+                let _ = write_frame(
+                    &mut stream,
+                    &encode_response(&Response::Err(WireError::generic(format!(
+                        "protocol error: {e}"
+                    )))),
+                );
+                return Ok(());
+            }
         };
         write_frame(&mut stream, &encode_response(&response))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_log_limiter_caps_rate() {
+        let limiter = SlowLogLimiter::new(2);
+        // The bucket starts full: two lines pass, the third is dropped.
+        assert!(limiter.allow());
+        assert!(limiter.allow());
+        assert!(!limiter.allow());
+        // Zero disables the log entirely.
+        let off = SlowLogLimiter::new(0);
+        assert!(!off.allow());
+    }
+
+    #[test]
+    fn worker_set_tracks_registration_and_finish() {
+        let ws = WorkerSet::new(obs::gauge("server.test.active"));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sock = TcpStream::connect(addr).unwrap();
+        let (id, cancel) = ws.register(sock.try_clone().unwrap());
+        assert_eq!(ws.active(), 1);
+        assert!(!cancel.load(Ordering::Relaxed));
+        ws.finish(id);
+        assert_eq!(ws.active(), 0);
+        // Finishing twice or force-closing an empty set is harmless.
+        ws.finish(id);
+        let (handles, forced) = ws.force_close_all();
+        assert!(handles.is_empty());
+        assert_eq!(forced, 0);
     }
 }

@@ -3,7 +3,8 @@
 //! freedom on arbitrary malformed frames.
 
 use aion_server::protocol::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    decode_request, decode_response, encode_request, encode_response, ErrorCode, Request, Response,
+    WireError,
 };
 use obs::{HistogramSnapshot, MetricsSnapshot};
 use proptest::prelude::*;
@@ -64,7 +65,15 @@ fn request_strategy() -> impl Strategy<Value = Request> {
 
 fn response_strategy() -> impl Strategy<Value = Response> {
     prop_oneof![
-        name_strategy().prop_map(Response::Err),
+        (name_strategy(), 0u8..4).prop_map(|(message, code)| {
+            let code = match code {
+                1 => ErrorCode::Timeout,
+                2 => ErrorCode::Overloaded,
+                3 => ErrorCode::ShuttingDown,
+                _ => ErrorCode::Generic,
+            };
+            Response::Err(WireError::new(code, message))
+        }),
         (
             proptest::collection::vec(name_strategy(), 1..4),
             proptest::collection::vec(value_strategy(), 0..9),

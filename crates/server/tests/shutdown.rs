@@ -25,10 +25,20 @@ fn client_shutdown_wakes_accept_loop_and_drains_workers() {
     // The bystander's connection is still open, but its worker checks the
     // stop flag between requests: the next request is refused. This makes
     // no new connection, so it cannot accidentally wake the accept loop.
+    // Ping is idempotent, so the client may retry by reconnecting: any
+    // retry lands after the listener went down and fails with a
+    // connect-class error instead of the typed shutting-down response.
     let err = bystander.ping().unwrap_err();
     assert!(
         err.to_string().contains("shutting down")
-            || err.kind() == std::io::ErrorKind::UnexpectedEof,
+            || matches!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::TimedOut
+            ),
         "live connection must be refused after shutdown, got: {err}"
     );
 

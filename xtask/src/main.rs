@@ -9,8 +9,9 @@
 //!
 //! 1. **Panic-free service path.** Non-test code in the storage crates
 //!    (`pagestore`, `btree`, `encoding`, `timestore`, `lineagestore`)
-//!    plus the request-serving crates (`obs`, `query`, `server`) must
-//!    not contain `.unwrap()`, `.expect(`,
+//!    plus the request-serving crates (`obs`, `query`, `server` —
+//!    including the chaos proxy and resilient client, which must not
+//!    abort mid-storm) must not contain `.unwrap()`, `.expect(`,
 //!    `panic!(`, `unreachable!(`, `todo!(` or `unimplemented!(`.
 //!    Corruption must surface as typed errors that `aion-fsck` can
 //!    report, never as a process abort. Test modules (`#[cfg(test)]`)
