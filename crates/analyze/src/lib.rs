@@ -1,0 +1,295 @@
+//! # aion-analyze — syntax-tree invariant analyzer for the workspace
+//!
+//! Replaces the original line-oriented `xtask lint` text scanner with a
+//! rule registry over lexed + structurally parsed sources (DESIGN.md
+//! §12). Driven by `cargo xtask analyze`.
+//!
+//! Rules:
+//!
+//! * **vfs-bypass** — storage I/O must flow through `crates/vfs`.
+//! * **lock-order** — the global Mutex/RwLock graph must be acyclic;
+//!   cycles fail with a witness path.
+//! * **budget-loops** — query-execution loops must reach an `ExecBudget`
+//!   check.
+//! * **panic-freedom** — no `unwrap`/`expect`/`panic!` in service-path
+//!   crates (AST port of the old scanner).
+//! * **unsafe-inventory** — every `unsafe` carries a `// SAFETY:`
+//!   comment.
+//!
+//! Plus a non-AST **manifest-lints** audit: every crate manifest must opt
+//! into `[lints] workspace = true`.
+//!
+//! Findings honor the checked-in suppression file `analyze.allow.toml`;
+//! every entry needs a reason, and entries that no longer match anything
+//! are reported as stale.
+
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod syntax;
+pub mod workspace;
+
+pub use rules::{Finding, Rule};
+pub use suppress::AllowEntry;
+pub use workspace::Workspace;
+
+/// What to analyze.
+pub struct Config {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// Run only these rule ids (empty = all).
+    pub only: Vec<String>,
+}
+
+impl Config {
+    /// All rules over `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            only: Vec::new(),
+        }
+    }
+}
+
+/// A finding that was matched by an allow entry.
+#[derive(Debug)]
+pub struct Suppressed {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+/// Analysis output.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings — any entry here means the gate fails.
+    pub findings: Vec<Finding>,
+    /// Findings matched by allow entries.
+    pub suppressed: Vec<Suppressed>,
+    /// Allow entries that matched nothing (file rot).
+    pub stale_allows: Vec<AllowEntry>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        for e in &self.stale_allows {
+            out.push_str(&format!(
+                "note: stale allow entry (analyze.allow.toml:{}) matches nothing: rule={} path={}\n",
+                e.line, e.rule, e.path
+            ));
+        }
+        out.push_str(&format!(
+            "analyze: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressed.len(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// JSON rendering (hand-rolled — the workspace vendors no serde).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"key\": {}, \"message\": {}}}",
+                json_str(f.rule),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.key),
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"suppressed\": {},\n  \"stale_allows\": {},\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+            self.suppressed.len(),
+            self.stale_allows.len(),
+            self.files_scanned,
+            self.is_clean()
+        ));
+        out
+    }
+}
+
+/// Analyzer failure (I/O, bad suppression file) — distinct from findings.
+#[derive(Debug)]
+pub enum Error {
+    Io(std::io::Error),
+    Allow(suppress::ParseError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io: {e}"),
+            Error::Allow(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+/// Runs the configured rules over the workspace and applies the
+/// suppression file.
+pub fn run(cfg: &Config) -> Result<Report, Error> {
+    let ws = workspace::load(&cfg.root)?;
+    let allows = load_allows(&cfg.root)?;
+
+    let mut raw: Vec<Finding> = Vec::new();
+    for rule in rules::all() {
+        if !cfg.only.is_empty() && !cfg.only.iter().any(|r| r == rule.id()) {
+            continue;
+        }
+        rule.check(&ws, &mut raw);
+    }
+    if cfg.only.is_empty() || cfg.only.iter().any(|r| r == "manifest-lints") {
+        manifest_lints(&cfg.root, &mut raw)?;
+    }
+
+    let mut report = Report {
+        files_scanned: ws.files.len(),
+        ..Report::default()
+    };
+    let mut used: Vec<bool> = vec![false; allows.len()];
+    for f in raw {
+        let hit = allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.matches(f.rule, &f.path, &f.key));
+        match hit {
+            Some((idx, a)) => {
+                used[idx] = true;
+                report.suppressed.push(Suppressed {
+                    finding: f,
+                    reason: a.reason.clone(),
+                });
+            }
+            None => report.findings.push(f),
+        }
+    }
+    for (idx, a) in allows.iter().enumerate() {
+        if !used[idx] {
+            report.stale_allows.push(a.clone());
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
+    Ok(report)
+}
+
+fn load_allows(root: &Path) -> Result<Vec<AllowEntry>, Error> {
+    let path = root.join("analyze.allow.toml");
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let body = std::fs::read_to_string(&path)?;
+    suppress::parse(&body).map_err(Error::Allow)
+}
+
+/// Ported manifest audit: every crate manifest opts into the shared
+/// `[workspace.lints]` table so `warnings = "deny"` and the curated
+/// clippy set apply uniformly. Shims are vendored stand-ins and exempt.
+fn manifest_lints(root: &Path, out: &mut Vec<Finding>) -> Result<(), Error> {
+    let mut manifests: Vec<PathBuf> = [root.join("Cargo.toml"), root.join("xtask/Cargo.toml")]
+        .into_iter()
+        .filter(|p| p.is_file())
+        .collect();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let manifest = entry?.path().join("Cargo.toml");
+            if manifest.is_file() {
+                manifests.push(manifest);
+            }
+        }
+    }
+    manifests.sort();
+    for m in manifests {
+        let body = std::fs::read_to_string(&m)?;
+        if !manifest_opts_into_workspace_lints(&body) {
+            let rel = m
+                .strip_prefix(root)
+                .unwrap_or(&m)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(Finding {
+                rule: "manifest-lints",
+                path: rel,
+                line: 1,
+                message:
+                    "missing `[lints] workspace = true` (required for the workspace lint gate)"
+                        .to_string(),
+                key: "lints".to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn manifest_opts_into_workspace_lints(body: &str) -> bool {
+    let mut in_lints = false;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+        } else if in_lints && line.replace(' ', "") == "workspace=true" {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rule catalogue: `(id, description)` for every registered rule.
+pub fn catalogue() -> Vec<(&'static str, &'static str)> {
+    let mut v: Vec<(&'static str, &'static str)> = rules::all()
+        .iter()
+        .map(|r| (r.id(), r.describe()))
+        .collect();
+    v.push((
+        "manifest-lints",
+        "every crate manifest opts into [workspace.lints]",
+    ));
+    v
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

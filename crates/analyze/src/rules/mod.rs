@@ -1,0 +1,58 @@
+//! The rule registry. Each rule inspects the loaded [`Workspace`] and
+//! emits [`Finding`]s carrying a stable `key` that suppression entries
+//! and tests can match on.
+
+use crate::workspace::Workspace;
+
+pub mod budget_loops;
+pub mod lock_order;
+pub mod panic_freedom;
+pub mod unsafe_inventory;
+pub mod vfs_bypass;
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`vfs-bypass`, `lock-order`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// Stable machine-matchable key (token, lock edge, …) used by
+    /// suppression entries.
+    pub key: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: {}",
+            self.rule, self.path, self.line, self.message
+        )
+    }
+}
+
+/// A workspace invariant checker.
+pub trait Rule {
+    /// Stable rule id used in output and suppression entries.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn describe(&self) -> &'static str;
+    /// Runs the rule, appending findings.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// Every rule, in reporting order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(vfs_bypass::VfsBypass),
+        Box::new(lock_order::LockOrder),
+        Box::new(budget_loops::BudgetLoops),
+        Box::new(panic_freedom::PanicFreedom),
+        Box::new(unsafe_inventory::UnsafeInventory),
+    ]
+}

@@ -1,0 +1,99 @@
+//! **panic-freedom** — non-test code in the storage and request-serving
+//! crates must not abort: corruption surfaces as typed errors that
+//! `aion-fsck` can report, never as a process abort.
+//!
+//! This is the AST port of the original line-oriented `xtask lint`
+//! scanner. Operating on lexed tokens kills that scanner's false-positive
+//! and false-negative classes: string/raw-string literals and (nested)
+//! block comments produce no tokens, and `#[cfg(test)]` regions are
+//! tracked structurally rather than by brace counting.
+
+use super::{Finding, Rule};
+use crate::workspace::{FileKind, Workspace};
+
+/// Crates whose non-test library code must be panic-free. The analyzer
+/// itself is included: tooling that gates merges must not abort either.
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "vfs",
+    "pagestore",
+    "btree",
+    "encoding",
+    "timestore",
+    "lineagestore",
+    "obs",
+    "query",
+    "server",
+    "analyze",
+];
+
+/// Method calls that must take the form `.name()` exactly (no args).
+const FORBIDDEN_NULLARY: &[&str] = &["unwrap", "unwrap_err"];
+/// Method calls forbidden regardless of arguments.
+const FORBIDDEN_ANY: &[&str] = &["expect", "expect_err"];
+/// Macros that abort.
+const FORBIDDEN_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub struct PanicFreedom;
+
+impl Rule for PanicFreedom {
+    fn id(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn describe(&self) -> &'static str {
+        "storage/service crates must surface errors, not unwrap/expect/panic"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if !PANIC_FREE_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            // Integration tests under tests/ are exempt (as are bins'
+            // fixtures); the gate protects code linked into services.
+            if file.kind != FileKind::Lib {
+                continue;
+            }
+            let toks = &file.lexed.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if file.syntax.in_test(i) {
+                    continue;
+                }
+                let Some(id) = t.ident() else { continue };
+                // `.unwrap()` / `.unwrap_err()`
+                if FORBIDDEN_NULLARY.contains(&id)
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+                {
+                    push(file, t.line, format!(".{id}()"), out);
+                }
+                // `.expect(…)` / `.expect_err(…)`
+                if FORBIDDEN_ANY.contains(&id)
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                {
+                    push(file, t.line, format!(".{id}(..)"), out);
+                }
+                // `panic!(…)` etc.
+                if FORBIDDEN_MACROS.contains(&id)
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                {
+                    push(file, t.line, format!("{id}!(..)"), out);
+                }
+            }
+        }
+    }
+}
+
+fn push(file: &crate::workspace::SourceFile, line: u32, token: String, out: &mut Vec<Finding>) {
+    out.push(Finding {
+        rule: "panic-freedom",
+        path: file.rel_path.clone(),
+        line,
+        message: format!("forbidden `{token}` in non-test code (return a typed error instead)"),
+        key: token,
+    });
+}

@@ -1,0 +1,49 @@
+//! **unsafe-inventory** — every `unsafe` keyword in production code must
+//! be justified by a `// SAFETY:` comment on the same line or within the
+//! three preceding lines. The workspace currently denies `unsafe_code`
+//! wholesale via lints; this rule keeps the invariant enforceable the
+//! day an accelerated kernel or FFI shim needs a carve-out.
+
+use super::{Finding, Rule};
+use crate::workspace::Workspace;
+
+/// How many lines above the `unsafe` token a SAFETY comment may sit.
+const SAFETY_WINDOW: u32 = 3;
+
+pub struct UnsafeInventory;
+
+impl Rule for UnsafeInventory {
+    fn id(&self) -> &'static str {
+        "unsafe-inventory"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every `unsafe` needs a `// SAFETY:` comment within 3 lines above"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            for (i, t) in file.lexed.tokens.iter().enumerate() {
+                if !t.is_ident("unsafe") || file.syntax.in_test(i) {
+                    continue;
+                }
+                let line = t.line;
+                let justified = file.lexed.comments.iter().any(|c| {
+                    c.text.contains("SAFETY:")
+                        && c.end_line <= line
+                        && c.end_line + SAFETY_WINDOW >= line
+                });
+                if !justified {
+                    out.push(Finding {
+                        rule: "unsafe-inventory",
+                        path: file.rel_path.clone(),
+                        line,
+                        message: "`unsafe` without a `// SAFETY:` comment within 3 lines above"
+                            .to_string(),
+                        key: "unsafe".to_string(),
+                    });
+                }
+            }
+        }
+    }
+}

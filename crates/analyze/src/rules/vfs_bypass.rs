@@ -1,0 +1,206 @@
+//! **vfs-bypass** — every byte of storage I/O must flow through the
+//! `crates/vfs` seam so the crash-consistency simulator (`SimVfs`) can
+//! exercise it. Direct `std::fs` use anywhere else (library code, bins,
+//! tests) is flagged; legitimate exceptions (CLI scaffolding, the seam
+//! itself) live in `analyze.allow.toml` with reasons.
+
+use super::{Finding, Rule};
+use crate::lexer::Token;
+use crate::workspace::Workspace;
+
+/// Crates exempt by construction: the seam itself.
+const SEAM_CRATES: &[&str] = &["vfs"];
+
+pub struct VfsBypass;
+
+impl Rule for VfsBypass {
+    fn id(&self) -> &'static str {
+        "vfs-bypass"
+    }
+
+    fn describe(&self) -> &'static str {
+        "storage I/O must go through the crates/vfs seam, not std::fs"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if SEAM_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            check_file(file, out);
+        }
+    }
+}
+
+fn check_file(file: &crate::workspace::SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+
+    // Names imported from std::fs (e.g. `use std::fs::OpenOptions;`),
+    // and whether `std::fs` itself is imported as `fs`.
+    let mut tainted: Vec<String> = Vec::new();
+    let mut fs_imported = false;
+    collect_fs_imports(toks, &mut tainted, &mut fs_imported);
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `std :: fs` path — flag the whole path expression once.
+        if toks[i].is_ident("std")
+            && is_path_sep(toks, i + 1)
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.is_ident("fs") || t.is_ident("os"))
+        {
+            // `std::os::unix::fs::FileExt` also bypasses the seam.
+            let path = path_text(toks, i);
+            if path.contains("::fs") {
+                // Import lines are flagged too: a `use std::os::unix::fs::
+                // FileExt` makes later *method* calls invisible to a
+                // token scan, so the import itself is the witness.
+                report(file, toks[i].line, &path, out);
+                i = skip_path(toks, i);
+                continue;
+            }
+        }
+        // Usage of an ident imported from std::fs.
+        if let Some(id) = toks[i].ident() {
+            if tainted.iter().any(|t| t == id) && !in_use_statement(toks, i) {
+                report(file, toks[i].line, id, out);
+                i += 1;
+                continue;
+            }
+            // `fs::read(..)` where `use std::fs;` is in scope.
+            if id == "fs" && fs_imported && is_path_sep(toks, i + 1) && !in_use_statement(toks, i) {
+                let path = path_text(toks, i);
+                report(file, toks[i].line, &path, out);
+                i = skip_path(toks, i);
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+fn report(file: &crate::workspace::SourceFile, line: u32, what: &str, out: &mut Vec<Finding>) {
+    out.push(Finding {
+        rule: "vfs-bypass",
+        path: file.rel_path.clone(),
+        line,
+        message: format!("direct `{what}` bypasses the Vfs seam (route it through vfs::Vfs / VfsRef so SimVfs crash testing covers it)"),
+        key: what.to_string(),
+    });
+}
+
+/// Whether tokens at `i`, `i+1` form `::`.
+fn is_path_sep(toks: &[Token], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(':')) && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+}
+
+/// Renders the path starting at ident `i` (`std::fs::read`) as text.
+fn path_text(toks: &[Token], mut i: usize) -> String {
+    let mut s = String::new();
+    while let Some(id) = toks.get(i).and_then(Token::ident) {
+        if !s.is_empty() {
+            s.push_str("::");
+        }
+        s.push_str(id);
+        if is_path_sep(toks, i + 1) {
+            i += 3;
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// Token index just past the path starting at `i`.
+fn skip_path(toks: &[Token], mut i: usize) -> usize {
+    while toks.get(i).and_then(Token::ident).is_some() {
+        if is_path_sep(toks, i + 1) {
+            i += 3;
+        } else {
+            return i + 1;
+        }
+    }
+    i + 1
+}
+
+/// Whether token `i` is inside a `use …;` item (scan back to the nearest
+/// `;`/`{`/`}` boundary and check for `use`).
+fn in_use_statement(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(';') || t.is_punct('}') {
+            return false;
+        }
+        // `use std::fs::{self, File};` puts idents inside braces — treat
+        // an opening brace preceded by `::` as part of the use tree.
+        if t.is_punct('{') {
+            if j >= 2 && is_path_sep(toks, j - 2) {
+                continue;
+            }
+            return false;
+        }
+        if t.is_ident("use") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Collects simple-name imports out of `use std::fs…` trees: the final
+/// segment(s) a later bare ident could refer to.
+fn collect_fs_imports(toks: &[Token], tainted: &mut Vec<String>, fs_imported: &mut bool) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("use") {
+            i += 1;
+            continue;
+        }
+        // Collect this use statement's tokens up to `;`.
+        let start = i + 1;
+        let mut end = start;
+        while end < toks.len() && !toks[end].is_punct(';') {
+            end += 1;
+        }
+        let stmt = &toks[start..end];
+        // Only std::fs trees are interesting.
+        let text = stmt_text(stmt);
+        if text.starts_with("std::fs") || text.starts_with("std::os::unix::fs") {
+            if text == "std::fs" {
+                *fs_imported = true;
+            } else {
+                // Leaf names: idents not followed by `::` and not `self`.
+                for (k, t) in stmt.iter().enumerate() {
+                    if let Some(id) = t.ident() {
+                        let followed_by_sep = stmt.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                            && stmt.get(k + 2).is_some_and(|n| n.is_punct(':'));
+                        if !followed_by_sep && !matches!(id, "std" | "fs" | "os" | "unix" | "as") {
+                            if id == "self" {
+                                *fs_imported = true;
+                            } else {
+                                tainted.push(id.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i = end + 1;
+    }
+    tainted.sort();
+    tainted.dedup();
+}
+
+fn stmt_text(stmt: &[Token]) -> String {
+    let mut s = String::new();
+    for t in stmt {
+        match &t.tok {
+            crate::lexer::Tok::Ident(id) => s.push_str(id),
+            crate::lexer::Tok::Punct(c) => s.push(*c),
+            _ => {}
+        }
+    }
+    s
+}

@@ -1,0 +1,189 @@
+//! The checked-in suppression file `analyze.allow.toml`.
+//!
+//! Format — a sequence of `[[allow]]` tables, each requiring a
+//! non-empty `reason`:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "vfs-bypass"                      # required: rule id or "*"
+//! path = "crates/check/src/bin/fsck.rs"    # optional: path prefix
+//! key = "std::fs"                          # optional: finding-key substring
+//! reason = "CLI sets up user directories"  # required: why this is fine
+//! ```
+//!
+//! A finding is suppressed when an entry's rule matches (exactly or
+//! `"*"`), its `path` is a prefix of the finding's path, and its `key`
+//! (if present) is a substring of the finding's key. Entries that match
+//! nothing are reported as stale so the file cannot rot.
+
+use std::fmt;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub key: Option<String>,
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header, for stale reporting.
+    pub line: usize,
+}
+
+/// A malformed suppression file.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analyze.allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses a finding with the given
+    /// coordinates.
+    pub fn matches(&self, rule: &str, path: &str, key: &str) -> bool {
+        (self.rule == "*" || self.rule == rule)
+            && path.starts_with(&self.path)
+            && self.key.as_ref().is_none_or(|k| key.contains(k.as_str()))
+    }
+}
+
+/// Parses the suppression file body.
+pub fn parse(body: &str) -> Result<Vec<AllowEntry>, ParseError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut open: Option<(usize, String, String, Option<String>, String)> = None;
+
+    let finish = |open: &mut Option<(usize, String, String, Option<String>, String)>,
+                  entries: &mut Vec<AllowEntry>|
+     -> Result<(), ParseError> {
+        if let Some((line, rule, path, key, reason)) = open.take() {
+            if rule.is_empty() {
+                return Err(ParseError {
+                    line,
+                    message: "entry is missing `rule`".into(),
+                });
+            }
+            if reason.trim().is_empty() {
+                return Err(ParseError {
+                    line,
+                    message: format!("entry for rule `{rule}` is missing a non-empty `reason`"),
+                });
+            }
+            entries.push(AllowEntry {
+                rule,
+                path,
+                key,
+                reason,
+                line,
+            });
+        }
+        Ok(())
+    };
+
+    for (idx, raw) in body.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut open, &mut entries)?;
+            open = Some((lineno, String::new(), String::new(), None, String::new()));
+            continue;
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("expected `key = \"value\"` or `[[allow]]`, got: {line}"),
+            });
+        };
+        let Some(cur) = open.as_mut() else {
+            return Err(ParseError {
+                line: lineno,
+                message: "assignment outside any [[allow]] entry".into(),
+            });
+        };
+        let k = k.trim();
+        let v = v.trim();
+        let Some(v) = v
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .filter(|s| !s.contains('"'))
+        else {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("value for `{k}` must be a simple double-quoted string"),
+            });
+        };
+        match k {
+            "rule" => cur.1 = v.to_string(),
+            "path" => cur.2 = v.to_string(),
+            "key" => cur.3 = Some(v.to_string()),
+            "reason" => cur.4 = v.to_string(),
+            other => {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("unknown key `{other}` (expected rule/path/key/reason)"),
+                });
+            }
+        }
+    }
+    finish(&mut open, &mut entries)?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let body = r#"
+# header comment
+[[allow]]
+rule = "vfs-bypass"
+path = "crates/check/src/bin"
+reason = "CLI bin"
+
+[[allow]]
+rule = "lock-order"
+key = "a->b"
+reason = "proven ordered by construction"
+"#;
+        let entries = parse(body).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].matches("vfs-bypass", "crates/check/src/bin/fsck.rs", "std::fs"));
+        assert!(!entries[0].matches("vfs-bypass", "crates/core/src/db.rs", "std::fs"));
+        assert!(entries[1].matches("lock-order", "anything", "cycle a->b->a"));
+        assert!(!entries[1].matches("lock-order", "anything", "cycle b->c"));
+    }
+
+    #[test]
+    fn reason_is_required() {
+        let err = parse("[[allow]]\nrule = \"x\"\n").unwrap_err();
+        assert!(err.message.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn rule_is_required() {
+        let err = parse("[[allow]]\nreason = \"y\"\n").unwrap_err();
+        assert!(err.message.contains("rule"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse("not toml at all").is_err());
+        assert!(parse("[[allow]]\nrule = unquoted\nreason = \"r\"").is_err());
+        assert!(parse("rule = \"orphan\"").is_err());
+    }
+
+    #[test]
+    fn wildcard_rule_matches_everything() {
+        let entries = parse("[[allow]]\nrule = \"*\"\npath = \"p\"\nreason = \"r\"\n").unwrap();
+        assert!(entries[0].matches("any-rule", "p/x.rs", "k"));
+    }
+}

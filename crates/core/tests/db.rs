@@ -240,7 +240,9 @@ fn recovery_reopens_with_lineage_catchup() {
         db.sync().unwrap();
     }
     // Wipe the LineageStore entirely: recovery must rebuild it from the log.
-    std::fs::remove_file(dir.path().join("lineage.db")).unwrap();
+    vfs::VfsRef::std()
+        .remove_file(&dir.path().join("lineage.db"))
+        .unwrap();
     let db = open(dir.path());
     assert_eq!(db.latest_ts(), last);
     let hist = db.get_node(nid(5), 0, last + 1).unwrap();

@@ -566,7 +566,9 @@ mod tests {
     fn bad_magic_rejected() {
         let dir = tempdir().unwrap();
         let path = dir.path().join("junk.db");
-        std::fs::write(&path, vec![0x42u8; PAGE_SIZE]).unwrap();
+        VfsRef::std()
+            .write(&path, &vec![0x42u8; PAGE_SIZE])
+            .unwrap();
         assert!(PageStore::open(&path, 4).is_err());
     }
 
@@ -584,10 +586,10 @@ mod tests {
         // Clean reopen verifies.
         PageStore::open_with_vfs(&vfs, &path, 4, true).unwrap();
         // A byte flipped after the last sync is detected.
-        let mut raw = std::fs::read(&path).unwrap();
+        let mut raw = vfs.read(&path).unwrap();
         let last = raw.len() - 1;
         raw[last] ^= 0xFF;
-        std::fs::write(&path, &raw).unwrap();
+        vfs.write(&path, &raw).unwrap();
         let err = PageStore::open_with_vfs(&vfs, &path, 4, true)
             .err()
             .unwrap();

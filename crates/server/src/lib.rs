@@ -23,6 +23,7 @@ pub mod client;
 pub mod protocol;
 mod rng;
 pub mod server;
+pub mod workers;
 
 pub use chaos::{ChaosConfig, ChaosProxy};
 pub use client::{Client, ClientConfig};

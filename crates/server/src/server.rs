@@ -23,13 +23,13 @@ use crate::protocol::{
     decode_request, encode_response, parse_frame_header, verify_frame_checksum, write_frame,
     ErrorCode, Request, Response, WireError,
 };
+use crate::workers::WorkerSet;
 use aion::Aion;
 use query::{ExecBudget, Params};
-use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -220,99 +220,6 @@ impl SlowLogLimiter {
     }
 }
 
-struct WorkerEntry {
-    handle: Option<JoinHandle<()>>,
-    stream: TcpStream,
-    cancel: Arc<AtomicBool>,
-}
-
-/// Registry of live connection workers: the accept loop registers, each
-/// worker deregisters itself on exit, and shutdown force-closes and
-/// joins whatever remains after the drain deadline.
-struct WorkerSet {
-    inner: Mutex<HashMap<u64, WorkerEntry>>,
-    next_id: AtomicU64,
-    active_gauge: Arc<obs::Gauge>,
-}
-
-impl WorkerSet {
-    fn new(active_gauge: Arc<obs::Gauge>) -> WorkerSet {
-        WorkerSet {
-            inner: Mutex::new(HashMap::new()),
-            next_id: AtomicU64::new(0),
-            active_gauge,
-        }
-    }
-
-    fn lock(&self) -> MutexGuard<'_, HashMap<u64, WorkerEntry>> {
-        // A worker that panicked mid-request poisons nothing of value
-        // here: the map only tracks liveness, so recover and continue.
-        match self.inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
-
-    /// Registers a connection before its worker thread exists; returns
-    /// the worker id and its cancellation flag.
-    fn register(&self, stream: TcpStream) -> (u64, Arc<AtomicBool>) {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let cancel = Arc::new(AtomicBool::new(false));
-        let mut map = self.lock();
-        map.insert(
-            id,
-            WorkerEntry {
-                handle: None,
-                stream,
-                cancel: cancel.clone(),
-            },
-        );
-        self.active_gauge.set(map.len() as i64);
-        (id, cancel)
-    }
-
-    /// Attaches the spawned thread's handle; if the worker already
-    /// finished (fast disconnect), the handle is dropped (detached while
-    /// exiting).
-    fn set_handle(&self, id: u64, handle: JoinHandle<()>) {
-        if let Some(entry) = self.lock().get_mut(&id) {
-            entry.handle = Some(handle);
-        }
-    }
-
-    /// Called by a worker as its last action: removes it from the set.
-    fn finish(&self, id: u64) {
-        let mut map = self.lock();
-        map.remove(&id);
-        self.active_gauge.set(map.len() as i64);
-    }
-
-    fn active(&self) -> usize {
-        self.lock().len()
-    }
-
-    /// Cancels and closes every remaining connection, returning the
-    /// thread handles to join plus how many were force-closed.
-    fn force_close_all(&self) -> (Vec<JoinHandle<()>>, u64) {
-        let entries: Vec<WorkerEntry> = {
-            let mut map = self.lock();
-            let drained = map.drain().map(|(_, e)| e).collect();
-            self.active_gauge.set(0);
-            drained
-        };
-        let forced = entries.len() as u64;
-        let mut handles = Vec::with_capacity(entries.len());
-        for entry in entries {
-            entry.cancel.store(true, Ordering::Release);
-            let _ = entry.stream.shutdown(Shutdown::Both);
-            if let Some(h) = entry.handle {
-                handles.push(h);
-            }
-        }
-        (handles, forced)
-    }
-}
-
 /// Everything a connection worker needs, shared across workers.
 struct ServerShared {
     db: Arc<Aion>,
@@ -320,7 +227,7 @@ struct ServerShared {
     queries: AtomicU64,
     tel: Telemetry,
     slow_log: SlowLogLimiter,
-    workers: WorkerSet,
+    workers: WorkerSet<TcpStream>,
     cfg: ServerConfig,
     addr: SocketAddr,
 }

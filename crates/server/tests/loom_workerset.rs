@@ -1,0 +1,156 @@
+//! Model tests for the worker registry's shutdown races.
+//!
+//! The interesting interleavings: a worker finishing concurrently with
+//! `force_close_all`, and a late `set_handle` racing shutdown. Written
+//! against the loom API (vendored shim = bounded seeded stress model,
+//! see shims/README.md); fake connection handles stand in for sockets.
+
+use aion_server::workers::{ConnHandle, WorkerSet};
+use loom::thread;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fake connection recording force-closes.
+struct FakeConn {
+    closed: Arc<AtomicBool>,
+}
+
+impl ConnHandle for FakeConn {
+    fn force_close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+}
+
+/// N workers race their own `finish` against one `force_close_all`.
+/// Whatever the interleaving, every worker is accounted for exactly
+/// once (finished or forced), the set drains to zero, and the gauge
+/// ends at zero.
+#[test]
+fn finish_races_force_close_without_losing_workers() {
+    static RUN: AtomicU64 = AtomicU64::new(0);
+    loom::model(|| {
+        // Unique gauge per iteration: the global registry outlives runs.
+        let run = RUN.fetch_add(1, Ordering::SeqCst);
+        let gauge = obs::gauge(&format!("server.loomtest.finish_race.{run}"));
+        let ws: Arc<WorkerSet<FakeConn>> = Arc::new(WorkerSet::new(gauge.clone()));
+
+        const N: u64 = 3;
+        let finished = Arc::new(AtomicU64::new(0));
+        let mut ids = Vec::new();
+        for _ in 0..N {
+            let closed = Arc::new(AtomicBool::new(false));
+            let (id, _cancel) = ws.register(FakeConn { closed });
+            ids.push(id);
+        }
+
+        let mut handles = Vec::new();
+        for id in ids {
+            let ws = ws.clone();
+            let finished = finished.clone();
+            handles.push(thread::spawn(move || {
+                thread::yield_now();
+                ws.finish(id);
+                finished.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let closer = {
+            let ws = ws.clone();
+            thread::spawn(move || {
+                thread::yield_now();
+                let (_join, forced) = ws.force_close_all();
+                forced
+            })
+        };
+
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+        let forced = closer.join().expect("closer thread");
+
+        // `finish` after the drain is a no-op, so finished counts all N
+        // workers while `forced` counts only those the closer caught —
+        // the two observations can overlap but nothing is lost:
+        assert_eq!(finished.load(Ordering::SeqCst), N);
+        assert!(forced <= N, "forced {forced} out of {N}");
+        assert_eq!(ws.active(), 0);
+        assert_eq!(gauge.get(), 0);
+    });
+}
+
+/// Every worker still registered at shutdown gets its cancel flag set
+/// and its connection force-closed.
+#[test]
+fn survivors_are_cancelled_and_closed() {
+    static RUN: AtomicU64 = AtomicU64::new(0);
+    loom::model(|| {
+        let run = RUN.fetch_add(1, Ordering::SeqCst);
+        let gauge = obs::gauge(&format!("server.loomtest.survivors.{run}"));
+        let ws: Arc<WorkerSet<FakeConn>> = Arc::new(WorkerSet::new(gauge));
+
+        let closed_a = Arc::new(AtomicBool::new(false));
+        let closed_b = Arc::new(AtomicBool::new(false));
+        let (ida, cancel_a) = ws.register(FakeConn {
+            closed: closed_a.clone(),
+        });
+        let (_idb, cancel_b) = ws.register(FakeConn {
+            closed: closed_b.clone(),
+        });
+
+        // A finishes cleanly in parallel with shutdown; B never does.
+        let finisher = {
+            let ws = ws.clone();
+            thread::spawn(move || {
+                thread::yield_now();
+                ws.finish(ida);
+            })
+        };
+        let (_join, forced) = ws.force_close_all();
+        finisher.join().expect("finisher");
+
+        // B was still registered, so it must be cancelled and closed.
+        assert!(cancel_b.load(Ordering::SeqCst));
+        assert!(closed_b.load(Ordering::SeqCst));
+        assert!(forced >= 1, "B must be forced");
+        // A is only cancelled if the closer won the race.
+        assert_eq!(
+            cancel_a.load(Ordering::SeqCst),
+            closed_a.load(Ordering::SeqCst)
+        );
+        assert_eq!(ws.active(), 0);
+    });
+}
+
+/// `set_handle` racing a completed worker: the late handle attach hits
+/// an already-removed entry and is dropped, never resurrected.
+#[test]
+fn late_set_handle_does_not_resurrect_finished_worker() {
+    static RUN: AtomicU64 = AtomicU64::new(0);
+    loom::model(|| {
+        let run = RUN.fetch_add(1, Ordering::SeqCst);
+        let gauge = obs::gauge(&format!("server.loomtest.late_handle.{run}"));
+        let ws: Arc<WorkerSet<FakeConn>> = Arc::new(WorkerSet::new(gauge));
+
+        let (id, _cancel) = ws.register(FakeConn {
+            closed: Arc::new(AtomicBool::new(false)),
+        });
+
+        // The "worker" finishes immediately on its own thread…
+        let worker = {
+            let ws = ws.clone();
+            thread::spawn(move || {
+                ws.finish(id);
+            })
+        };
+        // …while the acceptor attaches a placeholder thread handle.
+        let placeholder = thread::spawn(|| {});
+        ws.set_handle(id, placeholder);
+        worker.join().expect("worker");
+
+        assert_eq!(ws.active(), 0, "late set_handle must not re-insert");
+        let (joins, forced) = ws.force_close_all();
+        assert_eq!(forced, 0);
+        for j in joins {
+            j.join().expect("placeholder join");
+        }
+    });
+}

@@ -288,8 +288,10 @@ mod tests {
         }
         ts.write_snapshot(49).unwrap();
         ts.sync().unwrap();
-        for entry in std::fs::read_dir(dir.path().join("snapshots")).unwrap() {
-            std::fs::remove_file(entry.unwrap().path()).unwrap();
+        let vfs = vfs::VfsRef::std();
+        let snapdir = dir.path().join("snapshots");
+        for (name, _) in vfs.read_dir(&snapdir).unwrap() {
+            vfs.remove_file(&snapdir.join(name)).unwrap();
         }
         let findings = ts.audit(true).unwrap();
         assert!(findings.iter().any(|f| f.check == "snapshot/file"));

@@ -237,7 +237,6 @@ impl ChangeLog {
 mod tests {
     use super::*;
     use lpg::NodeId;
-    use std::fs::OpenOptions;
     use tempfile::tempdir;
 
     fn add_node(i: u64) -> Update {
@@ -308,7 +307,7 @@ mod tests {
             log.sync().unwrap();
         }
         // Simulate a crash that tore the second frame.
-        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        let f = VfsRef::std().open(&path).unwrap();
         f.set_len(good_end + 5).unwrap();
         drop(f);
         let log = ChangeLog::open(&path).unwrap();
@@ -324,7 +323,6 @@ mod tests {
 
     #[test]
     fn oversized_len_frame_is_rejected() {
-        use std::os::unix::fs::FileExt;
         let dir = tempdir().unwrap();
         let path = dir.path().join("c.log");
         let good_end;
@@ -338,7 +336,7 @@ mod tests {
         // A corrupt header claiming a ~4 GiB payload, "backed" by a sparse
         // file so the length bound alone does not reject it. The frame cap
         // must discard it instead of allocating gigabytes.
-        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        let f = VfsRef::std().open(&path).unwrap();
         let mut head = Vec::new();
         head.extend_from_slice(&u32::MAX.to_le_bytes());
         head.extend_from_slice(&0u32.to_le_bytes());
@@ -352,7 +350,6 @@ mod tests {
 
     #[test]
     fn in_bound_bogus_len_fails_streaming_verify() {
-        use std::os::unix::fs::FileExt;
         let dir = tempdir().unwrap();
         let path = dir.path().join("c.log");
         let good_end;
@@ -366,7 +363,7 @@ mod tests {
         // A 8 MiB claimed payload under the cap and within the (sparse)
         // file: the streaming checksum pass rejects it chunk by chunk.
         let bogus = 8u64 * 1024 * 1024;
-        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        let f = VfsRef::std().open(&path).unwrap();
         let mut head = Vec::new();
         head.extend_from_slice(&(bogus as u32).to_le_bytes());
         head.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
@@ -388,10 +385,11 @@ mod tests {
             log.sync().unwrap();
         }
         // Flip a payload byte.
-        let mut bytes = std::fs::read(&path).unwrap();
+        let vfs = VfsRef::std();
+        let mut bytes = vfs.read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
-        std::fs::write(&path, bytes).unwrap();
+        vfs.write(&path, &bytes).unwrap();
         let log = ChangeLog::open(&path).unwrap();
         assert_eq!(log.end_offset(), 0, "bad checksum ⇒ frame discarded");
     }

@@ -234,7 +234,9 @@ fn recovery_reindexes_unflushed_index_tail() {
         store.sync().unwrap();
     }
     // Simulate losing the index entirely (worst case).
-    std::fs::remove_file(dir.path().join("timestore.idx")).unwrap();
+    vfs::VfsRef::std()
+        .remove_file(&dir.path().join("timestore.idx"))
+        .unwrap();
     let store = TimeStore::open(dir.path(), config(SnapshotPolicy::Never)).unwrap();
     assert_eq!(store.latest_ts(), commits.last().unwrap().0);
     let got = store.snapshot_at(45).unwrap();

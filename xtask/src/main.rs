@@ -1,383 +1,111 @@
-//! `cargo xtask` — dependency-free workspace automation.
+//! `cargo xtask analyze` — the workspace invariant gate.
 //!
-//! ```text
-//! cargo xtask lint    static panic-freedom + manifest audit
-//! ```
+//! Thin CLI over the [`analyze`] crate (crates/analyze), which lexes and
+//! structurally parses every workspace source and runs the rule registry
+//! (vfs-bypass, lock-order, budget-loops, panic-freedom,
+//! unsafe-inventory, manifest-lints). See DESIGN.md §12.
 //!
-//! The `lint` pass enforces two policies that `rustc`/`clippy` cannot
-//! express on stable without external crates:
+//! `cargo xtask lint` is kept as an alias for the old entry point.
 //!
-//! 1. **Panic-free service path.** Non-test code in the storage crates
-//!    (`pagestore`, `btree`, `encoding`, `timestore`, `lineagestore`)
-//!    plus the request-serving crates (`obs`, `query`, `server` —
-//!    including the chaos proxy and resilient client, which must not
-//!    abort mid-storm) must not contain `.unwrap()`, `.expect(`,
-//!    `panic!(`, `unreachable!(`, `todo!(` or `unimplemented!(`.
-//!    Corruption must surface as typed errors that `aion-fsck` can
-//!    report, never as a process abort. Test modules (`#[cfg(test)]`)
-//!    and doc comments are exempt.
-//! 2. **Lint-table coverage.** Every workspace crate manifest must opt
-//!    into the shared `[workspace.lints]` table via
-//!    `[lints] workspace = true`, so `warnings = "deny"` and the curated
-//!    clippy set apply uniformly.
-//!
-//! Exit status: 0 = clean, 1 = violations, 2 = usage/IO error.
+//! Exit codes: 0 clean, 1 findings, 2 analyzer error (I/O, malformed
+//! allow file).
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Crates whose non-test code must be panic-free.
-const PANIC_FREE_CRATES: &[&str] = &[
-    "crates/vfs",
-    "crates/pagestore",
-    "crates/btree",
-    "crates/encoding",
-    "crates/timestore",
-    "crates/lineagestore",
-    "crates/obs",
-    "crates/query",
-    "crates/server",
-];
-
-/// Forbidden tokens in non-test storage code. Matched after comment
-/// stripping; `unwrap_or`/`unwrap_or_else`/`unwrap_or_default` do not
-/// match because the token requires the closing paren immediately.
-const FORBIDDEN: &[&str] = &[
-    ".unwrap()",
-    ".unwrap_err()",
-    ".expect(",
-    ".expect_err(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-];
-
-struct Violation {
-    file: PathBuf,
-    line: usize,
-    token: &'static str,
-    text: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: forbidden `{}` in non-test code: {}",
-            self.file.display(),
-            self.line,
-            self.token,
-            self.text.trim()
-        )
-    }
-}
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
-        _ => {
-            eprintln!("usage: cargo xtask lint");
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_default();
+    match cmd.as_str() {
+        // `lint` is the historical name for the gate.
+        "analyze" | "lint" => analyze_cmd(args.collect()),
+        "" | "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("xtask: unknown command `{other}`\n");
+            print!("{USAGE}");
             ExitCode::from(2)
         }
     }
 }
 
+const USAGE: &str = "\
+Usage: cargo xtask <command>
+
+Commands:
+  analyze   run the workspace invariant analyzer (alias: lint)
+            --json           machine-readable output
+            --list           print the rule catalogue and exit
+            --rule <id>      run only this rule (repeatable)
+            --root <dir>     analyze a different tree (testing)
+  help      show this message
+";
+
+fn analyze_cmd(args: Vec<String>) -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    let mut only: Vec<String> = Vec::new();
+    let mut root: Option<PathBuf> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            "--rule" => match it.next() {
+                Some(r) => only.push(r),
+                None => return flag_err("--rule needs a rule id"),
+            },
+            "--root" => match it.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => return flag_err("--root needs a directory"),
+            },
+            other => return flag_err(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    if list {
+        for (id, desc) in analyze::catalogue() {
+            println!("{id:<18} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(workspace_root);
+    let cfg = analyze::Config { root, only };
+    match analyze::run(&cfg) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_err(msg: &str) -> ExitCode {
+    eprintln!("xtask analyze: {msg}\n");
+    print!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// The workspace root: parent of this crate's manifest dir.
 fn workspace_root() -> PathBuf {
-    // xtask always lives one level below the workspace root.
-    Path::new(env!("CARGO_MANIFEST_DIR"))
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
         .parent()
-        .map(Path::to_path_buf)
-        .unwrap_or_else(|| PathBuf::from("."))
-}
-
-fn run_lint() -> ExitCode {
-    let root = workspace_root();
-    let mut violations = Vec::new();
-    let mut errors = Vec::new();
-
-    for krate in PANIC_FREE_CRATES {
-        let src = root.join(krate).join("src");
-        if let Err(e) = scan_dir(&src, &mut violations) {
-            errors.push(format!("{}: {e}", src.display()));
-        }
-    }
-
-    let mut missing_lints = Vec::new();
-    match collect_manifests(&root) {
-        Ok(manifests) => {
-            for m in manifests {
-                match std::fs::read_to_string(&m) {
-                    Ok(body) => {
-                        if !manifest_opts_into_workspace_lints(&body) {
-                            missing_lints.push(m);
-                        }
-                    }
-                    Err(e) => errors.push(format!("{}: {e}", m.display())),
-                }
-            }
-        }
-        Err(e) => errors.push(format!("manifest walk: {e}")),
-    }
-
-    if !errors.is_empty() {
-        for e in &errors {
-            eprintln!("xtask lint: {e}");
-        }
-        return ExitCode::from(2);
-    }
-
-    for v in &violations {
-        println!("{v}");
-    }
-    for m in &missing_lints {
-        println!(
-            "{}: missing `[lints] workspace = true` (required for the workspace lint gate)",
-            m.display()
-        );
-    }
-    if violations.is_empty() && missing_lints.is_empty() {
-        println!(
-            "xtask lint: clean ({} crate(s) panic-free, all manifests opted into workspace lints)",
-            PANIC_FREE_CRATES.len()
-        );
-        ExitCode::SUCCESS
-    } else {
-        println!(
-            "xtask lint: {} violation(s)",
-            violations.len() + missing_lints.len()
-        );
-        ExitCode::from(1)
-    }
-}
-
-/// Every `Cargo.toml` directly under `crates/`, plus `xtask` and the root
-/// package manifest. Shims are vendored stand-ins and are exempt.
-fn collect_manifests(root: &Path) -> std::io::Result<Vec<PathBuf>> {
-    let mut out = vec![root.join("Cargo.toml"), root.join("xtask/Cargo.toml")];
-    for entry in std::fs::read_dir(root.join("crates"))? {
-        let manifest = entry?.path().join("Cargo.toml");
-        if manifest.is_file() {
-            out.push(manifest);
-        }
-    }
-    out.sort();
-    Ok(out)
-}
-
-fn manifest_opts_into_workspace_lints(body: &str) -> bool {
-    let mut in_lints = false;
-    for line in body.lines() {
-        let line = line.trim();
-        if line.starts_with('[') {
-            in_lints = line == "[lints]";
-        } else if in_lints && line.replace(' ', "") == "workspace=true" {
-            return true;
-        }
-    }
-    false
-}
-
-fn scan_dir(dir: &Path, violations: &mut Vec<Violation>) -> std::io::Result<()> {
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let mut entries: Vec<_> = std::fs::read_dir(&d)?.collect::<Result<_, _>>()?;
-        entries.sort_by_key(|e| e.path());
-        for entry in entries {
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                let body = std::fs::read_to_string(&path)?;
-                scan_file(&path, &body, violations);
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Line-oriented scan. Tracks `#[cfg(test)]` items by brace depth: once a
-/// `#[cfg(test)]` attribute is seen, everything until the braces of the
-/// following item balance is test code and exempt. Comments (`//`, `/* */`)
-/// and string literals are stripped before token matching so prose
-/// mentioning `panic!(` does not trip the gate.
-fn scan_file(path: &Path, body: &str, violations: &mut Vec<Violation>) {
-    let mut in_block_comment = false;
-    // None = production code; Some(depth) = inside a #[cfg(test)] item
-    // whose brace depth must return to `depth` to end.
-    let mut test_region: Option<i64> = None;
-    let mut pending_test_attr = false;
-    let mut depth: i64 = 0;
-
-    for (idx, raw) in body.lines().enumerate() {
-        let code = strip_noise(raw, &mut in_block_comment);
-        let trimmed = code.trim();
-
-        if test_region.is_none() && trimmed.contains("#[cfg(test)]") {
-            pending_test_attr = true;
-        }
-
-        let opens = code.matches('{').count() as i64;
-        let closes = code.matches('}').count() as i64;
-
-        if pending_test_attr && opens > 0 {
-            // The attribute's item starts here; exempt until depth drops
-            // back to the level before its first `{`.
-            test_region = Some(depth);
-            pending_test_attr = false;
-        }
-
-        let exempt = test_region.is_some() || pending_test_attr;
-        if !exempt {
-            for token in FORBIDDEN {
-                if code.contains(token) {
-                    violations.push(Violation {
-                        file: path.to_path_buf(),
-                        line: idx + 1,
-                        token,
-                        text: raw.to_string(),
-                    });
-                }
-            }
-        }
-
-        depth += opens - closes;
-        if let Some(base) = test_region {
-            if closes > 0 && depth <= base {
-                test_region = None;
-            }
-        }
-    }
-}
-
-/// Removes line comments, block comments, and string-literal contents so
-/// only real code tokens remain. Keeps the quotes themselves so column
-/// structure stays roughly intact. Not a full lexer — raw strings with
-/// embedded quotes and similar corner cases are out of scope for a lint
-/// heuristic — but char-level escape tracking covers the codebase today.
-fn strip_noise(line: &str, in_block_comment: &mut bool) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    let mut in_char = false;
-    while let Some(c) = chars.next() {
-        if *in_block_comment {
-            if c == '*' && chars.peek() == Some(&'/') {
-                chars.next();
-                *in_block_comment = false;
-            }
-            continue;
-        }
-        if in_str {
-            if c == '\\' {
-                chars.next();
-            } else if c == '"' {
-                in_str = false;
-                out.push('"');
-            }
-            continue;
-        }
-        if in_char {
-            if c == '\\' {
-                chars.next();
-            } else if c == '\'' {
-                in_char = false;
-            }
-            continue;
-        }
-        match c {
-            '/' if chars.peek() == Some(&'/') => break,
-            '/' if chars.peek() == Some(&'*') => {
-                chars.next();
-                *in_block_comment = true;
-            }
-            '"' => {
-                in_str = true;
-                out.push('"');
-            }
-            // Lifetime vs char literal: a quote right after an ident
-            // char or `&`/`<` is a lifetime; treat quote followed by
-            // escape or by `x'` as a char literal.
-            '\'' => {
-                let next = chars.peek().copied();
-                let looks_like_char = matches!(next, Some(n) if n == '\\')
-                    || matches!(
-                        (next, {
-                            let mut ahead = chars.clone();
-                            ahead.next();
-                            ahead.next()
-                        }),
-                        (Some(_), Some('\''))
-                    );
-                if looks_like_char {
-                    in_char = true;
-                } else {
-                    out.push('\'');
-                }
-            }
-            _ => out.push(c),
-        }
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn scan_str(body: &str) -> Vec<String> {
-        let mut v = Vec::new();
-        scan_file(Path::new("t.rs"), body, &mut v);
-        v.into_iter().map(|x| x.token.to_string()).collect()
-    }
-
-    #[test]
-    fn flags_unwrap_in_production_code() {
-        assert_eq!(scan_str("fn f() { x.unwrap(); }"), vec![".unwrap()"]);
-    }
-
-    #[test]
-    fn ignores_test_modules_and_comments() {
-        let body = "\
-// x.unwrap() in a comment\n\
-/* panic!(\"no\") */\n\
-fn ok() { let _ = x.unwrap_or_default(); }\n\
-#[cfg(test)]\n\
-mod tests {\n\
-    #[test]\n\
-    fn t() { x.unwrap(); panic!(\"fine here\"); }\n\
-}\n";
-        assert!(scan_str(body).is_empty());
-    }
-
-    #[test]
-    fn resumes_after_test_module_ends() {
-        let body = "\
-#[cfg(test)]\n\
-mod tests {\n\
-    fn t() { x.unwrap(); }\n\
-}\n\
-fn bad() { y.expect(\"boom\"); }\n";
-        assert_eq!(scan_str(body), vec![".expect("]);
-    }
-
-    #[test]
-    fn string_literals_do_not_trip_the_gate() {
-        assert!(scan_str("fn f() { let s = \"call panic!( never\"; }").is_empty());
-    }
-
-    #[test]
-    fn manifest_lints_detection() {
-        assert!(manifest_opts_into_workspace_lints(
-            "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n"
-        ));
-        assert!(!manifest_opts_into_workspace_lints(
-            "[package]\nname = \"x\"\n"
-        ));
-        assert!(!manifest_opts_into_workspace_lints(
-            "[lints.rust]\nworkspace = true\n"
-        ));
-    }
+        .map(|p| p.to_path_buf())
+        .unwrap_or(manifest)
 }
