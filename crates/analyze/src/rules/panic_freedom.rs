@@ -23,6 +23,7 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
     "obs",
     "query",
     "server",
+    "repl",
     "analyze",
 ];
 

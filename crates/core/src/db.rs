@@ -331,6 +331,18 @@ impl Aion {
         self.commit(updates, Some(ts))
     }
 
+    /// Applies one replicated commit at its original timestamp. Used by
+    /// the replication replayer (`crates/repl`): the batch was already
+    /// validated on the primary and decoded from its commit log, so it
+    /// goes straight to the commit pipeline without `WriteTxn`
+    /// re-validation. Monotonicity is still enforced — a frame at or
+    /// below the local latest timestamp fails with
+    /// [`GraphError::NonMonotonicCommit`], which replayers use to make
+    /// re-delivery after reconnect idempotent (skip, don't re-apply).
+    pub fn apply_replicated(&self, ts: Timestamp, updates: Vec<Update>) -> Result<Timestamp> {
+        self.commit(updates, Some(ts))
+    }
+
     /// Commits a validated update batch (stage 1 + 2 of Fig. 4).
     fn commit(&self, updates: Vec<Update>, forced_ts: Option<Timestamp>) -> Result<Timestamp> {
         let _timer = self.commit_latency.start_timer();

@@ -1,0 +1,136 @@
+//! Incremental, timeout-tolerant frame reading.
+//!
+//! Replication sockets carry the server's checksummed frame envelope
+//! (`u32 len, u64 fnv64(payload), payload`), but both sides read with a
+//! short socket timeout so they can notice stop flags. A plain
+//! `read_exact` under a timeout can consume *part* of a frame and then
+//! error, desynchronising the stream; this reader instead accumulates
+//! whatever bytes arrive into a buffer and only yields complete,
+//! checksum-verified frames, so a timeout tick never loses data.
+
+use std::io::{self, Read};
+use std::net::TcpStream;
+use vfs::fnv64;
+
+/// Upper bound on one frame payload, mirroring the server's cap.
+const MAX_FRAME: usize = 256 << 20;
+
+/// One tick of [`FrameReader::poll`].
+pub(crate) enum Polled {
+    /// A complete verified frame payload.
+    Frame(Vec<u8>),
+    /// No complete frame yet (socket timeout or short read); try again.
+    Pending,
+    /// The peer closed the connection cleanly at a frame boundary.
+    Eof,
+}
+
+pub(crate) struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    pub(crate) fn new() -> FrameReader {
+        FrameReader { buf: Vec::new() }
+    }
+
+    /// Attempts to complete one frame, reading more bytes if needed.
+    /// The stream's read timeout bounds how long one call blocks.
+    pub(crate) fn poll(&mut self, stream: &mut TcpStream) -> io::Result<Polled> {
+        loop {
+            if let Some(frame) = self.take_frame()? {
+                return Ok(Polled::Frame(frame));
+            }
+            let mut chunk = [0u8; 64 * 1024];
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(Polled::Eof)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Polled::Pending);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Pops one complete frame off the buffer, verifying its checksum.
+    fn take_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.buf.len() < 12 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too big"));
+        }
+        if self.buf.len() < 12 + len {
+            return Ok(None);
+        }
+        let sum = u64::from_le_bytes([
+            self.buf[4],
+            self.buf[5],
+            self.buf[6],
+            self.buf[7],
+            self.buf[8],
+            self.buf[9],
+            self.buf[10],
+            self.buf[11],
+        ]);
+        let payload = self.buf[12..12 + len].to_vec();
+        if fnv64(&payload) != sum {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame checksum mismatch",
+            ));
+        }
+        self.buf.drain(..12 + len);
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_frame_reassembles_and_verifies() {
+        let mut r = FrameReader::new();
+        let payload = b"hello repl".to_vec();
+        let mut wire = Vec::new();
+        aion_server::protocol::write_frame(&mut wire, &payload).unwrap();
+        // Feed the bytes one at a time: no partial parse may fire early.
+        for (i, b) in wire.iter().enumerate() {
+            r.buf.push(*b);
+            let done = r.take_frame().unwrap();
+            if i + 1 == wire.len() {
+                assert_eq!(done, Some(payload.clone()));
+            } else {
+                assert_eq!(done, None);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_checksum_is_an_error() {
+        let mut wire = Vec::new();
+        aion_server::protocol::write_frame(&mut wire, b"payload").unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40;
+        let mut r = FrameReader::new();
+        r.buf = wire;
+        let err = r.take_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,35 @@
+//! # aion-repl — log-shipping replication (DESIGN.md §13)
+//!
+//! The paper's append-only ChangeLog, ordered by commit timestamp
+//! (Sec. 5), *is* a replication stream: this crate ships it.
+//!
+//! * [`shipper`] — the primary side: a [`LogShipper`] accepts replica
+//!   connections and streams checksummed commit frames straight out of
+//!   the [`timestore::ChangeLog`], tracking per-replica acked
+//!   watermarks and lag.
+//! * [`replayer`] — the replica side: a [`Replayer`] connects to the
+//!   primary, applies frames into its own database through the normal
+//!   commit pipeline ([`aion::Aion::apply_replicated`]), and persists a
+//!   replay [`Watermark`] that never exceeds the locally durable
+//!   prefix. Disconnects resume from the watermark; corrupt frames are
+//!   rejected, never applied.
+//! * [`wire`] — the `Hello`/`HelloAck`/`Frame`/`Ack`/`Heartbeat`
+//!   message codec, carried in the server's checksummed frame envelope.
+//! * [`watermark`] — the checksummed on-disk watermark record, written
+//!   through the `crates/vfs` seam so crash simulation covers it.
+//!
+//! Replicas serve reads through the ordinary query server started with
+//! [`aion_server::ServerConfig::read_only`]; clients get bounded
+//! staleness via `min_watermark` on `Run` and replica-aware routing via
+//! [`aion_server::RoutedClient`].
+
+mod frame_io;
+pub mod replayer;
+pub mod shipper;
+pub mod watermark;
+pub mod wire;
+
+pub use replayer::{Replayer, ReplayerConfig};
+pub use shipper::{LogShipper, ShipperConfig};
+pub use watermark::{Watermark, WatermarkStore};
+pub use wire::{decode_msg, encode_msg, ReplMsg};

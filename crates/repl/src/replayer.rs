@@ -1,0 +1,387 @@
+//! Replica-side replay: connect to the primary, stream commit frames,
+//! apply them into the local database, and advance a durable watermark.
+//!
+//! Correctness invariants (DESIGN.md §13):
+//!
+//! * **Watermark ≤ durable prefix.** The watermark file is written only
+//!   after [`aion::Aion::sync`] succeeds, so it never claims state the
+//!   local store could lose in a crash.
+//! * **Idempotent replay.** Every frame at or below the local latest
+//!   timestamp is skipped, so resuming from an *older* offset (stale
+//!   watermark, full resync after corruption) re-delivers but never
+//!   re-applies commits.
+//! * **Torn-tail rejection.** A frame whose `CommitFrame::decode`
+//!   fails — corruption anywhere between the primary's disk and this
+//!   process — drops the connection instead of applying garbage; the
+//!   reconnect resumes from the durable watermark.
+//! * **Startup reconciliation.** A watermark *ahead* of the local
+//!   database (possible only if the database lost unsynced state that
+//!   the watermark claimed — i.e. the durability order was violated by
+//!   crash recovery truncating a torn tail) is discarded, forcing a
+//!   resync from 0 rather than silently skipping frames.
+
+use crate::frame_io::{FrameReader, Polled};
+use crate::watermark::{Watermark, WatermarkStore};
+use crate::wire::{decode_msg, encode_msg, ReplMsg};
+use aion::Aion;
+use aion_server::protocol::write_frame;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use timestore::CommitFrame;
+use vfs::VfsRef;
+
+/// Tunables for one [`Replayer`].
+#[derive(Clone, Debug)]
+pub struct ReplayerConfig {
+    /// The primary's replication listener ([`crate::LogShipper::addr`]).
+    pub primary: SocketAddr,
+    /// The replica's data directory (the watermark file lives here).
+    pub dir: PathBuf,
+    /// File system seam for the watermark file — pass the same handle
+    /// as the replica's [`aion::AionConfig::vfs`] so crash simulation
+    /// covers both.
+    pub vfs: VfsRef,
+    /// Frames applied between durability points (sync + watermark +
+    /// ack). `1` makes every frame durable before it is acked.
+    pub sync_every: u64,
+    /// TCP connect budget per attempt.
+    pub connect_timeout: Duration,
+    /// Base reconnect backoff (doubles up to 32× per consecutive
+    /// failure, resetting on a successful handshake).
+    pub reconnect_backoff: Duration,
+}
+
+impl ReplayerConfig {
+    /// Defaults for a replica rooted at `dir` replicating from `primary`.
+    pub fn new(primary: SocketAddr, dir: impl Into<PathBuf>) -> ReplayerConfig {
+        ReplayerConfig {
+            primary,
+            dir: dir.into(),
+            vfs: VfsRef::std(),
+            sync_every: 32,
+            connect_timeout: Duration::from_secs(2),
+            reconnect_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Obs metrics for the replica side.
+struct ReplayTelemetry {
+    frames_applied: Arc<obs::Counter>,
+    frames_skipped: Arc<obs::Counter>,
+    reconnects: Arc<obs::Counter>,
+    corrupt_frames: Arc<obs::Counter>,
+    watermark_ts: Arc<obs::Gauge>,
+}
+
+impl ReplayTelemetry {
+    fn new() -> ReplayTelemetry {
+        ReplayTelemetry {
+            frames_applied: obs::counter("repl.replay.frames_applied"),
+            frames_skipped: obs::counter("repl.replay.frames_skipped"),
+            reconnects: obs::counter("repl.replay.reconnects"),
+            corrupt_frames: obs::counter("repl.replay.corrupt_frames"),
+            watermark_ts: obs::gauge("repl.replay.watermark_ts"),
+        }
+    }
+}
+
+struct ReplayerShared {
+    db: Arc<Aion>,
+    stop: AtomicBool,
+    wm_offset: AtomicU64,
+    wm_ts: AtomicU64,
+    last_error: Mutex<Option<String>>,
+    store: WatermarkStore,
+    cfg: ReplayerConfig,
+    tel: ReplayTelemetry,
+}
+
+impl ReplayerShared {
+    fn set_watermark(&self, wm: Watermark) {
+        self.wm_offset.store(wm.offset, Ordering::Release);
+        self.wm_ts.store(wm.ts, Ordering::Release);
+        self.tel
+            .watermark_ts
+            .set(i64::try_from(wm.ts).unwrap_or(i64::MAX));
+    }
+
+    fn watermark(&self) -> Watermark {
+        Watermark {
+            offset: self.wm_offset.load(Ordering::Acquire),
+            ts: self.wm_ts.load(Ordering::Acquire),
+        }
+    }
+
+    fn note_error(&self, e: impl ToString) {
+        let mut slot = match self.last_error.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *slot = Some(e.to_string());
+    }
+}
+
+/// The replica-side replay engine: owns a background thread that keeps
+/// the local database converging toward the primary's log.
+pub struct Replayer {
+    shared: Arc<ReplayerShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Replayer {
+    /// Starts replaying into `db`. The durable watermark (if any, and if
+    /// consistent with the local database — see module docs) decides
+    /// where streaming resumes.
+    pub fn start(db: Arc<Aion>, cfg: ReplayerConfig) -> Replayer {
+        let store = WatermarkStore::new(cfg.vfs.clone(), &cfg.dir);
+        let initial = reconcile_watermark(store.load(), db.latest_ts());
+        let shared = Arc::new(ReplayerShared {
+            db,
+            stop: AtomicBool::new(false),
+            wm_offset: AtomicU64::new(initial.offset),
+            wm_ts: AtomicU64::new(initial.ts),
+            last_error: Mutex::new(None),
+            store,
+            cfg,
+            tel: ReplayTelemetry::new(),
+        });
+        shared
+            .tel
+            .watermark_ts
+            .set(i64::try_from(initial.ts).unwrap_or(i64::MAX));
+        let run_shared = shared.clone();
+        let thread = std::thread::spawn(move || run(&run_shared));
+        Replayer {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// The current durable watermark.
+    pub fn watermark(&self) -> Watermark {
+        self.shared.watermark()
+    }
+
+    /// A detached probe of the durable watermark, for monitor threads
+    /// that must outlive their borrow of the replayer (soak tests,
+    /// metrics exporters).
+    pub fn watermark_probe(&self) -> impl Fn() -> Watermark + Send + 'static {
+        let shared = self.shared.clone();
+        move || shared.watermark()
+    }
+
+    /// Times the replayer re-established its primary connection.
+    pub fn reconnect_count(&self) -> u64 {
+        self.shared.tel.reconnects.get()
+    }
+
+    /// The most recent replay error, if any (diagnostics).
+    pub fn last_error(&self) -> Option<String> {
+        match self.shared.last_error.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Stops the replay thread and joins it.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Replayer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Startup sanity: a watermark claiming more commits than the database
+/// actually holds would make resume *skip* data — discard it instead.
+fn reconcile_watermark(loaded: Option<Watermark>, db_latest: u64) -> Watermark {
+    match loaded {
+        Some(wm) if wm.ts <= db_latest => wm,
+        _ => Watermark::default(),
+    }
+}
+
+fn run(shared: &Arc<ReplayerShared>) {
+    let mut backoff_factor: u32 = 1;
+    while !shared.stop.load(Ordering::Acquire) {
+        match session(shared) {
+            Ok(()) => return, // clean stop
+            Err(e) => {
+                shared.note_error(e.to_string());
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                shared.tel.reconnects.inc();
+                let sleep = shared
+                    .cfg
+                    .reconnect_backoff
+                    .saturating_mul(backoff_factor)
+                    .min(Duration::from_secs(2));
+                backoff_factor = (backoff_factor * 2).min(32);
+                std::thread::sleep(sleep);
+            }
+        }
+    }
+}
+
+/// One connected session: handshake, then stream-apply until the
+/// connection dies or the replayer is stopped. `Ok(())` means "stop was
+/// requested"; every other exit is an `Err` that triggers reconnect.
+fn session(shared: &Arc<ReplayerShared>) -> io::Result<()> {
+    let mut stream = TcpStream::connect_timeout(&shared.cfg.primary, shared.cfg.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+
+    let wm = shared.watermark();
+    write_frame(
+        &mut stream,
+        &encode_msg(&ReplMsg::Hello {
+            start_offset: wm.offset,
+            latest_ts: wm.ts,
+        }),
+    )?;
+    let mut reader = FrameReader::new();
+    let ack = loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match reader.poll(&mut stream)? {
+            Polled::Frame(payload) => break decode_msg(&payload)?,
+            Polled::Pending => {}
+            Polled::Eof => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "primary closed during handshake",
+                ))
+            }
+        }
+    };
+    let ReplMsg::HelloAck { resume_offset, .. } = ack else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected HELLO_ACK from primary",
+        ));
+    };
+
+    // The primary may have forced a full resync (resume_offset 0 when we
+    // asked for more): idempotent replay makes that safe, but the cursor
+    // must follow the *wire* position, not the local watermark.
+    let mut cursor = resume_offset;
+    let mut pending: u64 = 0; // frames applied/skipped since last durability point
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            // Flush progress so restart resumes close to the head.
+            let _ = make_durable(shared, &mut stream, cursor, &mut pending);
+            return Ok(());
+        }
+        let msg = match reader.poll(&mut stream)? {
+            Polled::Frame(payload) => decode_msg(&payload)?,
+            Polled::Pending => continue,
+            Polled::Eof => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "primary closed the replication stream",
+                ))
+            }
+        };
+        match msg {
+            ReplMsg::Frame {
+                offset,
+                next_offset,
+                payload,
+            } => {
+                if offset != cursor {
+                    // Out-of-order delivery is impossible on one TCP
+                    // stream unless state is corrupt: resync.
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame offset {offset} does not match cursor {cursor}"),
+                    ));
+                }
+                let Some(frame) = CommitFrame::decode(&payload) else {
+                    // Torn/corrupt frame: never apply garbage.
+                    shared.tel.corrupt_frames.inc();
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt commit frame at offset {offset}"),
+                    ));
+                };
+                if frame.ts > shared.db.latest_ts() {
+                    let updates: Vec<lpg::Update> =
+                        frame.to_updates().into_iter().map(|u| u.op).collect();
+                    shared
+                        .db
+                        .apply_replicated(frame.ts, updates)
+                        .map_err(|e| io::Error::other(e.to_string()))?;
+                    shared.tel.frames_applied.inc();
+                } else {
+                    // Re-delivery below our latest ts: idempotent skip.
+                    shared.tel.frames_skipped.inc();
+                }
+                cursor = next_offset;
+                pending += 1;
+                if pending >= shared.cfg.sync_every {
+                    make_durable(shared, &mut stream, cursor, &mut pending)?;
+                }
+            }
+            ReplMsg::Heartbeat { .. } => {
+                // Quiesce point: flush any partial batch so an idle
+                // stream still converges to a durable, acked watermark.
+                if pending > 0 {
+                    make_durable(shared, &mut stream, cursor, &mut pending)?;
+                }
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected replication message: {other:?}"),
+                ));
+            }
+        }
+    }
+}
+
+/// The durability point: fsync the database, persist the watermark, then
+/// ack. Order matters — the watermark may never lead the database, and
+/// the ack may never lead the watermark.
+fn make_durable(
+    shared: &Arc<ReplayerShared>,
+    stream: &mut TcpStream,
+    cursor: u64,
+    pending: &mut u64,
+) -> io::Result<()> {
+    if *pending == 0 {
+        return Ok(());
+    }
+    shared
+        .db
+        .sync()
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let wm = Watermark {
+        offset: cursor,
+        ts: shared.db.latest_ts(),
+    };
+    shared.store.store(wm)?;
+    shared.set_watermark(wm);
+    *pending = 0;
+    write_frame(
+        stream,
+        &encode_msg(&ReplMsg::Ack {
+            offset: wm.offset,
+            ts: wm.ts,
+        }),
+    )
+}

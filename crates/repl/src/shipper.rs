@@ -1,0 +1,361 @@
+//! Primary-side log shipping: a listener accepting replica connections,
+//! one streaming worker per replica.
+//!
+//! Each worker tails the primary's [`timestore::ChangeLog`] with the
+//! streaming [`ChangeLog::iter_from`] iterator — the log is append-only,
+//! so a reader chasing the head always sees a consistent prefix — and
+//! ships every commit frame verbatim inside [`crate::wire::ReplMsg::Frame`]
+//! messages. A companion ack-reader thread (sharing the socket via
+//! `try_clone`) consumes [`crate::wire::ReplMsg::Ack`]s so a slow or
+//! silent replica never blocks shipping.
+//!
+//! [`ChangeLog::iter_from`]: timestore::ChangeLog::iter_from
+
+use crate::frame_io::{FrameReader, Polled};
+use crate::watermark::Watermark;
+use crate::wire::{decode_msg, encode_msg, ReplMsg};
+use aion::Aion;
+use aion_server::protocol::write_frame;
+use aion_server::workers::WorkerSet;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one [`LogShipper`].
+#[derive(Clone, Debug)]
+pub struct ShipperConfig {
+    /// How often an idle worker re-checks the log head for new frames.
+    pub poll_interval: Duration,
+    /// How often an idle worker sends a heartbeat (lag report + liveness
+    /// probe: a vanished replica surfaces as the heartbeat write error).
+    pub heartbeat_interval: Duration,
+    /// Socket read/write timeout for replica connections.
+    pub io_timeout: Duration,
+}
+
+impl Default for ShipperConfig {
+    fn default() -> ShipperConfig {
+        ShipperConfig {
+            poll_interval: Duration::from_millis(5),
+            heartbeat_interval: Duration::from_millis(200),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Obs counters/gauges for the primary side of replication.
+struct ShipTelemetry {
+    frames_shipped: Arc<obs::Counter>,
+    frames_acked: Arc<obs::Counter>,
+    replicas: Arc<obs::Gauge>,
+    lag_bytes: Arc<obs::Gauge>,
+    min_watermark_ts: Arc<obs::Gauge>,
+}
+
+impl ShipTelemetry {
+    fn new() -> ShipTelemetry {
+        ShipTelemetry {
+            frames_shipped: obs::counter("server.repl.frames_shipped"),
+            frames_acked: obs::counter("server.repl.frames_acked"),
+            replicas: obs::gauge("server.repl.replicas"),
+            lag_bytes: obs::gauge("server.repl.lag_bytes"),
+            min_watermark_ts: obs::gauge("server.repl.min_watermark_ts"),
+        }
+    }
+}
+
+struct ShipperShared {
+    db: Arc<Aion>,
+    stop: AtomicBool,
+    workers: WorkerSet<TcpStream>,
+    /// Last acked watermark per live replica connection (worker id →
+    /// watermark); pruned when the connection ends. Metric cardinality
+    /// stays bounded by exposing only the *minimum* as a gauge and the
+    /// full map through [`LogShipper::replica_watermarks`].
+    acked: Mutex<HashMap<u64, Watermark>>,
+    cfg: ShipperConfig,
+    addr: SocketAddr,
+    tel: ShipTelemetry,
+}
+
+impl ShipperShared {
+    fn lock_acked(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Watermark>> {
+        match self.acked.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn record_ack(&self, worker: u64, wm: Watermark) {
+        let mut map = self.lock_acked();
+        map.insert(worker, wm);
+        let min_ts = map.values().map(|w| w.ts).min().unwrap_or(0);
+        self.tel
+            .min_watermark_ts
+            .set(i64::try_from(min_ts).unwrap_or(i64::MAX));
+    }
+
+    fn drop_replica(&self, worker: u64) {
+        let mut map = self.lock_acked();
+        map.remove(&worker);
+        let min_ts = map.values().map(|w| w.ts).min().unwrap_or(0);
+        self.tel
+            .min_watermark_ts
+            .set(i64::try_from(min_ts).unwrap_or(i64::MAX));
+    }
+}
+
+/// The primary-side replication endpoint.
+pub struct LogShipper {
+    shared: Arc<ShipperShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl LogShipper {
+    /// Starts shipping `db`'s commit log on an ephemeral localhost port.
+    pub fn start(db: Arc<Aion>, cfg: ShipperConfig) -> io::Result<LogShipper> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let tel = ShipTelemetry::new();
+        let workers = WorkerSet::new(tel.replicas.clone());
+        let shared = Arc::new(ShipperShared {
+            db,
+            stop: AtomicBool::new(false),
+            workers,
+            acked: Mutex::new(HashMap::new()),
+            cfg,
+            addr,
+            tel,
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(LogShipper {
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address replicas connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Live replica connections.
+    pub fn replica_count(&self) -> usize {
+        self.shared.workers.active()
+    }
+
+    /// Last durably-acked watermark of every live replica, keyed by an
+    /// opaque per-connection id.
+    pub fn replica_watermarks(&self) -> Vec<(u64, Watermark)> {
+        let mut v: Vec<(u64, Watermark)> = self
+            .shared
+            .lock_acked()
+            .iter()
+            .map(|(k, w)| (*k, *w))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Stops accepting, closes replica links, and joins every thread.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Wake the blocked accept loop (same trick as the query server).
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let (handles, _) = self.shared.workers.force_close_all();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LogShipper {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ShipperShared>) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let worker_conn = match stream.try_clone() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let (id, cancel) = shared.workers.register(worker_conn);
+        let worker_shared = shared.clone();
+        let handle = std::thread::spawn(move || {
+            let _ = serve_replica(stream, id, &worker_shared, &cancel);
+            worker_shared.drop_replica(id);
+            worker_shared.workers.finish(id);
+        });
+        shared.workers.set_handle(id, handle);
+    }
+}
+
+/// Handles one replica connection end to end; any error drops the link
+/// (the replica reconnects and resumes from its durable watermark).
+fn serve_replica(
+    mut stream: TcpStream,
+    worker_id: u64,
+    shared: &Arc<ShipperShared>,
+    cancel: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+    stream.set_write_timeout(Some(shared.cfg.io_timeout))?;
+    let stopped = || shared.stop.load(Ordering::Acquire) || cancel.load(Ordering::Acquire);
+
+    // Handshake: the replica says where to resume; we validate the
+    // offset by test-reading one frame there, falling back to a full
+    // resync from 0 (safe: replay is idempotent).
+    let mut reader = FrameReader::new();
+    let hello = loop {
+        if stopped() {
+            return Ok(());
+        }
+        match reader.poll(&mut stream)? {
+            Polled::Frame(payload) => break decode_msg(&payload)?,
+            Polled::Pending => {}
+            Polled::Eof => return Ok(()),
+        }
+    };
+    let ReplMsg::Hello { start_offset, .. } = hello else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected HELLO as first replication message",
+        ));
+    };
+    let log = shared.db.timestore().log();
+    let resume_offset = validate_resume(start_offset, log);
+    write_frame(
+        &mut stream,
+        &encode_msg(&ReplMsg::HelloAck {
+            resume_offset,
+            log_end: log.end_offset(),
+            latest_ts: shared.db.latest_ts(),
+        }),
+    )?;
+
+    // Ack reader: a separate thread on a socket clone, so acks drain
+    // even while this thread is blocked writing a large frame.
+    let ack_stream = stream.try_clone()?;
+    let ack_shared = shared.clone();
+    let ack_thread = std::thread::spawn(move || ack_loop(ack_stream, worker_id, &ack_shared));
+
+    let result = stream_frames(&mut stream, resume_offset, shared, &stopped);
+    // Unblock and reap the ack thread: shutting down the socket makes
+    // its reads fail fast.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = ack_thread.join();
+    result
+}
+
+/// Returns a safe offset to start streaming from: `requested` if a valid
+/// frame starts there, else 0 (full resync).
+fn validate_resume(requested: u64, log: &timestore::ChangeLog) -> u64 {
+    if requested == 0 {
+        return 0;
+    }
+    if requested > log.end_offset() {
+        return 0;
+    }
+    if requested == log.end_offset() {
+        // Exactly caught up: nothing to validate yet.
+        return requested;
+    }
+    match log.iter_from(requested).next() {
+        Some(Ok(_)) => requested,
+        _ => 0,
+    }
+}
+
+fn stream_frames(
+    stream: &mut TcpStream,
+    mut cursor: u64,
+    shared: &Arc<ShipperShared>,
+    stopped: &dyn Fn() -> bool,
+) -> io::Result<()> {
+    let mut last_heartbeat = Instant::now();
+    loop {
+        if stopped() {
+            return Ok(());
+        }
+        let log = shared.db.timestore().log();
+        let end = log.end_offset();
+        if cursor < end {
+            for entry in log.iter_from(cursor) {
+                if stopped() {
+                    return Ok(());
+                }
+                let entry = entry.map_err(|e| {
+                    // The primary's own log is corrupt past `cursor`:
+                    // nothing more can be shipped on this connection.
+                    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+                })?;
+                write_frame(
+                    stream,
+                    &encode_msg(&ReplMsg::Frame {
+                        offset: entry.offset,
+                        next_offset: entry.next,
+                        payload: entry.frame.encode(),
+                    }),
+                )?;
+                cursor = entry.next;
+                shared.tel.frames_shipped.inc();
+            }
+            shared
+                .tel
+                .lag_bytes
+                .set(i64::try_from(log.end_offset().saturating_sub(cursor)).unwrap_or(i64::MAX));
+            last_heartbeat = Instant::now();
+        } else {
+            shared.tel.lag_bytes.set(0);
+            if last_heartbeat.elapsed() >= shared.cfg.heartbeat_interval {
+                write_frame(
+                    stream,
+                    &encode_msg(&ReplMsg::Heartbeat {
+                        log_end: end,
+                        latest_ts: shared.db.latest_ts(),
+                    }),
+                )?;
+                last_heartbeat = Instant::now();
+            }
+            std::thread::sleep(shared.cfg.poll_interval);
+        }
+    }
+}
+
+/// Drains acks off a socket clone until the connection dies.
+fn ack_loop(mut stream: TcpStream, worker_id: u64, shared: &Arc<ShipperShared>) {
+    let mut reader = FrameReader::new();
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match reader.poll(&mut stream) {
+            Ok(Polled::Frame(payload)) => {
+                if let Ok(ReplMsg::Ack { offset, ts }) = decode_msg(&payload) {
+                    shared.tel.frames_acked.inc();
+                    shared.record_ack(worker_id, Watermark { offset, ts });
+                }
+            }
+            Ok(Polled::Pending) => {}
+            Ok(Polled::Eof) | Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The replica's replay watermark: `(log cursor, latest applied ts)`,
+//! persisted through the VFS seam so crash simulation covers it.
+//!
+//! Durability contract: the watermark is only written *after* the
+//! database it describes has fsynced ([`aion::Aion::sync`]), so it
+//! never claims more than the durable prefix. The record is a single
+//! 24-byte checksummed blob; a torn or corrupt file simply fails to
+//! load and the replica resyncs from offset 0 — which is safe because
+//! replay is idempotent (frames at or below the local latest timestamp
+//! are skipped) — so no corruption mode can invent progress.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use vfs::{fnv64, VfsRef};
+
+/// File name of the watermark record inside a replica's data directory.
+pub const WATERMARK_FILE: &str = "repl.watermark";
+
+/// A replica's durable replay position.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Watermark {
+    /// Byte offset into the primary's log of the next frame needed
+    /// (i.e. everything before this offset is applied and durable).
+    pub offset: u64,
+    /// Latest commit timestamp applied and durable locally.
+    pub ts: u64,
+}
+
+/// Persists and restores a [`Watermark`] at a fixed path.
+pub struct WatermarkStore {
+    vfs: VfsRef,
+    path: PathBuf,
+}
+
+impl WatermarkStore {
+    /// A store writing `dir/repl.watermark` through `vfs`.
+    pub fn new(vfs: VfsRef, dir: &Path) -> WatermarkStore {
+        WatermarkStore {
+            vfs,
+            path: dir.join(WATERMARK_FILE),
+        }
+    }
+
+    /// The backing file path (diagnostics, tests).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads the persisted watermark. `None` means "no usable record"
+    /// — absent, short, or corrupt — and the caller must resync from
+    /// offset 0. Corruption is deliberately indistinguishable from
+    /// absence: both answers are safe, and treating a torn record as an
+    /// error would wedge a replica that a full resync could heal.
+    pub fn load(&self) -> Option<Watermark> {
+        let bytes = self.vfs.read(&self.path).ok()?;
+        let record: &[u8; 24] = bytes.as_slice().try_into().ok()?;
+        let sum = u64::from_le_bytes([
+            record[16], record[17], record[18], record[19], record[20], record[21], record[22],
+            record[23],
+        ]);
+        if fnv64(&record[..16]) != sum {
+            return None;
+        }
+        Some(Watermark {
+            offset: u64::from_le_bytes([
+                record[0], record[1], record[2], record[3], record[4], record[5], record[6],
+                record[7],
+            ]),
+            ts: u64::from_le_bytes([
+                record[8], record[9], record[10], record[11], record[12], record[13], record[14],
+                record[15],
+            ]),
+        })
+    }
+
+    /// Durably replaces the watermark. Call only after the database
+    /// state it describes is itself durable.
+    pub fn store(&self, wm: Watermark) -> io::Result<()> {
+        let mut record = Vec::with_capacity(24);
+        record.extend_from_slice(&wm.offset.to_le_bytes());
+        record.extend_from_slice(&wm.ts.to_le_bytes());
+        record.extend_from_slice(&fnv64(&record[..16]).to_le_bytes());
+        let file = self.vfs.open(&self.path)?;
+        // A crash between these steps leaves a short or stale record;
+        // either fails `load` or describes an older durable prefix —
+        // both recoverable, never an overclaim.
+        file.set_len(0)?;
+        file.write_all_at(&record, 0)?;
+        file.sync_data()
+    }
+}

@@ -1,0 +1,205 @@
+//! Replication wire messages.
+//!
+//! All messages travel inside the server's checksummed frame envelope
+//! (`u32 len, u64 fnv64(payload), payload` — [`aion_server::protocol`]),
+//! so a flipped byte is a framing error, never a different valid
+//! message. On top of that, a [`ReplMsg::Frame`] carries a verbatim
+//! commit-log frame *payload* whose own integrity the replica re-checks
+//! by decoding it with [`timestore::CommitFrame::decode`] (length +
+//! checksum + structure), giving end-to-end protection from the
+//! primary's disk to the replica's apply path.
+//!
+//! ```text
+//! msg := 0x10 "HELLO"     u64 start_offset, u64 latest_ts
+//!      | 0x11 "HELLO_ACK" u64 resume_offset, u64 log_end, u64 latest_ts
+//!      | 0x12 "FRAME"     u64 offset, u64 next_offset,
+//!                         u32 plen, payload (a CommitFrame encoding)
+//!      | 0x13 "ACK"       u64 offset, u64 ts
+//!      | 0x14 "HEARTBEAT" u64 log_end, u64 latest_ts
+//! ```
+
+use std::io;
+
+/// One replication protocol message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReplMsg {
+    /// Replica → primary, once per connection: where to resume.
+    Hello {
+        /// First log offset the replica still needs (its watermark's
+        /// `next` offset; `0` for a fresh replica).
+        start_offset: u64,
+        /// The replica's latest applied commit timestamp (diagnostics;
+        /// the primary does not trust it for anything).
+        latest_ts: u64,
+    },
+    /// Primary → replica, answering [`ReplMsg::Hello`].
+    HelloAck {
+        /// The offset streaming will actually start from. Usually the
+        /// requested one; `0` if the request was unusable (past the end
+        /// or not a frame boundary), forcing a full resync — which is
+        /// safe because replay is idempotent.
+        resume_offset: u64,
+        /// The primary's current log end offset.
+        log_end: u64,
+        /// The primary's latest committed timestamp.
+        latest_ts: u64,
+    },
+    /// Primary → replica: one commit-log frame.
+    Frame {
+        /// Byte offset of this frame in the primary's log.
+        offset: u64,
+        /// Byte offset of the next frame (the replica's new cursor).
+        next_offset: u64,
+        /// The frame's `CommitFrame::encode()` bytes, shipped verbatim.
+        payload: Vec<u8>,
+    },
+    /// Replica → primary: everything up to `offset` is applied *and
+    /// durable* on the replica (synced, watermark persisted).
+    Ack {
+        /// The replica's durable log cursor (a `next_offset` it reached).
+        offset: u64,
+        /// The replica's durable latest commit timestamp.
+        ts: u64,
+    },
+    /// Primary → replica, when the log is idle: proof of liveness plus
+    /// the current log head, so the replica can measure its lag and
+    /// flush a pending batch.
+    Heartbeat {
+        /// The primary's current log end offset.
+        log_end: u64,
+        /// The primary's latest committed timestamp.
+        latest_ts: u64,
+    },
+}
+
+const TAG_HELLO: u8 = 0x10;
+const TAG_HELLO_ACK: u8 = 0x11;
+const TAG_FRAME: u8 = 0x12;
+const TAG_ACK: u8 = 0x13;
+const TAG_HEARTBEAT: u8 = 0x14;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let bytes: [u8; 8] = buf
+        .get(*pos..*pos + 8)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated u64"))?;
+    *pos += 8;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize) -> io::Result<u32> {
+    let bytes: [u8; 4] = buf
+        .get(*pos..*pos + 4)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated u32"))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+/// Serializes one message.
+pub fn encode_msg(msg: &ReplMsg) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        ReplMsg::Hello {
+            start_offset,
+            latest_ts,
+        } => {
+            out.push(TAG_HELLO);
+            put_u64(&mut out, *start_offset);
+            put_u64(&mut out, *latest_ts);
+        }
+        ReplMsg::HelloAck {
+            resume_offset,
+            log_end,
+            latest_ts,
+        } => {
+            out.push(TAG_HELLO_ACK);
+            put_u64(&mut out, *resume_offset);
+            put_u64(&mut out, *log_end);
+            put_u64(&mut out, *latest_ts);
+        }
+        ReplMsg::Frame {
+            offset,
+            next_offset,
+            payload,
+        } => {
+            out.push(TAG_FRAME);
+            put_u64(&mut out, *offset);
+            put_u64(&mut out, *next_offset);
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        ReplMsg::Ack { offset, ts } => {
+            out.push(TAG_ACK);
+            put_u64(&mut out, *offset);
+            put_u64(&mut out, *ts);
+        }
+        ReplMsg::Heartbeat { log_end, latest_ts } => {
+            out.push(TAG_HEARTBEAT);
+            put_u64(&mut out, *log_end);
+            put_u64(&mut out, *latest_ts);
+        }
+    }
+    out
+}
+
+/// Deserializes one message; trailing bytes are a protocol error (they
+/// would mean the sender and receiver disagree on the message layout).
+pub fn decode_msg(buf: &[u8]) -> io::Result<ReplMsg> {
+    let mut pos = 0usize;
+    let tag = *buf
+        .first()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty repl message"))?;
+    pos += 1;
+    let msg = match tag {
+        TAG_HELLO => ReplMsg::Hello {
+            start_offset: get_u64(buf, &mut pos)?,
+            latest_ts: get_u64(buf, &mut pos)?,
+        },
+        TAG_HELLO_ACK => ReplMsg::HelloAck {
+            resume_offset: get_u64(buf, &mut pos)?,
+            log_end: get_u64(buf, &mut pos)?,
+            latest_ts: get_u64(buf, &mut pos)?,
+        },
+        TAG_FRAME => {
+            let offset = get_u64(buf, &mut pos)?;
+            let next_offset = get_u64(buf, &mut pos)?;
+            let plen = get_u32(buf, &mut pos)? as usize;
+            let payload = buf
+                .get(pos..pos + plen)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated payload"))?
+                .to_vec();
+            pos += plen;
+            ReplMsg::Frame {
+                offset,
+                next_offset,
+                payload,
+            }
+        }
+        TAG_ACK => ReplMsg::Ack {
+            offset: get_u64(buf, &mut pos)?,
+            ts: get_u64(buf, &mut pos)?,
+        },
+        TAG_HEARTBEAT => ReplMsg::Heartbeat {
+            log_end: get_u64(buf, &mut pos)?,
+            latest_ts: get_u64(buf, &mut pos)?,
+        },
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown repl message tag {other:#04x}"),
+            ))
+        }
+    };
+    if pos != buf.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after repl message",
+        ));
+    }
+    Ok(msg)
+}

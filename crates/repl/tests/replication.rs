@@ -1,0 +1,221 @@
+//! End-to-end replication basics: a primary ships its commit log, a
+//! replica replays it, watermarks advance durably, reads obey the
+//! staleness gate, and the routed client sees its own writes.
+
+use aion::{Aion, AionConfig, CheckLevel};
+use aion_server::{ClientConfig, RoutedClient, ServedBy, Server, ServerConfig};
+use lpg::{NodeId, PropertyValue};
+use repl::{LogShipper, Replayer, ReplayerConfig, ShipperConfig};
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tempfile::tempdir;
+
+/// Polls `cond` for up to `secs` seconds.
+fn wait_for(secs: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+fn open_db(path: &std::path::Path) -> Arc<Aion> {
+    Arc::new(Aion::open(AionConfig::new(path)).unwrap())
+}
+
+fn add_node(db: &Aion, id: u64) -> u64 {
+    db.write(|tx| {
+        tx.add_node(
+            NodeId::new(id),
+            vec![],
+            vec![(db.intern("v"), PropertyValue::Int(id as i64))],
+        )
+    })
+    .unwrap()
+}
+
+#[test]
+fn replica_converges_and_resumes_after_restart() {
+    let pdir = tempdir().unwrap();
+    let rdir = tempdir().unwrap();
+    let primary = open_db(pdir.path());
+    let replica = open_db(rdir.path());
+
+    for i in 1..=20 {
+        add_node(&primary, i);
+    }
+    let mut shipper = LogShipper::start(primary.clone(), ShipperConfig::default()).unwrap();
+    let mut cfg = ReplayerConfig::new(shipper.addr(), rdir.path());
+    cfg.sync_every = 4;
+    let replayer = Replayer::start(replica.clone(), cfg.clone());
+
+    // Catch-up: everything written before the replica connected arrives.
+    assert!(
+        wait_for(10, || replica.latest_ts() == primary.latest_ts()),
+        "replica never caught up: {} vs {} (last error: {:?})",
+        replica.latest_ts(),
+        primary.latest_ts(),
+        replayer.last_error(),
+    );
+    // Live tail: new commits stream through.
+    for i in 21..=40 {
+        add_node(&primary, i);
+    }
+    assert!(wait_for(10, || replica.latest_ts() == primary.latest_ts()));
+    let g = replica.latest_graph();
+    for i in 1..=40 {
+        assert!(g.node(NodeId::new(i)).is_some(), "node {i} missing");
+    }
+    // The watermark converges to the primary's ts (heartbeat flushes the
+    // partial batch) and never exceeds it.
+    assert!(wait_for(10, || replayer.watermark().ts == primary.latest_ts()));
+    let wm = replayer.watermark();
+    assert!(wm.offset > 0);
+
+    // The primary saw the replica's acked watermark.
+    assert!(wait_for(10, || {
+        shipper
+            .replica_watermarks()
+            .iter()
+            .any(|(_, w)| w.ts == primary.latest_ts())
+    }));
+
+    // Restart the replayer: it must resume from the durable watermark,
+    // not refetch history into double-apply (latest_ts can't regress and
+    // fsck stays clean).
+    drop(replayer);
+    for i in 41..=50 {
+        add_node(&primary, i);
+    }
+    let replayer2 = Replayer::start(replica.clone(), cfg);
+    assert!(
+        wait_for(10, || replica.latest_ts() == primary.latest_ts()),
+        "replica did not resume: last error {:?}",
+        replayer2.last_error()
+    );
+    let g = replica.latest_graph();
+    assert!(g.node(NodeId::new(50)).is_some());
+
+    let report = replica.check_consistency(CheckLevel::Full).unwrap();
+    assert!(report.is_clean(), "replica fsck dirty: {report:?}");
+    drop(replayer2);
+    shipper.shutdown();
+}
+
+#[test]
+fn read_only_replica_rejects_writes_and_stale_reads() {
+    let pdir = tempdir().unwrap();
+    let rdir = tempdir().unwrap();
+    let primary = open_db(pdir.path());
+    let replica = open_db(rdir.path());
+
+    let mut shipper = LogShipper::start(primary.clone(), ShipperConfig::default()).unwrap();
+    let replayer = Replayer::start(
+        replica.clone(),
+        ReplayerConfig::new(shipper.addr(), rdir.path()),
+    );
+
+    let mut replica_srv = Server::start_with(
+        replica.clone(),
+        ServerConfig {
+            read_only: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = aion_server::Client::connect(replica_srv.addr()).unwrap();
+
+    // Writes are refused with the typed ReadOnlyReplica error.
+    let err = client
+        .run("CREATE (n {_id: 1})", vec![])
+        .expect_err("write must be refused on a read-only replica");
+    assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+
+    // A read demanding a watermark from the future is refused as stale.
+    let far_future = primary.latest_ts() + 1_000;
+    let err = client
+        .run_with_watermark("MATCH (n) WHERE id(n) = 1 RETURN n", vec![], far_future)
+        .expect_err("stale replica must refuse");
+    assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+
+    // Once replication delivers the commit, the same floor succeeds.
+    let ts = add_node(&primary, 7);
+    assert!(wait_for(10, || replica.latest_ts() >= ts));
+    let (result, watermark) = client
+        .run_with_watermark("MATCH (n) WHERE id(n) = 7 RETURN n", vec![], ts)
+        .unwrap();
+    assert_eq!(result.rows.len(), 1);
+    assert!(watermark >= ts);
+
+    replica_srv.shutdown();
+    drop(replayer);
+    shipper.shutdown();
+}
+
+#[test]
+fn routed_client_reads_its_own_writes_from_replicas() {
+    let pdir = tempdir().unwrap();
+    let rdir = tempdir().unwrap();
+    let primary = open_db(pdir.path());
+    let replica = open_db(rdir.path());
+
+    let mut shipper = LogShipper::start(primary.clone(), ShipperConfig::default()).unwrap();
+    let replayer = Replayer::start(
+        replica.clone(),
+        ReplayerConfig::new(shipper.addr(), rdir.path()),
+    );
+    let mut primary_srv = Server::start(primary.clone()).unwrap();
+    let mut replica_srv = Server::start_with(
+        replica.clone(),
+        ServerConfig {
+            read_only: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut router = RoutedClient::new(
+        primary_srv.addr(),
+        vec![replica_srv.addr()],
+        ClientConfig::default(),
+    );
+    for i in 1..=10 {
+        // Write goes to the primary...
+        let (_, served) = router
+            .run_traced(&format!("CREATE (n {{_id: {i}, v: {i}}})"), vec![])
+            .unwrap();
+        assert_eq!(served, ServedBy::Primary, "writes must hit the primary");
+        // ...and the immediately following read must see it, wherever it
+        // lands: the session watermark forces replicas to be caught up
+        // or refuse (falling back to the primary).
+        let (result, _) = router
+            .run_traced(&format!("MATCH (n) WHERE id(n) = {i} RETURN n"), vec![])
+            .unwrap();
+        assert_eq!(result.rows.len(), 1, "read-your-writes violated for {i}");
+    }
+    // The session watermark tracked the primary's commits.
+    assert_eq!(router.session_watermark(), primary.latest_ts());
+
+    // With a caught-up replica, reads are eventually served by it.
+    assert!(wait_for(10, || replica.latest_ts() == primary.latest_ts()));
+    let mut replica_served = false;
+    for _ in 0..5 {
+        let (_, served) = router
+            .run_traced("MATCH (n) WHERE id(n) = 1 RETURN n", vec![])
+            .unwrap();
+        if served == ServedBy::Replica(0) {
+            replica_served = true;
+            break;
+        }
+    }
+    assert!(replica_served, "replica never served a caught-up read");
+
+    primary_srv.shutdown();
+    replica_srv.shutdown();
+    drop(replayer);
+    shipper.shutdown();
+}

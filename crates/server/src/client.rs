@@ -179,11 +179,28 @@ impl Client {
     /// whose kind mirrors the wire error code (`TimedOut`,
     /// `ResourceBusy`, `ConnectionAborted`, …).
     pub fn run(&mut self, query: &str, params: Vec<(String, Value)>) -> io::Result<QueryResult> {
+        self.run_with_watermark(query, params, 0).map(|(r, _)| r)
+    }
+
+    /// Like [`run`], but requires the serving node to have replayed at
+    /// least `min_watermark` (bounded staleness / read-your-writes) and
+    /// returns the node's watermark alongside the result. A node behind
+    /// the floor refuses with [`io::ErrorKind::WouldBlock`]
+    /// (`StaleReplica`) instead of answering from old state.
+    ///
+    /// [`run`]: Client::run
+    pub fn run_with_watermark(
+        &mut self,
+        query: &str,
+        params: Vec<(String, Value)>,
+        min_watermark: u64,
+    ) -> io::Result<(QueryResult, u64)> {
         match self.call(&Request::Run {
             query: query.to_string(),
             params,
+            min_watermark,
         })? {
-            Response::Ok(result) => Ok(result),
+            Response::Ok { result, watermark } => Ok((result, watermark)),
             Response::Err(e) => Err(e.into_io()),
             other => Err(unexpected_response(&other)),
         }
@@ -192,7 +209,7 @@ impl Client {
     /// Liveness check.
     pub fn ping(&mut self) -> io::Result<()> {
         match self.call(&Request::Ping)? {
-            Response::Ok(_) => Ok(()),
+            Response::Ok { .. } => Ok(()),
             Response::Err(e) => Err(e.into_io()),
             other => Err(unexpected_response(&other)),
         }
@@ -216,13 +233,22 @@ impl Client {
 
 /// True when replaying `req` after a lost acknowledgement cannot change
 /// database state a second time.
-fn request_is_idempotent(req: &Request) -> bool {
+pub(crate) fn request_is_idempotent(req: &Request) -> bool {
     match req {
         Request::Ping | Request::Metrics | Request::Shutdown => true,
-        Request::Run { query, .. } => query::parse(query)
-            .map(|q| query::is_read_only(&q))
-            .unwrap_or(false),
+        Request::Run { query, .. } => query_is_read_only(query),
     }
+}
+
+/// Whether `query` parses as a read-only statement. Unparseable text is
+/// conservatively treated as a write (never retried, never routed to a
+/// replica). Routing classifies each query exactly once with this and
+/// threads the answer through retries/failover, so obs counters are not
+/// double-counted when a replica-served read falls back to the primary.
+pub(crate) fn query_is_read_only(query: &str) -> bool {
+    query::parse(query)
+        .map(|q| query::is_read_only(&q))
+        .unwrap_or(false)
 }
 
 /// Socket timeouts surface as `WouldBlock` on most platforms; present
@@ -254,6 +280,7 @@ mod tests {
         let read = Request::Run {
             query: "MATCH (n) WHERE id(n) = 1 RETURN n".into(),
             params: vec![],
+            min_watermark: 0,
         };
         assert!(request_is_idempotent(&read));
         for write in [
@@ -265,6 +292,7 @@ mod tests {
                 !request_is_idempotent(&Request::Run {
                     query: write.into(),
                     params: vec![],
+                    min_watermark: 0,
                 }),
                 "{write} must not be retried"
             );
@@ -273,6 +301,7 @@ mod tests {
         assert!(!request_is_idempotent(&Request::Run {
             query: "NOT CYPHER".into(),
             params: vec![],
+            min_watermark: 0,
         }));
     }
 }

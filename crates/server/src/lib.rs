@@ -15,6 +15,10 @@
 //!   benchmark client thread owns one connection, like the paper's 32
 //!   pinned client threads), with timeouts, reconnects, and
 //!   idempotency-gated retries;
+//! * [`routing`] — a replica-aware client routing reads to read
+//!   replicas with read-your-writes watermark floors, falling back to
+//!   the primary for writes and stale/unreachable replicas (DESIGN.md
+//!   §13);
 //! * [`chaos`] — a seeded fault-injecting TCP proxy for soak-testing the
 //!   stack under deliberately degraded networks (DESIGN.md §11).
 
@@ -22,9 +26,11 @@ pub mod chaos;
 pub mod client;
 pub mod protocol;
 mod rng;
+pub mod routing;
 pub mod server;
 pub mod workers;
 
 pub use chaos::{ChaosConfig, ChaosProxy};
 pub use client::{Client, ClientConfig};
+pub use routing::{RoutedClient, ServedBy};
 pub use server::{Server, ServerConfig, ServerStats};

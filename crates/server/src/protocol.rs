@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! frame    := u32 payload_len, u64 fnv64(payload), payload
-//! request  := 0x01 "RUN"  u16 qlen, query, u16 nparams, nparams × param
+//! request  := 0x01 "RUN"  u16 qlen, query, u16 nparams, nparams × param,
+//!                         u64 min_watermark
 //!           | 0x02 "PING"
 //!           | 0x03 "SHUTDOWN"
 //!           | 0x04 "METRICS"
 //! param    := u16 klen, key, value
-//! response := 0x00 "OK"   u16 ncols, ncols × str, u32 nrows, rows × row
+//! response := 0x00 "OK"   u16 ncols, ncols × str, u32 nrows, rows × row,
+//!                         u64 watermark
 //!           | 0x01 "ERR"  u8 code, str
 //!           | 0x02 "METRICS" u32 nctr, nctr × (str, u64),
 //!                            u32 ngauge, ngauge × (str, i64),
@@ -29,6 +31,11 @@ pub enum Request {
         query: String,
         /// `$name` parameter bindings.
         params: Vec<(String, Value)>,
+        /// Bounded-staleness floor: the serving node must have replayed
+        /// at least this commit timestamp or refuse with
+        /// [`ErrorCode::StaleReplica`]. `0` means "any state is fine"
+        /// and is always satisfiable (the primary is never stale).
+        min_watermark: u64,
     },
     /// Liveness check.
     Ping,
@@ -55,6 +62,13 @@ pub enum ErrorCode {
     /// The server is draining; the request was refused (or aborted)
     /// because of shutdown, not because of its content.
     ShuttingDown = 3,
+    /// A replica's replay watermark is behind the request's
+    /// `min_watermark`; the read was refused without executing. Safe to
+    /// retry elsewhere (another replica, or the primary).
+    StaleReplica = 4,
+    /// A write (or other non-read request) reached a read-only replica;
+    /// it was refused without executing. Route it to the primary.
+    ReadOnlyReplica = 5,
 }
 
 impl ErrorCode {
@@ -63,6 +77,8 @@ impl ErrorCode {
             1 => ErrorCode::Timeout,
             2 => ErrorCode::Overloaded,
             3 => ErrorCode::ShuttingDown,
+            4 => ErrorCode::StaleReplica,
+            5 => ErrorCode::ReadOnlyReplica,
             _ => ErrorCode::Generic,
         }
     }
@@ -101,6 +117,8 @@ impl WireError {
             ErrorCode::Timeout => io::ErrorKind::TimedOut,
             ErrorCode::Overloaded => io::ErrorKind::ResourceBusy,
             ErrorCode::ShuttingDown => io::ErrorKind::ConnectionAborted,
+            ErrorCode::StaleReplica => io::ErrorKind::WouldBlock,
+            ErrorCode::ReadOnlyReplica => io::ErrorKind::PermissionDenied,
         };
         io::Error::new(kind, self.message)
     }
@@ -109,8 +127,17 @@ impl WireError {
 /// Response messages.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Response {
-    /// Successful query result.
-    Ok(QueryResult),
+    /// Successful query result, tagged with the serving node's replay
+    /// watermark (latest committed timestamp visible to the query). On
+    /// the primary this is simply the latest commit; on a replica it is
+    /// how far replay has progressed, letting clients chain
+    /// read-your-writes via `min_watermark`.
+    Ok {
+        /// The query result rows.
+        result: QueryResult,
+        /// Latest commit timestamp applied on the serving node.
+        watermark: u64,
+    },
     /// Typed failure.
     Err(WireError),
     /// Metrics snapshot (reply to [`Request::Metrics`]).
@@ -349,7 +376,11 @@ pub fn read_value(buf: &[u8], pos: &mut usize) -> io::Result<Value> {
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::new();
     match req {
-        Request::Run { query, params } => {
+        Request::Run {
+            query,
+            params,
+            min_watermark,
+        } => {
             out.push(0x01);
             write_str(&mut out, query);
             out.extend_from_slice(&(params.len() as u16).to_le_bytes());
@@ -357,6 +388,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 write_str(&mut out, k);
                 write_value(&mut out, v);
             }
+            out.extend_from_slice(&min_watermark.to_le_bytes());
         }
         Request::Ping => out.push(0x02),
         Request::Shutdown => out.push(0x03),
@@ -378,7 +410,12 @@ pub fn decode_request(buf: &[u8]) -> io::Result<Request> {
                 let k = read_str(buf, &mut pos)?;
                 params.push((k, read_value(buf, &mut pos)?));
             }
-            Request::Run { query, params }
+            let min_watermark = read_u64(buf, &mut pos)?;
+            Request::Run {
+                query,
+                params,
+                min_watermark,
+            }
         }
         0x02 => Request::Ping,
         0x03 => Request::Shutdown,
@@ -396,7 +433,7 @@ pub fn decode_request(buf: &[u8]) -> io::Result<Request> {
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::new();
     match resp {
-        Response::Ok(result) => {
+        Response::Ok { result, watermark } => {
             out.push(0x00);
             out.extend_from_slice(&(result.columns.len() as u16).to_le_bytes());
             for c in &result.columns {
@@ -408,6 +445,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     write_value(&mut out, v);
                 }
             }
+            out.extend_from_slice(&watermark.to_le_bytes());
         }
         Response::Err(err) => {
             out.push(0x01);
@@ -465,7 +503,11 @@ pub fn decode_response(buf: &[u8]) -> io::Result<Response> {
                 }
                 rows.push(row);
             }
-            Ok(Response::Ok(QueryResult { columns, rows }))
+            let watermark = read_u64(buf, &mut pos)?;
+            Ok(Response::Ok {
+                result: QueryResult { columns, rows },
+                watermark,
+            })
         }
         0x01 => {
             let code = ErrorCode::from_u8(read_u8(buf, &mut pos)?);
@@ -600,6 +642,7 @@ mod tests {
         let req = Request::Run {
             query: "MATCH (n) WHERE id(n) = $id RETURN n".into(),
             params: vec![("id".into(), Value::Int(42))],
+            min_watermark: 9_001,
         };
         let back = decode_request(&encode_request(&req)).unwrap();
         assert_eq!(back, req);
@@ -615,7 +658,7 @@ mod tests {
 
     #[test]
     fn response_roundtrip_with_entities() {
-        let resp = Response::Ok(QueryResult {
+        let result = QueryResult {
             columns: vec!["n".into(), "r".into()],
             rows: vec![vec![
                 Value::Node {
@@ -636,7 +679,11 @@ mod tests {
                     valid: None,
                 },
             ]],
-        });
+        };
+        let resp = Response::Ok {
+            result,
+            watermark: 17,
+        };
         let back = decode_response(&encode_response(&resp)).unwrap();
         assert_eq!(back, resp);
     }
@@ -678,6 +725,8 @@ mod tests {
             (ErrorCode::Timeout, io::ErrorKind::TimedOut),
             (ErrorCode::Overloaded, io::ErrorKind::ResourceBusy),
             (ErrorCode::ShuttingDown, io::ErrorKind::ConnectionAborted),
+            (ErrorCode::StaleReplica, io::ErrorKind::WouldBlock),
+            (ErrorCode::ReadOnlyReplica, io::ErrorKind::PermissionDenied),
         ] {
             let resp = Response::Err(WireError::new(code, "m"));
             let back = decode_response(&encode_response(&resp)).unwrap();

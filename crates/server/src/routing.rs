@@ -1,0 +1,250 @@
+//! Replica-aware request routing: reads fan out to read replicas,
+//! writes (and reads no replica can satisfy) go to the primary.
+//!
+//! Routing model (DESIGN.md §13):
+//!
+//! * **Classification once.** Each query is parsed exactly once per
+//!   logical call ([`crate::client::query_is_read_only`]); the answer
+//!   drives both the routing decision and the retry gate, and obs
+//!   counters are bumped once per logical call — a replica-served read
+//!   that fails over to the primary is **one** read, not two.
+//! * **Read-your-writes.** The router remembers the highest watermark
+//!   any response carried (every write ack includes the primary's
+//!   watermark). Replica reads demand `min_watermark =` that session
+//!   watermark; a replica still catching up refuses with a typed
+//!   `StaleReplica` error and the router falls over — first to the next
+//!   replica, finally to the primary, which is never stale.
+//! * **Graceful degradation.** Transport errors mark a replica down for
+//!   a cooldown window instead of removing it; with every replica down
+//!   or stale, reads degrade to primary-only service.
+
+use crate::client::{query_is_read_only, Client, ClientConfig};
+use query::{QueryResult, Value};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a replica sits out after a transport failure before the
+/// router offers it reads again.
+const REPLICA_COOLDOWN: Duration = Duration::from_secs(1);
+
+/// Where a logical call was ultimately served.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServedBy {
+    /// The primary answered.
+    Primary,
+    /// Read replica `index` (into the configured replica list) answered.
+    Replica(usize),
+}
+
+/// A client that routes between one primary and N read replicas.
+pub struct RoutedClient {
+    primary_addr: SocketAddr,
+    primary: Option<Client>,
+    replicas: Vec<ReplicaSlot>,
+    cfg: ClientConfig,
+    /// Round-robin cursor over replicas.
+    next_replica: usize,
+    /// Highest watermark observed in any response: the read-your-writes
+    /// floor for subsequent replica reads.
+    session_watermark: u64,
+    tel: RouteTelemetry,
+}
+
+struct ReplicaSlot {
+    addr: SocketAddr,
+    client: Option<Client>,
+    down_until: Option<Instant>,
+}
+
+/// Obs counters for routing decisions, bumped once per logical call.
+struct RouteTelemetry {
+    replica_reads: Arc<obs::Counter>,
+    primary_reads: Arc<obs::Counter>,
+    primary_writes: Arc<obs::Counter>,
+    failovers: Arc<obs::Counter>,
+    stale_rejects: Arc<obs::Counter>,
+}
+
+impl RouteTelemetry {
+    fn new() -> RouteTelemetry {
+        RouteTelemetry {
+            replica_reads: obs::counter("client.route.replica_reads"),
+            primary_reads: obs::counter("client.route.primary_reads"),
+            primary_writes: obs::counter("client.route.primary_writes"),
+            failovers: obs::counter("client.route.failovers"),
+            stale_rejects: obs::counter("client.route.stale_rejects"),
+        }
+    }
+}
+
+impl RoutedClient {
+    /// Creates a router over `primary` and `replicas`. Connections are
+    /// established lazily, so unreachable replicas cost nothing until a
+    /// read tries them.
+    pub fn new(primary: SocketAddr, replicas: Vec<SocketAddr>, cfg: ClientConfig) -> RoutedClient {
+        RoutedClient {
+            primary_addr: primary,
+            primary: None,
+            replicas: replicas
+                .into_iter()
+                .map(|addr| ReplicaSlot {
+                    addr,
+                    client: None,
+                    down_until: None,
+                })
+                .collect(),
+            cfg,
+            next_replica: 0,
+            session_watermark: 0,
+            tel: RouteTelemetry::new(),
+        }
+    }
+
+    /// The current read-your-writes floor: the highest watermark any
+    /// response has carried in this session.
+    pub fn session_watermark(&self) -> u64 {
+        self.session_watermark
+    }
+
+    /// Executes `query`, routing by read/write classification, and
+    /// reports which node served it (tests, diagnostics).
+    pub fn run_traced(
+        &mut self,
+        query: &str,
+        params: Vec<(String, Value)>,
+    ) -> io::Result<(QueryResult, ServedBy)> {
+        // Classified once; threaded through retries and failover so the
+        // routing counters below fire once per *logical* call.
+        let read_only = query_is_read_only(query);
+        if !read_only {
+            let result = self.run_on_primary(query, params);
+            if result.is_ok() {
+                self.tel.primary_writes.inc();
+            }
+            return result.map(|r| (r, ServedBy::Primary));
+        }
+        let mut failed_over = false;
+        for _ in 0..self.replicas.len() {
+            let idx = self.next_replica % self.replicas.len();
+            self.next_replica = self.next_replica.wrapping_add(1);
+            match self.try_replica(idx, query, &params) {
+                ReplicaOutcome::Served(result, watermark) => {
+                    self.observe_watermark(watermark);
+                    self.tel.replica_reads.inc();
+                    if failed_over {
+                        self.tel.failovers.inc();
+                    }
+                    return Ok((result, ServedBy::Replica(idx)));
+                }
+                ReplicaOutcome::Stale => {
+                    self.tel.stale_rejects.inc();
+                    failed_over = true;
+                }
+                ReplicaOutcome::Unavailable => {
+                    failed_over = true;
+                }
+                ReplicaOutcome::Fatal(e) => return Err(e),
+            }
+        }
+        // Every replica was down or stale: the primary is authoritative
+        // and by definition satisfies any watermark it ever issued.
+        let result = self.run_on_primary(query, params)?;
+        self.tel.primary_reads.inc();
+        if failed_over {
+            self.tel.failovers.inc();
+        }
+        Ok((result, ServedBy::Primary))
+    }
+
+    /// Executes `query`: reads fan to replicas (with read-your-writes),
+    /// writes and unserveable reads go to the primary.
+    pub fn run(&mut self, query: &str, params: Vec<(String, Value)>) -> io::Result<QueryResult> {
+        self.run_traced(query, params).map(|(r, _)| r)
+    }
+
+    fn observe_watermark(&mut self, watermark: u64) {
+        self.session_watermark = self.session_watermark.max(watermark);
+    }
+
+    fn run_on_primary(
+        &mut self,
+        query: &str,
+        params: Vec<(String, Value)>,
+    ) -> io::Result<QueryResult> {
+        if self.primary.is_none() {
+            self.primary = Some(Client::connect_with(self.primary_addr, self.cfg.clone())?);
+        }
+        let client = match self.primary.as_mut() {
+            Some(c) => c,
+            // Unreachable: populated just above.
+            None => return Err(io::Error::other("primary connection unavailable")),
+        };
+        // min_watermark 0: the primary owns the log head and cannot be
+        // stale relative to anything it acknowledged.
+        match client.run_with_watermark(query, params, 0) {
+            Ok((result, watermark)) => {
+                self.observe_watermark(watermark);
+                Ok(result)
+            }
+            Err(e) => {
+                self.primary = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_replica(
+        &mut self,
+        idx: usize,
+        query: &str,
+        params: &[(String, Value)],
+    ) -> ReplicaOutcome {
+        let min_watermark = self.session_watermark;
+        let cfg = self.cfg.clone();
+        let slot = &mut self.replicas[idx];
+        if let Some(until) = slot.down_until {
+            if Instant::now() < until {
+                return ReplicaOutcome::Unavailable;
+            }
+            slot.down_until = None;
+        }
+        if slot.client.is_none() {
+            match Client::connect_with(slot.addr, cfg) {
+                Ok(c) => slot.client = Some(c),
+                Err(_) => {
+                    slot.down_until = Some(Instant::now() + REPLICA_COOLDOWN);
+                    return ReplicaOutcome::Unavailable;
+                }
+            }
+        }
+        let client = match slot.client.as_mut() {
+            Some(c) => c,
+            // Unreachable: populated just above.
+            None => return ReplicaOutcome::Unavailable,
+        };
+        match client.run_with_watermark(query, params.to_vec(), min_watermark) {
+            Ok((result, watermark)) => ReplicaOutcome::Served(result, watermark),
+            // StaleReplica surfaces as WouldBlock: the replica is healthy
+            // but behind; don't cool it down, just go elsewhere this call.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => ReplicaOutcome::Stale,
+            // A replica refusing reads as "read only" means the query
+            // classifier and the server disagree; treat as fatal so the
+            // mismatch is visible instead of silently retried forever.
+            Err(e) if e.kind() == io::ErrorKind::PermissionDenied => ReplicaOutcome::Fatal(e),
+            Err(_) => {
+                slot.client = None;
+                slot.down_until = Some(Instant::now() + REPLICA_COOLDOWN);
+                ReplicaOutcome::Unavailable
+            }
+        }
+    }
+}
+
+enum ReplicaOutcome {
+    Served(QueryResult, u64),
+    Stale,
+    Unavailable,
+    Fatal(io::Error),
+}

@@ -59,6 +59,10 @@ pub struct ServerConfig {
     /// Slow-query log lines allowed per second (0 disables the log);
     /// excess lines are counted in `server.slow_log_dropped`.
     pub slow_log_per_sec: u32,
+    /// Serve reads only: mutating `Run`s are refused with a typed
+    /// `ReadOnlyReplica` error. Set on replication replicas, whose
+    /// database state is owned by the replayer, not by clients.
+    pub read_only: bool,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +73,7 @@ impl Default for ServerConfig {
             request_deadline: Duration::from_secs(30),
             drain_deadline: Duration::from_secs(5),
             slow_log_per_sec: 5,
+            read_only: false,
         }
     }
 }
@@ -131,6 +136,8 @@ struct Telemetry {
     deadline_aborts: Arc<obs::Counter>,
     slow_log_dropped: Arc<obs::Counter>,
     active_connections: Arc<obs::Gauge>,
+    stale_rejects: Arc<obs::Counter>,
+    read_only_rejects: Arc<obs::Counter>,
 }
 
 impl Telemetry {
@@ -149,7 +156,17 @@ impl Telemetry {
             deadline_aborts: obs::counter("server.deadline_aborts"),
             slow_log_dropped: obs::counter("server.slow_log_dropped"),
             active_connections: obs::gauge("server.active_connections"),
+            stale_rejects: obs::counter("server.repl.stale_rejects"),
+            read_only_rejects: obs::counter("server.repl.read_only_rejects"),
         }
+    }
+
+    fn stale_reject(&self) {
+        self.stale_rejects.inc();
+    }
+
+    fn read_only_reject(&self) {
+        self.read_only_rejects.inc();
     }
 
     fn shed(&self) {
@@ -533,10 +550,13 @@ fn handle_connection(
         let started = Instant::now();
         let response = match decode_request(&frame) {
             Ok(Request::Ping) => {
-                let r = Response::Ok(query::QueryResult {
-                    columns: vec!["pong".into()],
-                    rows: vec![],
-                });
+                let r = Response::Ok {
+                    result: query::QueryResult {
+                        columns: vec!["pong".into()],
+                        rows: vec![],
+                    },
+                    watermark: shared.db.latest_ts(),
+                };
                 shared.tel.ping_latency.record(elapsed_ns(started));
                 r
             }
@@ -549,10 +569,13 @@ fn handle_connection(
                 shared.stop.store(true, Ordering::Release);
                 write_frame(
                     &mut stream,
-                    &encode_response(&Response::Ok(query::QueryResult {
-                        columns: vec![],
-                        rows: vec![],
-                    })),
+                    &encode_response(&Response::Ok {
+                        result: query::QueryResult {
+                            columns: vec![],
+                            rows: vec![],
+                        },
+                        watermark: shared.db.latest_ts(),
+                    }),
                 )?;
                 // The accept thread blocks in `incoming()` and only checks
                 // the stop flag after a connection arrives; without a wake
@@ -560,15 +583,45 @@ fn handle_connection(
                 let _ = TcpStream::connect(shared.addr);
                 return Ok(());
             }
-            Ok(Request::Run { query, params }) => {
+            Ok(Request::Run {
+                query,
+                params,
+                min_watermark,
+            }) => {
                 shared.queries.fetch_add(1, Ordering::Relaxed);
                 let params: Params = params.into_iter().collect();
                 let budget = ExecBudget {
                     deadline: Some(started + shared.cfg.request_deadline),
                     cancel: Some(cancel.clone()),
                 };
+                // Staleness gate: refuse before executing so a client with
+                // a read-your-writes floor never sees pre-floor state. The
+                // check is conservative — replay may advance concurrently —
+                // but a watermark can only grow, never shrink.
+                let watermark = shared.db.latest_ts();
+                if min_watermark > watermark {
+                    shared.tel.stale_reject();
+                    let r = Response::Err(WireError::new(
+                        ErrorCode::StaleReplica,
+                        format!("replica watermark {watermark} behind requested {min_watermark}"),
+                    ));
+                    write_frame(&mut stream, &encode_response(&r))?;
+                    continue;
+                }
+                if shared.cfg.read_only && !crate::client::query_is_read_only(&query) {
+                    shared.tel.read_only_reject();
+                    let r = Response::Err(WireError::new(
+                        ErrorCode::ReadOnlyReplica,
+                        "replica is read-only; route writes to the primary",
+                    ));
+                    write_frame(&mut stream, &encode_response(&r))?;
+                    continue;
+                }
                 let r = match query::execute_with_budget(&shared.db, &query, &params, budget) {
-                    Ok(result) => Response::Ok(result),
+                    Ok(result) => Response::Ok {
+                        result,
+                        watermark: shared.db.latest_ts(),
+                    },
                     Err(lpg::GraphError::DeadlineExceeded) => {
                         shared.tel.deadline_abort();
                         if shared.stop.load(Ordering::Acquire) {

@@ -58,8 +58,13 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         (
             name_strategy(),
             proptest::collection::vec((name_strategy(), value_strategy()), 0..4),
+            any::<u64>(),
         )
-            .prop_map(|(query, params)| Request::Run { query, params }),
+            .prop_map(|(query, params, min_watermark)| Request::Run {
+                query,
+                params,
+                min_watermark,
+            }),
     ]
 }
 
@@ -77,13 +82,17 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         (
             proptest::collection::vec(name_strategy(), 1..4),
             proptest::collection::vec(value_strategy(), 0..9),
+            any::<u64>(),
         )
-            .prop_map(|(columns, cells)| {
+            .prop_map(|(columns, cells, watermark)| {
                 let rows = cells
                     .chunks_exact(columns.len())
                     .map(|c| c.to_vec())
                     .collect();
-                Response::Ok(QueryResult { columns, rows })
+                Response::Ok {
+                    result: QueryResult { columns, rows },
+                    watermark,
+                }
             }),
         (
             proptest::collection::vec((name_strategy(), any::<u64>()), 0..4),

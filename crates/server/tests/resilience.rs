@@ -221,10 +221,13 @@ fn mock_frame_counter(
                         let _ = payload;
                         frames += 1;
                         if reply_on_second && conns >= 2 {
-                            let ok = Response::Ok(query::QueryResult {
-                                columns: vec!["n".into()],
-                                rows: Vec::new(),
-                            });
+                            let ok = Response::Ok {
+                                result: query::QueryResult {
+                                    columns: vec!["n".into()],
+                                    rows: Vec::new(),
+                                },
+                                watermark: 0,
+                            };
                             let _ = write_frame(&mut sock, &encode_response(&ok));
                             // Hold the socket open briefly so the client
                             // can read the reply before we drop it.

@@ -155,7 +155,8 @@ impl TimeStore {
         let mut snap_iter = snaps.iter().peekable();
         let mut replay = Graph::new();
         let mut replay_ok = true;
-        for (offset, frame) in self.log.scan_from(0)? {
+        for entry in self.log.iter_from(0) {
+            let crate::log::LogEntry { offset, frame, .. } = entry?;
             if !indexed_offsets.contains(&offset) {
                 findings.push(AuditFinding {
                     check: "time-index/coverage",

@@ -50,7 +50,9 @@ impl CommitFrame {
             .collect()
     }
 
-    fn encode(&self) -> Vec<u8> {
+    /// Serializes the frame payload (the bytes the log checksums and the
+    /// replication stream ships — `varint ts, varint n, n × record`).
+    pub fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::with_capacity(16 + self.records.len() * 16);
         varint::write_u64(&mut payload, self.ts);
         varint::write_u64(&mut payload, self.records.len() as u64);
@@ -61,7 +63,9 @@ impl CommitFrame {
         payload
     }
 
-    fn decode(payload: &[u8]) -> Option<CommitFrame> {
+    /// Parses a frame payload produced by [`CommitFrame::encode`];
+    /// `None` on any truncation, trailing garbage, or malformed record.
+    pub fn decode(payload: &[u8]) -> Option<CommitFrame> {
         let mut pos = 0;
         let ts = varint::read_u64(payload, &mut pos)?;
         let n = varint::read_u64(payload, &mut pos)? as usize;
@@ -214,22 +218,70 @@ impl ChangeLog {
             .ok_or_else(|| GraphError::Storage(format!("corrupt log frame at offset {offset}")))
     }
 
-    /// Iterates every frame from `offset` to the end of the log.
-    pub fn scan_from(&self, mut offset: u64) -> Result<Vec<(u64, CommitFrame)>> {
-        let end = self.end_offset();
-        let mut out = Vec::new();
-        while offset < end {
-            let (frame, next) = self.read_at(offset)?;
-            out.push((offset, frame));
-            offset = next;
+    /// Streams every frame from `offset` to the log end as of this call,
+    /// one frame in memory at a time. Recovery replays and replication
+    /// tailing both use this instead of materializing the whole suffix.
+    pub fn iter_from(&self, offset: u64) -> LogIter<'_> {
+        LogIter {
+            log: self,
+            offset,
+            end: self.end_offset(),
         }
-        Ok(out)
     }
 
     /// fsyncs the log.
     pub fn sync(&self) -> Result<()> {
         self.file.sync_data()?;
         Ok(())
+    }
+}
+
+/// One frame yielded by [`ChangeLog::iter_from`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct LogEntry {
+    /// Byte offset of the frame header in the log.
+    pub offset: u64,
+    /// Offset of the frame that follows (the resume position after this
+    /// frame — what replication acks and watermarks record).
+    pub next: u64,
+    /// The decoded commit.
+    pub frame: CommitFrame,
+}
+
+/// Streaming cursor over log frames; see [`ChangeLog::iter_from`]. The
+/// end is fixed at creation, so frames appended concurrently are not
+/// yielded — create a fresh iterator to tail further.
+pub struct LogIter<'a> {
+    log: &'a ChangeLog,
+    offset: u64,
+    end: u64,
+}
+
+impl Iterator for LogIter<'_> {
+    type Item = Result<LogEntry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.offset >= self.end {
+            return None;
+        }
+        let offset = self.offset;
+        match self.log.read_frame_at(offset, self.end) {
+            Some((frame, next)) => {
+                self.offset = next;
+                Some(Ok(LogEntry {
+                    offset,
+                    next,
+                    frame,
+                }))
+            }
+            None => {
+                // Park the cursor so a corrupt frame errors once, not forever.
+                self.offset = self.end;
+                Some(Err(GraphError::Storage(format!(
+                    "corrupt log frame at offset {offset}"
+                ))))
+            }
+        }
     }
 }
 
@@ -261,7 +313,7 @@ mod tests {
         assert_eq!(next1, o2);
         let (got2, _) = log.read_at(o2).unwrap();
         assert_eq!(got2.ts, 2);
-        let all = log.scan_from(0).unwrap();
+        let all: Vec<_> = log.iter_from(0).collect::<Result<_>>().unwrap();
         assert_eq!(all.len(), 2);
     }
 
@@ -289,7 +341,7 @@ mod tests {
         }
         let log = ChangeLog::open(&path).unwrap();
         assert_eq!(log.end_offset(), end);
-        assert_eq!(log.scan_from(0).unwrap().len(), 1);
+        assert_eq!(log.iter_from(0).count(), 1);
     }
 
     #[test]
@@ -312,13 +364,13 @@ mod tests {
         drop(f);
         let log = ChangeLog::open(&path).unwrap();
         assert_eq!(log.end_offset(), good_end);
-        let frames = log.scan_from(0).unwrap();
+        let frames: Vec<_> = log.iter_from(0).collect::<Result<_>>().unwrap();
         assert_eq!(frames.len(), 1);
-        assert_eq!(frames[0].1.ts, 1);
+        assert_eq!(frames[0].frame.ts, 1);
         // The log accepts appends again after truncation.
         log.append(&CommitFrame::from_updates(2, &[add_node(2)]))
             .unwrap();
-        assert_eq!(log.scan_from(0).unwrap().len(), 2);
+        assert_eq!(log.iter_from(0).count(), 2);
     }
 
     #[test]
@@ -345,7 +397,7 @@ mod tests {
         drop(f);
         let log = ChangeLog::open(&path).unwrap();
         assert_eq!(log.end_offset(), good_end);
-        assert_eq!(log.scan_from(0).unwrap().len(), 1);
+        assert_eq!(log.iter_from(0).count(), 1);
     }
 
     #[test]

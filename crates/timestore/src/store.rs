@@ -252,9 +252,10 @@ impl TimeStore {
             }
             None => 0,
         };
-        for (offset, frame) in self.log.scan_from(scan_from)? {
+        for entry in self.log.iter_from(scan_from) {
+            let entry = entry?;
             self.time_index
-                .insert(&keys::ts_key(frame.ts), &offset.to_le_bytes())
+                .insert(&keys::ts_key(entry.frame.ts), &entry.offset.to_le_bytes())
                 .map_err(storage_err)?;
         }
         // Count stats and rebuild the latest graph from the best snapshot.
@@ -262,7 +263,8 @@ impl TimeStore {
         let mut latest_ts = 0;
         let mut commits = 0u64;
         let mut updates = 0u64;
-        for (_, frame) in self.log.scan_from(0)? {
+        for entry in self.log.iter_from(0) {
+            let frame = entry?.frame;
             latest_ts = frame.ts;
             commits += 1;
             updates += frame.records.len() as u64;
@@ -593,6 +595,13 @@ impl TimeStore {
             map.entry(u.op.entity()).or_default().push(u);
         }
         Ok(map)
+    }
+
+    /// The underlying commit log. Replication tails this directly with
+    /// [`ChangeLog::iter_from`]; the log is append-only so concurrent
+    /// readers see a consistent prefix.
+    pub fn log(&self) -> &ChangeLog {
+        &self.log
     }
 
     /// Footprint and ingest counters (Fig. 10).

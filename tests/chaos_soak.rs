@@ -57,6 +57,7 @@ fn run_storm(seed: u64, clients: usize) {
             drain_deadline: Duration::from_secs(2),
             // The storm triggers slow queries by design; keep CI logs quiet.
             slow_log_per_sec: 0,
+            ..ServerConfig::default()
         },
     )
     .unwrap();

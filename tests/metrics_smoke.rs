@@ -6,6 +6,8 @@
 use aion::{Aion, AionConfig};
 use aion_suite::*;
 use lpg::{Direction, NodeId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tempfile::tempdir;
 
 #[test]
@@ -114,4 +116,94 @@ fn metrics_cover_every_layer_after_a_workload() {
         "balanced JSON"
     );
     assert!(json.contains("\"counters\""));
+}
+
+/// The replication layer's metrics (`server.repl.*`, `repl.replay.*`,
+/// `client.route.*`) must read back non-zero after a replicated
+/// workload that exercises shipping, replay, a stale rejection, a
+/// read-only rejection, and routed reads.
+#[test]
+fn repl_metrics_read_back_after_replication() {
+    use aion_server::{Client, ClientConfig, RoutedClient, Server, ServerConfig};
+    use repl::{LogShipper, Replayer, ReplayerConfig, ShipperConfig};
+
+    let pdir = tempdir().unwrap();
+    let rdir = tempdir().unwrap();
+    let primary = Arc::new(Aion::open(AionConfig::new(pdir.path())).unwrap());
+    let replica = Arc::new(Aion::open(AionConfig::new(rdir.path())).unwrap());
+
+    let mut shipper = LogShipper::start(primary.clone(), ShipperConfig::default()).unwrap();
+    let mut rcfg = ReplayerConfig::new(shipper.addr(), rdir.path());
+    rcfg.sync_every = 1;
+    let mut replayer = Replayer::start(replica.clone(), rcfg);
+
+    let mut primary_srv = Server::start(primary.clone()).unwrap();
+    let mut replica_srv = Server::start_with(
+        replica.clone(),
+        ServerConfig {
+            read_only: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // A read-only rejection and a stale rejection, straight at the replica.
+    let mut direct = Client::connect(replica_srv.addr()).unwrap();
+    assert!(direct.run("CREATE (n {_id: 999})", vec![]).is_err());
+    assert!(direct
+        .run_with_watermark("MATCH (n) RETURN count(n)", vec![], u64::MAX)
+        .is_err());
+
+    // Replicated writes plus routed reads.
+    let mut router = RoutedClient::new(
+        primary_srv.addr(),
+        vec![replica_srv.addr()],
+        ClientConfig::default(),
+    );
+    for i in 1..=8 {
+        router
+            .run(&format!("CREATE (n:R {{_id: {i}}})"), vec![])
+            .unwrap();
+        router
+            .run(&format!("MATCH (n) WHERE id(n) = {i} RETURN n"), vec![])
+            .unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while replica.latest_ts() != primary.latest_ts() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(replica.latest_ts(), primary.latest_ts());
+
+    let snap = obs::snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    // Primary side: frames went out and came back acked.
+    assert!(counter("server.repl.frames_shipped") > 0, "frames shipped");
+    assert!(counter("server.repl.frames_acked") > 0, "frames acked");
+    assert!(counter("server.repl.stale_rejects") > 0, "stale rejects");
+    assert!(
+        counter("server.repl.read_only_rejects") > 0,
+        "read-only rejects"
+    );
+    // Replica side: frames applied, durable watermark tracked.
+    assert!(counter("repl.replay.frames_applied") > 0, "frames applied");
+    assert_eq!(
+        snap.gauge("repl.replay.watermark_ts"),
+        Some(i64::try_from(replayer.watermark().ts).unwrap()),
+        "watermark gauge tracks the durable watermark"
+    );
+    // Router: writes hit the primary, and every logical call was counted.
+    assert!(counter("client.route.primary_writes") >= 8, "routed writes");
+    assert!(
+        counter("client.route.replica_reads") + counter("client.route.primary_reads") >= 8,
+        "routed reads"
+    );
+    // The new metrics flow through exposition like every other layer.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("aion_server_repl_frames_shipped"));
+    assert!(prom.contains("aion_repl_replay_watermark_ts"));
+
+    primary_srv.shutdown();
+    replica_srv.shutdown();
+    replayer.shutdown();
+    shipper.shutdown();
 }

@@ -1,0 +1,279 @@
+//! `cargo xtask bench-gate` — the perf-regression gate over the Fig. 9
+//! ingestion harness.
+//!
+//! Runs `aion_bench::fig09_ingest` in-process and diffs the normalized
+//! throughput ratios (TS+LS, LS-only, TS-only — all relative to the
+//! non-temporal baseline, so machine speed largely cancels out) against
+//! the checked-in `BENCH_ingest.json`. A ratio outside the relative
+//! tolerance band fails the gate; `--update` rewrites the baseline
+//! instead.
+//!
+//! The baseline is tiny, hand-readable JSON written and parsed here —
+//! the workspace has no serde, and the format is four rows of four
+//! fields.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const DEFAULT_TOLERANCE: f64 = 0.5;
+
+pub fn run(args: Vec<String>, root: PathBuf) -> ExitCode {
+    let mut update = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut runs: usize = 3;
+    // The gate runs larger than the figure default: sub-second samples
+    // flap well past any usable tolerance band on shared CI machines.
+    let mut cfg = aion_bench::BenchConfig {
+        target_edges: 60_000,
+        ..aion_bench::BenchConfig::default()
+    };
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--update" => update = true,
+            "--runs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => runs = n,
+                _ => return flag_err("--runs needs a positive number"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return flag_err("--baseline needs a path"),
+            },
+            "--tolerance" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => return flag_err("--tolerance needs a number"),
+            },
+            "--edges" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.target_edges = n,
+                None => return flag_err("--edges needs a number"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.seed = n,
+                None => return flag_err("--seed needs a number"),
+            },
+            other => return flag_err(&format!("unknown flag `{other}`")),
+        }
+    }
+    let path = baseline.unwrap_or_else(|| root.join("BENCH_ingest.json"));
+
+    println!(
+        "bench-gate: fig. 9 ingest, |E| = {}, seed = {}, median of {runs} run(s), \
+         tolerance ±{:.0}%",
+        cfg.target_edges,
+        cfg.seed,
+        tolerance * 100.0
+    );
+    // Sub-second measurements on a shared machine are noisy; the gate
+    // compares per-metric *medians* across several harness runs.
+    let samples: Vec<Vec<aion_bench::fig09_ingest::IngestRow>> = (0..runs)
+        .map(|_| aion_bench::fig09_ingest::run(&cfg))
+        .collect();
+    let rows = median_rows(&samples);
+
+    if update {
+        let json = render(&cfg, &rows);
+        return match std::fs::write(&path, json) {
+            Ok(()) => {
+                println!("bench-gate: baseline written to {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench-gate: cannot write {}: {e}", path.display());
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench-gate: cannot read baseline {}: {e}\n\
+                 bench-gate: run `cargo xtask bench-gate --update` to create it",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let base = match parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-gate: malformed baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    if base.target_edges != cfg.target_edges || base.seed != cfg.seed {
+        eprintln!(
+            "bench-gate: baseline was recorded at |E| = {}, seed = {} — rerun with matching \
+             flags or refresh it with --update",
+            base.target_edges, base.seed
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut failures = 0u32;
+    for row in &rows {
+        let Some(b) = base.rows.iter().find(|b| b.dataset == row.dataset) else {
+            eprintln!("bench-gate: FAIL {}: missing from baseline", row.dataset);
+            failures += 1;
+            continue;
+        };
+        for (metric, got, want) in [
+            ("ts_ls", row.ts_ls, b.ts_ls),
+            ("ls_only", row.ls_only, b.ls_only),
+            ("ts_only", row.ts_only, b.ts_only),
+        ] {
+            let drift = if want > 0.0 {
+                (got - want).abs() / want
+            } else {
+                got.abs()
+            };
+            if drift > tolerance {
+                eprintln!(
+                    "bench-gate: FAIL {}/{metric}: {got:.3} vs baseline {want:.3} \
+                     (drift {:.0}% > {:.0}%)",
+                    row.dataset,
+                    drift * 100.0,
+                    tolerance * 100.0
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "bench-gate: ok   {}/{metric}: {got:.3} vs {want:.3} (drift {:.0}%)",
+                    row.dataset,
+                    drift * 100.0
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench-gate: {failures} metric(s) outside the tolerance band");
+        ExitCode::from(1)
+    } else {
+        println!("bench-gate: all ratios within ±{:.0}%", tolerance * 100.0);
+        ExitCode::SUCCESS
+    }
+}
+
+fn flag_err(msg: &str) -> ExitCode {
+    eprintln!("xtask bench-gate: {msg}");
+    ExitCode::from(2)
+}
+
+struct BaselineRow {
+    dataset: String,
+    ts_ls: f64,
+    ls_only: f64,
+    ts_only: f64,
+}
+
+/// Per-dataset, per-metric medians across harness runs. Datasets are
+/// taken from the first run; every run produces the same fixed list.
+fn median_rows(samples: &[Vec<aion_bench::fig09_ingest::IngestRow>]) -> Vec<BaselineRow> {
+    let Some(first) = samples.first() else {
+        return Vec::new();
+    };
+    first
+        .iter()
+        .enumerate()
+        .map(|(i, r)| BaselineRow {
+            dataset: r.dataset.clone(),
+            ts_ls: median(samples.iter().filter_map(|s| s.get(i)).map(|r| r.ts_ls)),
+            ls_only: median(samples.iter().filter_map(|s| s.get(i)).map(|r| r.ls_only)),
+            ts_only: median(samples.iter().filter_map(|s| s.get(i)).map(|r| r.ts_only)),
+        })
+        .collect()
+}
+
+fn median(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if v.is_empty() {
+        0.0
+    } else {
+        v[v.len() / 2]
+    }
+}
+
+struct Baseline {
+    target_edges: u64,
+    seed: u64,
+    rows: Vec<BaselineRow>,
+}
+
+fn render(cfg: &aion_bench::BenchConfig, rows: &[BaselineRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"fig09_ingest\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"target_edges\": {}, \"seed\": {}}},\n",
+        cfg.target_edges, cfg.seed
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"ts_ls\": {:.4}, \"ls_only\": {:.4}, \"ts_only\": {:.4}}}{}\n",
+            r.dataset,
+            r.ts_ls,
+            r.ls_only,
+            r.ts_only,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal parser for the fixed shape `render` writes: one `"key": value`
+/// scan for the config, one row object per line under `"rows"`.
+fn parse(text: &str) -> Result<Baseline, String> {
+    let target_edges = field_u64(text, "target_edges")?;
+    let seed = field_u64(text, "seed")?;
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"dataset\"") {
+            continue;
+        }
+        rows.push(BaselineRow {
+            dataset: field_str(line, "dataset")?,
+            ts_ls: field_f64(line, "ts_ls")?,
+            ls_only: field_f64(line, "ls_only")?,
+            ts_only: field_f64(line, "ts_only")?,
+        });
+    }
+    if rows.is_empty() {
+        return Err("no rows".into());
+    }
+    Ok(Baseline {
+        target_edges,
+        seed,
+        rows,
+    })
+}
+
+fn field_raw<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat).ok_or_else(|| format!("missing {key}"))?;
+    let rest = text[at + pat.len()..].trim_start();
+    let end = rest
+        .find([',', '}', '\n'])
+        .ok_or_else(|| format!("unterminated {key}"))?;
+    Ok(rest[..end].trim())
+}
+
+fn field_u64(text: &str, key: &str) -> Result<u64, String> {
+    field_raw(text, key)?
+        .parse()
+        .map_err(|e| format!("bad {key}: {e}"))
+}
+
+fn field_f64(text: &str, key: &str) -> Result<f64, String> {
+    field_raw(text, key)?
+        .parse()
+        .map_err(|e| format!("bad {key}: {e}"))
+}
+
+fn field_str(text: &str, key: &str) -> Result<String, String> {
+    Ok(field_raw(text, key)?.trim_matches('"').to_string())
+}

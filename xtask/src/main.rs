@@ -10,6 +10,8 @@
 //! Exit codes: 0 clean, 1 findings, 2 analyzer error (I/O, malformed
 //! allow file).
 
+mod bench_gate;
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,6 +21,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         // `lint` is the historical name for the gate.
         "analyze" | "lint" => analyze_cmd(args.collect()),
+        "bench-gate" => bench_gate::run(args.collect(), workspace_root()),
         "" | "help" | "--help" | "-h" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -40,6 +43,12 @@ Commands:
             --list           print the rule catalogue and exit
             --rule <id>      run only this rule (repeatable)
             --root <dir>     analyze a different tree (testing)
+  bench-gate  diff a fresh Fig. 9 ingest run against BENCH_ingest.json
+            --update         rewrite the baseline from this run
+            --baseline <p>   compare against a different file
+            --tolerance <f>  relative band (default 0.5)
+            --runs <n>       median over n harness runs (default 3)
+            --edges <n>, --seed <n>  harness scale (must match baseline)
   help      show this message
 ";
 
