@@ -19,6 +19,12 @@
 //!   the watermark claimed — i.e. the durability order was violated by
 //!   crash recovery truncating a torn tail) is discarded, forcing a
 //!   resync from 0 rather than silently skipping frames.
+//! * **Divergence refusal.** A primary whose latest timestamp is
+//!   *below* this replica's durable watermark has a different history
+//!   (the primary lost state this replica already applied — lost disk,
+//!   restore from backup). Resyncing would silently skip mismatched
+//!   frames as re-delivery, so the replayer instead marks itself
+//!   [`Replayer::diverged`] and stops; the replica needs a rebuild.
 
 use crate::frame_io::{FrameReader, Polled};
 use crate::watermark::{Watermark, WatermarkStore};
@@ -28,7 +34,7 @@ use aion_server::protocol::write_frame;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -94,8 +100,11 @@ impl ReplayTelemetry {
 struct ReplayerShared {
     db: Arc<Aion>,
     stop: AtomicBool,
-    wm_offset: AtomicU64,
-    wm_ts: AtomicU64,
+    diverged: AtomicBool,
+    /// The durable watermark, under a mutex so `(offset, ts)` is always
+    /// read as a consistent pair — two separate atomics would let a
+    /// racing reader observe a torn combination (new offset, old ts).
+    wm: Mutex<Watermark>,
     last_error: Mutex<Option<String>>,
     store: WatermarkStore,
     cfg: ReplayerConfig,
@@ -103,19 +112,22 @@ struct ReplayerShared {
 }
 
 impl ReplayerShared {
+    fn lock_wm(&self) -> std::sync::MutexGuard<'_, Watermark> {
+        match self.wm.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     fn set_watermark(&self, wm: Watermark) {
-        self.wm_offset.store(wm.offset, Ordering::Release);
-        self.wm_ts.store(wm.ts, Ordering::Release);
+        *self.lock_wm() = wm;
         self.tel
             .watermark_ts
             .set(i64::try_from(wm.ts).unwrap_or(i64::MAX));
     }
 
     fn watermark(&self) -> Watermark {
-        Watermark {
-            offset: self.wm_offset.load(Ordering::Acquire),
-            ts: self.wm_ts.load(Ordering::Acquire),
-        }
+        *self.lock_wm()
     }
 
     fn note_error(&self, e: impl ToString) {
@@ -144,8 +156,8 @@ impl Replayer {
         let shared = Arc::new(ReplayerShared {
             db,
             stop: AtomicBool::new(false),
-            wm_offset: AtomicU64::new(initial.offset),
-            wm_ts: AtomicU64::new(initial.ts),
+            diverged: AtomicBool::new(false),
+            wm: Mutex::new(initial),
             last_error: Mutex::new(None),
             store,
             cfg,
@@ -179,6 +191,14 @@ impl Replayer {
     /// Times the replayer re-established its primary connection.
     pub fn reconnect_count(&self) -> u64 {
         self.shared.tel.reconnects.get()
+    }
+
+    /// Whether the replayer detected primary/replica history divergence
+    /// (the primary's latest timestamp fell below this replica's durable
+    /// watermark) and permanently stopped. [`Replayer::last_error`]
+    /// carries the detail; the replica needs a rebuild to rejoin.
+    pub fn diverged(&self) -> bool {
+        self.shared.diverged.load(Ordering::Acquire)
     }
 
     /// The most recent replay error, if any (diagnostics).
@@ -216,12 +236,25 @@ fn reconcile_watermark(loaded: Option<Watermark>, db_latest: u64) -> Watermark {
 fn run(shared: &Arc<ReplayerShared>) {
     let mut backoff_factor: u32 = 1;
     while !shared.stop.load(Ordering::Acquire) {
-        match session(shared) {
+        let mut handshake_ok = false;
+        match session(shared, &mut handshake_ok) {
             Ok(()) => return, // clean stop
             Err(e) => {
                 shared.note_error(e.to_string());
                 if shared.stop.load(Ordering::Acquire) {
                     return;
+                }
+                if shared.diverged.load(Ordering::Acquire) {
+                    // Not a transient fault: reconnecting would only be
+                    // refused again. Stop and leave the verdict in
+                    // `diverged()` / `last_error()`.
+                    return;
+                }
+                if handshake_ok {
+                    // The primary was reachable and answered: this was a
+                    // working session, so the next outage starts from the
+                    // base backoff again.
+                    backoff_factor = 1;
                 }
                 shared.tel.reconnects.inc();
                 let sleep = shared
@@ -239,7 +272,9 @@ fn run(shared: &Arc<ReplayerShared>) {
 /// One connected session: handshake, then stream-apply until the
 /// connection dies or the replayer is stopped. `Ok(())` means "stop was
 /// requested"; every other exit is an `Err` that triggers reconnect.
-fn session(shared: &Arc<ReplayerShared>) -> io::Result<()> {
+/// `handshake_ok` is set once a valid `HelloAck` arrived, so the caller
+/// can reset its reconnect backoff after sessions that actually worked.
+fn session(shared: &Arc<ReplayerShared>, handshake_ok: &mut bool) -> io::Result<()> {
     let mut stream = TcpStream::connect_timeout(&shared.cfg.primary, shared.cfg.connect_timeout)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(20)))?;
@@ -269,12 +304,35 @@ fn session(shared: &Arc<ReplayerShared>) -> io::Result<()> {
             }
         }
     };
-    let ReplMsg::HelloAck { resume_offset, .. } = ack else {
+    let ReplMsg::HelloAck {
+        resume_offset,
+        latest_ts: primary_ts,
+        ..
+    } = ack
+    else {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "expected HELLO_ACK from primary",
         ));
     };
+    if primary_ts < wm.ts {
+        // The primary has *less* history than we durably applied: it
+        // lost state (our watermark only ever covers commits the primary
+        // had fsynced, so this cannot be ordinary lag). Resyncing would
+        // skip reused timestamps as re-delivery and diverge silently —
+        // refuse instead and stop (see module docs).
+        shared.diverged.store(true, Ordering::Release);
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "primary regressed below our durable watermark (primary ts \
+                 {primary_ts} < watermark ts {}): histories diverged, this \
+                 replica needs a rebuild",
+                wm.ts
+            ),
+        ));
+    }
+    *handshake_ok = true;
 
     // The primary may have forced a full resync (resume_offset 0 when we
     // asked for more): idempotent replay makes that safe, but the cursor

@@ -9,6 +9,17 @@
 //! `try_clone`) consumes [`crate::wire::ReplMsg::Ack`]s so a slow or
 //! silent replica never blocks shipping.
 //!
+//! **Shipping never outruns the primary's own durability.** Workers ship
+//! only up to [`timestore::TimeStore::durable_log_end`] — the fsynced log
+//! prefix — never the in-memory log head. Shipping further would let a
+//! replica durably apply (and ack) a commit the primary can still lose
+//! in a crash; recovery would then reuse the lost timestamps for
+//! *different* commits, which the replayer's idempotent-skip would treat
+//! as re-delivery — permanent, undetected divergence. When unsynced
+//! backlog exists (the default `sync_on_commit = false` configuration),
+//! the worker forces a group [`Aion::sync`] to make it shippable, so
+//! replication doubles as the group-durability trigger.
+//!
 //! [`ChangeLog::iter_from`]: timestore::ChangeLog::iter_from
 
 use crate::frame_io::{FrameReader, Polled};
@@ -54,6 +65,7 @@ struct ShipTelemetry {
     replicas: Arc<obs::Gauge>,
     lag_bytes: Arc<obs::Gauge>,
     min_watermark_ts: Arc<obs::Gauge>,
+    handshake_refusals: Arc<obs::Counter>,
 }
 
 impl ShipTelemetry {
@@ -64,6 +76,7 @@ impl ShipTelemetry {
             replicas: obs::gauge("server.repl.replicas"),
             lag_bytes: obs::gauge("server.repl.lag_bytes"),
             min_watermark_ts: obs::gauge("server.repl.min_watermark_ts"),
+            handshake_refusals: obs::counter("server.repl.handshake_refusals"),
         }
     }
 }
@@ -234,28 +247,55 @@ fn serve_replica(
             Polled::Eof => return Ok(()),
         }
     };
-    let ReplMsg::Hello { start_offset, .. } = hello else {
+    let ReplMsg::Hello {
+        start_offset,
+        latest_ts: replica_ts,
+    } = hello
+    else {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "expected HELLO as first replication message",
         ));
     };
-    let log = shared.db.timestore().log();
+    let timestore = shared.db.timestore();
+    let log = timestore.log();
+    let primary_ts = shared.db.latest_ts();
     let resume_offset = validate_resume(start_offset, log);
+    // Always answer honestly (resume offset, our latest ts) so the
+    // replica can detect divergence on its side too, then gate below.
     write_frame(
         &mut stream,
         &encode_msg(&ReplMsg::HelloAck {
             resume_offset,
-            log_end: log.end_offset(),
-            latest_ts: shared.db.latest_ts(),
+            log_end: timestore.durable_log_end(),
+            latest_ts: primary_ts,
         }),
     )?;
+    if replica_ts > primary_ts {
+        // The replica durably applied commits this primary does not
+        // have — the primary's history regressed (lost disk, restore
+        // from backup). Streaming anyway would silently resync: frames
+        // at reused timestamps would be skipped as re-delivery and the
+        // replica would diverge undetected. Refuse loudly instead; the
+        // replica needs a rebuild.
+        shared.tel.handshake_refusals.inc();
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "replica is ahead of the primary (replica ts {replica_ts} > \
+                 primary ts {primary_ts}): histories diverged, refusing to serve"
+            ),
+        ));
+    }
 
     // Ack reader: a separate thread on a socket clone, so acks drain
-    // even while this thread is blocked writing a large frame.
+    // even while this thread is blocked writing a large frame. It takes
+    // over the handshake FrameReader — any bytes the replica pipelined
+    // behind its Hello are already in that reader's buffer and must not
+    // be dropped.
     let ack_stream = stream.try_clone()?;
     let ack_shared = shared.clone();
-    let ack_thread = std::thread::spawn(move || ack_loop(ack_stream, worker_id, &ack_shared));
+    let ack_thread = std::thread::spawn(move || ack_loop(ack_stream, reader, worker_id, &ack_shared));
 
     let result = stream_frames(&mut stream, resume_offset, shared, &stopped);
     // Unblock and reap the ack thread: shutting down the socket makes
@@ -295,9 +335,14 @@ fn stream_frames(
         if stopped() {
             return Ok(());
         }
-        let log = shared.db.timestore().log();
-        let end = log.end_offset();
-        if cursor < end {
+        let timestore = shared.db.timestore();
+        let log = timestore.log();
+        // Ship only the fsynced prefix (see module docs): a frame past
+        // it could still be rolled back by a primary crash, and the
+        // replica must never durably apply what the primary can lose.
+        let durable = timestore.durable_log_end();
+        let mut shipped = false;
+        if cursor < durable {
             for entry in log.iter_from(cursor) {
                 if stopped() {
                     return Ok(());
@@ -307,6 +352,9 @@ fn stream_frames(
                     // nothing more can be shipped on this connection.
                     io::Error::new(io::ErrorKind::InvalidData, e.to_string())
                 })?;
+                if entry.next > durable {
+                    break;
+                }
                 write_frame(
                     stream,
                     &encode_msg(&ReplMsg::Frame {
@@ -317,32 +365,51 @@ fn stream_frames(
                 )?;
                 cursor = entry.next;
                 shared.tel.frames_shipped.inc();
+                shipped = true;
             }
-            shared
-                .tel
-                .lag_bytes
-                .set(i64::try_from(log.end_offset().saturating_sub(cursor)).unwrap_or(i64::MAX));
-            last_heartbeat = Instant::now();
-        } else {
-            shared.tel.lag_bytes.set(0);
-            if last_heartbeat.elapsed() >= shared.cfg.heartbeat_interval {
-                write_frame(
-                    stream,
-                    &encode_msg(&ReplMsg::Heartbeat {
-                        log_end: end,
-                        latest_ts: shared.db.latest_ts(),
-                    }),
-                )?;
-                last_heartbeat = Instant::now();
-            }
-            std::thread::sleep(shared.cfg.poll_interval);
         }
+        shared
+            .tel
+            .lag_bytes
+            .set(i64::try_from(log.end_offset().saturating_sub(cursor)).unwrap_or(i64::MAX));
+        if shipped {
+            last_heartbeat = Instant::now();
+            continue;
+        }
+        if log.end_offset() > durable {
+            // Unsynced backlog (or a resume cursor past a stale durable
+            // marker): force a group sync so it becomes shippable. This
+            // is what makes `sync_on_commit = false` primaries durable
+            // at replication speed instead of at fsync-per-commit cost.
+            shared
+                .db
+                .sync()
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            continue;
+        }
+        if last_heartbeat.elapsed() >= shared.cfg.heartbeat_interval {
+            write_frame(
+                stream,
+                &encode_msg(&ReplMsg::Heartbeat {
+                    log_end: durable,
+                    latest_ts: shared.db.latest_ts(),
+                }),
+            )?;
+            last_heartbeat = Instant::now();
+        }
+        std::thread::sleep(shared.cfg.poll_interval);
     }
 }
 
-/// Drains acks off a socket clone until the connection dies.
-fn ack_loop(mut stream: TcpStream, worker_id: u64, shared: &Arc<ShipperShared>) {
-    let mut reader = FrameReader::new();
+/// Drains acks off a socket clone until the connection dies. Takes over
+/// the handshake's [`FrameReader`] so bytes the replica pipelined after
+/// its Hello (already buffered there) are not lost.
+fn ack_loop(
+    mut stream: TcpStream,
+    mut reader: FrameReader,
+    worker_id: u64,
+    shared: &Arc<ShipperShared>,
+) {
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return;

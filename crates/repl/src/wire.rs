@@ -28,8 +28,12 @@ pub enum ReplMsg {
         /// First log offset the replica still needs (its watermark's
         /// `next` offset; `0` for a fresh replica).
         start_offset: u64,
-        /// The replica's latest applied commit timestamp (diagnostics;
-        /// the primary does not trust it for anything).
+        /// The replica's latest durably applied commit timestamp. The
+        /// primary never *applies* anything based on it, but it does
+        /// gate the handshake: a value above the primary's own latest
+        /// timestamp means the histories diverged (the primary lost
+        /// state this replica already holds) and the connection is
+        /// refused instead of silently resyncing.
         latest_ts: u64,
     },
     /// Primary → replica, answering [`ReplMsg::Hello`].
@@ -39,9 +43,12 @@ pub enum ReplMsg {
         /// or not a frame boundary), forcing a full resync — which is
         /// safe because replay is idempotent.
         resume_offset: u64,
-        /// The primary's current log end offset.
+        /// The primary's current *durable* (fsynced) log end offset —
+        /// the furthest point this connection will ever ship.
         log_end: u64,
-        /// The primary's latest committed timestamp.
+        /// The primary's latest committed timestamp. A replica whose
+        /// durable watermark timestamp exceeds this marks itself
+        /// diverged and stops rather than resyncing into silent skips.
         latest_ts: u64,
     },
     /// Primary → replica: one commit-log frame.
@@ -65,7 +72,7 @@ pub enum ReplMsg {
     /// the current log head, so the replica can measure its lag and
     /// flush a pending batch.
     Heartbeat {
-        /// The primary's current log end offset.
+        /// The primary's current durable (shippable) log end offset.
         log_end: u64,
         /// The primary's latest committed timestamp.
         latest_ts: u64,

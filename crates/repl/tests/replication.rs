@@ -219,3 +219,57 @@ fn routed_client_reads_its_own_writes_from_replicas() {
     drop(replayer);
     shipper.shutdown();
 }
+
+#[test]
+fn divergent_replica_is_refused_and_stops() {
+    // Replica replays a real history from primary A...
+    let adir = tempdir().unwrap();
+    let rdir = tempdir().unwrap();
+    let primary_a = open_db(adir.path());
+    let replica = open_db(rdir.path());
+    for i in 1..=10 {
+        add_node(&primary_a, i);
+    }
+    let mut shipper_a = LogShipper::start(primary_a.clone(), ShipperConfig::default()).unwrap();
+    let mut cfg = ReplayerConfig::new(shipper_a.addr(), rdir.path());
+    cfg.sync_every = 2;
+    let mut replayer = Replayer::start(replica.clone(), cfg);
+    assert!(wait_for(10, || replica.latest_ts() == primary_a.latest_ts()));
+    assert!(wait_for(10, || {
+        replayer.watermark().ts == primary_a.latest_ts()
+    }));
+    replayer.shutdown();
+    shipper_a.shutdown();
+
+    // ...then is pointed at a primary with *less* history (a stand-in
+    // for a primary that lost its disk). Silently resyncing would let
+    // reused timestamps be skipped as re-delivery; instead the replayer
+    // must mark itself diverged and stop reconnecting.
+    let bdir = tempdir().unwrap();
+    let primary_b = open_db(bdir.path());
+    add_node(&primary_b, 999); // shorter history: ts 1 < replica's ts 10
+    let mut shipper_b = LogShipper::start(primary_b.clone(), ShipperConfig::default()).unwrap();
+    let mut cfg = ReplayerConfig::new(shipper_b.addr(), rdir.path());
+    cfg.reconnect_backoff = Duration::from_millis(5);
+    let mut replayer = Replayer::start(replica.clone(), cfg);
+    assert!(
+        wait_for(10, || replayer.diverged()),
+        "replayer never flagged divergence (last error {:?})",
+        replayer.last_error()
+    );
+    let err = replayer.last_error().unwrap_or_default();
+    assert!(
+        err.contains("diverged"),
+        "divergence not surfaced in last_error: {err}"
+    );
+    // Nothing from the divergent primary was applied; local state is
+    // exactly what primary A shipped.
+    assert_eq!(replica.latest_ts(), primary_a.latest_ts());
+    assert!(replica.latest_graph().node(NodeId::new(999)).is_none());
+    // The stopped replayer does not keep hammering the primary.
+    let reconnects = replayer.reconnect_count();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(replayer.reconnect_count(), reconnects);
+    replayer.shutdown();
+    shipper_b.shutdown();
+}

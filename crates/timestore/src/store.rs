@@ -13,6 +13,7 @@ use pagestore::PageStore;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vfs::VfsRef;
 
@@ -137,6 +138,11 @@ pub struct TimeStore {
     pub(crate) snap_dir: PathBuf,
     policy: SnapshotPolicy,
     state: Mutex<MutableState>,
+    /// In-memory mirror of [`SLOT_DURABLE_LOG_END`]: how many log bytes
+    /// the last successful [`TimeStore::sync`] provably fsynced.
+    /// Replication ships only below this point — bytes past it could
+    /// still be lost in a crash.
+    durable_log_end: AtomicU64,
     metrics: Metrics,
 }
 
@@ -208,6 +214,9 @@ impl TimeStore {
             end => end,
         };
         let log = ChangeLog::open_with_vfs(&vfs, &dir.join("timestore.log"), durable_end)?;
+        // The marker can trail the surviving log (syncs are batched) but
+        // never lead it; clamp defensively in case the file shrank.
+        let durable_log_end = AtomicU64::new(durable_end.min(log.end_offset()));
         let store = TimeStore {
             vfs,
             log,
@@ -226,6 +235,7 @@ impl TimeStore {
                 snapshot_bytes: 0,
                 snapshot_count: 0,
             }),
+            durable_log_end,
             metrics: Metrics::new(),
         };
         store.recover()?;
@@ -619,14 +629,30 @@ impl TimeStore {
 
     /// Flushes indexes and log to disk.
     pub fn sync(&self) -> Result<()> {
+        // Capture the end *before* the fsync: a frame appended while the
+        // fsync is in flight is not covered by it and must not be marked
+        // durable.
+        let end = self.log.end_offset();
         self.log.sync()?;
+        // Everything below `end` is now on disk; publish that to
+        // in-process readers (replication ships only the durable prefix).
+        // fetch_max keeps concurrent syncs from regressing the marker.
+        self.durable_log_end.fetch_max(end, Ordering::AcqRel);
         // Record how far the log is now provably durable (log fsync above,
         // marker made durable by the index fsync below — the marker can
         // trail the log but never lead it).
-        self.index_store
-            .set_root(SLOT_DURABLE_LOG_END, self.log.end_offset());
+        self.index_store.set_root(SLOT_DURABLE_LOG_END, end);
         self.index_store.sync()?;
         Ok(())
+    }
+
+    /// How many log bytes the last successful [`TimeStore::sync`]
+    /// provably fsynced. Log bytes past this point could still be lost
+    /// in a crash, so replication must not ship them: a replica that
+    /// durably applied (and acked) a commit the primary then forgot
+    /// would silently diverge when recovery reuses the lost timestamps.
+    pub fn durable_log_end(&self) -> u64 {
+        self.durable_log_end.load(Ordering::Acquire)
     }
 }
 
