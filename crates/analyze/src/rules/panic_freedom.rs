@@ -20,6 +20,7 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
     "encoding",
     "timestore",
     "lineagestore",
+    "core",
     "obs",
     "query",
     "server",

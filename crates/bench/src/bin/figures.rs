@@ -5,7 +5,8 @@
 //! figures <experiment|all> [--edges N] [--ops N] [--runs N] [--seed N]
 //!         [--metrics-dir DIR]
 //!
-//! experiments: table3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//! experiments: table3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//!              fig14 writes
 //! ```
 //!
 //! With `--metrics-dir DIR`, the harness drops one
@@ -62,6 +63,7 @@ fn main() {
             "fig12".into(),
             "fig13".into(),
             "fig14".into(),
+            "writes".into(),
             "ablations".into(),
         ];
     }
@@ -103,6 +105,12 @@ fn main() {
             }
             "fig14" => {
                 fig14_procedures::run(&cfg);
+            }
+            "writes" => {
+                write_throughput::run(&write_throughput::WriteThroughputConfig {
+                    seed: cfg.seed,
+                    ..Default::default()
+                });
             }
             "ablations" => {
                 ablations::run(&cfg);

@@ -29,5 +29,6 @@ pub mod fig13_bolt;
 pub mod fig14_procedures;
 pub mod table3_datasets;
 pub mod table4_complexity;
+pub mod write_throughput;
 
 pub use common::{BenchConfig, Timer};

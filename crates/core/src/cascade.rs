@@ -9,7 +9,7 @@
 use crate::txn::CommitEvent;
 use crossbeam_channel::{unbounded, Sender};
 use lineagestore::LineageStore;
-use lpg::Timestamp;
+use lpg::{GraphError, Result, Timestamp};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -28,8 +28,9 @@ pub struct Cascade {
 }
 
 impl Cascade {
-    /// Spawns the worker over a shared LineageStore.
-    pub fn spawn(lineage: Arc<LineageStore>) -> Cascade {
+    /// Spawns the worker over a shared LineageStore. Fails only if the OS
+    /// refuses the thread.
+    pub fn spawn(lineage: Arc<LineageStore>) -> Result<Cascade> {
         let (tx, rx) = unbounded::<Job>();
         let applied = Arc::new(AtomicU64::new(lineage.applied_ts()));
         let applied2 = applied.clone();
@@ -62,13 +63,13 @@ impl Cascade {
                     }
                 }
             })
-            .expect("spawn cascade worker");
-        Cascade {
+            .map_err(|e| GraphError::Storage(format!("spawn cascade worker: {e}")))?;
+        Ok(Cascade {
             tx,
             applied,
             wedged,
             worker: Some(worker),
-        }
+        })
     }
 
     /// Enqueues a committed transaction.
@@ -117,7 +118,7 @@ mod tests {
         let lineage = Arc::new(
             LineageStore::open(dir.path().join("l.db"), LineageStoreConfig::default()).unwrap(),
         );
-        let cascade = Cascade::spawn(lineage.clone());
+        let cascade = Cascade::spawn(lineage.clone()).unwrap();
         for ts in 1..=50u64 {
             cascade.submit(CommitEvent {
                 ts,
@@ -139,7 +140,7 @@ mod tests {
         let lineage = Arc::new(
             LineageStore::open(dir.path().join("l.db"), LineageStoreConfig::default()).unwrap(),
         );
-        let cascade = Cascade::spawn(lineage.clone());
+        let cascade = Cascade::spawn(lineage.clone()).unwrap();
         cascade.submit(CommitEvent {
             ts: 1,
             updates: Arc::new(vec![Update::AddNode {

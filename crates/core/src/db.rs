@@ -2,6 +2,7 @@
 
 use crate::bitemporal;
 use crate::cascade::Cascade;
+use crate::group_commit::{self, LogWriter};
 use crate::planner::{AccessPattern, Planner};
 use crate::stats::Statistics;
 use crate::txn::{AppTimeKeys, CommitEvent, WriteTxn};
@@ -10,11 +11,12 @@ use lpg::{
     Direction, Graph, GraphError, Interner, Node, NodeId, RelId, Relationship, Result,
     TemporalGraph, TimeRange, Timestamp, TimestampedUpdate, Update, Version,
 };
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::{HashSet, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use timestore::{TimeStore, TimeStoreConfig};
 use vfs::VfsRef;
 
@@ -38,6 +40,16 @@ pub struct AionConfig {
     /// batched flushing). With `true`, every acknowledged commit survives a
     /// crash, at the cost of one fsync per commit.
     pub sync_on_commit: bool,
+    /// How long the group-commit log writer may keep a durability group
+    /// open waiting for more concurrent committers, trading commit
+    /// latency for fsync amortization. Only meaningful with
+    /// [`sync_on_commit`]: that is when every acknowledgement costs an
+    /// fsync worth sharing. The default (zero) adds no latency — groups
+    /// then form only from the natural queueing that happens while the
+    /// previous group's I/O is in flight.
+    ///
+    /// [`sync_on_commit`]: AionConfig::sync_on_commit
+    pub commit_latency_budget: Duration,
     /// Planner threshold (fraction of graph accessed; paper: 0.3).
     pub planner_threshold: f64,
     /// The file system every storage layer runs on. Defaults to the
@@ -56,6 +68,7 @@ impl AionConfig {
             lineage: LineageStoreConfig::default(),
             sync_lineage: false,
             sync_on_commit: false,
+            commit_latency_budget: Duration::ZERO,
             planner_threshold: 0.3,
             vfs: VfsRef::std(),
         }
@@ -91,19 +104,20 @@ type Listener = Box<dyn Fn(&CommitEvent) + Send + Sync>;
 /// ```
 pub struct Aion {
     interner: Arc<Interner>,
-    timestore: TimeStore,
+    timestore: Arc<TimeStore>,
     lineage: Arc<LineageStore>,
-    cascade: Option<Cascade>,
+    cascade: Option<Arc<Cascade>>,
     stats: Statistics,
     planner: Planner,
     app_keys: AppTimeKeys,
-    next_ts: AtomicU64,
-    sync_on_commit: bool,
-    lineage_wedged: AtomicBool,
-    commit_lock: Mutex<()>,
+    lineage_wedged: Arc<AtomicBool>,
+    /// The group-commit log writer (see [`crate::group_commit`]): all
+    /// commits funnel through its queue, so there is no commit lock —
+    /// ordering comes from the single writer thread.
+    pipeline: group_commit::Pipeline,
     listeners: RwLock<Vec<Listener>>,
-    commits: Arc<obs::Counter>,
     commit_latency: Arc<obs::Histogram>,
+    forced_flushes: Arc<obs::Counter>,
 }
 
 impl Aion {
@@ -115,7 +129,7 @@ impl Aion {
         fs.create_dir_all(&config.dir)?;
         let mut ts_config = config.timestore.clone();
         ts_config.vfs = fs.clone();
-        let timestore = TimeStore::open(config.dir.join("timestore"), ts_config)?;
+        let timestore = Arc::new(TimeStore::open(config.dir.join("timestore"), ts_config)?);
         // The LineageStore is derived state: open it with page verification
         // on, and if that (or catch-up replay) fails — torn pages from a
         // crash mid-cascade, a corrupt index — wipe it and rebuild from the
@@ -159,31 +173,44 @@ impl Aion {
                     props: vec![],
                 });
             }
-            let lg = latest_graph.clone();
-            stats.record_commit(&batch, move |id| {
-                lg.node(id).map(|n| n.labels.clone()).unwrap_or_default()
+            stats.record_commit(&batch, |id| {
+                latest_graph
+                    .node(id)
+                    .map(|n| n.labels.as_slice())
+                    .unwrap_or(&[])
             });
         }
         let cascade = if config.sync_lineage {
             None
         } else {
-            Some(Cascade::spawn(lineage.clone()))
+            Some(Arc::new(Cascade::spawn(lineage.clone())?))
         };
+        let lineage_wedged = Arc::new(AtomicBool::new(false));
+        let pipeline = group_commit::Pipeline::spawn(LogWriter {
+            timestore: timestore.clone(),
+            lineage: lineage.clone(),
+            cascade: cascade.clone(),
+            lineage_wedged: lineage_wedged.clone(),
+            sync_on_commit: config.sync_on_commit,
+            latency_budget: config.commit_latency_budget,
+            next_ts: timestore.latest_ts() + 1,
+            commits: obs::counter("core.commits"),
+            commits_failed: obs::counter("core.commits_failed"),
+            group_size: obs::histogram("core.group_commit.size"),
+        })?;
         Ok(Aion {
             interner,
-            next_ts: AtomicU64::new(timestore.latest_ts() + 1),
-            sync_on_commit: config.sync_on_commit,
-            lineage_wedged: AtomicBool::new(false),
+            lineage_wedged,
             timestore,
             lineage,
             cascade,
             stats,
             planner: Planner::with_threshold(config.planner_threshold),
             app_keys,
-            commit_lock: Mutex::new(()),
+            pipeline,
             listeners: RwLock::new(Vec::new()),
-            commits: obs::counter("core.commits"),
             commit_latency: obs::histogram("core.commit.latency_ns"),
+            forced_flushes: obs::counter("core.group_commit.forced_flushes"),
         })
     }
 
@@ -343,76 +370,27 @@ impl Aion {
         self.commit(updates, Some(ts))
     }
 
-    /// Commits a validated update batch (stage 1 + 2 of Fig. 4).
+    /// Commits a validated update batch (stage 1 + 2 of Fig. 4) through
+    /// the group-commit pipeline: enqueue, park until the log writer has
+    /// appended the group (and group-fsynced it under `sync_on_commit`),
+    /// then run the commit's bookkeeping on this thread.
     fn commit(&self, updates: Vec<Update>, forced_ts: Option<Timestamp>) -> Result<Timestamp> {
         let _timer = self.commit_latency.start_timer();
-        self.commits.inc();
-        let _guard = self.commit_lock.lock();
-        let ts = match forced_ts {
-            Some(ts) => {
-                // Keep the internal clock strictly ahead of explicit commits.
-                let next = self.next_ts.load(Ordering::SeqCst);
-                if ts < next {
-                    return Err(GraphError::NonMonotonicCommit {
-                        attempted: ts,
-                        latest: next.saturating_sub(1),
-                    });
-                }
-                self.next_ts.store(ts + 1, Ordering::SeqCst);
-                ts
-            }
-            None => self.next_ts.fetch_add(1, Ordering::SeqCst),
-        };
-        // Stage 2a: synchronous TimeStore append (also updates the latest
-        // in-memory graph). An error out of the append (or the durability
-        // fsync below) can strike *after* the commit reached the log, so
-        // the commit's durability is unknown; wedge the LineageStore so
-        // later commits cannot advance its watermark past the hole.
-        if let Err(e) = self.timestore.append_commit(ts, &updates) {
-            self.lineage_wedged.store(true, Ordering::Release);
-            return Err(e);
-        }
-        if self.sync_on_commit {
-            // Durability before acknowledgement: a commit this returns from
-            // is on disk (log first, index after — see TimeStore::sync).
-            if let Err(e) = self.timestore.sync() {
-                self.lineage_wedged.store(true, Ordering::Release);
-                return Err(e);
-            }
-        }
-        // Statistics fold (labels resolved against the new latest graph).
-        let latest = self.timestore.latest_graph();
-        self.stats.record_commit(&updates, |id| {
-            latest
+        let done = self.pipeline.commit(updates, forced_ts)?;
+        // Statistics fold and stage-1 after-commit listeners run here on
+        // the committer's thread, off the writer's critical path — a slow
+        // listener delays its own commit's return, never other writers.
+        // Labels resolve against the graph this commit produced.
+        self.stats.record_commit(&done.event.updates, |id| {
+            done.graph
                 .node(id)
-                .map(|n| n.labels.clone())
-                .unwrap_or_default()
+                .map(|n| n.labels.as_slice())
+                .unwrap_or(&[])
         });
-        let event = CommitEvent {
-            ts,
-            updates: Arc::new(updates),
-        };
-        // Stage 2b: LineageStore — synchronous or via the cascade. A
-        // failed apply wedges the LineageStore: applying *later* commits
-        // would advance its watermark past the hole and let queries read a
-        // silently incomplete store. Wedged, the watermark stalls, queries
-        // fall back to the TimeStore, and the next reopen replays the gap
-        // from the log.
-        match &self.cascade {
-            _ if self.lineage_wedged.load(Ordering::Acquire) => {}
-            Some(c) => c.submit(event.clone()),
-            None => {
-                if let Err(e) = self.lineage.apply_commit(ts, &event.updates) {
-                    self.lineage_wedged.store(true, Ordering::Release);
-                    return Err(e);
-                }
-            }
-        }
-        // Stage 1: after-commit listeners.
         for l in self.listeners.read().iter() {
-            l(&event);
+            l(&done.event);
         }
-        Ok(ts)
+        Ok(done.event.ts)
     }
 
     /// Blocks until the LineageStore caught up with `ts` (tests, recovery).
@@ -649,8 +627,15 @@ impl Aion {
         ))
     }
 
-    /// Flushes all storage to disk.
+    /// Flushes all storage to disk. When commits are outstanding beyond
+    /// the durable log prefix (`sync_on_commit = false` ingest, or the
+    /// replication shipper forcing unshipped backlog onto disk), this is
+    /// a *forced* group flush — counted so the fsync-amortization story
+    /// is observable end to end.
     pub fn sync(&self) -> Result<()> {
+        if self.timestore.log().end_offset() > self.timestore.durable_log_end() {
+            self.forced_flushes.inc();
+        }
         self.timestore.sync()?;
         self.lineage.sync()?;
         Ok(())

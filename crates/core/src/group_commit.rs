@@ -1,0 +1,312 @@
+//! Group commit (ROADMAP item 1): a dedicated log-writer thread that
+//! coalesces concurrent commits into one `TimeStore` append run and one
+//! durability fsync.
+//!
+//! Committers validate their batch on their own thread, enqueue a
+//! [`CommitRequest`] and park on a [`CommitSlot`]. The writer drains the
+//! queue (waiting up to [`AionConfig::commit_latency_budget`] for more
+//! arrivals when every acknowledgement implies an fsync), appends every
+//! batch in arrival order, performs a single [`TimeStore::sync`] for the
+//! whole group, and only then wakes the waiters — so with
+//! `sync_on_commit` the durability-before-ack contract is preserved while
+//! N concurrent commits share one fsync instead of paying N.
+//!
+//! Failure semantics per request:
+//!
+//! * A forced timestamp below the clock is rejected with
+//!   [`GraphError::NonMonotonicCommit`] before anything is written; the
+//!   clock does not move, so a replayer retrying a transiently failed
+//!   frame is never mistaken for a re-delivery.
+//! * An append error with `TimeStore::latest_ts() < ts` is a *clean*
+//!   rejection: the frame never reached the log, the timestamp stays
+//!   available, and later commits are unaffected.
+//! * An append error with `latest_ts() >= ts` (or a failed group fsync)
+//!   leaves the commit's durability *uncertain*: the timestamp is
+//!   consumed and the LineageStore is wedged so its watermark cannot
+//!   advance past the hole (see `cascade`).
+//!
+//! The writer submits successful commits to the lineage cascade in commit
+//! order on its own thread; the statistics fold and after-commit
+//! listeners run on the committer's thread after it wakes, off the
+//! write-path critical section.
+//!
+//! [`AionConfig::commit_latency_budget`]: crate::AionConfig::commit_latency_budget
+//! [`TimeStore::sync`]: timestore::TimeStore::sync
+
+use crate::cascade::Cascade;
+use crate::txn::CommitEvent;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use lineagestore::LineageStore;
+use lpg::{Graph, GraphError, Result, Timestamp, Update};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use timestore::TimeStore;
+
+/// What the writer hands back to a successful committer: the commit event
+/// (for the after-commit listeners) and the latest graph as of *this*
+/// commit's apply (for the statistics fold — labels are resolved against
+/// the graph the commit produced, not whatever is latest once the
+/// committer thread gets scheduled).
+pub(crate) struct CommitDone {
+    pub event: CommitEvent,
+    pub graph: Arc<Graph>,
+}
+
+/// One committer's parking spot. The writer publishes exactly one result.
+struct CommitSlot {
+    state: Mutex<Option<Result<CommitDone>>>,
+    cond: Condvar,
+}
+
+impl CommitSlot {
+    fn new() -> CommitSlot {
+        CommitSlot {
+            state: Mutex::new(None),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<CommitDone>) {
+        // Poisoning cannot happen (neither side panics while holding the
+        // lock), but recover rather than unwrap to keep the path abort-free.
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = Some(result);
+        self.cond.notify_all();
+    }
+
+    /// Parks the committer until the writer publishes its result. (Named
+    /// to stay distinct from `Condvar::wait`, which releases the lock
+    /// while blocked — the lock-order analyzer resolves bare calls by
+    /// name and must not mistake the reacquisition for lock nesting.)
+    fn wait_done(&self) -> Result<CommitDone> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self
+                .cond
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A validated update batch travelling committer → writer.
+struct CommitRequest {
+    updates: Vec<Update>,
+    forced_ts: Option<Timestamp>,
+    slot: Arc<CommitSlot>,
+}
+
+/// Everything the log-writer thread owns or shares with [`Aion`].
+///
+/// [`Aion`]: crate::Aion
+pub(crate) struct LogWriter {
+    pub timestore: Arc<TimeStore>,
+    pub lineage: Arc<LineageStore>,
+    pub cascade: Option<Arc<Cascade>>,
+    pub lineage_wedged: Arc<AtomicBool>,
+    pub sync_on_commit: bool,
+    /// How long the writer may hold an fsync open waiting for more
+    /// committers to join the group. Zero (the default) means groups form
+    /// only from natural queueing while the previous group's I/O runs.
+    pub latency_budget: Duration,
+    /// The next system timestamp. Only this thread assigns timestamps, so
+    /// a plain field replaces the old atomic; it advances only once an
+    /// append reaches the log (clean failures leave it untouched).
+    pub next_ts: Timestamp,
+    pub commits: Arc<obs::Counter>,
+    pub commits_failed: Arc<obs::Counter>,
+    pub group_size: Arc<obs::Histogram>,
+}
+
+impl LogWriter {
+    fn run(mut self, rx: Receiver<CommitRequest>) {
+        // Queued requests are still delivered after the sender drops, so
+        // shutdown drains the queue before the thread exits and no
+        // committer is left parked.
+        while let Ok(first) = rx.recv() {
+            let group = self.collect_group(&rx, first);
+            self.process_group(group);
+        }
+    }
+
+    /// Drains whatever is queued behind `first`; when each ack implies an
+    /// fsync and a latency budget is configured, keeps the group open for
+    /// late arrivals until the budget expires.
+    fn collect_group(&self, rx: &Receiver<CommitRequest>, first: CommitRequest) -> Vec<CommitRequest> {
+        let mut group = vec![first];
+        while let Ok(req) = rx.try_recv() {
+            group.push(req);
+        }
+        if self.sync_on_commit && !self.latency_budget.is_zero() {
+            let deadline = Instant::now() + self.latency_budget;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(req) => {
+                        group.push(req);
+                        while let Ok(req) = rx.try_recv() {
+                            group.push(req);
+                        }
+                    }
+                    Err(_) => break, // budget expired, or shutting down
+                }
+            }
+        }
+        group
+    }
+
+    fn process_group(&mut self, group: Vec<CommitRequest>) {
+        // Stage 2a: one append run over the whole group, in arrival order.
+        let mut appended: Vec<(Arc<CommitSlot>, CommitEvent, Arc<Graph>)> =
+            Vec::with_capacity(group.len());
+        for req in group {
+            let ts = match req.forced_ts {
+                // Keep the internal clock strictly ahead of explicit
+                // commits. The clock only reflects appends that reached
+                // the log, so this rejection really means "already
+                // committed" — replayers rely on that to treat it as
+                // idempotent re-delivery.
+                Some(ts) if ts < self.next_ts => {
+                    self.commits_failed.inc();
+                    req.slot.complete(Err(GraphError::NonMonotonicCommit {
+                        attempted: ts,
+                        latest: self.next_ts.saturating_sub(1),
+                    }));
+                    continue;
+                }
+                Some(ts) => ts,
+                None => self.next_ts,
+            };
+            match self.timestore.append_commit(ts, &req.updates) {
+                Ok(()) => {
+                    self.next_ts = ts + 1;
+                    let graph = self.timestore.latest_graph();
+                    let event = CommitEvent {
+                        ts,
+                        updates: Arc::new(req.updates),
+                    };
+                    appended.push((req.slot, event, graph));
+                }
+                Err(e) => {
+                    if self.timestore.latest_ts() >= ts {
+                        // The frame reached the log before the failure:
+                        // durability unknown, recovery may replay it.
+                        // Consume the timestamp and wedge the
+                        // LineageStore so later commits cannot advance
+                        // its watermark past the hole.
+                        self.next_ts = ts + 1;
+                        self.lineage_wedged.store(true, Ordering::Release);
+                    }
+                    self.commits_failed.inc();
+                    req.slot.complete(Err(e));
+                }
+            }
+        }
+        if appended.is_empty() {
+            return;
+        }
+        self.group_size.record(appended.len() as u64);
+        // Stage 2a': one durability point for the whole group.
+        if self.sync_on_commit {
+            if let Err(e) = self.timestore.sync() {
+                // The shared fsync failed, so *every* commit in the group
+                // has unknown durability: wedge and fail them all.
+                self.lineage_wedged.store(true, Ordering::Release);
+                let msg = format!("group commit sync failed: {e}");
+                let mut first_err = Some(e);
+                for (slot, _, _) in appended {
+                    self.commits_failed.inc();
+                    let err = first_err
+                        .take()
+                        .unwrap_or_else(|| GraphError::Storage(msg.clone()));
+                    slot.complete(Err(err));
+                }
+                return;
+            }
+        }
+        // Stage 2b: LineageStore, in commit order on this thread (the
+        // cascade channel preserves it; the synchronous path applies
+        // here). Wedged, the watermark stalls and queries fall back to
+        // the TimeStore — same contract as before group commit.
+        for (slot, event, graph) in appended {
+            if !self.lineage_wedged.load(Ordering::Acquire) {
+                match &self.cascade {
+                    Some(c) => c.submit(event.clone()),
+                    None => {
+                        if let Err(e) = self.lineage.apply_commit(event.ts, &event.updates) {
+                            self.lineage_wedged.store(true, Ordering::Release);
+                            self.commits_failed.inc();
+                            slot.complete(Err(e));
+                            continue;
+                        }
+                    }
+                }
+            }
+            self.commits.inc();
+            slot.complete(Ok(CommitDone { event, graph }));
+        }
+    }
+}
+
+/// Handle through which [`Aion`] talks to the log-writer thread. Dropping
+/// it closes the queue and joins the writer (which first drains anything
+/// still enqueued).
+///
+/// [`Aion`]: crate::Aion
+pub(crate) struct Pipeline {
+    tx: Option<Sender<CommitRequest>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Pipeline {
+    pub(crate) fn spawn(writer: LogWriter) -> Result<Pipeline> {
+        let (tx, rx) = unbounded::<CommitRequest>();
+        let worker = std::thread::Builder::new()
+            .name("aion-log-writer".into())
+            .spawn(move || writer.run(rx))
+            .map_err(|e| GraphError::Storage(format!("spawn log writer: {e}")))?;
+        Ok(Pipeline {
+            tx: Some(tx),
+            worker: Some(worker),
+        })
+    }
+
+    /// Enqueues one validated batch and parks until the writer resolves it.
+    pub(crate) fn commit(
+        &self,
+        updates: Vec<Update>,
+        forced_ts: Option<Timestamp>,
+    ) -> Result<CommitDone> {
+        let slot = Arc::new(CommitSlot::new());
+        let req = CommitRequest {
+            updates,
+            forced_ts,
+            slot: slot.clone(),
+        };
+        let sent = match &self.tx {
+            Some(tx) => tx.send(req).is_ok(),
+            None => false,
+        };
+        if !sent {
+            return Err(GraphError::Storage("commit pipeline is shut down".into()));
+        }
+        slot.wait_done()
+    }
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}

@@ -21,6 +21,9 @@
 //!   the LineageStore off the critical path; the LineageStore "lags behind
 //!   the TimeStore, and in the rare case that it cannot serve a temporal
 //!   query, the TimeStore is used instead" (Sec. 5.1).
+//! * `group_commit` — the dedicated log-writer thread that coalesces
+//!   concurrent commits into one TimeStore append run and one shared
+//!   durability fsync (bounded by `AionConfig::commit_latency_budget`).
 //! * [`stats`] — histogram base statistics (nodes, relationships, labels,
 //!   types, patterns) and derived cardinality estimates.
 //! * [`planner`] — the heuristic store selector: "if less than 30% of the
@@ -37,6 +40,7 @@
 pub mod bitemporal;
 pub mod cascade;
 pub mod db;
+mod group_commit;
 pub mod planner;
 pub mod procedures;
 pub mod stats;

@@ -111,7 +111,7 @@ mod tests {
                 props: vec![],
             });
         }
-        s.record_commit(&batch, |_| vec![]);
+        s.record_commit(&batch, |_| &[]);
         s
     }
 

@@ -161,8 +161,11 @@ impl Aion {
                     work += result.iterations as u64;
                     let mut ranks = HashMap::new();
                     for d in 0..csr.node_slots() as u32 {
-                        if csr.live[d as usize] {
-                            ranks.insert(g.sparse(d).expect("live"), result.ranks[d as usize]);
+                        if !csr.live[d as usize] {
+                            continue;
+                        }
+                        if let Some(id) = g.sparse(d) {
+                            ranks.insert(id, result.ranks[d as usize]);
                         }
                     }
                     points.push((t, ranks));

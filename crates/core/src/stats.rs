@@ -38,11 +38,13 @@ impl Statistics {
     }
 
     /// Folds one committed update batch into the histograms. `node_labels`
-    /// resolves a node's labels at commit time (for pattern counts).
-    pub fn record_commit(
+    /// resolves a node's labels at commit time (for pattern counts); it
+    /// returns a borrowed slice so the hot ingest path never clones a
+    /// label vector per relationship.
+    pub fn record_commit<'g>(
         &self,
         updates: &[Update],
-        node_labels: impl Fn(lpg::NodeId) -> Vec<StrId>,
+        node_labels: impl Fn(lpg::NodeId) -> &'g [StrId],
     ) {
         let mut g = self.inner.write();
         for u in updates {
@@ -62,10 +64,10 @@ impl Statistics {
                     if let Some(t) = label {
                         *g.type_counts.entry(*t).or_insert(0) += 1;
                         for l in node_labels(*src) {
-                            *g.out_pattern.entry((l, *t)).or_insert(0) += 1;
+                            *g.out_pattern.entry((*l, *t)).or_insert(0) += 1;
                         }
                         for l in node_labels(*tgt) {
-                            *g.in_pattern.entry((*t, l)).or_insert(0) += 1;
+                            *g.in_pattern.entry((*t, *l)).or_insert(0) += 1;
                         }
                     }
                 }
@@ -184,13 +186,15 @@ mod tests {
         StrId::new(i)
     }
 
-    fn no_labels(_: lpg::NodeId) -> Vec<StrId> {
-        vec![]
+    fn no_labels(_: lpg::NodeId) -> &'static [StrId] {
+        &[]
     }
 
     #[test]
     fn counts_follow_commits() {
         let s = Statistics::new();
+        let l1 = [sid(1)];
+        let l2 = [sid(1), sid(2)];
         s.record_commit(
             &[
                 Update::AddNode {
@@ -213,9 +217,9 @@ mod tests {
             ],
             |n| {
                 if n == NodeId::new(1) {
-                    vec![sid(1)]
+                    &l1[..]
                 } else {
-                    vec![sid(1), sid(2)]
+                    &l2[..]
                 }
             },
         );

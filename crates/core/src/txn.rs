@@ -172,7 +172,9 @@ impl<'a> WriteTxn<'a> {
         if !self.rel_exists(id) {
             return Err(GraphError::RelNotFound(id));
         }
-        let (src, tgt) = self.endpoints(id).expect("exists implies endpoints");
+        let Some((src, tgt)) = self.endpoints(id) else {
+            return Err(GraphError::RelNotFound(id));
+        };
         if self.rels_added.remove(&id).is_none() {
             self.rels_deleted.insert(id);
         }

@@ -190,6 +190,96 @@ fn run_seed(seed: u64, max_points: u64) {
     println!("seed {seed}: {crashes_fired} crashes over {total_ops} replay ops, torn={torn}B");
 }
 
+/// Regression: a replayed frame whose append fails *transiently* (EIO
+/// from the fault-injecting VFS, not a crash) must stay retryable. The
+/// commit clock may only advance when an append actually reaches the
+/// log; if a failed forced-timestamp commit consumed its timestamp, the
+/// replayer's retry would be rejected as `NonMonotonicCommit`, treated
+/// as idempotent re-delivery, and the commit would be silently missing
+/// from the replica forever. After the errors stop, the replica must
+/// converge to a byte-exact copy of the primary's history — no gaps.
+#[test]
+fn transient_replay_errors_never_lose_frames() {
+    let pdir = tempdir().unwrap();
+    let primary = Arc::new(Aion::open(AionConfig::new(pdir.path())).unwrap());
+    let key = primary.intern("v");
+    for i in 1..=COMMITS {
+        primary
+            .write(|tx| {
+                tx.add_node(
+                    NodeId::new(i),
+                    vec![],
+                    vec![(key, PropertyValue::Int(i as i64))],
+                )
+            })
+            .unwrap();
+    }
+    let mut shipper = LogShipper::start(primary.clone(), ShipperConfig::default()).unwrap();
+
+    // Phase 1: replay under a persistent transient-error rate. Open is
+    // clean (faults armed afterwards) so every failure lands in replay.
+    let sim = SimVfs::new(9);
+    let db = Arc::new(Aion::open(replica_config(&sim)).unwrap());
+    sim.arm(FaultConfig {
+        io_error_rate: 0.05,
+        ..FaultConfig::none()
+    });
+    let mut replayer = Replayer::start(db.clone(), replayer_config(&sim, shipper.addr()));
+    // Let it fight the faults for a while; convergence already now is
+    // fine, but not required.
+    wait_for(3, || db.latest_ts() == primary.latest_ts());
+    replayer.shutdown();
+    drop(replayer);
+    drop(db);
+
+    // Phase 2: errors stop; recover and re-join. Every frame the faults
+    // interrupted must still be fetchable and applicable.
+    sim.arm(FaultConfig::none());
+    sim.heal();
+    let db = Arc::new(Aion::open(replica_config(&sim)).expect("reopen after transient errors"));
+    let mut replayer = Replayer::start(db.clone(), replayer_config(&sim, shipper.addr()));
+    assert!(
+        wait_for(20, || db.latest_ts() == primary.latest_ts()),
+        "replica never converged after transient errors stopped \
+         (replica ts {} vs primary {}, last error {:?})",
+        db.latest_ts(),
+        primary.latest_ts(),
+        replayer.last_error()
+    );
+    replayer.shutdown();
+    drop(replayer);
+
+    // No gaps: the replica's history is the primary's, commit for commit.
+    let end = primary.latest_ts() + 1;
+    let p_diff: Vec<_> = primary
+        .get_diff(1, end)
+        .unwrap()
+        .into_iter()
+        .map(|u| (u.ts, u.op))
+        .collect();
+    let r_diff: Vec<_> = db
+        .get_diff(1, end)
+        .unwrap()
+        .into_iter()
+        .map(|u| (u.ts, u.op))
+        .collect();
+    assert_eq!(p_diff, r_diff, "replica history diverged from primary");
+    for ts in 1..=COMMITS {
+        assert!(
+            r_diff.iter().any(|(t, _)| *t == ts),
+            "commit {ts} silently missing from the replica — a transiently \
+             failed frame was dropped instead of retried"
+        );
+    }
+    assert!(
+        db.latest_graph().same_as(&primary.latest_graph()),
+        "replica graph diverged from primary"
+    );
+    let report = db.check_consistency(CheckLevel::Full).unwrap();
+    assert!(report.is_clean(), "replica fsck dirty: {report:?}");
+    shipper.shutdown();
+}
+
 #[test]
 fn replica_crash_mid_replay_recovers_clean() {
     let seeds = env_u64("AION_REPL_SIM_SEEDS", 2);

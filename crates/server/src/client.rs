@@ -206,6 +206,36 @@ impl Client {
         }
     }
 
+    /// Executes N statements in one wire round-trip (client-side
+    /// pipelining over [`Request::RunBatch`]): the statements travel in a
+    /// single frame, run in order on the server, and come back as one
+    /// typed result per statement — a failed statement does not abort the
+    /// ones after it. Returns the per-statement outcomes plus the serving
+    /// node's watermark. The batch is retried after a transport failure
+    /// only when *every* statement parses read-only; one write in the
+    /// batch makes the whole frame non-replayable, exactly like a lone
+    /// write `Run`.
+    pub fn run_batch(
+        &mut self,
+        statements: Vec<(String, Vec<(String, Value)>)>,
+        min_watermark: u64,
+    ) -> io::Result<(Vec<Result<QueryResult, io::Error>>, u64)> {
+        match self.call(&Request::RunBatch {
+            statements,
+            min_watermark,
+        })? {
+            Response::Batch { results, watermark } => Ok((
+                results
+                    .into_iter()
+                    .map(|r| r.map_err(|e| e.into_io()))
+                    .collect(),
+                watermark,
+            )),
+            Response::Err(e) => Err(e.into_io()),
+            other => Err(unexpected_response(&other)),
+        }
+    }
+
     /// Liveness check.
     pub fn ping(&mut self) -> io::Result<()> {
         match self.call(&Request::Ping)? {
@@ -237,6 +267,9 @@ pub(crate) fn request_is_idempotent(req: &Request) -> bool {
     match req {
         Request::Ping | Request::Metrics | Request::Shutdown => true,
         Request::Run { query, .. } => query_is_read_only(query),
+        Request::RunBatch { statements, .. } => statements
+            .iter()
+            .all(|(query, _)| query_is_read_only(query)),
     }
 }
 
@@ -301,6 +334,27 @@ mod tests {
         assert!(!request_is_idempotent(&Request::Run {
             query: "NOT CYPHER".into(),
             params: vec![],
+            min_watermark: 0,
+        }));
+    }
+
+    #[test]
+    fn batch_idempotency_requires_every_statement_read_only() {
+        let read = "MATCH (n) WHERE id(n) = 1 RETURN n".to_string();
+        let write = "CREATE (n {_id: 7})".to_string();
+        // All-reads batch: safe to replay after a lost ack.
+        assert!(request_is_idempotent(&Request::RunBatch {
+            statements: vec![(read.clone(), vec![]), (read.clone(), vec![])],
+            min_watermark: 0,
+        }));
+        // One write poisons the whole frame.
+        assert!(!request_is_idempotent(&Request::RunBatch {
+            statements: vec![(read.clone(), vec![]), (write, vec![])],
+            min_watermark: 0,
+        }));
+        // The empty batch mutates nothing.
+        assert!(request_is_idempotent(&Request::RunBatch {
+            statements: vec![],
             min_watermark: 0,
         }));
     }

@@ -7,13 +7,17 @@
 //!           | 0x02 "PING"
 //!           | 0x03 "SHUTDOWN"
 //!           | 0x04 "METRICS"
+//!           | 0x05 "RUNBATCH" u32 nstmts, nstmts × stmt, u64 min_watermark
+//! stmt     := u16 qlen, query, u16 nparams, nparams × param
 //! param    := u16 klen, key, value
-//! response := 0x00 "OK"   u16 ncols, ncols × str, u32 nrows, rows × row,
-//!                         u64 watermark
+//! response := 0x00 "OK"   result, u64 watermark
 //!           | 0x01 "ERR"  u8 code, str
 //!           | 0x02 "METRICS" u32 nctr, nctr × (str, u64),
 //!                            u32 ngauge, ngauge × (str, i64),
 //!                            u32 nhist, nhist × (str, 5 × u64)
+//!           | 0x03 "BATCH" u32 nstmts, nstmts × item, u64 watermark
+//! item     := 0x00 result | 0x01 u8 code, str
+//! result   := u16 ncols, ncols × str, u32 nrows, rows × row
 //! row      := ncols × value
 //! value    := tag, payload (see `write_value`)
 //! ```
@@ -43,6 +47,18 @@ pub enum Request {
     Shutdown,
     /// Fetch a snapshot of the server's process-wide metrics.
     Metrics,
+    /// Execute N statements in one frame: one round-trip and (on the
+    /// server) one submission window, so network latency amortizes the
+    /// same way group commit amortizes fsyncs. Statements run in order;
+    /// each gets its own typed result in the [`Response::Batch`] reply,
+    /// and a failed statement does not abort the ones after it.
+    RunBatch {
+        /// `(query, params)` per statement, executed in order.
+        statements: Vec<(String, Vec<(String, Value)>)>,
+        /// Bounded-staleness floor applied to the whole batch (see
+        /// [`Request::Run::min_watermark`]).
+        min_watermark: u64,
+    },
 }
 
 /// Machine-readable failure class carried on every `ERR` frame, so
@@ -142,6 +158,14 @@ pub enum Response {
     Err(WireError),
     /// Metrics snapshot (reply to [`Request::Metrics`]).
     Metrics(MetricsSnapshot),
+    /// Per-statement results for a [`Request::RunBatch`], in statement
+    /// order, tagged with the serving node's watermark once.
+    Batch {
+        /// One typed outcome per statement.
+        results: Vec<std::result::Result<QueryResult, WireError>>,
+        /// Latest commit timestamp applied on the serving node.
+        watermark: u64,
+    },
 }
 
 const TAG_NULL: u8 = 0;
@@ -393,6 +417,22 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Ping => out.push(0x02),
         Request::Shutdown => out.push(0x03),
         Request::Metrics => out.push(0x04),
+        Request::RunBatch {
+            statements,
+            min_watermark,
+        } => {
+            out.push(0x05);
+            out.extend_from_slice(&(statements.len() as u32).to_le_bytes());
+            for (query, params) in statements {
+                write_str(&mut out, query);
+                out.extend_from_slice(&(params.len() as u16).to_le_bytes());
+                for (k, v) in params {
+                    write_str(&mut out, k);
+                    write_value(&mut out, v);
+                }
+            }
+            out.extend_from_slice(&min_watermark.to_le_bytes());
+        }
     }
     out
 }
@@ -420,6 +460,25 @@ pub fn decode_request(buf: &[u8]) -> io::Result<Request> {
         0x02 => Request::Ping,
         0x03 => Request::Shutdown,
         0x04 => Request::Metrics,
+        0x05 => {
+            let n = read_u32(buf, &mut pos)? as usize;
+            let mut statements = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                let query = read_str(buf, &mut pos)?;
+                let nparams = read_u16(buf, &mut pos)? as usize;
+                let mut params = Vec::with_capacity(nparams);
+                for _ in 0..nparams {
+                    let k = read_str(buf, &mut pos)?;
+                    params.push((k, read_value(buf, &mut pos)?));
+                }
+                statements.push((query, params));
+            }
+            let min_watermark = read_u64(buf, &mut pos)?;
+            Request::RunBatch {
+                statements,
+                min_watermark,
+            }
+        }
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -429,28 +488,78 @@ pub fn decode_request(buf: &[u8]) -> io::Result<Request> {
     })
 }
 
+/// Serializes one query result (shared by `OK` and `BATCH` items).
+fn write_result(out: &mut Vec<u8>, result: &QueryResult) {
+    out.extend_from_slice(&(result.columns.len() as u16).to_le_bytes());
+    for c in &result.columns {
+        write_str(out, c);
+    }
+    out.extend_from_slice(&(result.rows.len() as u32).to_le_bytes());
+    for row in &result.rows {
+        for v in row {
+            write_value(out, v);
+        }
+    }
+}
+
+/// Deserializes one query result (shared by `OK` and `BATCH` items).
+fn read_result(buf: &[u8], pos: &mut usize) -> io::Result<QueryResult> {
+    let ncols = read_u16(buf, pos)? as usize;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        columns.push(read_str(buf, pos)?);
+    }
+    let nrows = read_u32(buf, pos)? as usize;
+    // Zero-column rows consume no payload bytes, so a malformed
+    // header could otherwise demand billions of loop iterations.
+    if ncols == 0 && nrows > 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "rows without columns",
+        ));
+    }
+    let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+    for _ in 0..nrows {
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(read_value(buf, pos)?);
+        }
+        rows.push(row);
+    }
+    Ok(QueryResult { columns, rows })
+}
+
 /// Serializes a response payload.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::new();
     match resp {
         Response::Ok { result, watermark } => {
             out.push(0x00);
-            out.extend_from_slice(&(result.columns.len() as u16).to_le_bytes());
-            for c in &result.columns {
-                write_str(&mut out, c);
-            }
-            out.extend_from_slice(&(result.rows.len() as u32).to_le_bytes());
-            for row in &result.rows {
-                for v in row {
-                    write_value(&mut out, v);
-                }
-            }
+            write_result(&mut out, result);
             out.extend_from_slice(&watermark.to_le_bytes());
         }
         Response::Err(err) => {
             out.push(0x01);
             out.push(err.code as u8);
             write_str(&mut out, &err.message);
+        }
+        Response::Batch { results, watermark } => {
+            out.push(0x03);
+            out.extend_from_slice(&(results.len() as u32).to_le_bytes());
+            for item in results {
+                match item {
+                    Ok(result) => {
+                        out.push(0x00);
+                        write_result(&mut out, result);
+                    }
+                    Err(err) => {
+                        out.push(0x01);
+                        out.push(err.code as u8);
+                        write_str(&mut out, &err.message);
+                    }
+                }
+            }
+            out.extend_from_slice(&watermark.to_le_bytes());
         }
         Response::Metrics(snap) => {
             out.push(0x02);
@@ -481,33 +590,9 @@ pub fn decode_response(buf: &[u8]) -> io::Result<Response> {
     let mut pos = 0;
     match read_u8(buf, &mut pos)? {
         0x00 => {
-            let ncols = read_u16(buf, &mut pos)? as usize;
-            let mut columns = Vec::with_capacity(ncols);
-            for _ in 0..ncols {
-                columns.push(read_str(buf, &mut pos)?);
-            }
-            let nrows = read_u32(buf, &mut pos)? as usize;
-            // Zero-column rows consume no payload bytes, so a malformed
-            // header could otherwise demand billions of loop iterations.
-            if ncols == 0 && nrows > 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "rows without columns",
-                ));
-            }
-            let mut rows = Vec::with_capacity(nrows.min(1 << 20));
-            for _ in 0..nrows {
-                let mut row = Vec::with_capacity(ncols);
-                for _ in 0..ncols {
-                    row.push(read_value(buf, &mut pos)?);
-                }
-                rows.push(row);
-            }
+            let result = read_result(buf, &mut pos)?;
             let watermark = read_u64(buf, &mut pos)?;
-            Ok(Response::Ok {
-                result: QueryResult { columns, rows },
-                watermark,
-            })
+            Ok(Response::Ok { result, watermark })
         }
         0x01 => {
             let code = ErrorCode::from_u8(read_u8(buf, &mut pos)?);
@@ -552,6 +637,30 @@ pub fn decode_response(buf: &[u8]) -> io::Result<Response> {
                 gauges,
                 histograms,
             }))
+        }
+        0x03 => {
+            let n = read_u32(buf, &mut pos)? as usize;
+            let mut results = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                match read_u8(buf, &mut pos)? {
+                    0x00 => results.push(Ok(read_result(buf, &mut pos)?)),
+                    0x01 => {
+                        let code = ErrorCode::from_u8(read_u8(buf, &mut pos)?);
+                        results.push(Err(WireError {
+                            code,
+                            message: read_str(buf, &mut pos)?,
+                        }));
+                    }
+                    other => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unknown batch item tag {other}"),
+                        ))
+                    }
+                }
+            }
+            let watermark = read_u64(buf, &mut pos)?;
+            Ok(Response::Batch { results, watermark })
         }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -738,6 +847,53 @@ mod tests {
         }
         // Unknown future codes degrade to Generic instead of failing.
         assert_eq!(ErrorCode::from_u8(200), ErrorCode::Generic);
+    }
+
+    #[test]
+    fn run_batch_roundtrip() {
+        let req = Request::RunBatch {
+            statements: vec![
+                (
+                    "CREATE (n:Person {id: $id})".into(),
+                    vec![("id".into(), Value::Int(1))],
+                ),
+                ("MATCH (n) RETURN n".into(), vec![]),
+            ],
+            min_watermark: 42,
+        };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        // An empty batch is wire-legal.
+        let empty = Request::RunBatch {
+            statements: vec![],
+            min_watermark: 0,
+        };
+        assert_eq!(decode_request(&encode_request(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn batch_response_roundtrip_mixes_ok_and_err() {
+        let resp = Response::Batch {
+            results: vec![
+                Ok(QueryResult {
+                    columns: vec!["n".into()],
+                    rows: vec![vec![Value::Int(7)]],
+                }),
+                Err(WireError::new(ErrorCode::Timeout, "deadline")),
+                Ok(QueryResult {
+                    columns: vec![],
+                    rows: vec![],
+                }),
+            ],
+            watermark: 99,
+        };
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        // Unknown item tags are a protocol error, not a panic.
+        let mut bytes = encode_response(&Response::Batch {
+            results: vec![Err(WireError::generic("x"))],
+            watermark: 0,
+        });
+        bytes[5] = 0x7F; // item tag of the first (only) entry
+        assert!(decode_response(&bytes).is_err());
     }
 
     #[test]

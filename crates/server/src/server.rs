@@ -657,6 +657,74 @@ fn handle_connection(
                 }
                 r
             }
+            Ok(Request::RunBatch {
+                statements,
+                min_watermark,
+            }) => {
+                shared
+                    .queries
+                    .fetch_add(statements.len() as u64, Ordering::Relaxed);
+                // One budget spans the whole batch: a pipelined frame must
+                // not multiply the per-request deadline by its length.
+                let budget = ExecBudget {
+                    deadline: Some(started + shared.cfg.request_deadline),
+                    cancel: Some(cancel.clone()),
+                };
+                // The staleness gate applies to the batch as a whole (one
+                // floor, checked once, same conservatism as Run).
+                let watermark = shared.db.latest_ts();
+                if min_watermark > watermark {
+                    shared.tel.stale_reject();
+                    let r = Response::Err(WireError::new(
+                        ErrorCode::StaleReplica,
+                        format!("replica watermark {watermark} behind requested {min_watermark}"),
+                    ));
+                    write_frame(&mut stream, &encode_response(&r))?;
+                    continue;
+                }
+                let mut results = Vec::with_capacity(statements.len());
+                for (query, params) in statements {
+                    // Read-only replicas gate per statement: reads in a
+                    // mixed batch still execute, each write gets its own
+                    // typed refusal.
+                    if shared.cfg.read_only && !crate::client::query_is_read_only(&query) {
+                        shared.tel.read_only_reject();
+                        results.push(Err(WireError::new(
+                            ErrorCode::ReadOnlyReplica,
+                            "replica is read-only; route writes to the primary",
+                        )));
+                        continue;
+                    }
+                    let params: Params = params.into_iter().collect();
+                    match query::execute_with_budget(&shared.db, &query, &params, budget.clone()) {
+                        Ok(result) => results.push(Ok(result)),
+                        Err(lpg::GraphError::DeadlineExceeded) => {
+                            shared.tel.deadline_abort();
+                            let err = if shared.stop.load(Ordering::Acquire) {
+                                WireError::new(
+                                    ErrorCode::ShuttingDown,
+                                    "request aborted by server drain",
+                                )
+                            } else {
+                                WireError::new(
+                                    ErrorCode::Timeout,
+                                    format!(
+                                        "batch deadline exceeded ({} ms)",
+                                        shared.cfg.request_deadline.as_millis()
+                                    ),
+                                )
+                            };
+                            results.push(Err(err));
+                        }
+                        Err(e) => results.push(Err(WireError::generic(e.to_string()))),
+                    }
+                }
+                shared.tel.run_latency.record(elapsed_ns(started));
+                Response::Batch {
+                    results,
+                    watermark: shared.db.latest_ts(),
+                }
+            }
             Err(e) => {
                 // A framing/decode failure means the byte stream can no
                 // longer be trusted (e.g. corruption): answer once, then

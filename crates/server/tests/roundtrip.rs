@@ -53,6 +53,46 @@ fn errors_propagate_without_closing_connection() {
 }
 
 #[test]
+fn run_batch_pipelines_statements_in_one_frame() {
+    let (_d, db, server) = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Writes, a failing statement mid-batch, then reads — all one frame.
+    let (results, watermark) = client
+        .run_batch(
+            vec![
+                ("CREATE (n:Person {_id: 1, name: 'ada'})".into(), vec![]),
+                ("CREATE (n:Person {_id: 2})".into(), vec![]),
+                ("THIS IS NOT CYPHER".into(), vec![]),
+                (
+                    "MATCH (n) WHERE id(n) = $id RETURN n.name".into(),
+                    vec![("id".into(), Value::Int(1))],
+                ),
+            ],
+            0,
+        )
+        .unwrap();
+    assert_eq!(results.len(), 4);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_ok());
+    // The parse error is per-statement; the batch keeps going.
+    assert!(results[2].is_err());
+    let read = results[3].as_ref().unwrap();
+    assert_eq!(read.rows, vec![vec![Value::Str("ada".into())]]);
+    assert!(watermark >= 2, "watermark reflects the batch's own writes");
+    // The writes are visible to later requests on the same connection.
+    db.lineage_barrier(db.latest_ts());
+    let r = client
+        .run("MATCH (n:Person) RETURN count(n)", vec![])
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+    // Each batched statement counts toward the query counter.
+    assert!(server.query_count() >= 5);
+    // An empty batch is a no-op that still answers.
+    let (results, _) = client.run_batch(vec![], 0).unwrap();
+    assert!(results.is_empty());
+}
+
+#[test]
 fn concurrent_clients() {
     let (_d, db, server) = start();
     // Seed.

@@ -357,11 +357,14 @@ impl TimeStore {
         }
         let frame = CommitFrame::from_updates(ts, updates);
         let offset = self.log.append(&frame)?;
+        // The commit is in the log from here on: recovery replays it even
+        // if the index insert or in-memory apply below fails. Publish
+        // `latest_ts` before those steps so a caller seeing an error can
+        // classify it: `latest_ts() < ts` means the log rejected the frame
+        // cleanly (nothing persisted, the same timestamp may be retried),
+        // `latest_ts() >= ts` means the commit reached the log and its
+        // durability is uncertain.
         self.metrics.log_appends.inc();
-        self.time_index
-            .insert(&keys::ts_key(ts), &offset.to_le_bytes())
-            .map_err(storage_err)?;
-        self.graphstore.apply_commit(ts, updates)?;
         let should_snapshot;
         {
             let mut state = self.state.lock();
@@ -373,6 +376,10 @@ impl TimeStore {
                 self.policy
                     .should_snapshot(state.ops_since_snapshot, state.last_snapshot_ts, ts);
         }
+        self.time_index
+            .insert(&keys::ts_key(ts), &offset.to_le_bytes())
+            .map_err(storage_err)?;
+        self.graphstore.apply_commit(ts, updates)?;
         if should_snapshot {
             self.write_snapshot(ts)?;
         }

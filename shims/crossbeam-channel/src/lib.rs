@@ -2,8 +2,9 @@
 //! subset used by the cascade worker, delegated to `std::sync::mpsc`.
 
 use std::sync::mpsc;
+use std::time::Duration;
 
-pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
 pub struct Sender<T>(mpsc::Sender<T>);
 
@@ -28,6 +29,10 @@ impl<T> Receiver<T> {
 
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         self.0.try_recv()
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
     }
 
     pub fn iter(&self) -> mpsc::Iter<'_, T> {

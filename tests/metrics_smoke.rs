@@ -91,6 +91,35 @@ fn metrics_cover_every_layer_after_a_workload() {
     // Core + query: commits and the executed statement were timed.
     assert!(counter("core.commits") > 0, "commits");
     assert!(hist_count("core.commit.latency_ns") > 0);
+    // Group commit: every commit belongs to a log-writer group, and the
+    // ingest loop's explicit `sync()` above flushed an unsynced log tail.
+    let groups = snap.histogram("core.group_commit.size").expect("group size");
+    assert!(groups.count > 0, "group commit groups formed");
+    assert!(
+        groups.sum >= counter("core.commits"),
+        "histogram sum counts every grouped commit"
+    );
+    assert!(
+        counter("core.group_commit.forced_flushes") > 0,
+        "explicit sync with an unsynced log tail is a forced flush"
+    );
+    // A failed commit counts in `core.commits_failed`, not `core.commits`.
+    let commits_before = counter("core.commits");
+    let failed_before = counter("core.commits_failed");
+    db.write_at(1, |txn| txn.add_node(NodeId::new(u64::MAX - 1), vec![], vec![]))
+        .expect_err("stale forced timestamp must be rejected");
+    let snap = db.metrics();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    assert_eq!(
+        counter("core.commits"),
+        commits_before,
+        "failed commits must not count as commits"
+    );
+    assert_eq!(
+        counter("core.commits_failed"),
+        failed_before + 1,
+        "failed commits count separately"
+    );
     assert!(counter("query.executed") > 0, "queries");
     assert!(hist_count("query.exec.latency_ns") > 0, "query latency");
 

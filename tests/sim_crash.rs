@@ -323,6 +323,170 @@ fn crash_consistency_simulation() {
     }
 }
 
+/// Crashing the group-commit writer mid-flight: concurrent committers
+/// flow through the shared log-writer thread (small latency budget so
+/// groups really form), the SimVfs crashes at sampled points, and after
+/// heal + reopen:
+///
+/// 1. every commit acknowledged under `sync_on_commit` survives exactly;
+/// 2. every recovered commit — acked or in-flight — equals one attempted
+///    batch in full (a group is never torn into partial commits);
+/// 3. the Full fsck audit is clean and the database accepts new writes.
+#[test]
+fn group_commit_crash_recovery_with_concurrent_writers() {
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 20;
+    const BATCH: u64 = 3;
+
+    fn group_config(sim: &SimVfs, sync_on_commit: bool) -> AionConfig {
+        let mut cfg = AionConfig::new(db_root());
+        cfg.vfs = VfsRef::new(Arc::new(sim.clone()));
+        cfg.sync_on_commit = sync_on_commit;
+        cfg.commit_latency_budget = std::time::Duration::from_millis(1);
+        cfg.timestore.policy = SnapshotPolicy::EveryNOps(16);
+        cfg.timestore.cache_pages = 64;
+        cfg.lineage.cache_pages = 64;
+        cfg
+    }
+
+    /// Node ids encode (writer, commit, slot) so any recovered commit can
+    /// be matched back to the exact batch that produced it.
+    fn node_id(writer: u64, commit: u64, slot: u64) -> u64 {
+        writer * 100_000 + commit * 10 + slot
+    }
+
+    /// Runs the concurrent workload until every writer finishes or hits
+    /// its first error. Returns each acknowledged commit as
+    /// `(ts, writer, commit)` — with `sync_on_commit` every one of these
+    /// was covered by a group fsync before the ack.
+    fn run_concurrent(sim: &SimVfs) -> Vec<(u64, u64, u64)> {
+        let Ok(db) = Aion::open(group_config(sim, true)) else {
+            return Vec::new();
+        };
+        let db = Arc::new(db);
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    let mut acked = Vec::new();
+                    for c in 0..PER_WRITER {
+                        let res = db.write(|txn| {
+                            for s in 0..BATCH {
+                                txn.add_node(NodeId::new(node_id(w, c, s)), vec![], vec![])?;
+                            }
+                            Ok(())
+                        });
+                        match res {
+                            Ok(ts) => acked.push((ts, w, c)),
+                            Err(_) => break,
+                        }
+                    }
+                    acked
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("writer thread"))
+            .collect()
+    }
+
+    // Measuring run: a rough op count to spread crash points over. The
+    // concurrent schedule is nondeterministic, so points are coarse
+    // fractions rather than exhaustive op replay — the invariants they
+    // check hold at *any* crash point.
+    let sim = SimVfs::new(42);
+    let acked = run_concurrent(&sim);
+    assert_eq!(
+        acked.len() as u64,
+        WRITERS * PER_WRITER,
+        "fault-free run commits everything"
+    );
+    let total_ops = sim.op_count().max(1);
+
+    for frac in 1..=8u64 {
+        let crash_at = total_ops * frac / 9;
+        let sim = SimVfs::with_faults(
+            1000 + frac,
+            FaultConfig {
+                crash_at_op: Some(crash_at),
+                io_error_rate: 0.0,
+                torn_granularity: 64,
+                survive_probability: 0.5,
+            },
+        );
+        let acked = run_concurrent(&sim);
+        let ctx = format!("crash_at_op {crash_at}/{total_ops}");
+        sim.heal();
+        let db = Aion::open(group_config(&sim, false))
+            .unwrap_or_else(|e| panic!("{ctx}: recovery reopen failed: {e}"));
+        let recovered = db.latest_ts();
+
+        // Group the recovered log by commit timestamp.
+        let diff = db
+            .get_diff(1, recovered + 1)
+            .unwrap_or_else(|e| panic!("{ctx}: get_diff failed: {e}"));
+        let mut by_ts: std::collections::BTreeMap<u64, Vec<Update>> = Default::default();
+        for u in diff {
+            by_ts.entry(u.ts).or_default().push(u.op);
+        }
+
+        // 1. No acknowledged commit is lost, and each is recovered as the
+        //    batch its writer attempted.
+        for &(ts, w, c) in &acked {
+            assert!(
+                ts <= recovered,
+                "{ctx}: acked commit ts {ts} (writer {w} commit {c}) lost — recovered only to {recovered}"
+            );
+            let want: Vec<Update> = (0..BATCH)
+                .map(|s| Update::AddNode {
+                    id: NodeId::new(node_id(w, c, s)),
+                    labels: vec![],
+                    props: vec![],
+                })
+                .collect();
+            assert_eq!(
+                by_ts.get(&ts),
+                Some(&want),
+                "{ctx}: acked commit ts {ts} recovered with the wrong batch"
+            );
+        }
+
+        // 2. Every recovered commit — including in-flight ones that never
+        //    got an ack — is exactly one attempted batch, never a torn
+        //    slice of a group.
+        for (ts, ops) in &by_ts {
+            assert_eq!(
+                ops.len() as u64,
+                BATCH,
+                "{ctx}: commit {ts} is a partial batch: {ops:?}"
+            );
+            let Update::AddNode { id, .. } = &ops[0] else {
+                panic!("{ctx}: commit {ts} holds unexpected op {:?}", ops[0]);
+            };
+            let (w, c) = (id.raw() / 100_000, id.raw() % 100_000 / 10);
+            for (s, op) in ops.iter().enumerate() {
+                let Update::AddNode { id, .. } = op else {
+                    panic!("{ctx}: commit {ts} holds unexpected op {op:?}");
+                };
+                assert_eq!(
+                    id.raw(),
+                    node_id(w, c, s as u64),
+                    "{ctx}: commit {ts} mixes updates from different batches"
+                );
+            }
+        }
+
+        // 3. Clean audit, and the recovered instance accepts new work.
+        let report = db
+            .check_consistency(CheckLevel::Full)
+            .unwrap_or_else(|e| panic!("{ctx}: check_consistency failed: {e}"));
+        assert!(report.is_clean(), "{ctx}: fsck violations: {report:?}");
+        db.write(|txn| txn.add_node(NodeId::new(9_000_000), vec![], vec![]))
+            .unwrap_or_else(|e| panic!("{ctx}: post-recovery write failed: {e}"));
+    }
+}
+
 /// Transient `EIO`/`ENOSPC` injection: failed commits surface as errors,
 /// every acknowledged commit stays readable, each logged commit is the
 /// attempted batch exactly, and the audit stays clean once errors stop.

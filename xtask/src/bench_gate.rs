@@ -1,16 +1,22 @@
-//! `cargo xtask bench-gate` — the perf-regression gate over the Fig. 9
-//! ingestion harness.
+//! `cargo xtask bench-gate` — the perf-regression gate over the write
+//! path.
 //!
-//! Runs `aion_bench::fig09_ingest` in-process and diffs the normalized
-//! throughput ratios (TS+LS, LS-only, TS-only — all relative to the
-//! non-temporal baseline, so machine speed largely cancels out) against
-//! the checked-in `BENCH_ingest.json`. A ratio outside the relative
-//! tolerance band fails the gate; `--update` rewrites the baseline
-//! instead.
+//! Two in-process experiments, diffed against the checked-in
+//! `BENCH_ingest.json`:
+//!
+//! * `aion_bench::fig09_ingest` — normalized ingestion-overhead ratios
+//!   (TS+LS, LS-only, TS-only relative to the non-temporal baseline, so
+//!   machine speed largely cancels out);
+//! * `aion_bench::write_throughput` — group-commit coalescing
+//!   (`commits_per_fsync`) and the grouped run's throughput relative to
+//!   the single-writer per-commit-fsync run (`rel_throughput`).
+//!
+//! A ratio outside the relative tolerance band fails the gate;
+//! `--update` rewrites the baseline instead.
 //!
 //! The baseline is tiny, hand-readable JSON written and parsed here —
-//! the workspace has no serde, and the format is four rows of four
-//! fields.
+//! the workspace has no serde, and the format is a handful of one-line
+//! rows.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -57,6 +63,7 @@ pub fn run(args: Vec<String>, root: PathBuf) -> ExitCode {
         }
     }
     let path = baseline.unwrap_or_else(|| root.join("BENCH_ingest.json"));
+    let wt_cfg = aion_bench::write_throughput::WriteThroughputConfig::default();
 
     println!(
         "bench-gate: fig. 9 ingest, |E| = {}, seed = {}, median of {runs} run(s), \
@@ -72,8 +79,18 @@ pub fn run(args: Vec<String>, root: PathBuf) -> ExitCode {
         .collect();
     let rows = median_rows(&samples);
 
+    println!(
+        "bench-gate: write throughput, {} commits, {} writers, seed = {}, \
+         median of {runs} run(s)",
+        wt_cfg.commits, wt_cfg.writers, wt_cfg.seed
+    );
+    let wt_samples: Vec<Vec<aion_bench::write_throughput::WriteRow>> = (0..runs)
+        .map(|_| aion_bench::write_throughput::run(&wt_cfg))
+        .collect();
+    let wt_rows = median_wt_rows(&wt_samples);
+
     if update {
-        let json = render(&cfg, &rows);
+        let json = render(&cfg, &rows, &wt_cfg, &wt_rows);
         return match std::fs::write(&path, json) {
             Ok(()) => {
                 println!("bench-gate: baseline written to {}", path.display());
@@ -112,6 +129,25 @@ pub fn run(args: Vec<String>, root: PathBuf) -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    if base.wt_rows.is_empty() {
+        eprintln!(
+            "bench-gate: baseline {} has no write_throughput section — refresh it with \
+             `cargo xtask bench-gate --update`",
+            path.display()
+        );
+        return ExitCode::from(2);
+    }
+    if base.wt_commits != wt_cfg.commits
+        || base.wt_writers != wt_cfg.writers
+        || base.wt_seed != wt_cfg.seed
+    {
+        eprintln!(
+            "bench-gate: baseline write_throughput was recorded at {} commits, {} writers, \
+             seed {} — refresh it with --update",
+            base.wt_commits, base.wt_writers, base.wt_seed
+        );
+        return ExitCode::from(2);
+    }
 
     let mut failures = 0u32;
     for row in &rows {
@@ -143,6 +179,39 @@ pub fn run(args: Vec<String>, root: PathBuf) -> ExitCode {
                 println!(
                     "bench-gate: ok   {}/{metric}: {got:.3} vs {want:.3} (drift {:.0}%)",
                     row.dataset,
+                    drift * 100.0
+                );
+            }
+        }
+    }
+    for row in &wt_rows {
+        let Some(b) = base.wt_rows.iter().find(|b| b.metric == row.metric) else {
+            eprintln!("bench-gate: FAIL {}: missing from baseline", row.metric);
+            failures += 1;
+            continue;
+        };
+        for (metric, got, want) in [
+            ("commits_per_fsync", row.commits_per_fsync, b.commits_per_fsync),
+            ("rel_throughput", row.rel_throughput, b.rel_throughput),
+        ] {
+            let drift = if want > 0.0 {
+                (got - want).abs() / want
+            } else {
+                got.abs()
+            };
+            if drift > tolerance {
+                eprintln!(
+                    "bench-gate: FAIL {}/{metric}: {got:.3} vs baseline {want:.3} \
+                     (drift {:.0}% > {:.0}%)",
+                    row.metric,
+                    drift * 100.0,
+                    tolerance * 100.0
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "bench-gate: ok   {}/{metric}: {got:.3} vs {want:.3} (drift {:.0}%)",
+                    row.metric,
                     drift * 100.0
                 );
             }
@@ -187,6 +256,38 @@ fn median_rows(samples: &[Vec<aion_bench::fig09_ingest::IngestRow>]) -> Vec<Base
         .collect()
 }
 
+struct WtBaselineRow {
+    metric: String,
+    commits_per_fsync: f64,
+    rel_throughput: f64,
+}
+
+/// Per-configuration medians across write-throughput harness runs.
+fn median_wt_rows(samples: &[Vec<aion_bench::write_throughput::WriteRow>]) -> Vec<WtBaselineRow> {
+    let Some(first) = samples.first() else {
+        return Vec::new();
+    };
+    first
+        .iter()
+        .enumerate()
+        .map(|(i, r)| WtBaselineRow {
+            metric: r.metric.clone(),
+            commits_per_fsync: median(
+                samples
+                    .iter()
+                    .filter_map(|s| s.get(i))
+                    .map(|r| r.commits_per_fsync),
+            ),
+            rel_throughput: median(
+                samples
+                    .iter()
+                    .filter_map(|s| s.get(i))
+                    .map(|r| r.rel_throughput),
+            ),
+        })
+        .collect()
+}
+
 fn median(values: impl Iterator<Item = f64>) -> f64 {
     let mut v: Vec<f64> = values.collect();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -201,9 +302,18 @@ struct Baseline {
     target_edges: u64,
     seed: u64,
     rows: Vec<BaselineRow>,
+    wt_commits: u64,
+    wt_writers: u64,
+    wt_seed: u64,
+    wt_rows: Vec<WtBaselineRow>,
 }
 
-fn render(cfg: &aion_bench::BenchConfig, rows: &[BaselineRow]) -> String {
+fn render(
+    cfg: &aion_bench::BenchConfig,
+    rows: &[BaselineRow],
+    wt_cfg: &aion_bench::write_throughput::WriteThroughputConfig,
+    wt_rows: &[WtBaselineRow],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"experiment\": \"fig09_ingest\",\n");
     out.push_str(&format!(
@@ -221,7 +331,27 @@ fn render(cfg: &aion_bench::BenchConfig, rows: &[BaselineRow]) -> String {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    // Second experiment in the same baseline file. The naive field scan
+    // matches whole-text first occurrences, so every key here is
+    // `wt_`-prefixed and row lines are keyed `"metric"` (never
+    // `"dataset"`) to stay collision-free with the section above.
+    out.push_str("  \"write_throughput\": {\n");
+    out.push_str(&format!(
+        "    \"config\": {{\"wt_commits\": {}, \"wt_writers\": {}, \"wt_seed\": {}}},\n",
+        wt_cfg.commits, wt_cfg.writers, wt_cfg.seed
+    ));
+    out.push_str("    \"rows\": [\n");
+    for (i, r) in wt_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"metric\": \"{}\", \"commits_per_fsync\": {:.4}, \"rel_throughput\": {:.4}}}{}\n",
+            r.metric,
+            r.commits_per_fsync,
+            r.rel_throughput,
+            if i + 1 < wt_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n  }\n}\n");
     out
 }
 
@@ -245,10 +375,36 @@ fn parse(text: &str) -> Result<Baseline, String> {
     if rows.is_empty() {
         return Err("no rows".into());
     }
+    // The write_throughput section is optional in old baselines; the
+    // caller decides whether its absence is fatal.
+    let mut wt_rows = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"metric\"") {
+            continue;
+        }
+        wt_rows.push(WtBaselineRow {
+            metric: field_str(line, "metric")?,
+            commits_per_fsync: field_f64(line, "commits_per_fsync")?,
+            rel_throughput: field_f64(line, "rel_throughput")?,
+        });
+    }
+    let (wt_commits, wt_writers, wt_seed) = if wt_rows.is_empty() {
+        (0, 0, 0)
+    } else {
+        (
+            field_u64(text, "wt_commits")?,
+            field_u64(text, "wt_writers")?,
+            field_u64(text, "wt_seed")?,
+        )
+    };
     Ok(Baseline {
         target_edges,
         seed,
         rows,
+        wt_commits,
+        wt_writers,
+        wt_seed,
+        wt_rows,
     })
 }
 

@@ -43,7 +43,7 @@ Commands:
             --list           print the rule catalogue and exit
             --rule <id>      run only this rule (repeatable)
             --root <dir>     analyze a different tree (testing)
-  bench-gate  diff a fresh Fig. 9 ingest run against BENCH_ingest.json
+  bench-gate  diff fresh Fig. 9 ingest + write-throughput runs against BENCH_ingest.json
             --update         rewrite the baseline from this run
             --baseline <p>   compare against a different file
             --tolerance <f>  relative band (default 0.5)
