@@ -115,8 +115,7 @@ pub fn run(cfg: &WriteThroughputConfig) -> Vec<WriteRow> {
         "config", "commits/fsync", "rel throughput", "commits/sec"
     );
 
-    let (single_secs, single_groups, single_commits) =
-        run_writers(cfg, 1, Duration::ZERO);
+    let (single_secs, single_groups, single_commits) = run_writers(cfg, 1, Duration::ZERO);
     let single_rate = single_commits as f64 / single_secs.max(1e-9);
     let single = WriteRow {
         metric: "single_writer".to_string(),

@@ -30,6 +30,6 @@ pub mod scan;
 pub mod tree;
 pub mod verify;
 
-pub use scan::Scan;
+pub use scan::{KeyScan, Scan};
 pub use tree::{BTree, MAX_INLINE_VALUE, MAX_KEY};
 pub use verify::{VerifyClass, VerifyReport, Violation};

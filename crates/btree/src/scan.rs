@@ -94,6 +94,93 @@ impl Iterator for Scan {
     }
 }
 
+/// Key-only iterator over `[low, high)` in key order.
+///
+/// Unlike [`Scan`] this never touches values or overflow chains: keys are
+/// copied straight out of each leaf while it is mapped. Index-style
+/// consumers (streaming executors walking `(entity, ts)` keys and resolving
+/// state lazily per entity) pay one page read per leaf instead of one per
+/// entry.
+pub struct KeyScan {
+    tree: BTree,
+    next_leaf: PageId,
+    high: Vec<u8>,
+    buffer: VecDeque<Vec<u8>>,
+    done: bool,
+}
+
+impl KeyScan {
+    pub(crate) fn new(
+        tree: BTree,
+        start_leaf: PageId,
+        low: &[u8],
+        high: &[u8],
+    ) -> io::Result<KeyScan> {
+        let mut s = KeyScan {
+            tree,
+            next_leaf: start_leaf,
+            high: high.to_vec(),
+            buffer: VecDeque::new(),
+            done: false,
+        };
+        s.fill(low)?;
+        Ok(s)
+    }
+
+    /// Buffers the next non-empty leaf's keys `>= low` and `< high`.
+    fn fill(&mut self, low: &[u8]) -> io::Result<()> {
+        while self.buffer.is_empty() && !self.done {
+            if self.next_leaf.is_null() {
+                self.done = true;
+                return Ok(());
+            }
+            let leaf = self.next_leaf;
+            let (keys, sibling, past_high) = self.tree.store().read(leaf, |p| {
+                let n = layout::ncells(p);
+                let start = match layout::leaf_search(p, low) {
+                    Ok(i) => i,
+                    Err(i) => i,
+                };
+                let mut keys = Vec::new();
+                let mut past = false;
+                for i in start..n {
+                    let key = layout::leaf_key(p, i);
+                    if !self.high.is_empty() && key >= self.high.as_slice() {
+                        past = true;
+                        break;
+                    }
+                    keys.push(key.to_vec());
+                }
+                (keys, layout::link(p), past)
+            })?;
+            self.buffer.extend(keys);
+            if past_high {
+                self.done = true;
+            } else {
+                self.next_leaf = PageId(sibling);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for KeyScan {
+    type Item = io::Result<Vec<u8>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.buffer.is_empty() {
+            if self.done {
+                return None;
+            }
+            if let Err(e) = self.fill(&[]) {
+                self.done = true;
+                return Some(Err(e));
+            }
+        }
+        self.buffer.pop_front().map(Ok)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::BTree;
@@ -158,6 +245,29 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, n);
+    }
+
+    #[test]
+    fn key_scan_matches_full_scan() {
+        let (_d, t) = tree();
+        let big = vec![0xABu8; 2_000]; // force overflow values
+        for i in 0..500u32 {
+            let v: &[u8] = if i % 7 == 0 { &big } else { b"v" };
+            t.insert(&k(i), v).unwrap();
+        }
+        let keys: Vec<Vec<u8>> = t
+            .scan_keys(&k(10), &k(400))
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let full: Vec<Vec<u8>> = t
+            .scan(&k(10), &k(400))
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        assert_eq!(keys, full);
+        assert_eq!(t.scan_keys(&k(1000), &[]).unwrap().count(), 0);
+        assert_eq!(t.scan_keys(&[], &[]).unwrap().count(), 500);
     }
 
     #[test]

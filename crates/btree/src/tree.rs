@@ -3,7 +3,7 @@
 
 use crate::layout::{self, FLAG_OVERFLOW, INTERNAL, LEAF};
 use crate::overflow;
-use crate::scan::Scan;
+use crate::scan::{KeyScan, Scan};
 use pagestore::{PageId, PageStore, PAGE_SIZE};
 use std::io;
 use std::sync::Arc;
@@ -432,6 +432,14 @@ impl BTree {
     pub fn scan(&self, low: &[u8], high: &[u8]) -> io::Result<Scan> {
         let (_, leaf) = self.descend(low)?;
         Scan::new(self.clone(), leaf, low, high)
+    }
+
+    /// Ordered key-only scan over `[low, high)` — the range-stream API for
+    /// index walks that resolve values lazily. Skips value and overflow
+    /// reads entirely; see [`crate::scan::KeyScan`].
+    pub fn scan_keys(&self, low: &[u8], high: &[u8]) -> io::Result<KeyScan> {
+        let (_, leaf) = self.descend(low)?;
+        KeyScan::new(self.clone(), leaf, low, high)
     }
 
     /// The greatest entry with key `<= key` (floor lookup) — the access that

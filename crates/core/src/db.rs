@@ -588,6 +588,39 @@ impl Aion {
         self.timestore.snapshot_at(t)
     }
 
+    /// Lazy ascending-id stream of the nodes alive at `ts`, starting
+    /// strictly after `after`. Prefers the lineage index (O(log n) to the
+    /// resume point, O(1) memory); falls back to a pinned TimeStore
+    /// snapshot while the lineage applier lags or is wedged. Both sources
+    /// yield the identical sequence, so pagination cursors are
+    /// source-independent. See [`crate::stream::NodeStream`].
+    pub fn stream_nodes_at(
+        &self,
+        ts: Timestamp,
+        after: Option<NodeId>,
+    ) -> Result<crate::stream::NodeStream> {
+        if self.lineage_current(ts) && !self.lineage_wedged() {
+            crate::stream::NodeStream::lineage(Arc::clone(&self.lineage), ts, after)
+        } else {
+            Ok(crate::stream::NodeStream::snapshot(
+                self.timestore.snapshot_at(ts)?,
+                ts,
+                after,
+            ))
+        }
+    }
+
+    /// Whether `id` was alive at `ts` — cursor-anchor revalidation: a
+    /// resumed cursor's last-emitted node must still resolve at its pinned
+    /// snapshot, otherwise resuming could skip or duplicate rows.
+    pub fn node_alive_at(&self, id: NodeId, ts: Timestamp) -> Result<bool> {
+        if self.lineage_current(ts) && !self.lineage_wedged() {
+            Ok(self.lineage.node_at(id, ts)?.is_some())
+        } else {
+            Ok(self.timestore.snapshot_at(ts)?.node(id).is_some())
+        }
+    }
+
     /// `getGraph(start, end, step)` — a snapshot series.
     pub fn get_graphs(
         &self,

@@ -86,10 +86,7 @@ impl CommitSlot {
             if let Some(result) = state.take() {
                 return result;
             }
-            state = self
-                .cond
-                .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
+            state = self.cond.wait(state).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -137,7 +134,11 @@ impl LogWriter {
     /// Drains whatever is queued behind `first`; when each ack implies an
     /// fsync and a latency budget is configured, keeps the group open for
     /// late arrivals until the budget expires.
-    fn collect_group(&self, rx: &Receiver<CommitRequest>, first: CommitRequest) -> Vec<CommitRequest> {
+    fn collect_group(
+        &self,
+        rx: &Receiver<CommitRequest>,
+        first: CommitRequest,
+    ) -> Vec<CommitRequest> {
         let mut group = vec![first];
         while let Ok(req) = rx.try_recv() {
             group.push(req);

@@ -44,10 +44,12 @@ mod group_commit;
 pub mod planner;
 pub mod procedures;
 pub mod stats;
+pub mod stream;
 pub mod txn;
 
 pub use check::{CheckLevel, ConsistencyReport};
 pub use db::{Aion, AionConfig, StoreChoice};
 pub use planner::Planner;
 pub use stats::Statistics;
+pub use stream::NodeStream;
 pub use txn::{CommitEvent, WriteTxn};

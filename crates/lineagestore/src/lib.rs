@@ -28,7 +28,9 @@ pub mod audit;
 pub mod entry;
 pub mod expand;
 pub mod store;
+pub mod stream;
 
 pub use audit::AuditFinding;
 pub use entry::LineageEntry;
 pub use store::{LineageStore, LineageStoreConfig, LineageStoreStats};
+pub use stream::NodeIdScan;

@@ -53,6 +53,16 @@ pub enum GraphError {
     /// passed or the server cancelled it during drain); execution stopped
     /// cooperatively at a check point, never mid-commit.
     DeadlineExceeded,
+    /// The request exceeded its row or byte result budget. Distinct from
+    /// [`GraphError::DeadlineExceeded`]: the query was not slow, it was
+    /// too big. Deterministic for a given query and dataset, so clients
+    /// should page or narrow the query rather than retry.
+    BudgetExceeded,
+    /// A pagination cursor failed revalidation: corrupted or truncated
+    /// token, a cursor minted for a different query, or an anchor that no
+    /// longer resolves at its pinned snapshot. Resuming would risk
+    /// skipped or duplicated rows, so the request is refused instead.
+    CursorInvalid(String),
     /// The query referenced an unknown label, key, or parameter.
     Unknown(String),
 }
@@ -84,6 +94,10 @@ impl fmt::Display for GraphError {
             GraphError::DeadlineExceeded => {
                 write!(f, "deadline exceeded: query aborted by execution budget")
             }
+            GraphError::BudgetExceeded => {
+                write!(f, "budget exceeded: result larger than the row/byte budget")
+            }
+            GraphError::CursorInvalid(msg) => write!(f, "invalid cursor: {msg}"),
             GraphError::Unknown(what) => write!(f, "unknown reference: {what}"),
         }
     }

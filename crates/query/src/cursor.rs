@@ -1,0 +1,279 @@
+//! Opaque, resumable pagination cursors.
+//!
+//! A cursor token pins everything a resume needs to be exact:
+//!
+//! - the **snapshot timestamp** the scan executes at, so every page of
+//!   one logical scan sees the same graph even while writers commit;
+//! - a **query fingerprint** (query text + parameters), so a token can
+//!   only resume the query it was minted for;
+//! - the **anchor** — either the last node key emitted (streaming scans
+//!   resume strictly after it) or a row offset (materialized fallback);
+//! - the **rows emitted so far**, so `LIMIT` composes across pages;
+//! - an FNV-1a **checksum** over all of the above.
+//!
+//! Tokens are integrity-checked, not authenticated: a corrupted,
+//! truncated, or bit-flipped token is rejected with
+//! [`GraphError::CursorInvalid`] — never mis-resumed. On top of the
+//! codec, the executor revalidates the anchor against the pinned
+//! snapshot (a compacted or vanished anchor also yields `CursorInvalid`
+//! rather than silently skipping or duplicating rows).
+
+use crate::exec::Params;
+use crate::value::Value;
+use lpg::{GraphError, Result};
+
+const MAGIC: u16 = 0xA10C;
+const VERSION: u8 = 1;
+const KIND_KEY: u8 = 1;
+const KIND_OFFSET: u8 = 2;
+/// magic(2) + version(1) + kind(1) + ts(8) + anchor(8) + rows(8) +
+/// fingerprint(8) + checksum(8).
+const TOKEN_LEN: usize = 44;
+
+/// Where a resumed scan picks up.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Anchor {
+    /// Streaming scan: resume strictly after this node key.
+    Key(u64),
+    /// Materialized fallback: resume at this row offset.
+    Offset(u64),
+}
+
+/// A decoded cursor token.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CursorToken {
+    /// Snapshot timestamp the paged scan is pinned to.
+    pub snapshot_ts: u64,
+    /// Fingerprint of the query text + parameters.
+    pub fingerprint: u64,
+    /// Rows emitted by all previous pages (LIMIT accounting).
+    pub rows_emitted: u64,
+    /// Resume position.
+    pub anchor: Anchor,
+}
+
+impl CursorToken {
+    /// Serializes the token with its trailing checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(TOKEN_LEN);
+        out.extend_from_slice(&MAGIC.to_be_bytes());
+        out.push(VERSION);
+        let (kind, anchor) = match self.anchor {
+            Anchor::Key(k) => (KIND_KEY, k),
+            Anchor::Offset(o) => (KIND_OFFSET, o),
+        };
+        out.push(kind);
+        out.extend_from_slice(&self.snapshot_ts.to_be_bytes());
+        out.extend_from_slice(&anchor.to_be_bytes());
+        out.extend_from_slice(&self.rows_emitted.to_be_bytes());
+        out.extend_from_slice(&self.fingerprint.to_be_bytes());
+        let sum = fnv64(&out);
+        out.extend_from_slice(&sum.to_be_bytes());
+        out
+    }
+
+    /// Parses and integrity-checks a token. Every failure is a typed
+    /// [`GraphError::CursorInvalid`]; garbage can never mis-resume.
+    pub fn decode(bytes: &[u8]) -> Result<CursorToken> {
+        let invalid = |why: &str| GraphError::CursorInvalid(why.into());
+        if bytes.len() != TOKEN_LEN {
+            return Err(invalid("wrong length"));
+        }
+        let (body, sum_bytes) = bytes.split_at(TOKEN_LEN - 8);
+        let stored = u64::from_be_bytes(sum_bytes.try_into().map_err(|_| invalid("checksum"))?);
+        if fnv64(body) != stored {
+            return Err(invalid("checksum mismatch"));
+        }
+        let u16_at = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
+        let u64_at = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_be_bytes(b)
+        };
+        if u16_at(0) != MAGIC {
+            return Err(invalid("bad magic"));
+        }
+        if bytes[2] != VERSION {
+            return Err(invalid("unknown version"));
+        }
+        let anchor = match bytes[3] {
+            KIND_KEY => Anchor::Key(u64_at(12)),
+            KIND_OFFSET => Anchor::Offset(u64_at(12)),
+            _ => return Err(invalid("unknown anchor kind")),
+        };
+        Ok(CursorToken {
+            snapshot_ts: u64_at(4),
+            anchor,
+            rows_emitted: u64_at(20),
+            fingerprint: u64_at(28),
+        })
+    }
+}
+
+/// Decodes only the pinned snapshot timestamp (integrity-checked). The
+/// server's staleness gate uses this before executing: a replica whose
+/// replay watermark is behind the cursor's snapshot must refuse with
+/// `StaleReplica` (retryable elsewhere) instead of serving rows the
+/// cursor's snapshot has not reached — the same `min_watermark`
+/// bounded-staleness contract as first-page reads.
+pub fn peek_snapshot_ts(bytes: &[u8]) -> Result<u64> {
+    CursorToken::decode(bytes).map(|t| t.snapshot_ts)
+}
+
+/// The page window `[start, end)` into a materialized result of `total`
+/// rows. An offset beyond the result means the anchor no longer exists
+/// (the query re-executed smaller than when the cursor was minted) —
+/// a genuine revalidation failure.
+pub fn compute_page_window(total: usize, offset: u64, page_size: usize) -> Result<(usize, usize)> {
+    let start = usize::try_from(offset)
+        .ok()
+        .filter(|s| *s <= total)
+        .ok_or_else(|| {
+            GraphError::CursorInvalid("offset beyond the result: anchor no longer resolves".into())
+        })?;
+    Ok((start, total.min(start.saturating_add(page_size.max(1)))))
+}
+
+/// Fingerprints a query + parameter map. Parameter order is
+/// canonicalized so logically identical requests fingerprint equally.
+pub fn fingerprint(text: &str, params: &Params) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_feed(&mut h, text.as_bytes());
+    let mut names: Vec<&String> = params.keys().collect();
+    names.sort();
+    for name in names {
+        fnv_feed(&mut h, &[0xFE]);
+        fnv_feed(&mut h, name.as_bytes());
+        hash_value(&mut h, &params[name]);
+    }
+    h
+}
+
+fn hash_value(h: &mut u64, v: &Value) {
+    match v {
+        Value::Null => fnv_feed(h, &[0]),
+        Value::Bool(b) => fnv_feed(h, &[1, u8::from(*b)]),
+        Value::Int(i) => {
+            fnv_feed(h, &[2]);
+            fnv_feed(h, &i.to_be_bytes());
+        }
+        Value::Float(f) => {
+            fnv_feed(h, &[3]);
+            fnv_feed(h, &f.to_bits().to_be_bytes());
+        }
+        Value::Str(s) => {
+            fnv_feed(h, &[4]);
+            fnv_feed(h, s.as_bytes());
+        }
+        Value::Node { id, .. } => {
+            fnv_feed(h, &[5]);
+            fnv_feed(h, &id.to_be_bytes());
+        }
+        Value::Rel { id, .. } => {
+            fnv_feed(h, &[6]);
+            fnv_feed(h, &id.to_be_bytes());
+        }
+        Value::List(vs) => {
+            fnv_feed(h, &[7]);
+            for v in vs {
+                hash_value(h, v);
+            }
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv_feed(h: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *h ^= u64::from(*b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_feed(&mut h, bytes);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token() -> CursorToken {
+        CursorToken {
+            snapshot_ts: 42,
+            fingerprint: 0xDEAD_BEEF,
+            rows_emitted: 17,
+            anchor: Anchor::Key(99),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = token();
+        assert_eq!(CursorToken::decode(&t.encode()).unwrap(), t);
+        let o = CursorToken {
+            anchor: Anchor::Offset(3),
+            ..t
+        };
+        assert_eq!(CursorToken::decode(&o.encode()).unwrap(), o);
+        assert_eq!(peek_snapshot_ts(&t.encode()).unwrap(), 42);
+    }
+
+    #[test]
+    fn truncation_and_bitflips_reject() {
+        let enc = token().encode();
+        for len in 0..enc.len() {
+            assert!(
+                CursorToken::decode(&enc[..len]).is_err(),
+                "truncated to {len} must reject"
+            );
+        }
+        for byte in 0..enc.len() {
+            for bit in 0..8 {
+                let mut bad = enc.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    CursorToken::decode(&bad).is_err(),
+                    "bit flip at {byte}:{bit} must reject"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn page_window_clamps_and_rejects() {
+        assert_eq!(compute_page_window(10, 0, 3).unwrap(), (0, 3));
+        assert_eq!(compute_page_window(10, 9, 3).unwrap(), (9, 10));
+        assert_eq!(compute_page_window(10, 10, 3).unwrap(), (10, 10));
+        assert!(compute_page_window(10, 11, 3).is_err());
+        assert!(compute_page_window(3, u64::MAX, 3).is_err());
+    }
+
+    #[test]
+    fn fingerprint_canonicalizes_params() {
+        let mut a = Params::new();
+        a.insert("x".into(), Value::Int(1));
+        a.insert("y".into(), Value::Str("s".into()));
+        let mut b = Params::new();
+        b.insert("y".into(), Value::Str("s".into()));
+        b.insert("x".into(), Value::Int(1));
+        assert_eq!(
+            fingerprint("MATCH (n) RETURN n", &a),
+            fingerprint("MATCH (n) RETURN n", &b)
+        );
+        assert_ne!(
+            fingerprint("MATCH (n) RETURN n", &a),
+            fingerprint("MATCH (m) RETURN m", &a)
+        );
+        let mut c = a.clone();
+        c.insert("x".into(), Value::Int(2));
+        assert_ne!(
+            fingerprint("MATCH (n) RETURN n", &a),
+            fingerprint("MATCH (n) RETURN n", &c)
+        );
+    }
+}

@@ -10,19 +10,33 @@ use lpg::{
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Query parameters (`$name` bindings).
 pub type Params = HashMap<String, Value>;
 
+/// Result-size spending shared by every clone of one [`ExecBudget`] —
+/// a `RunBatch` installs per-statement clones of one budget, so the
+/// row/byte caps apply to the batch as a whole.
+#[derive(Default)]
+struct BudgetSpent {
+    rows: AtomicU64,
+    bytes: AtomicU64,
+}
+
 /// Cooperative execution budget for one query: an optional wall-clock
 /// deadline plus an optional external cancellation flag (set by the
-/// server when it drains). The executor checks the budget at loop
-/// boundaries — bind scans, filters, row building, procedure slices —
-/// and aborts with [`GraphError::DeadlineExceeded`]. It never checks
-/// mid-commit, so a write either fully commits or never starts.
+/// server when it drains), plus optional row/byte caps on the result.
+/// The executor checks the deadline at loop boundaries — bind scans,
+/// filters, row building, procedure slices — and aborts with
+/// [`GraphError::DeadlineExceeded`]; every result row built charges the
+/// row/byte caps and aborts with the distinct
+/// [`GraphError::BudgetExceeded`] (the query was not slow — it was too
+/// big, so the client should page or narrow it rather than retry). It
+/// never checks mid-commit, so a write either fully commits or never
+/// starts.
 #[derive(Clone, Default)]
 pub struct ExecBudget {
     /// Absolute abort time.
@@ -30,6 +44,11 @@ pub struct ExecBudget {
     /// External cancellation (e.g. server drain); checked alongside the
     /// deadline at every budget point.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Maximum result rows (`None` = unlimited).
+    pub max_rows: Option<u64>,
+    /// Maximum approximate result bytes (`None` = unlimited).
+    pub max_bytes: Option<u64>,
+    spent: Arc<BudgetSpent>,
 }
 
 impl ExecBudget {
@@ -42,8 +61,24 @@ impl ExecBudget {
     pub fn with_timeout(timeout: Duration) -> ExecBudget {
         ExecBudget {
             deadline: Some(Instant::now() + timeout),
-            cancel: None,
+            ..ExecBudget::default()
         }
+    }
+
+    /// A deadline/cancel budget (the server's per-request shape).
+    pub fn with_deadline(deadline: Option<Instant>, cancel: Option<Arc<AtomicBool>>) -> ExecBudget {
+        ExecBudget {
+            deadline,
+            cancel,
+            ..ExecBudget::default()
+        }
+    }
+
+    /// Caps the result size; `0` means unlimited for either cap.
+    pub fn with_result_caps(mut self, max_rows: u64, max_bytes: u64) -> ExecBudget {
+        self.max_rows = (max_rows > 0).then_some(max_rows);
+        self.max_bytes = (max_bytes > 0).then_some(max_bytes);
+        self
     }
 
     fn expired(&self) -> bool {
@@ -51,6 +86,21 @@ impl ExecBudget {
             .as_ref()
             .is_some_and(|c| c.load(Ordering::Relaxed))
             || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Charges `rows`/`bytes` against the result caps. Spending is shared
+    /// across clones (batch statements), and deliberately not rolled back
+    /// on failure: once over budget, every later charge fails too.
+    fn charge(&self, rows: u64, bytes: u64) -> Result<()> {
+        let spent_rows = self.spent.rows.fetch_add(rows, Ordering::Relaxed) + rows;
+        let spent_bytes = self.spent.bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if self.max_rows.is_some_and(|m| spent_rows > m)
+            || self.max_bytes.is_some_and(|m| spent_bytes > m)
+        {
+            stage_metrics().budget_aborts.inc();
+            return Err(GraphError::BudgetExceeded);
+        }
+        Ok(())
     }
 }
 
@@ -80,12 +130,20 @@ fn install_budget(budget: ExecBudget) -> BudgetGuard {
 
 /// Aborts with [`GraphError::DeadlineExceeded`] when the installed
 /// budget has expired. Called at executor loop boundaries.
-fn check_budget() -> Result<()> {
+pub(crate) fn check_budget() -> Result<()> {
     if BUDGET.with(|b| b.borrow().expired()) {
         Err(GraphError::DeadlineExceeded)
     } else {
         Ok(())
     }
+}
+
+/// Charges one result row (plus its approximate byte size) against the
+/// installed budget's row/byte caps. Called wherever the executor emits
+/// or materializes a row.
+pub(crate) fn charge_row(row: &[Value]) -> Result<()> {
+    let bytes = 8 + row.iter().map(Value::approx_bytes).sum::<u64>();
+    BUDGET.with(|b| b.borrow().charge(1, bytes))
 }
 
 /// True when executing `query` cannot mutate the database, which makes
@@ -101,16 +159,25 @@ pub fn is_read_only(query: &Query) -> bool {
 }
 
 /// Per-stage executor metrics, resolved once per process.
-struct StageMetrics {
+pub(crate) struct StageMetrics {
     executed: Arc<obs::Counter>,
     parse_latency: Arc<obs::Histogram>,
     bind_latency: Arc<obs::Histogram>,
     filter_latency: Arc<obs::Histogram>,
     action_latency: Arc<obs::Histogram>,
     exec_latency: Arc<obs::Histogram>,
+    /// Rows emitted by the streaming scan executor.
+    pub(crate) rows_streamed: Arc<obs::Counter>,
+    /// Pages served through `execute_paged`.
+    pub(crate) pages_served: Arc<obs::Counter>,
+    /// Queries aborted by the row/byte result budget.
+    pub(crate) budget_aborts: Arc<obs::Counter>,
+    /// Cursor tokens rejected as invalid (corrupt, mismatched, stale
+    /// anchor).
+    pub(crate) cursor_rejects: Arc<obs::Counter>,
 }
 
-fn stage_metrics() -> &'static StageMetrics {
+pub(crate) fn stage_metrics() -> &'static StageMetrics {
     static METRICS: OnceLock<StageMetrics> = OnceLock::new();
     METRICS.get_or_init(|| StageMetrics {
         executed: obs::counter("query.executed"),
@@ -119,6 +186,10 @@ fn stage_metrics() -> &'static StageMetrics {
         filter_latency: obs::histogram("query.filter.latency_ns"),
         action_latency: obs::histogram("query.action.latency_ns"),
         exec_latency: obs::histogram("query.exec.latency_ns"),
+        rows_streamed: obs::counter("query.rows_streamed"),
+        pages_served: obs::counter("query.pages_served"),
+        budget_aborts: obs::counter("query.budget_aborts"),
+        cursor_rejects: obs::counter("query.cursor_rejects"),
     })
 }
 
@@ -147,7 +218,9 @@ pub fn execute(db: &Aion, text: &str, params: &Params) -> Result<QueryResult> {
 
 /// Parses and executes `text` against `db` under `budget`: when the
 /// deadline passes or the cancel flag is raised, execution aborts at the
-/// next budget check with [`GraphError::DeadlineExceeded`].
+/// next budget check with [`GraphError::DeadlineExceeded`]; when the
+/// result outgrows the row/byte caps it aborts with
+/// [`GraphError::BudgetExceeded`].
 pub fn execute_with_budget(
     db: &Aion,
     text: &str,
@@ -165,8 +238,59 @@ pub fn execute_with_budget(
     run(db, &query, params)
 }
 
-/// Executes an already-parsed query.
+/// Reference executor: parses and runs `text` through the materializing
+/// path only (bind → filter → act), bypassing the streaming scan. The
+/// pagination equivalence suite uses it as the independent oracle the
+/// lazy stream must match byte-for-byte.
+pub fn execute_reference(db: &Aion, text: &str, params: &Params) -> Result<QueryResult> {
+    let _budget = install_budget(ExecBudget::unlimited());
+    let query = crate::parser::parse(text).map_err(|e| GraphError::Unknown(e.to_string()))?;
+    run_materialized_at(db, &query, params, db.latest_ts())
+}
+
+/// Executes an already-parsed query. Streamable shapes (single-node
+/// point-in-time scans returning plain items) run through the lazy
+/// [`crate::stream::ScanStream`] with `LIMIT` pushed down into the
+/// stream; everything else materializes.
 pub fn run(db: &Aion, query: &Query, params: &Params) -> Result<QueryResult> {
+    run_at(db, query, params, db.latest_ts())
+}
+
+/// [`run`] with the implicit "latest" snapshot pinned to `default_ts`
+/// (paged executions resolve it once and carry it in the cursor).
+fn run_at(db: &Aion, query: &Query, params: &Params, default_ts: Timestamp) -> Result<QueryResult> {
+    if let Some(plan) = crate::stream::plan_scan(db, query, params, default_ts)? {
+        return run_scan_full(db, plan);
+    }
+    run_materialized_at(db, query, params, default_ts)
+}
+
+/// Drains a streamable scan with `LIMIT` pushed down: at most `limit`
+/// rows are ever pulled (and therefore materialized), instead of
+/// scanning everything and truncating afterwards.
+fn run_scan_full(db: &Aion, plan: crate::stream::ScanPlan<'_>) -> Result<QueryResult> {
+    let columns = return_columns(plan.items);
+    let take = plan.limit.unwrap_or(usize::MAX);
+    let mut stream = crate::stream::ScanStream::open(db, plan, None)?;
+    let mut rows = Vec::new();
+    while rows.len() < take {
+        check_budget()?;
+        match stream.next_row()? {
+            Some(r) => rows.push(r),
+            None => break,
+        }
+    }
+    Ok(QueryResult { columns, rows })
+}
+
+/// The materializing executor (the seed path): full bind → filter → act,
+/// then sort and truncate.
+fn run_materialized_at(
+    db: &Aion,
+    query: &Query,
+    params: &Params,
+    default_ts: Timestamp,
+) -> Result<QueryResult> {
     match query {
         Query::Create { patterns } => run_create(db, &[], patterns, params),
         Query::Match {
@@ -177,7 +301,8 @@ pub fn run(db: &Aion, query: &Query, params: &Params) -> Result<QueryResult> {
             order_by,
             limit,
         } => {
-            let mut result = run_match(db, *time, patterns, predicates, action, params)?;
+            let mut result =
+                run_match(db, *time, patterns, predicates, action, params, default_ts)?;
             if let Action::Return(_) = action {
                 if let Some(order) = order_by {
                     sort_rows(&mut result, order, params)?;
@@ -188,8 +313,223 @@ pub fn run(db: &Aion, query: &Query, params: &Params) -> Result<QueryResult> {
             }
             Ok(result)
         }
-        Query::Call { name, args } => run_call(db, name, args, params),
+        Query::Call { name, args } => {
+            let result = run_call(db, name, args, params)?;
+            for row in &result.rows {
+                check_budget()?;
+                charge_row(row)?;
+            }
+            Ok(result)
+        }
     }
+}
+
+/// RETURN column names, shared by the streaming and materializing paths.
+pub(crate) fn return_columns(items: &[ReturnItem]) -> Vec<String> {
+    items
+        .iter()
+        .map(|i| match i {
+            ReturnItem::Var(v) => v.clone(),
+            ReturnItem::Prop(v, k) => format!("{v}.{k}"),
+            ReturnItem::Count(v) => format!("count({v})"),
+            ReturnItem::Id(v) => format!("id({v})"),
+        })
+        .collect()
+}
+
+/// One page of a paged execution.
+#[derive(Clone, Debug)]
+pub struct Page {
+    /// The page's rows (same columns as the unpaged result).
+    pub result: QueryResult,
+    /// Opaque resumable token; `None` when the result is complete.
+    pub cursor: Option<Vec<u8>>,
+    /// The snapshot timestamp the scan is pinned to.
+    pub snapshot_ts: Timestamp,
+}
+
+/// Parses and executes one page of `text`: up to `page_size` rows, plus
+/// an opaque cursor to resume with. The first page pins the snapshot
+/// (implicit "latest" resolves once); resumed pages execute at the
+/// pinned timestamp, so a paged scan is snapshot-consistent under
+/// concurrent writers. A corrupt or mismatched `cursor`, or an anchor
+/// that no longer resolves at the pinned snapshot, fails with
+/// [`GraphError::CursorInvalid`] — never silently skipped or duplicated
+/// rows.
+pub fn execute_paged(
+    db: &Aion,
+    text: &str,
+    params: &Params,
+    budget: ExecBudget,
+    page_size: usize,
+    cursor: Option<&[u8]>,
+) -> Result<Page> {
+    let m = stage_metrics();
+    m.executed.inc();
+    let _total = m.exec_latency.start_timer();
+    let _budget = install_budget(budget);
+    let query = {
+        let _parse = m.parse_latency.start_timer();
+        crate::parser::parse(text).map_err(|e| GraphError::Unknown(e.to_string()))?
+    };
+    let page_size = page_size.max(1);
+    if !is_read_only(&query) {
+        return Err(GraphError::ExecError(
+            "write queries cannot be paged".into(),
+        ));
+    }
+    let fp = crate::cursor::fingerprint(text, params);
+    let token = match cursor {
+        None => None,
+        Some(bytes) => {
+            let t = crate::cursor::CursorToken::decode(bytes)
+                .inspect_err(|_| m.cursor_rejects.inc())?;
+            if t.fingerprint != fp {
+                m.cursor_rejects.inc();
+                return Err(GraphError::CursorInvalid(
+                    "cursor was minted for a different query".into(),
+                ));
+            }
+            Some(t)
+        }
+    };
+    let default_ts = token.map_or_else(|| db.latest_ts(), |t| t.snapshot_ts);
+    let out = match crate::stream::plan_scan(db, &query, params, default_ts)? {
+        Some(plan) => page_stream(db, plan, token, fp, page_size),
+        None => page_materialized(db, &query, params, token, fp, page_size, default_ts),
+    };
+    match &out {
+        Ok(_) => m.pages_served.inc(),
+        Err(GraphError::CursorInvalid(_)) => m.cursor_rejects.inc(),
+        Err(_) => {}
+    }
+    out
+}
+
+/// One page through the streaming executor: resume strictly after the
+/// revalidated anchor, pull at most `min(page_size, remaining LIMIT)`
+/// rows — never materializing more than the page.
+fn page_stream(
+    db: &Aion,
+    plan: crate::stream::ScanPlan<'_>,
+    token: Option<crate::cursor::CursorToken>,
+    fp: u64,
+    page_size: usize,
+) -> Result<Page> {
+    use crate::cursor::{Anchor, CursorToken};
+    let ts = plan.ts;
+    let (after, prior) = match token {
+        None => (None, 0),
+        Some(CursorToken {
+            anchor: Anchor::Key(k),
+            rows_emitted,
+            ..
+        }) => {
+            if !db.node_alive_at(NodeId::new(k), ts)? {
+                return Err(GraphError::CursorInvalid(
+                    "anchor node no longer resolves at the pinned snapshot".into(),
+                ));
+            }
+            (Some(k), rows_emitted)
+        }
+        Some(_) => {
+            return Err(GraphError::CursorInvalid(
+                "anchor kind does not match the query plan".into(),
+            ))
+        }
+    };
+    let columns = return_columns(plan.items);
+    let limit = plan.limit;
+    let remaining = limit.map(|l| (l as u64).saturating_sub(prior));
+    if remaining == Some(0) {
+        return Ok(Page {
+            result: QueryResult {
+                columns,
+                rows: Vec::new(),
+            },
+            cursor: None,
+            snapshot_ts: ts,
+        });
+    }
+    let take = remaining.map_or(page_size, |r| {
+        page_size.min(usize::try_from(r).unwrap_or(usize::MAX))
+    });
+    let mut stream = crate::stream::ScanStream::open(db, plan, after)?;
+    let mut rows = Vec::with_capacity(take.min(1024));
+    while rows.len() < take {
+        check_budget()?;
+        match stream.next_row()? {
+            Some(r) => rows.push(r),
+            None => break,
+        }
+    }
+    let emitted = prior + rows.len() as u64;
+    let limit_done = limit.is_some_and(|l| emitted >= l as u64);
+    let cursor = (rows.len() == take && !limit_done)
+        .then_some(stream.last_key)
+        .flatten()
+        .map(|k| {
+            CursorToken {
+                snapshot_ts: ts,
+                fingerprint: fp,
+                rows_emitted: emitted,
+                anchor: Anchor::Key(k),
+            }
+            .encode()
+        });
+    Ok(Page {
+        result: QueryResult { columns, rows },
+        cursor,
+        snapshot_ts: ts,
+    })
+}
+
+/// One page through the materializing fallback: re-execute the full
+/// query at the pinned snapshot (deterministic — history is immutable
+/// and scans are id-ordered) and slice the offset window.
+fn page_materialized(
+    db: &Aion,
+    query: &Query,
+    params: &Params,
+    token: Option<crate::cursor::CursorToken>,
+    fp: u64,
+    page_size: usize,
+    default_ts: Timestamp,
+) -> Result<Page> {
+    use crate::cursor::{Anchor, CursorToken};
+    let offset = match token {
+        None => 0,
+        Some(CursorToken {
+            anchor: Anchor::Offset(o),
+            ..
+        }) => o,
+        Some(_) => {
+            return Err(GraphError::CursorInvalid(
+                "anchor kind does not match the query plan".into(),
+            ))
+        }
+    };
+    let full = run_materialized_at(db, query, params, default_ts)?;
+    let total = full.rows.len();
+    let (start, end) = crate::cursor::compute_page_window(total, offset, page_size)?;
+    let rows = full.rows[start..end].to_vec();
+    let cursor = (end < total).then(|| {
+        CursorToken {
+            snapshot_ts: default_ts,
+            fingerprint: fp,
+            rows_emitted: end as u64,
+            anchor: Anchor::Offset(end as u64),
+        }
+        .encode()
+    });
+    Ok(Page {
+        result: QueryResult {
+            columns: full.columns,
+            rows,
+        },
+        cursor,
+        snapshot_ts: default_ts,
+    })
 }
 
 /// Sorts result rows by an `ORDER BY` key (nulls last).
@@ -428,7 +768,7 @@ fn run_call(db: &Aion, name: &str, args: &[Literal], params: &Params) -> Result<
     }
 }
 
-fn resolve_literal(lit: &Literal, params: &Params) -> Result<Value> {
+pub(crate) fn resolve_literal(lit: &Literal, params: &Params) -> Result<Value> {
     Ok(match lit {
         Literal::Int(v) => Value::Int(*v),
         Literal::Float(v) => Value::Float(*v),
@@ -472,6 +812,7 @@ fn take_id(props: &[(String, Literal)], params: &Params) -> Result<Option<u64>> 
 /// One bound row: variable → value.
 type Binding = HashMap<String, Value>;
 
+#[allow(clippy::too_many_arguments)]
 fn run_match(
     db: &Aion,
     time: Option<TimeSpec>,
@@ -479,10 +820,11 @@ fn run_match(
     predicates: &[Predicate],
     action: &Action,
     params: &Params,
+    default_ts: Timestamp,
 ) -> Result<QueryResult> {
     let range: TimeRange = time
         .map(TimeSpec::to_range)
-        .unwrap_or(TimeRange::AsOf(db.latest_ts()));
+        .unwrap_or(TimeRange::AsOf(default_ts));
     let window = range.to_half_open();
     let point_mode = range.is_point();
     let at: Timestamp = window.start;
@@ -532,10 +874,14 @@ fn run_match(
                         push_binding(&mut rows, b, patterns.len() > 1);
                     }
                 } else {
-                    // Label scan over the snapshot at `at`.
+                    // Label scan over the snapshot at `at`, in ascending id
+                    // order so results are deterministic (the offset-paging
+                    // fallback re-executes per page and slices by position).
                     let g = db.get_graph_at(at)?;
                     let label = pattern.start.label.as_deref().map(|l| db.intern(l));
-                    for n in g.nodes() {
+                    let mut scan: Vec<&lpg::Node> = g.nodes().collect();
+                    scan.sort_by_key(|n| n.id);
+                    for n in scan {
                         check_budget()?;
                         if let Some(l) = label {
                             if !n.has_label(l) {
@@ -705,6 +1051,7 @@ fn run_match(
                         _ => row.push(Value::Null),
                     }
                 }
+                charge_row(&row)?;
                 return Ok(QueryResult {
                     columns,
                     rows: vec![row],
@@ -742,6 +1089,7 @@ fn run_match(
                         }
                     });
                 }
+                charge_row(&row)?;
                 out.push(row);
             }
             Ok(QueryResult { columns, rows: out })
@@ -809,7 +1157,7 @@ fn run_match(
     }
 }
 
-fn value_cmp(actual: &Value, op: CmpOp, expected: &Value) -> bool {
+pub(crate) fn value_cmp(actual: &Value, op: CmpOp, expected: &Value) -> bool {
     use std::cmp::Ordering;
     let ord = match (actual, expected) {
         (Value::Int(a), Value::Int(b)) => a.partial_cmp(b),
@@ -828,7 +1176,7 @@ fn value_cmp(actual: &Value, op: CmpOp, expected: &Value) -> bool {
     )
 }
 
-fn app_time_pass(db: &Aion, v: &Value, range: TimeRange) -> bool {
+pub(crate) fn app_time_pass(db: &Aion, v: &Value, range: TimeRange) -> bool {
     // Reconstruct a property bag in storage terms for the filter.
     let keys = db.app_time_keys();
     let props = match v {

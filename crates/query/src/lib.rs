@@ -34,12 +34,22 @@
 //! parameters are resolved from a parameter map at execution time.
 
 pub mod ast;
+pub mod cursor;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod stream;
 pub mod value;
 
 pub use ast::Query;
-pub use exec::{execute, execute_with_budget, is_read_only, ExecBudget, Params, QueryResult};
+pub use cursor::{fingerprint, peek_snapshot_ts, Anchor, CursorToken};
+pub use exec::{
+    execute, execute_paged, execute_reference, execute_with_budget, is_read_only, ExecBudget, Page,
+    Params, QueryResult,
+};
 pub use parser::parse;
+pub use stream::{
+    BudgetedOrderedKeyStream, IntersectOrderedKeyStream, MergeOrderedKeyStream, OrderedKeyStream,
+    VecOrderedKeyStream,
+};
 pub use value::Value;

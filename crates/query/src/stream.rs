@@ -1,0 +1,553 @@
+//! Lazy ordered key streams — the streaming half of the executor.
+//!
+//! A query plan is a tree of [`OrderedKeyStream`]s: each yields entity
+//! keys in strictly ascending order, so set algebra over indexes
+//! (union via [`MergeOrderedKeyStream`], conjunction via
+//! [`IntersectOrderedKeyStream`]) composes without materializing either
+//! side, and a pagination cursor is just "resume strictly after key k".
+//! [`BudgetedOrderedKeyStream`] threads the per-request [`ExecBudget`]
+//! through a plan: every key pulled is a budget check, so deadline and
+//! cancellation aborts happen mid-scan, not after a full materialize.
+//!
+//! [`ScanStream`] is the executor built on top: it drives a key source
+//! (the full node index, or a fixed id set from `id(n) = …`), resolves
+//! each key at the pinned snapshot, filters, and emits one result row at
+//! a time with `LIMIT` pushed down — the shape icydb's
+//! `OrderedKeyStream`/`BudgetedOrderedKeyStream` exemplifies (SNIPPETS
+//! §2–3) and TVA motivates for bounded-memory version-aware scans.
+//!
+//! [`ExecBudget`]: crate::exec::ExecBudget
+
+use crate::ast::{Action, Pattern, Predicate, Query, ReturnItem, TimeSpec};
+use crate::exec::{
+    app_time_pass, charge_row, check_budget, resolve_literal, stage_metrics, value_cmp, Params,
+};
+use crate::value::Value;
+use aion::{Aion, NodeStream};
+use lpg::{GraphError, Node, NodeId, Result, StrId, TimeRange, Timestamp};
+
+/// A stream of `u64` keys in strictly ascending order.
+///
+/// The contract every implementation and combinator relies on:
+/// `next_key` never yields a key `<=` any previously yielded key, and
+/// after `advance_to(b)` every future key is `>= b`.
+pub trait OrderedKeyStream {
+    /// The next key, or `None` when exhausted.
+    fn next_key(&mut self) -> Result<Option<u64>>;
+
+    /// Skips ahead: keys below `bound` will never be yielded.
+    fn advance_to(&mut self, bound: u64);
+}
+
+/// A fixed, sorted, deduplicated key set (e.g. from `id(n) = …`).
+pub struct VecOrderedKeyStream {
+    keys: Vec<u64>,
+    idx: usize,
+}
+
+impl VecOrderedKeyStream {
+    /// Builds the stream; `keys` may arrive unsorted or with duplicates.
+    pub fn new(mut keys: Vec<u64>) -> VecOrderedKeyStream {
+        keys.sort_unstable();
+        keys.dedup();
+        VecOrderedKeyStream { keys, idx: 0 }
+    }
+}
+
+impl OrderedKeyStream for VecOrderedKeyStream {
+    fn next_key(&mut self) -> Result<Option<u64>> {
+        let k = self.keys.get(self.idx).copied();
+        if k.is_some() {
+            self.idx += 1;
+        }
+        Ok(k)
+    }
+
+    fn advance_to(&mut self, bound: u64) {
+        self.idx += self.keys[self.idx..].partition_point(|k| *k < bound);
+    }
+}
+
+/// A child stream with a one-key lookahead cache, so combinators can
+/// inspect a head repeatedly without consuming it.
+struct Peeked {
+    inner: Box<dyn OrderedKeyStream>,
+    head: Option<u64>,
+    started: bool,
+}
+
+impl Peeked {
+    fn new(inner: Box<dyn OrderedKeyStream>) -> Peeked {
+        Peeked {
+            inner,
+            head: None,
+            started: false,
+        }
+    }
+
+    /// The current head key without consuming it.
+    fn head(&mut self) -> Result<Option<u64>> {
+        if !self.started {
+            self.head = self.inner.next_key()?;
+            self.started = true;
+        }
+        Ok(self.head)
+    }
+
+    /// Consumes the current head.
+    fn pop(&mut self) -> Result<()> {
+        self.head = self.inner.next_key()?;
+        Ok(())
+    }
+
+    /// Skips ahead; a cached head already `>= bound` is kept.
+    fn advance_to(&mut self, bound: u64) {
+        if self.started && self.head.is_none_or(|k| k >= bound) {
+            return;
+        }
+        self.inner.advance_to(bound);
+        // The cached head is stale: refetch lazily on the next `head()`.
+        self.head = None;
+        self.started = false;
+    }
+}
+
+/// Ascending union of child streams, with cross-child deduplication.
+pub struct MergeOrderedKeyStream {
+    children: Vec<Peeked>,
+}
+
+impl MergeOrderedKeyStream {
+    /// Merges `children`; each must honor the ascending-order contract.
+    pub fn new(children: Vec<Box<dyn OrderedKeyStream>>) -> MergeOrderedKeyStream {
+        MergeOrderedKeyStream {
+            children: children.into_iter().map(Peeked::new).collect(),
+        }
+    }
+}
+
+impl OrderedKeyStream for MergeOrderedKeyStream {
+    fn next_key(&mut self) -> Result<Option<u64>> {
+        let mut min: Option<u64> = None;
+        for c in &mut self.children {
+            if let Some(k) = c.head()? {
+                min = Some(min.map_or(k, |m| m.min(k)));
+            }
+        }
+        let Some(min) = min else {
+            return Ok(None);
+        };
+        // Pop the minimum from every child that holds it — that is the
+        // cross-child dedup.
+        for c in &mut self.children {
+            if c.head()? == Some(min) {
+                c.pop()?;
+            }
+        }
+        Ok(Some(min))
+    }
+
+    fn advance_to(&mut self, bound: u64) {
+        for c in &mut self.children {
+            c.advance_to(bound);
+        }
+    }
+}
+
+/// Leapfrog intersection: keys present in *every* child stream.
+pub struct IntersectOrderedKeyStream {
+    children: Vec<Peeked>,
+}
+
+impl IntersectOrderedKeyStream {
+    /// Intersects `children` (at least one).
+    pub fn new(children: Vec<Box<dyn OrderedKeyStream>>) -> IntersectOrderedKeyStream {
+        IntersectOrderedKeyStream {
+            children: children.into_iter().map(Peeked::new).collect(),
+        }
+    }
+}
+
+impl OrderedKeyStream for IntersectOrderedKeyStream {
+    fn next_key(&mut self) -> Result<Option<u64>> {
+        if self.children.is_empty() {
+            return Ok(None);
+        }
+        // Leapfrog: raise every child to the maximum head; when all heads
+        // agree that key is in the intersection.
+        loop {
+            check_budget()?;
+            let mut target: Option<u64> = None;
+            for c in &mut self.children {
+                match c.head()? {
+                    None => return Ok(None),
+                    Some(k) => target = Some(target.map_or(k, |t| t.max(k))),
+                }
+            }
+            let Some(target) = target else {
+                return Ok(None);
+            };
+            let mut all_match = true;
+            for c in &mut self.children {
+                c.advance_to(target);
+                if c.head()? != Some(target) {
+                    all_match = false;
+                }
+            }
+            if all_match {
+                for c in &mut self.children {
+                    c.pop()?;
+                }
+                return Ok(Some(target));
+            }
+        }
+    }
+
+    fn advance_to(&mut self, bound: u64) {
+        for c in &mut self.children {
+            c.advance_to(bound);
+        }
+    }
+}
+
+/// Budget enforcement as a stream adapter: every key pulled through it
+/// first passes an [`ExecBudget`](crate::exec::ExecBudget) check, so a
+/// deadline or drain cancellation aborts a scan between keys.
+pub struct BudgetedOrderedKeyStream<S: OrderedKeyStream> {
+    inner: S,
+}
+
+impl<S: OrderedKeyStream> BudgetedOrderedKeyStream<S> {
+    /// Wraps `inner` with per-key budget checks.
+    pub fn new(inner: S) -> BudgetedOrderedKeyStream<S> {
+        BudgetedOrderedKeyStream { inner }
+    }
+}
+
+impl<S: OrderedKeyStream> OrderedKeyStream for BudgetedOrderedKeyStream<S> {
+    fn next_key(&mut self) -> Result<Option<u64>> {
+        check_budget()?;
+        self.inner.next_key()
+    }
+
+    fn advance_to(&mut self, bound: u64) {
+        self.inner.advance_to(bound);
+    }
+}
+
+// --------------------------------------------------------------------------
+// The streaming scan executor.
+// --------------------------------------------------------------------------
+
+/// The query shapes the streaming executor serves: one single-node
+/// pattern at a point in time, returning plain (non-aggregate) items
+/// with no `ORDER BY`. Everything else falls back to the materializing
+/// executor (with offset-window pagination).
+pub(crate) struct ScanPlan<'q> {
+    pub anchor_var: String,
+    pub label: Option<StrId>,
+    pub items: &'q [ReturnItem],
+    pub predicates: &'q [Predicate],
+    pub params: &'q Params,
+    pub app_time: Option<TimeRange>,
+    /// The pinned snapshot timestamp the whole (possibly paged) scan
+    /// executes at.
+    pub ts: Timestamp,
+    /// `id(anchor) = …` constraint, when present.
+    pub id_constraint: Option<u64>,
+    pub limit: Option<usize>,
+}
+
+/// Decides whether `query` is streamable and builds its [`ScanPlan`].
+/// `default_ts` pins the implicit "latest" snapshot: the first page
+/// resolves it once and the cursor carries it, so later pages are
+/// snapshot-consistent under concurrent writers.
+pub(crate) fn plan_scan<'q>(
+    db: &Aion,
+    query: &'q Query,
+    params: &'q Params,
+    default_ts: Timestamp,
+) -> Result<Option<ScanPlan<'q>>> {
+    let Query::Match {
+        time,
+        patterns,
+        predicates,
+        action,
+        order_by,
+        limit,
+    } = query
+    else {
+        return Ok(None);
+    };
+    let Action::Return(items) = action else {
+        return Ok(None);
+    };
+    if order_by.is_some() || items.iter().any(|i| matches!(i, ReturnItem::Count(_))) {
+        return Ok(None);
+    }
+    let [Pattern { start, rel: None }] = patterns.as_slice() else {
+        return Ok(None);
+    };
+    let ts = match time {
+        None => default_ts,
+        Some(TimeSpec::AsOf(t)) => *t,
+        // Window queries return version histories; not streamable yet.
+        Some(_) => return Ok(None),
+    };
+    let anchor_var = start.var.clone().unwrap_or_else(|| "_anchor".into());
+    let mut id_constraint = None;
+    let mut app_time = None;
+    for p in predicates {
+        match p {
+            Predicate::IdEquals(var, lit) if *var == anchor_var => {
+                let v = resolve_literal(lit, params)?;
+                let id = v
+                    .as_int()
+                    .ok_or_else(|| GraphError::Unknown("id() must compare to an integer".into()))?;
+                // Matches the materializing executor: the last constraint
+                // for a variable wins.
+                id_constraint = Some(id as u64);
+            }
+            Predicate::AppTimeContainedIn(a, b) => {
+                app_time = Some(TimeRange::ContainedIn(*a, *b));
+            }
+            _ => {}
+        }
+    }
+    // The id-lookup branch of the materializing executor ignores the
+    // pattern label; replicate that for exact equivalence.
+    let label = match id_constraint {
+        Some(_) => None,
+        None => start.label.as_deref().map(|l| db.intern(l)),
+    };
+    Ok(Some(ScanPlan {
+        anchor_var,
+        label,
+        items,
+        predicates,
+        params,
+        app_time,
+        ts,
+        id_constraint,
+        limit: *limit,
+    }))
+}
+
+enum ScanSource {
+    /// Every node alive at the pinned ts, ascending ids, resolved lazily.
+    All(NodeStream),
+    /// An explicit id set; each key is point-resolved. Mirrors the
+    /// materializing executor's id-lookup branch, including its quirk of
+    /// ignoring the pattern label for id-constrained lookups.
+    Fixed(BudgetedOrderedKeyStream<VecOrderedKeyStream>),
+}
+
+/// Lazily yields fully-built result rows for a [`ScanPlan`], ascending
+/// by anchor node id, charging the row/byte budget per row emitted.
+pub(crate) struct ScanStream<'a, 'q> {
+    db: &'a Aion,
+    plan: ScanPlan<'q>,
+    source: ScanSource,
+    /// Last anchor id emitted — the pagination cursor anchor.
+    pub last_key: Option<u64>,
+}
+
+impl<'a, 'q> ScanStream<'a, 'q> {
+    /// Opens the stream, resuming strictly after `after` when resuming a
+    /// cursor.
+    pub(crate) fn open(
+        db: &'a Aion,
+        plan: ScanPlan<'q>,
+        after: Option<u64>,
+    ) -> Result<ScanStream<'a, 'q>> {
+        let source = match plan.id_constraint {
+            Some(id) => {
+                let mut keys = BudgetedOrderedKeyStream::new(VecOrderedKeyStream::new(vec![id]));
+                if let Some(a) = after {
+                    keys.advance_to(a.saturating_add(1));
+                }
+                ScanSource::Fixed(keys)
+            }
+            None => ScanSource::All(db.stream_nodes_at(plan.ts, after.map(NodeId::new))?),
+        };
+        Ok(ScanStream {
+            db,
+            plan,
+            source,
+            last_key: None,
+        })
+    }
+
+    /// The next candidate node in ascending id order, before filtering.
+    fn next_candidate(&mut self) -> Result<Option<Node>> {
+        match &mut self.source {
+            ScanSource::All(s) => s.next_node(),
+            ScanSource::Fixed(keys) => loop {
+                let Some(id) = keys.next_key()? else {
+                    return Ok(None);
+                };
+                // Point lookup replicating the materializer's
+                // `get_node(id, at, at)` semantics.
+                let versions = self
+                    .db
+                    .get_node(NodeId::new(id), self.plan.ts, self.plan.ts)?;
+                if let Some(v) = versions.into_iter().next() {
+                    return Ok(Some(v.data));
+                }
+            },
+        }
+    }
+
+    /// The next fully-built result row, or `None` when the scan is done.
+    /// Charges the row/byte budget per emitted row and counts it in the
+    /// `query.rows_streamed` metric.
+    pub(crate) fn next_row(&mut self) -> Result<Option<Vec<Value>>> {
+        let interner = self.db.interner();
+        loop {
+            check_budget()?;
+            let Some(node) = self.next_candidate()? else {
+                return Ok(None);
+            };
+            if let Some(l) = self.plan.label {
+                if !node.has_label(l) {
+                    continue;
+                }
+            }
+            let id = node.id.raw();
+            let value = Value::from_node(&node, interner, None);
+            if !self.passes_predicates(&value) {
+                continue;
+            }
+            let row = self.build_row(id, &value)?;
+            charge_row(&row)?;
+            stage_metrics().rows_streamed.inc();
+            self.last_key = Some(id);
+            return Ok(Some(row));
+        }
+    }
+
+    /// Predicate filter over the single anchor binding — semantics
+    /// identical to the materializing executor's filter stage: a
+    /// `PropCmp` on an unbound variable fails the row.
+    fn passes_predicates(&self, value: &Value) -> bool {
+        self.plan.predicates.iter().all(|p| match p {
+            Predicate::PropCmp(var, key, op, lit) => {
+                if *var != self.plan.anchor_var {
+                    // The materializer drops rows whose PropCmp variable
+                    // is unbound; a single-pattern scan binds only the
+                    // anchor.
+                    return false;
+                }
+                let Ok(expected) = resolve_literal(lit, self.plan.params) else {
+                    return false;
+                };
+                match value {
+                    Value::Node { props, .. } | Value::Rel { props, .. } => props
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .map(|(_, actual)| value_cmp(actual, *op, &expected))
+                        .unwrap_or(false),
+                    _ => false,
+                }
+            }
+            Predicate::AppTimeContainedIn(..) => {
+                let Some(range) = self.plan.app_time else {
+                    return true;
+                };
+                app_time_pass(self.db, value, range)
+            }
+            Predicate::IdEquals(..) => true,
+        })
+    }
+
+    fn build_row(&self, id: u64, value: &Value) -> Result<Vec<Value>> {
+        let anchor = &self.plan.anchor_var;
+        let mut row = Vec::with_capacity(self.plan.items.len());
+        for item in self.plan.items {
+            row.push(match item {
+                ReturnItem::Var(v) if v == anchor => value.clone(),
+                ReturnItem::Var(_) => Value::Null,
+                ReturnItem::Prop(v, k) if v == anchor => match value {
+                    Value::Node { props, .. } | Value::Rel { props, .. } => props
+                        .iter()
+                        .find(|(key, _)| key == k)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or(Value::Null),
+                    _ => Value::Null,
+                },
+                ReturnItem::Prop(..) => Value::Null,
+                ReturnItem::Id(v) if v == anchor => Value::Int(id as i64),
+                ReturnItem::Id(_) => Value::Null,
+                ReturnItem::Count(_) => {
+                    return Err(GraphError::ExecError(
+                        "COUNT item reached the streaming row builder".into(),
+                    ))
+                }
+            });
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(s: &mut dyn OrderedKeyStream) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(k) = s.next_key().unwrap() {
+            out.push(k);
+        }
+        out
+    }
+
+    #[test]
+    fn vec_stream_sorts_dedups_and_advances() {
+        let mut s = VecOrderedKeyStream::new(vec![9, 1, 5, 5, 3]);
+        assert_eq!(s.next_key().unwrap(), Some(1));
+        s.advance_to(5);
+        assert_eq!(drain(&mut s), vec![5, 9]);
+        assert_eq!(s.next_key().unwrap(), None);
+    }
+
+    #[test]
+    fn merge_unions_and_dedups_across_children() {
+        let a = Box::new(VecOrderedKeyStream::new(vec![1, 3, 5, 7]));
+        let b = Box::new(VecOrderedKeyStream::new(vec![2, 3, 6, 7, 8]));
+        let mut m = MergeOrderedKeyStream::new(vec![a, b]);
+        assert_eq!(drain(&mut m), vec![1, 2, 3, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn merge_advance_skips_all_children() {
+        let a = Box::new(VecOrderedKeyStream::new(vec![1, 4, 9]));
+        let b = Box::new(VecOrderedKeyStream::new(vec![2, 4, 10]));
+        let mut m = MergeOrderedKeyStream::new(vec![a, b]);
+        assert_eq!(m.next_key().unwrap(), Some(1));
+        m.advance_to(4);
+        assert_eq!(drain(&mut m), vec![4, 9, 10]);
+    }
+
+    #[test]
+    fn intersect_leapfrogs_to_common_keys() {
+        let a = Box::new(VecOrderedKeyStream::new(vec![1, 2, 3, 5, 8, 13]));
+        let b = Box::new(VecOrderedKeyStream::new(vec![2, 3, 5, 7, 13]));
+        let c = Box::new(VecOrderedKeyStream::new(vec![0, 2, 5, 13, 21]));
+        let mut i = IntersectOrderedKeyStream::new(vec![a, b, c]);
+        assert_eq!(drain(&mut i), vec![2, 5, 13]);
+    }
+
+    #[test]
+    fn intersect_with_disjoint_child_is_empty() {
+        let a = Box::new(VecOrderedKeyStream::new(vec![1, 3, 5]));
+        let b = Box::new(VecOrderedKeyStream::new(vec![2, 4, 6]));
+        let mut i = IntersectOrderedKeyStream::new(vec![a, b]);
+        assert_eq!(drain(&mut i), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn budgeted_stream_passes_keys_through() {
+        let mut s = BudgetedOrderedKeyStream::new(VecOrderedKeyStream::new(vec![4, 2]));
+        assert_eq!(drain(&mut s), vec![2, 4]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Pagination equivalence battery: for every page size, draining a paged
+//! execution must concatenate to *exactly* the unpaged result — which in
+//! turn must match the materializing reference executor. Cursor tokens
+//! must survive round-trips and reject every truncation and bit-flip
+//! rather than mis-resuming.
+
+use aion::{Aion, AionConfig};
+use lpg::GraphError;
+use proptest::prelude::*;
+use query::{execute, execute_paged, execute_reference, ExecBudget, Params, QueryResult};
+use tempfile::tempdir;
+
+fn db() -> (tempfile::TempDir, Aion) {
+    let dir = tempdir().unwrap();
+    let db = Aion::open(AionConfig::new(dir.path())).unwrap();
+    (dir, db)
+}
+
+fn exec(db: &Aion, q: &str) -> QueryResult {
+    execute(db, q, &Params::new()).unwrap_or_else(|e| panic!("{q}: {e}"))
+}
+
+/// Seeds `n` nodes: even ids are `Person`, odd ids are `Org`, each with a
+/// `v` property equal to its id. Waits for the lineage index so the
+/// streaming path sees everything.
+fn seed(db: &Aion, n: u64) {
+    for i in 0..n {
+        let label = if i % 2 == 0 { "Person" } else { "Org" };
+        exec(db, &format!("CREATE (x:{label} {{_id: {i}, v: {i}}})"));
+    }
+    db.lineage_barrier(db.latest_ts());
+}
+
+/// Drains a paged execution at `page_size`, asserting each page is at
+/// most one page of rows, then returns the concatenation.
+fn drain_pages(db: &Aion, q: &str, page_size: usize) -> QueryResult {
+    let params = Params::new();
+    let mut cursor: Option<Vec<u8>> = None;
+    let mut out: Option<QueryResult> = None;
+    let mut pinned = None;
+    for _round in 0..10_000 {
+        let page = execute_paged(
+            db,
+            q,
+            &params,
+            ExecBudget::unlimited(),
+            page_size,
+            cursor.as_deref(),
+        )
+        .unwrap_or_else(|e| panic!("{q} (page_size {page_size}): {e}"));
+        assert!(
+            page.result.rows.len() <= page_size.max(1),
+            "page overflowed: {} rows at page_size {page_size}",
+            page.result.rows.len()
+        );
+        // Every page of one drain is pinned to the same snapshot.
+        match pinned {
+            None => pinned = Some(page.snapshot_ts),
+            Some(ts) => assert_eq!(ts, page.snapshot_ts, "snapshot drifted between pages"),
+        }
+        match &mut out {
+            None => out = Some(page.result),
+            Some(acc) => {
+                assert_eq!(acc.columns, page.result.columns);
+                acc.rows.extend(page.result.rows);
+            }
+        }
+        match page.cursor {
+            Some(c) => cursor = Some(c),
+            None => return out.expect("at least one page"),
+        }
+    }
+    panic!("paged drain of {q} did not terminate");
+}
+
+/// The query shapes under test: streaming-eligible scans (with and
+/// without label filters, predicates, projections, LIMIT and an id
+/// anchor) plus a non-streamable ORDER BY that exercises the
+/// materialized-offset fallback.
+fn queries(limit: usize, anchor: u64, threshold: u64) -> Vec<String> {
+    vec![
+        "MATCH (n) RETURN n".into(),
+        "MATCH (n:Person) RETURN n".into(),
+        format!("MATCH (n) RETURN id(n) LIMIT {limit}"),
+        format!("MATCH (n:Person) WHERE n.v >= {threshold} RETURN n.v LIMIT {limit}"),
+        format!("MATCH (n) WHERE id(n) = {anchor} RETURN n"),
+        "MATCH (n:Org) RETURN n.v ORDER BY n.v DESC".into(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Paging with every page size in {1, 3, 7, ∞} concatenates to the
+    /// exact unpaged result, which itself matches the materializing
+    /// reference executor — order, dedup and LIMIT interaction included.
+    #[test]
+    fn paged_concat_equals_unpaged(
+        n in 1u64..24,
+        limit in 1usize..20,
+        anchor in 0u64..30,
+        threshold in 0u64..24,
+    ) {
+        let (_d, db) = db();
+        seed(&db, n);
+        let params = Params::new();
+        for q in queries(limit, anchor, threshold) {
+            let oracle = execute_reference(&db, &q, &params)
+                .unwrap_or_else(|e| panic!("{q}: {e}"));
+            let unpaged = execute(&db, &q, &params)
+                .unwrap_or_else(|e| panic!("{q}: {e}"));
+            prop_assert_eq!(
+                &unpaged, &oracle,
+                "streaming executor diverged from reference on {}", q
+            );
+            for page_size in [1usize, 3, 7, usize::MAX] {
+                let paged = drain_pages(&db, &q, page_size);
+                prop_assert_eq!(
+                    &paged, &oracle,
+                    "page_size {} diverged on {}", page_size, q
+                );
+            }
+        }
+    }
+
+    /// Corrupted cursors — every truncation and every single-bit flip —
+    /// are rejected with a typed error; resuming from garbage never
+    /// succeeds (which could silently skip or duplicate rows).
+    #[test]
+    fn corrupted_cursors_always_rejected(n in 4u64..16) {
+        let (_d, db) = db();
+        seed(&db, n);
+        let params = Params::new();
+        let q = "MATCH (n) RETURN n";
+        let first = execute_paged(&db, q, &params, ExecBudget::unlimited(), 2, None).unwrap();
+        let token = first.cursor.expect("more than one page must remain");
+
+        // Round-trip sanity: the untouched token resumes fine.
+        execute_paged(&db, q, &params, ExecBudget::unlimited(), 2, Some(&token)).unwrap();
+
+        for cut in 0..token.len() {
+            let r = execute_paged(&db, q, &params, ExecBudget::unlimited(), 2, Some(&token[..cut]));
+            prop_assert!(
+                matches!(r, Err(GraphError::CursorInvalid(_))),
+                "truncation at {} must be CursorInvalid", cut
+            );
+        }
+        for byte in 0..token.len() {
+            for bit in 0..8 {
+                let mut bad = token.clone();
+                bad[byte] ^= 1 << bit;
+                let r = execute_paged(&db, q, &params, ExecBudget::unlimited(), 2, Some(&bad));
+                prop_assert!(
+                    matches!(r, Err(GraphError::CursorInvalid(_))),
+                    "bit flip at byte {} bit {} must be CursorInvalid", byte, bit
+                );
+            }
+        }
+
+        // A valid token from one query must not resume a different query.
+        let other = "MATCH (n) RETURN id(n)";
+        let r = execute_paged(&db, other, &params, ExecBudget::unlimited(), 2, Some(&token));
+        prop_assert!(matches!(r, Err(GraphError::CursorInvalid(_))));
+    }
+}
+
+/// LIMIT spanning multiple pages: the pages stop exactly at the limit,
+/// never over-serving, and the final page carries no cursor.
+#[test]
+fn limit_exhausts_across_pages() {
+    let (_d, db) = db();
+    seed(&db, 20);
+    let q = "MATCH (n) RETURN id(n) LIMIT 10";
+    for page_size in [1usize, 3, 7, usize::MAX] {
+        let got = drain_pages(&db, q, page_size);
+        assert_eq!(got.rows.len(), 10, "page_size {page_size}");
+        let oracle = execute_reference(&db, q, &Params::new()).unwrap();
+        assert_eq!(got, oracle, "page_size {page_size}");
+    }
+}
+
+/// Writes refuse to page: there is no meaningful cursor over a mutation.
+#[test]
+fn write_queries_cannot_be_paged() {
+    let (_d, db) = db();
+    let r = execute_paged(
+        &db,
+        "CREATE (n:Person {_id: 0})",
+        &Params::new(),
+        ExecBudget::unlimited(),
+        4,
+        None,
+    );
+    assert!(matches!(r, Err(GraphError::ExecError(_))), "got {r:?}");
+}

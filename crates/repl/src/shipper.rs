@@ -295,7 +295,8 @@ fn serve_replica(
     // be dropped.
     let ack_stream = stream.try_clone()?;
     let ack_shared = shared.clone();
-    let ack_thread = std::thread::spawn(move || ack_loop(ack_stream, reader, worker_id, &ack_shared));
+    let ack_thread =
+        std::thread::spawn(move || ack_loop(ack_stream, reader, worker_id, &ack_shared));
 
     let result = stream_frames(&mut stream, resume_offset, shared, &stopped);
     // Unblock and reap the ack thread: shutting down the socket makes

@@ -48,7 +48,11 @@ fn primary_crash_loses_nothing_a_replica_acked() {
     for i in 1..=COMMITS {
         primary
             .write(|tx| {
-                tx.add_node(NodeId::new(i), vec![], vec![(key, PropertyValue::Int(i as i64))])
+                tx.add_node(
+                    NodeId::new(i),
+                    vec![],
+                    vec![(key, PropertyValue::Int(i as i64))],
+                )
             })
             .unwrap();
     }
@@ -106,7 +110,10 @@ fn primary_crash_loses_nothing_a_replica_acked() {
         );
     }
     let report = recovered.check_consistency(CheckLevel::Full).unwrap();
-    assert!(report.is_clean(), "recovered primary fsck dirty: {report:?}");
+    assert!(
+        report.is_clean(),
+        "recovered primary fsck dirty: {report:?}"
+    );
 
     // And the old replica can rejoin the recovered primary cleanly.
     let mut shipper = LogShipper::start(recovered.clone(), ShipperConfig::default()).unwrap();

@@ -199,10 +199,72 @@ impl Client {
             query: query.to_string(),
             params,
             min_watermark,
+            page_size: 0,
+            cursor: None,
         })? {
-            Response::Ok { result, watermark } => Ok((result, watermark)),
+            Response::Ok {
+                result, watermark, ..
+            } => Ok((result, watermark)),
             Response::Err(e) => Err(e.into_io()),
             other => Err(unexpected_response(&other)),
+        }
+    }
+
+    /// Executes one page of a read query: at most `page_size` rows plus
+    /// an opaque cursor to resume with (`None` when the result is
+    /// complete). Pass a previous page's cursor to continue; the whole
+    /// paged scan stays pinned to the first page's snapshot, so pages
+    /// are mutually consistent even under concurrent writers. A corrupt
+    /// or stale cursor fails with [`io::ErrorKind::InvalidInput`]
+    /// (`CursorInvalid`) — restart from the first page.
+    pub fn run_page(
+        &mut self,
+        query: &str,
+        params: Vec<(String, Value)>,
+        min_watermark: u64,
+        page_size: u32,
+        cursor: Option<Vec<u8>>,
+    ) -> io::Result<PageResult> {
+        match self.call(&Request::Run {
+            query: query.to_string(),
+            params,
+            min_watermark,
+            page_size,
+            cursor,
+        })? {
+            Response::Ok {
+                result,
+                watermark,
+                cursor,
+            } => Ok(PageResult {
+                result,
+                cursor,
+                watermark,
+            }),
+            Response::Err(e) => Err(e.into_io()),
+            other => Err(unexpected_response(&other)),
+        }
+    }
+
+    /// A pull-based paging iterator over a read query: each `next()` is
+    /// one [`run_page`] round-trip, yielding that page's rows. Stops
+    /// after the final page (or the first error).
+    ///
+    /// [`run_page`]: Client::run_page
+    pub fn pages<'c>(
+        &'c mut self,
+        query: &str,
+        params: Vec<(String, Value)>,
+        page_size: u32,
+    ) -> Pages<'c> {
+        Pages {
+            client: self,
+            query: query.to_string(),
+            params,
+            page_size,
+            cursor: None,
+            started: false,
+            done: false,
         }
     }
 
@@ -261,6 +323,55 @@ impl Client {
     }
 }
 
+/// One page returned by [`Client::run_page`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct PageResult {
+    /// The page's rows.
+    pub result: QueryResult,
+    /// Resume token for the next page; `None` when complete.
+    pub cursor: Option<Vec<u8>>,
+    /// The serving node's replay watermark.
+    pub watermark: u64,
+}
+
+/// Iterator state for [`Client::pages`].
+pub struct Pages<'c> {
+    client: &'c mut Client,
+    query: String,
+    params: Vec<(String, Value)>,
+    page_size: u32,
+    cursor: Option<Vec<u8>>,
+    started: bool,
+    done: bool,
+}
+
+impl Iterator for Pages<'_> {
+    type Item = io::Result<QueryResult>;
+
+    fn next(&mut self) -> Option<io::Result<QueryResult>> {
+        if self.done || (self.started && self.cursor.is_none()) {
+            return None;
+        }
+        self.started = true;
+        match self.client.run_page(
+            &self.query,
+            self.params.clone(),
+            0,
+            self.page_size,
+            self.cursor.take(),
+        ) {
+            Ok(page) => {
+                self.cursor = page.cursor;
+                Some(Ok(page.result))
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// True when replaying `req` after a lost acknowledgement cannot change
 /// database state a second time.
 pub(crate) fn request_is_idempotent(req: &Request) -> bool {
@@ -314,6 +425,8 @@ mod tests {
             query: "MATCH (n) WHERE id(n) = 1 RETURN n".into(),
             params: vec![],
             min_watermark: 0,
+            page_size: 0,
+            cursor: None,
         };
         assert!(request_is_idempotent(&read));
         for write in [
@@ -326,6 +439,8 @@ mod tests {
                     query: write.into(),
                     params: vec![],
                     min_watermark: 0,
+                    page_size: 0,
+                    cursor: None,
                 }),
                 "{write} must not be retried"
             );
@@ -335,6 +450,8 @@ mod tests {
             query: "NOT CYPHER".into(),
             params: vec![],
             min_watermark: 0,
+            page_size: 0,
+            cursor: None,
         }));
     }
 

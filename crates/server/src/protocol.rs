@@ -3,14 +3,16 @@
 //! ```text
 //! frame    := u32 payload_len, u64 fnv64(payload), payload
 //! request  := 0x01 "RUN"  u16 qlen, query, u16 nparams, nparams × param,
-//!                         u64 min_watermark
+//!                         u64 min_watermark, u32 page_size,
+//!                         u8 has_cursor, [u32 clen, cursor]
 //!           | 0x02 "PING"
 //!           | 0x03 "SHUTDOWN"
 //!           | 0x04 "METRICS"
 //!           | 0x05 "RUNBATCH" u32 nstmts, nstmts × stmt, u64 min_watermark
 //! stmt     := u16 qlen, query, u16 nparams, nparams × param
 //! param    := u16 klen, key, value
-//! response := 0x00 "OK"   result, u64 watermark
+//! response := 0x00 "OK"   result, u64 watermark,
+//!                          u8 has_cursor, [u32 clen, cursor]
 //!           | 0x01 "ERR"  u8 code, str
 //!           | 0x02 "METRICS" u32 nctr, nctr × (str, u64),
 //!                            u32 ngauge, ngauge × (str, i64),
@@ -40,6 +42,12 @@ pub enum Request {
         /// [`ErrorCode::StaleReplica`]. `0` means "any state is fine"
         /// and is always satisfiable (the primary is never stale).
         min_watermark: u64,
+        /// Maximum rows per response; `0` means unpaged (the full
+        /// result in one frame, no cursor issued).
+        page_size: u32,
+        /// Opaque resume token from a previous [`Response::Ok`]. `None`
+        /// starts a fresh (first) page.
+        cursor: Option<Vec<u8>>,
     },
     /// Liveness check.
     Ping,
@@ -85,6 +93,13 @@ pub enum ErrorCode {
     /// A write (or other non-read request) reached a read-only replica;
     /// it was refused without executing. Route it to the primary.
     ReadOnlyReplica = 5,
+    /// The result outgrew the per-request row/byte budget; the query was
+    /// aborted mid-stream. Not retryable as-is: page it or narrow it.
+    BudgetExceeded = 6,
+    /// The pagination cursor was corrupt, minted for a different query,
+    /// or its anchor no longer resolves at the pinned snapshot. Restart
+    /// the scan from the first page.
+    CursorInvalid = 7,
 }
 
 impl ErrorCode {
@@ -95,6 +110,8 @@ impl ErrorCode {
             3 => ErrorCode::ShuttingDown,
             4 => ErrorCode::StaleReplica,
             5 => ErrorCode::ReadOnlyReplica,
+            6 => ErrorCode::BudgetExceeded,
+            7 => ErrorCode::CursorInvalid,
             _ => ErrorCode::Generic,
         }
     }
@@ -135,6 +152,8 @@ impl WireError {
             ErrorCode::ShuttingDown => io::ErrorKind::ConnectionAborted,
             ErrorCode::StaleReplica => io::ErrorKind::WouldBlock,
             ErrorCode::ReadOnlyReplica => io::ErrorKind::PermissionDenied,
+            ErrorCode::BudgetExceeded => io::ErrorKind::OutOfMemory,
+            ErrorCode::CursorInvalid => io::ErrorKind::InvalidInput,
         };
         io::Error::new(kind, self.message)
     }
@@ -153,6 +172,9 @@ pub enum Response {
         result: QueryResult,
         /// Latest commit timestamp applied on the serving node.
         watermark: u64,
+        /// Opaque resume token when this is a non-final page of a paged
+        /// request; `None` when the result is complete.
+        cursor: Option<Vec<u8>>,
     },
     /// Typed failure.
     Err(WireError),
@@ -404,6 +426,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             query,
             params,
             min_watermark,
+            page_size,
+            cursor,
         } => {
             out.push(0x01);
             write_str(&mut out, query);
@@ -413,6 +437,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 write_value(&mut out, v);
             }
             out.extend_from_slice(&min_watermark.to_le_bytes());
+            out.extend_from_slice(&page_size.to_le_bytes());
+            write_opt_bytes(&mut out, cursor.as_deref());
         }
         Request::Ping => out.push(0x02),
         Request::Shutdown => out.push(0x03),
@@ -451,10 +477,14 @@ pub fn decode_request(buf: &[u8]) -> io::Result<Request> {
                 params.push((k, read_value(buf, &mut pos)?));
             }
             let min_watermark = read_u64(buf, &mut pos)?;
+            let page_size = read_u32(buf, &mut pos)?;
+            let cursor = read_opt_bytes(buf, &mut pos)?;
             Request::Run {
                 query,
                 params,
                 min_watermark,
+                page_size,
+                cursor,
             }
         }
         0x02 => Request::Ping,
@@ -486,6 +516,38 @@ pub fn decode_request(buf: &[u8]) -> io::Result<Request> {
             ))
         }
     })
+}
+
+/// Serializes an optional opaque byte blob (cursor tokens).
+fn write_opt_bytes(out: &mut Vec<u8>, bytes: Option<&[u8]>) {
+    match bytes {
+        Some(b) => {
+            out.push(1);
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Deserializes an optional opaque byte blob (cursor tokens, capped at
+/// 64 KiB — real tokens are 44 bytes).
+fn read_opt_bytes(buf: &[u8], pos: &mut usize) -> io::Result<Option<Vec<u8>>> {
+    if read_u8(buf, pos)? == 0 {
+        return Ok(None);
+    }
+    let len = read_u32(buf, pos)? as usize;
+    if len > 65_536 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "cursor blob too big",
+        ));
+    }
+    let bytes = buf
+        .get(*pos..*pos + len)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated cursor blob"))?;
+    *pos += len;
+    Ok(Some(bytes.to_vec()))
 }
 
 /// Serializes one query result (shared by `OK` and `BATCH` items).
@@ -533,10 +595,15 @@ fn read_result(buf: &[u8], pos: &mut usize) -> io::Result<QueryResult> {
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::new();
     match resp {
-        Response::Ok { result, watermark } => {
+        Response::Ok {
+            result,
+            watermark,
+            cursor,
+        } => {
             out.push(0x00);
             write_result(&mut out, result);
             out.extend_from_slice(&watermark.to_le_bytes());
+            write_opt_bytes(&mut out, cursor.as_deref());
         }
         Response::Err(err) => {
             out.push(0x01);
@@ -592,7 +659,12 @@ pub fn decode_response(buf: &[u8]) -> io::Result<Response> {
         0x00 => {
             let result = read_result(buf, &mut pos)?;
             let watermark = read_u64(buf, &mut pos)?;
-            Ok(Response::Ok { result, watermark })
+            let cursor = read_opt_bytes(buf, &mut pos)?;
+            Ok(Response::Ok {
+                result,
+                watermark,
+                cursor,
+            })
         }
         0x01 => {
             let code = ErrorCode::from_u8(read_u8(buf, &mut pos)?);
@@ -752,9 +824,19 @@ mod tests {
             query: "MATCH (n) WHERE id(n) = $id RETURN n".into(),
             params: vec![("id".into(), Value::Int(42))],
             min_watermark: 9_001,
+            page_size: 0,
+            cursor: None,
         };
         let back = decode_request(&encode_request(&req)).unwrap();
         assert_eq!(back, req);
+        let paged = Request::Run {
+            query: "MATCH (n) RETURN n".into(),
+            params: vec![],
+            min_watermark: 0,
+            page_size: 64,
+            cursor: Some(vec![0xA1, 0x0C, 0x01, 0x02]),
+        };
+        assert_eq!(decode_request(&encode_request(&paged)).unwrap(), paged);
         assert_eq!(
             decode_request(&encode_request(&Request::Ping)).unwrap(),
             Request::Ping
@@ -792,6 +874,7 @@ mod tests {
         let resp = Response::Ok {
             result,
             watermark: 17,
+            cursor: Some(vec![1, 2, 3]),
         };
         let back = decode_response(&encode_response(&resp)).unwrap();
         assert_eq!(back, resp);
@@ -836,6 +919,8 @@ mod tests {
             (ErrorCode::ShuttingDown, io::ErrorKind::ConnectionAborted),
             (ErrorCode::StaleReplica, io::ErrorKind::WouldBlock),
             (ErrorCode::ReadOnlyReplica, io::ErrorKind::PermissionDenied),
+            (ErrorCode::BudgetExceeded, io::ErrorKind::OutOfMemory),
+            (ErrorCode::CursorInvalid, io::ErrorKind::InvalidInput),
         ] {
             let resp = Response::Err(WireError::new(code, "m"));
             let back = decode_response(&encode_response(&resp)).unwrap();

@@ -63,6 +63,12 @@ pub struct ServerConfig {
     /// `ReadOnlyReplica` error. Set on replication replicas, whose
     /// database state is owned by the replayer, not by clients.
     pub read_only: bool,
+    /// Per-request result-row budget (`0` = unlimited): a request whose
+    /// result outgrows it aborts mid-stream with a typed
+    /// `BudgetExceeded` error. One budget spans a whole `RunBatch`.
+    pub max_result_rows: u64,
+    /// Per-request approximate result-byte budget (`0` = unlimited).
+    pub max_result_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +80,8 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             slow_log_per_sec: 5,
             read_only: false,
+            max_result_rows: 0,
+            max_result_bytes: 0,
         }
     }
 }
@@ -520,6 +528,35 @@ fn elapsed_ns(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Maps an execution failure to its typed wire error, counting deadline
+/// aborts. Shared by `Run`, paged `Run`, and `RunBatch` statements.
+fn exec_error_to_wire(shared: &ServerShared, e: lpg::GraphError) -> WireError {
+    match e {
+        lpg::GraphError::DeadlineExceeded => {
+            shared.tel.deadline_abort();
+            if shared.stop.load(Ordering::Acquire) {
+                WireError::new(ErrorCode::ShuttingDown, "request aborted by server drain")
+            } else {
+                WireError::new(
+                    ErrorCode::Timeout,
+                    format!(
+                        "request deadline exceeded ({} ms)",
+                        shared.cfg.request_deadline.as_millis()
+                    ),
+                )
+            }
+        }
+        lpg::GraphError::BudgetExceeded => WireError::new(
+            ErrorCode::BudgetExceeded,
+            "result exceeded the row/byte budget; page or narrow the query",
+        ),
+        lpg::GraphError::CursorInvalid(msg) => {
+            WireError::new(ErrorCode::CursorInvalid, format!("invalid cursor: {msg}"))
+        }
+        e => WireError::generic(e.to_string()),
+    }
+}
+
 fn handle_connection(
     mut stream: TcpStream,
     shared: &ServerShared,
@@ -556,6 +593,7 @@ fn handle_connection(
                         rows: vec![],
                     },
                     watermark: shared.db.latest_ts(),
+                    cursor: None,
                 };
                 shared.tel.ping_latency.record(elapsed_ns(started));
                 r
@@ -575,6 +613,7 @@ fn handle_connection(
                             rows: vec![],
                         },
                         watermark: shared.db.latest_ts(),
+                        cursor: None,
                     }),
                 )?;
                 // The accept thread blocks in `incoming()` and only checks
@@ -587,13 +626,16 @@ fn handle_connection(
                 query,
                 params,
                 min_watermark,
+                page_size,
+                cursor,
             }) => {
                 shared.queries.fetch_add(1, Ordering::Relaxed);
                 let params: Params = params.into_iter().collect();
-                let budget = ExecBudget {
-                    deadline: Some(started + shared.cfg.request_deadline),
-                    cancel: Some(cancel.clone()),
-                };
+                let budget = ExecBudget::with_deadline(
+                    Some(started + shared.cfg.request_deadline),
+                    Some(cancel.clone()),
+                )
+                .with_result_caps(shared.cfg.max_result_rows, shared.cfg.max_result_bytes);
                 // Staleness gate: refuse before executing so a client with
                 // a read-your-writes floor never sees pre-floor state. The
                 // check is conservative — replay may advance concurrently —
@@ -608,6 +650,28 @@ fn handle_connection(
                     write_frame(&mut stream, &encode_response(&r))?;
                     continue;
                 }
+                // A resumed cursor pins a snapshot timestamp; a node whose
+                // replay watermark is behind it cannot serve that page yet.
+                // Same bounded-staleness contract as `min_watermark`, so
+                // cursors roam across replicas safely. (A token that fails
+                // to decode falls through to execution for its typed
+                // CursorInvalid rejection.)
+                if let Some(pinned) = cursor
+                    .as_deref()
+                    .and_then(|c| query::peek_snapshot_ts(c).ok())
+                {
+                    if pinned > watermark {
+                        shared.tel.stale_reject();
+                        let r = Response::Err(WireError::new(
+                            ErrorCode::StaleReplica,
+                            format!(
+                                "replica watermark {watermark} behind cursor snapshot {pinned}"
+                            ),
+                        ));
+                        write_frame(&mut stream, &encode_response(&r))?;
+                        continue;
+                    }
+                }
                 if shared.cfg.read_only && !crate::client::query_is_read_only(&query) {
                     shared.tel.read_only_reject();
                     let r = Response::Err(WireError::new(
@@ -617,29 +681,38 @@ fn handle_connection(
                     write_frame(&mut stream, &encode_response(&r))?;
                     continue;
                 }
-                let r = match query::execute_with_budget(&shared.db, &query, &params, budget) {
-                    Ok(result) => Response::Ok {
-                        result,
-                        watermark: shared.db.latest_ts(),
-                    },
-                    Err(lpg::GraphError::DeadlineExceeded) => {
-                        shared.tel.deadline_abort();
-                        if shared.stop.load(Ordering::Acquire) {
-                            Response::Err(WireError::new(
-                                ErrorCode::ShuttingDown,
-                                "request aborted by server drain",
-                            ))
-                        } else {
-                            Response::Err(WireError::new(
-                                ErrorCode::Timeout,
-                                format!(
-                                    "request deadline exceeded ({} ms)",
-                                    shared.cfg.request_deadline.as_millis()
-                                ),
-                            ))
-                        }
+                let paged = page_size > 0 || cursor.is_some();
+                let r = if paged {
+                    // page_size 0 with a cursor means "the rest, unpaged".
+                    let take = if page_size == 0 {
+                        usize::MAX
+                    } else {
+                        page_size as usize
+                    };
+                    match query::execute_paged(
+                        &shared.db,
+                        &query,
+                        &params,
+                        budget,
+                        take,
+                        cursor.as_deref(),
+                    ) {
+                        Ok(page) => Response::Ok {
+                            result: page.result,
+                            watermark: shared.db.latest_ts(),
+                            cursor: page.cursor,
+                        },
+                        Err(e) => Response::Err(exec_error_to_wire(shared, e)),
                     }
-                    Err(e) => Response::Err(WireError::generic(e.to_string())),
+                } else {
+                    match query::execute_with_budget(&shared.db, &query, &params, budget) {
+                        Ok(result) => Response::Ok {
+                            result,
+                            watermark: shared.db.latest_ts(),
+                            cursor: None,
+                        },
+                        Err(e) => Response::Err(exec_error_to_wire(shared, e)),
+                    }
                 };
                 let elapsed = elapsed_ns(started);
                 shared.tel.run_latency.record(elapsed);
@@ -665,11 +738,14 @@ fn handle_connection(
                     .queries
                     .fetch_add(statements.len() as u64, Ordering::Relaxed);
                 // One budget spans the whole batch: a pipelined frame must
-                // not multiply the per-request deadline by its length.
-                let budget = ExecBudget {
-                    deadline: Some(started + shared.cfg.request_deadline),
-                    cancel: Some(cancel.clone()),
-                };
+                // not multiply the per-request deadline by its length, and
+                // the row/byte caps apply to the batch's combined result
+                // (clones share spending).
+                let budget = ExecBudget::with_deadline(
+                    Some(started + shared.cfg.request_deadline),
+                    Some(cancel.clone()),
+                )
+                .with_result_caps(shared.cfg.max_result_rows, shared.cfg.max_result_bytes);
                 // The staleness gate applies to the batch as a whole (one
                 // floor, checked once, same conservatism as Run).
                 let watermark = shared.db.latest_ts();
@@ -698,25 +774,7 @@ fn handle_connection(
                     let params: Params = params.into_iter().collect();
                     match query::execute_with_budget(&shared.db, &query, &params, budget.clone()) {
                         Ok(result) => results.push(Ok(result)),
-                        Err(lpg::GraphError::DeadlineExceeded) => {
-                            shared.tel.deadline_abort();
-                            let err = if shared.stop.load(Ordering::Acquire) {
-                                WireError::new(
-                                    ErrorCode::ShuttingDown,
-                                    "request aborted by server drain",
-                                )
-                            } else {
-                                WireError::new(
-                                    ErrorCode::Timeout,
-                                    format!(
-                                        "batch deadline exceeded ({} ms)",
-                                        shared.cfg.request_deadline.as_millis()
-                                    ),
-                                )
-                            };
-                            results.push(Err(err));
-                        }
-                        Err(e) => results.push(Err(WireError::generic(e.to_string()))),
+                        Err(e) => results.push(Err(exec_error_to_wire(shared, e))),
                     }
                 }
                 shared.tel.run_latency.record(elapsed_ns(started));

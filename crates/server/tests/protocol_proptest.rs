@@ -59,12 +59,18 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             name_strategy(),
             proptest::collection::vec((name_strategy(), value_strategy()), 0..4),
             any::<u64>(),
+            any::<u32>(),
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64)),
         )
-            .prop_map(|(query, params, min_watermark)| Request::Run {
-                query,
-                params,
-                min_watermark,
-            }),
+            .prop_map(
+                |(query, params, min_watermark, page_size, cursor)| Request::Run {
+                    query,
+                    params,
+                    min_watermark,
+                    page_size,
+                    cursor,
+                }
+            ),
     ]
 }
 
@@ -83,8 +89,9 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             proptest::collection::vec(name_strategy(), 1..4),
             proptest::collection::vec(value_strategy(), 0..9),
             any::<u64>(),
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64)),
         )
-            .prop_map(|(columns, cells, watermark)| {
+            .prop_map(|(columns, cells, watermark, cursor)| {
                 let rows = cells
                     .chunks_exact(columns.len())
                     .map(|c| c.to_vec())
@@ -92,6 +99,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 Response::Ok {
                     result: QueryResult { columns, rows },
                     watermark,
+                    cursor,
                 }
             }),
         (

@@ -227,6 +227,7 @@ fn mock_frame_counter(
                                     rows: Vec::new(),
                                 },
                                 watermark: 0,
+                                cursor: None,
                             };
                             let _ = write_frame(&mut sock, &encode_response(&ok));
                             // Hold the socket open briefly so the client

@@ -93,7 +93,9 @@ fn metrics_cover_every_layer_after_a_workload() {
     assert!(hist_count("core.commit.latency_ns") > 0);
     // Group commit: every commit belongs to a log-writer group, and the
     // ingest loop's explicit `sync()` above flushed an unsynced log tail.
-    let groups = snap.histogram("core.group_commit.size").expect("group size");
+    let groups = snap
+        .histogram("core.group_commit.size")
+        .expect("group size");
     assert!(groups.count > 0, "group commit groups formed");
     assert!(
         groups.sum >= counter("core.commits"),
@@ -106,8 +108,10 @@ fn metrics_cover_every_layer_after_a_workload() {
     // A failed commit counts in `core.commits_failed`, not `core.commits`.
     let commits_before = counter("core.commits");
     let failed_before = counter("core.commits_failed");
-    db.write_at(1, |txn| txn.add_node(NodeId::new(u64::MAX - 1), vec![], vec![]))
-        .expect_err("stale forced timestamp must be rejected");
+    db.write_at(1, |txn| {
+        txn.add_node(NodeId::new(u64::MAX - 1), vec![], vec![])
+    })
+    .expect_err("stale forced timestamp must be rejected");
     let snap = db.metrics();
     let counter = |name: &str| snap.counter(name).unwrap_or(0);
     assert_eq!(

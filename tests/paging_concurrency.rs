@@ -1,0 +1,185 @@
+//! Paged readers racing group-commit writers through the full
+//! client/server stack. Every page of one drain is served at the snapshot
+//! pinned by the first page, so a drain must observe an exact commit
+//! prefix — no duplicated keys, no skipped keys, no torn pages — and
+//! `CursorInvalid` must only ever surface on a genuine revalidation
+//! failure, which an immutable history cannot produce here.
+
+use aion::{Aion, AionConfig};
+use aion_server::{Client, ClientConfig, Server, ServerConfig};
+use query::{execute_paged, fingerprint, Anchor, CursorToken, ExecBudget, Params, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tempfile::tempdir;
+
+const SEED: u64 = 32;
+const WRITER_BASE: u64 = 10_000;
+
+fn row_id(row: &[Value]) -> u64 {
+    match row {
+        [Value::Int(id)] => u64::try_from(*id).expect("non-negative id"),
+        other => panic!("expected one id column, got {other:?}"),
+    }
+}
+
+#[test]
+fn paged_reads_stay_snapshot_consistent_under_writes() {
+    let dir = tempdir().unwrap();
+    let db = Arc::new(Aion::open(AionConfig::new(dir.path())).unwrap());
+    let server = Server::start_with(db.clone(), ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Seed through the server so the write path (group commit included)
+    // is the one under test.
+    let mut seeder = Client::connect(addr).unwrap();
+    for i in 0..SEED {
+        seeder
+            .run(&format!("CREATE (n:Base {{_id: {i}}})"), Vec::new())
+            .unwrap();
+    }
+    db.lineage_barrier(db.latest_ts());
+
+    // Writers keep committing nodes with ids from WRITER_BASE upward, in
+    // order, while the readers drain paged scans.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let id = WRITER_BASE + i;
+                client
+                    .run(&format!("CREATE (n:Churn {{_id: {id}}})"), Vec::new())
+                    .unwrap();
+                i += 1;
+            }
+            i
+        })
+    };
+
+    let reader = move || {
+        let mut client = Client::connect_with(
+            addr,
+            ClientConfig {
+                request_timeout: Duration::from_secs(30),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let mut drains = 0u32;
+        let deadline = std::time::Instant::now() + Duration::from_millis(800);
+        while std::time::Instant::now() < deadline {
+            let mut ids: Vec<u64> = Vec::new();
+            let mut cursor: Option<Vec<u8>> = None;
+            let mut started = false;
+            while !started || cursor.is_some() {
+                started = true;
+                let page = client
+                    .run_page("MATCH (n) RETURN id(n)", Vec::new(), 0, 5, cursor.take())
+                    .expect("paging must never fail under concurrent writers");
+                assert!(page.result.rows.len() <= 5, "page overflowed");
+                ids.extend(page.result.rows.iter().map(|r| row_id(r)));
+                cursor = page.cursor;
+            }
+            // Strictly increasing: no duplicates, no reordering.
+            assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "ids not strictly increasing: {ids:?}"
+            );
+            // The drain saw a full commit prefix at its pinned snapshot:
+            // all seeded ids, then a gap-free run of writer ids.
+            let (base, churn): (Vec<u64>, Vec<u64>) = ids.iter().partition(|&&id| id < WRITER_BASE);
+            assert_eq!(
+                base,
+                (0..SEED).collect::<Vec<u64>>(),
+                "seeded ids skipped or duplicated"
+            );
+            for (k, &id) in churn.iter().enumerate() {
+                assert_eq!(
+                    id,
+                    WRITER_BASE + k as u64,
+                    "writer ids must form a contiguous commit prefix, got {churn:?}"
+                );
+            }
+            drains += 1;
+        }
+        drains
+    };
+
+    let readers: Vec<_> = (0..2).map(|_| std::thread::spawn(reader)).collect();
+    let mut total_drains = 0;
+    for r in readers {
+        total_drains += r.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    let written = writer.join().unwrap();
+    assert!(total_drains >= 2, "readers made no progress");
+    assert!(written >= 1, "writer made no progress");
+
+    // The racing drains above never saw CursorInvalid; a *genuine*
+    // revalidation failure — an anchor that does not resolve at the
+    // pinned snapshot — still must produce exactly that error.
+    let params = Params::new();
+    let text = "MATCH (n) RETURN id(n)";
+    let forged = CursorToken {
+        snapshot_ts: db.latest_ts(),
+        fingerprint: fingerprint(text, &params),
+        rows_emitted: 1,
+        anchor: Anchor::Key(9_999_999),
+    }
+    .encode();
+    let err = execute_paged(
+        &db,
+        text,
+        &params,
+        ExecBudget::unlimited(),
+        5,
+        Some(&forged),
+    )
+    .expect_err("anchor that never existed must not resume");
+    assert!(
+        matches!(err, lpg::GraphError::CursorInvalid(_)),
+        "got {err:?}"
+    );
+}
+
+/// A cursor pinned past the serving node's replay watermark is refused
+/// with the same typed staleness error as a `min_watermark` demand —
+/// resuming it there could silently serve rows from a half-replayed
+/// log prefix.
+#[test]
+fn cursor_pinned_past_watermark_is_stale() {
+    let dir = tempdir().unwrap();
+    let db = Arc::new(Aion::open(AionConfig::new(dir.path())).unwrap());
+    let server = Server::start_with(db.clone(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect_with(
+        server.addr(),
+        ClientConfig {
+            retries: 0,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    client.run("CREATE (n:Base {_id: 0})", Vec::new()).unwrap();
+    db.lineage_barrier(db.latest_ts());
+
+    let params = Params::new();
+    let text = "MATCH (n) RETURN id(n)";
+    let future = CursorToken {
+        snapshot_ts: db.latest_ts() + 10_000,
+        fingerprint: fingerprint(text, &params),
+        rows_emitted: 1,
+        anchor: Anchor::Key(0),
+    }
+    .encode();
+    let err = client
+        .run_page(text, Vec::new(), 0, 5, Some(future))
+        .expect_err("cursor pinned past the watermark must be refused");
+    assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock, "got: {err}");
+    assert!(
+        err.to_string().contains("behind cursor snapshot"),
+        "got: {err}"
+    );
+}

@@ -9,7 +9,11 @@
 //!   machine speed largely cancels out);
 //! * `aion_bench::write_throughput` — group-commit coalescing
 //!   (`commits_per_fsync`) and the grouped run's throughput relative to
-//!   the single-writer per-commit-fsync run (`rel_throughput`).
+//!   the single-writer per-commit-fsync run (`rel_throughput`);
+//! * `aion_bench::scan_paged` — rows-materialized proxies for the paged
+//!   streaming executor (`sp_peak_rows`, `sp_streamed_ratio`): the paged
+//!   run must hold at most one page at a time while streaming every row
+//!   exactly once.
 //!
 //! A ratio outside the relative tolerance band fails the gate;
 //! `--update` rewrites the baseline instead.
@@ -64,6 +68,7 @@ pub fn run(args: Vec<String>, root: PathBuf) -> ExitCode {
     }
     let path = baseline.unwrap_or_else(|| root.join("BENCH_ingest.json"));
     let wt_cfg = aion_bench::write_throughput::WriteThroughputConfig::default();
+    let sp_cfg = aion_bench::scan_paged::ScanPagedConfig::default();
 
     println!(
         "bench-gate: fig. 9 ingest, |E| = {}, seed = {}, median of {runs} run(s), \
@@ -89,8 +94,18 @@ pub fn run(args: Vec<String>, root: PathBuf) -> ExitCode {
         .collect();
     let wt_rows = median_wt_rows(&wt_samples);
 
+    println!(
+        "bench-gate: paged scan, {} nodes, page size {}, seed = {}, \
+         median of {runs} run(s)",
+        sp_cfg.nodes, sp_cfg.page_size, sp_cfg.seed
+    );
+    let sp_samples: Vec<Vec<aion_bench::scan_paged::ScanPagedRow>> = (0..runs)
+        .map(|_| aion_bench::scan_paged::run(&sp_cfg))
+        .collect();
+    let sp_rows = median_sp_rows(&sp_samples);
+
     if update {
-        let json = render(&cfg, &rows, &wt_cfg, &wt_rows);
+        let json = render(&cfg, &rows, &wt_cfg, &wt_rows, &sp_cfg, &sp_rows);
         return match std::fs::write(&path, json) {
             Ok(()) => {
                 println!("bench-gate: baseline written to {}", path.display());
@@ -148,6 +163,25 @@ pub fn run(args: Vec<String>, root: PathBuf) -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    if base.sp_rows.is_empty() {
+        eprintln!(
+            "bench-gate: baseline {} has no scan_paged section — refresh it with \
+             `cargo xtask bench-gate --update`",
+            path.display()
+        );
+        return ExitCode::from(2);
+    }
+    if base.sp_nodes != sp_cfg.nodes
+        || base.sp_page_size != sp_cfg.page_size as u64
+        || base.sp_seed != sp_cfg.seed
+    {
+        eprintln!(
+            "bench-gate: baseline scan_paged was recorded at {} nodes, page size {}, \
+             seed {} — refresh it with --update",
+            base.sp_nodes, base.sp_page_size, base.sp_seed
+        );
+        return ExitCode::from(2);
+    }
 
     let mut failures = 0u32;
     for row in &rows {
@@ -191,8 +225,45 @@ pub fn run(args: Vec<String>, root: PathBuf) -> ExitCode {
             continue;
         };
         for (metric, got, want) in [
-            ("commits_per_fsync", row.commits_per_fsync, b.commits_per_fsync),
+            (
+                "commits_per_fsync",
+                row.commits_per_fsync,
+                b.commits_per_fsync,
+            ),
             ("rel_throughput", row.rel_throughput, b.rel_throughput),
+        ] {
+            let drift = if want > 0.0 {
+                (got - want).abs() / want
+            } else {
+                got.abs()
+            };
+            if drift > tolerance {
+                eprintln!(
+                    "bench-gate: FAIL {}/{metric}: {got:.3} vs baseline {want:.3} \
+                     (drift {:.0}% > {:.0}%)",
+                    row.metric,
+                    drift * 100.0,
+                    tolerance * 100.0
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "bench-gate: ok   {}/{metric}: {got:.3} vs {want:.3} (drift {:.0}%)",
+                    row.metric,
+                    drift * 100.0
+                );
+            }
+        }
+    }
+    for row in &sp_rows {
+        let Some(b) = base.sp_rows.iter().find(|b| b.metric == row.metric) else {
+            eprintln!("bench-gate: FAIL {}: missing from baseline", row.metric);
+            failures += 1;
+            continue;
+        };
+        for (metric, got, want) in [
+            ("sp_peak_rows", row.peak_rows, b.peak_rows),
+            ("sp_streamed_ratio", row.streamed_ratio, b.streamed_ratio),
         ] {
             let drift = if want > 0.0 {
                 (got - want).abs() / want
@@ -288,6 +359,33 @@ fn median_wt_rows(samples: &[Vec<aion_bench::write_throughput::WriteRow>]) -> Ve
         .collect()
 }
 
+struct SpBaselineRow {
+    metric: String,
+    peak_rows: f64,
+    streamed_ratio: f64,
+}
+
+/// Per-configuration medians across paged-scan harness runs.
+fn median_sp_rows(samples: &[Vec<aion_bench::scan_paged::ScanPagedRow>]) -> Vec<SpBaselineRow> {
+    let Some(first) = samples.first() else {
+        return Vec::new();
+    };
+    first
+        .iter()
+        .enumerate()
+        .map(|(i, r)| SpBaselineRow {
+            metric: r.metric.clone(),
+            peak_rows: median(samples.iter().filter_map(|s| s.get(i)).map(|r| r.peak_rows)),
+            streamed_ratio: median(
+                samples
+                    .iter()
+                    .filter_map(|s| s.get(i))
+                    .map(|r| r.streamed_ratio),
+            ),
+        })
+        .collect()
+}
+
 fn median(values: impl Iterator<Item = f64>) -> f64 {
     let mut v: Vec<f64> = values.collect();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -306,6 +404,10 @@ struct Baseline {
     wt_writers: u64,
     wt_seed: u64,
     wt_rows: Vec<WtBaselineRow>,
+    sp_nodes: u64,
+    sp_page_size: u64,
+    sp_seed: u64,
+    sp_rows: Vec<SpBaselineRow>,
 }
 
 fn render(
@@ -313,6 +415,8 @@ fn render(
     rows: &[BaselineRow],
     wt_cfg: &aion_bench::write_throughput::WriteThroughputConfig,
     wt_rows: &[WtBaselineRow],
+    sp_cfg: &aion_bench::scan_paged::ScanPagedConfig,
+    sp_rows: &[SpBaselineRow],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"experiment\": \"fig09_ingest\",\n");
@@ -349,6 +453,25 @@ fn render(
             r.commits_per_fsync,
             r.rel_throughput,
             if i + 1 < wt_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n  },\n");
+    // Third experiment, same collision rule: every key is `sp_`-prefixed
+    // and row lines are keyed `"sp_metric"` so the whole-text field scan
+    // never matches a key from another section.
+    out.push_str("  \"scan_paged\": {\n");
+    out.push_str(&format!(
+        "    \"config\": {{\"sp_nodes\": {}, \"sp_page_size\": {}, \"sp_seed\": {}}},\n",
+        sp_cfg.nodes, sp_cfg.page_size, sp_cfg.seed
+    ));
+    out.push_str("    \"rows\": [\n");
+    for (i, r) in sp_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"sp_metric\": \"{}\", \"sp_peak_rows\": {:.4}, \"sp_streamed_ratio\": {:.4}}}{}\n",
+            r.metric,
+            r.peak_rows,
+            r.streamed_ratio,
+            if i + 1 < sp_rows.len() { "," } else { "" }
         ));
     }
     out.push_str("    ]\n  }\n}\n");
@@ -397,6 +520,27 @@ fn parse(text: &str) -> Result<Baseline, String> {
             field_u64(text, "wt_seed")?,
         )
     };
+    // Same deal for the scan_paged section: `sp_`-prefixed keys only.
+    let mut sp_rows = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"sp_metric\"") {
+            continue;
+        }
+        sp_rows.push(SpBaselineRow {
+            metric: field_str(line, "sp_metric")?,
+            peak_rows: field_f64(line, "sp_peak_rows")?,
+            streamed_ratio: field_f64(line, "sp_streamed_ratio")?,
+        });
+    }
+    let (sp_nodes, sp_page_size, sp_seed) = if sp_rows.is_empty() {
+        (0, 0, 0)
+    } else {
+        (
+            field_u64(text, "sp_nodes")?,
+            field_u64(text, "sp_page_size")?,
+            field_u64(text, "sp_seed")?,
+        )
+    };
     Ok(Baseline {
         target_edges,
         seed,
@@ -405,6 +549,10 @@ fn parse(text: &str) -> Result<Baseline, String> {
         wt_writers,
         wt_seed,
         wt_rows,
+        sp_nodes,
+        sp_page_size,
+        sp_seed,
+        sp_rows,
     })
 }
 
