@@ -14,7 +14,7 @@ use lpg::{
 use parking_lot::RwLock;
 use std::collections::{HashSet, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use timestore::{TimeStore, TimeStoreConfig};
@@ -118,6 +118,16 @@ pub struct Aion {
     listeners: RwLock<Vec<Listener>>,
     commit_latency: Arc<obs::Histogram>,
     forced_flushes: Arc<obs::Counter>,
+    /// Replication-epoch fence (DESIGN.md §17). `held` is the highest
+    /// epoch this node ever owned as primary; `max_seen` the highest it
+    /// has observed anywhere in the cluster. `max_seen > held` means a
+    /// newer primary exists and direct writes must be refused
+    /// ([`GraphError::Fenced`]) — accepting one would fork history.
+    /// Replicated applies bypass the fence: they carry the *new*
+    /// primary's commits and are exactly what a demoted node should
+    /// accept.
+    held_epoch: AtomicU64,
+    max_seen_epoch: AtomicU64,
 }
 
 impl Aion {
@@ -211,6 +221,8 @@ impl Aion {
             listeners: RwLock::new(Vec::new()),
             commit_latency: obs::histogram("core.commit.latency_ns"),
             forced_flushes: obs::counter("core.group_commit.forced_flushes"),
+            held_epoch: AtomicU64::new(0),
+            max_seen_epoch: AtomicU64::new(0),
         })
     }
 
@@ -304,6 +316,52 @@ impl Aion {
         self.listeners.write().push(Box::new(f));
     }
 
+    // ----------------------------------------------------- epoch fencing
+
+    /// Declares this node the owner of `epoch` (it was just promoted, or
+    /// restarted as a primary that had persisted this epoch). Also raises
+    /// `max_seen`, so holding an epoch always implies having seen it.
+    pub fn set_held_epoch(&self, epoch: u64) {
+        self.held_epoch.fetch_max(epoch, Ordering::AcqRel);
+        self.max_seen_epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// Records that `epoch` exists somewhere in the cluster (seen in a
+    /// replication handshake, frame, or heartbeat). Monotone: epochs are
+    /// only ever raised. If this exceeds the held epoch, direct writes
+    /// start failing with [`GraphError::Fenced`].
+    pub fn observe_epoch(&self, epoch: u64) {
+        self.max_seen_epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// The highest epoch this node ever owned as primary (0 = never
+    /// explicitly promoted; the seed single-node deployment).
+    pub fn held_epoch(&self) -> u64 {
+        self.held_epoch.load(Ordering::Acquire)
+    }
+
+    /// The highest epoch this node has observed anywhere.
+    pub fn max_seen_epoch(&self) -> u64 {
+        self.max_seen_epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether direct writes are currently fenced (a newer epoch exists).
+    pub fn is_fenced(&self) -> bool {
+        self.max_seen_epoch.load(Ordering::Acquire) > self.held_epoch.load(Ordering::Acquire)
+    }
+
+    /// The fence gate on the direct write path. Checked *before* the
+    /// commit pipeline so a deposed primary's write never consumes a
+    /// timestamp or touches the log.
+    fn check_fence(&self) -> Result<()> {
+        let held = self.held_epoch.load(Ordering::Acquire);
+        let seen = self.max_seen_epoch.load(Ordering::Acquire);
+        if seen > held {
+            return Err(GraphError::Fenced { held, seen });
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------ writes
 
     /// Latest committed timestamp.
@@ -327,6 +385,7 @@ impl Aion {
     where
         F: FnOnce(&mut WriteTxn<'_>) -> Result<()>,
     {
+        self.check_fence()?;
         let updates = {
             // The base Arc must drop before commit: a live reference would
             // force the copy-on-write latest graph to deep-copy on apply.
@@ -349,6 +408,7 @@ impl Aion {
     where
         F: FnOnce(&mut WriteTxn<'_>) -> Result<()>,
     {
+        self.check_fence()?;
         let updates = {
             let base = self.latest_graph();
             let mut txn = WriteTxn::new(&base, self.app_keys);

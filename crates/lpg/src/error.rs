@@ -63,6 +63,17 @@ pub enum GraphError {
     /// longer resolves at its pinned snapshot. Resuming would risk
     /// skipped or duplicated rows, so the request is refused instead.
     CursorInvalid(String),
+    /// The node was fenced off the write path by a newer replication
+    /// epoch: it holds epoch `held` but has observed `seen > held`,
+    /// meaning another node was promoted to primary. Accepting the
+    /// write would fork history — the commit is refused before anything
+    /// reaches the log. Route the write to the current primary.
+    Fenced {
+        /// The highest epoch this node ever held as primary.
+        held: u64,
+        /// The higher epoch it has observed from the cluster.
+        seen: u64,
+    },
     /// The query referenced an unknown label, key, or parameter.
     Unknown(String),
 }
@@ -98,6 +109,11 @@ impl fmt::Display for GraphError {
                 write!(f, "budget exceeded: result larger than the row/byte budget")
             }
             GraphError::CursorInvalid(msg) => write!(f, "invalid cursor: {msg}"),
+            GraphError::Fenced { held, seen } => write!(
+                f,
+                "write fenced: this node holds epoch {held} but epoch {seen} \
+                 exists; route writes to the current primary"
+            ),
             GraphError::Unknown(what) => write!(f, "unknown reference: {what}"),
         }
     }

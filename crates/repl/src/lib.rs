@@ -22,13 +22,32 @@
 //! [`aion_server::ServerConfig::read_only`]; clients get bounded
 //! staleness via `min_watermark` on `Run` and replica-aware routing via
 //! [`aion_server::RoutedClient`].
+//!
+//! Failover (DESIGN.md §17) is built from three more pieces:
+//!
+//! * [`epoch`] — the durable, monotonically increasing replication
+//!   epoch chain; every shipped frame and handshake is stamped with it,
+//!   and a node only accepts direct writes while holding the highest
+//!   epoch it has seen.
+//! * [`node`] — the role manager: a [`ReplNode`] wraps a database plus
+//!   its shipper/replayer and implements [`ReplNode::promote`] (drain,
+//!   bump epoch, open writes, start shipping, fence the old primary).
+//! * [`rejoin`] — offline quarantine for a deposed primary's divergent
+//!   log suffix ([`prepare_rejoin`]), archiving it byte-exact into a
+//!   checksummed sidecar before the node resyncs as a replica.
 
+pub mod epoch;
 mod frame_io;
+pub mod node;
+pub mod rejoin;
 pub mod replayer;
 pub mod shipper;
 pub mod watermark;
 pub mod wire;
 
+pub use epoch::{EpochRecord, EpochState, EPOCH_FILE};
+pub use node::{NodeRole, ReplNode, ReplNodeConfig};
+pub use rejoin::{prepare_rejoin, read_divergence_archive, DivergenceArchive, RejoinReport};
 pub use replayer::{Replayer, ReplayerConfig};
 pub use shipper::{LogShipper, ShipperConfig};
 pub use watermark::{Watermark, WatermarkStore};

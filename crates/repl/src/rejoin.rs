@@ -1,0 +1,409 @@
+//! Offline rejoin preparation for a deposed primary (DESIGN.md §17).
+//!
+//! A primary that kept accepting writes after the cluster promoted a
+//! replica holds a **divergent log suffix**: commits acked only locally,
+//! at timestamps the new primary has reused (or will reuse) for
+//! different commits. Those frames can never be replayed into the new
+//! timeline — but they were acknowledged once, so they are evidence and
+//! must not be silently destroyed. [`prepare_rejoin`] runs with the
+//! database **closed** and:
+//!
+//! 1. probes the current primary's replication handshake (the `HelloAck`
+//!    is answered before any gate, so a deposed node always learns the
+//!    cluster epoch and its own fork point);
+//! 2. scans the local `timestore.log` for the first frame past the fork
+//!    point and archives everything from there — including any torn
+//!    tail — **byte-exact** into a checksummed sidecar
+//!    `timestore.log.divergent-<epoch>`;
+//! 3. truncates the log back to the fork point and deletes the derived
+//!    state that indexed the divergent suffix (`timestore.idx` and
+//!    `lineage.db`, plus their checksum sidecars) so the next open
+//!    rebuilds from the surviving prefix;
+//! 4. adopts the cluster epoch into the local chain, fencing the node's
+//!    write path before it ever reopens.
+//!
+//! Archive layout (all integers little-endian):
+//!
+//! ```text
+//! magic "AIONDIVG" | u32 version (1) | u64 epoch | u64 fence_ts |
+//! u64 byte_len | u64 fnv64(bytes) | bytes (raw log suffix, verbatim)
+//! ```
+
+use crate::epoch::{EpochRecord, EpochState};
+use crate::frame_io::{FrameReader, Polled};
+use crate::wire::{decode_msg, encode_msg, ReplMsg};
+use aion_server::protocol::write_frame;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use timestore::CommitFrame;
+use vfs::{fnv64, sidecar_path, VfsRef};
+
+/// Magic prefix of a divergence archive.
+pub const DIVERGENCE_MAGIC: &[u8; 8] = b"AIONDIVG";
+
+const DIVERGENCE_VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8;
+
+/// What [`prepare_rejoin`] did, for operators and tests.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RejoinReport {
+    /// The cluster epoch learned from the primary's handshake.
+    pub primary_epoch: u64,
+    /// The fork point of this node's old epoch: commits with
+    /// `ts > fence_ts` were divergent.
+    pub fence_ts: u64,
+    /// Byte offset the log was truncated to (its new end).
+    pub fork_offset: u64,
+    /// Complete frames moved into the archive.
+    pub archived_frames: u64,
+    /// Raw bytes moved into the archive (frames plus any torn tail).
+    pub archived_bytes: u64,
+    /// The archive file, when a divergent suffix existed.
+    pub archive_path: Option<PathBuf>,
+}
+
+/// A divergence archive read back for inspection.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DivergenceArchive {
+    /// The epoch whose promotion orphaned these bytes.
+    pub epoch: u64,
+    /// The fork point recorded at archive time.
+    pub fence_ts: u64,
+    /// The raw log suffix, verbatim.
+    pub bytes: Vec<u8>,
+}
+
+impl DivergenceArchive {
+    /// Decodes the quarantined commit frames. Any torn tail the archive
+    /// preserved verbatim is not decodable and is skipped — exactly the
+    /// bytes the log itself would have discarded on recovery.
+    pub fn frames(&self) -> Vec<CommitFrame> {
+        let mut frames = Vec::new();
+        let mut offset = 0usize;
+        while let Some((frame, next)) = parse_frame(&self.bytes, offset) {
+            frames.push(frame);
+            offset = next;
+        }
+        frames
+    }
+}
+
+/// Prepares a deposed primary rooted at `dir` to rejoin the cluster as
+/// a replica of `primary`. The database at `dir` must be **closed** —
+/// this function rewrites the log file underneath it.
+///
+/// Idempotent: running it twice (or on a node that never diverged)
+/// archives nothing the second time and returns a report with
+/// `archive_path: None`.
+pub fn prepare_rejoin(
+    vfs: &VfsRef,
+    dir: &Path,
+    primary: SocketAddr,
+    connect_timeout: Duration,
+) -> io::Result<RejoinReport> {
+    let epochs = EpochState::load(vfs.clone(), dir);
+    let my_epoch = epochs.current().epoch;
+    let ts_dir = dir.join("timestore");
+    let log_path = ts_dir.join("timestore.log");
+    let log_bytes = vfs.read(&log_path).unwrap_or_default();
+    let (local_latest_ts, _) = scan_frames(&log_bytes, 0);
+
+    let (primary_epoch, epoch_base_ts, fence_ts) =
+        probe_primary(primary, connect_timeout, my_epoch, local_latest_ts)?;
+
+    if primary_epoch <= my_epoch {
+        // The "primary" is not ahead of us; there is no newer timeline
+        // to quarantine against. (Either we *are* current, or the peer
+        // is itself stale — in both cases rejoin prep is a no-op.)
+        return Ok(RejoinReport {
+            primary_epoch,
+            fence_ts: u64::MAX,
+            fork_offset: log_bytes.len() as u64,
+            archived_frames: 0,
+            archived_bytes: 0,
+            archive_path: None,
+        });
+    }
+
+    // Find the fork offset: the start of the first frame past fence_ts.
+    // Everything from there on — decodable frames *and* any torn tail —
+    // is the divergent suffix.
+    let fork_offset = find_fork_offset(&log_bytes, fence_ts);
+    let suffix = log_bytes.get(fork_offset as usize..).unwrap_or_default();
+    let (_, archived_frames) = scan_frames(suffix, 0);
+
+    let archive_path = if suffix.is_empty() {
+        None
+    } else {
+        let path = ts_dir.join(format!("timestore.log.divergent-{primary_epoch}"));
+        write_archive(vfs, &path, primary_epoch, fence_ts, suffix)?;
+        // Truncate the live log back to the fork point, then drop the
+        // derived state (index, lineage) that may reference the suffix;
+        // the next open rebuilds both from the surviving prefix.
+        let log = vfs.open(&log_path)?;
+        log.set_len(fork_offset)?;
+        log.sync_data()?;
+        for derived in [ts_dir.join("timestore.idx"), dir.join("lineage.db")] {
+            let _ = vfs.remove_file(&derived);
+            let _ = vfs.remove_file(&sidecar_path(&derived, "sums"));
+        }
+        obs::counter("repl.divergent_frames_archived").add(archived_frames);
+        Some(path)
+    };
+
+    // Adopt the cluster epoch last: once persisted, the node's write
+    // path is fenced from the moment it reopens.
+    epochs.adopt(EpochRecord {
+        epoch: primary_epoch,
+        base_ts: epoch_base_ts,
+    })?;
+
+    Ok(RejoinReport {
+        primary_epoch,
+        fence_ts,
+        fork_offset,
+        archived_frames,
+        archived_bytes: suffix.len() as u64,
+        archive_path,
+    })
+}
+
+/// Reads a divergence archive back, verifying magic, version, length,
+/// and checksum.
+pub fn read_divergence_archive(vfs: &VfsRef, path: &Path) -> io::Result<DivergenceArchive> {
+    let bytes = vfs.read(path)?;
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let header = bytes.get(..HEADER_LEN).ok_or_else(|| bad("short header"))?;
+    if &header[..8] != DIVERGENCE_MAGIC {
+        return Err(bad("bad divergence archive magic"));
+    }
+    let version = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if version != DIVERGENCE_VERSION {
+        return Err(bad("unsupported divergence archive version"));
+    }
+    let read_u64 = |at: usize| {
+        u64::from_le_bytes([
+            header[at],
+            header[at + 1],
+            header[at + 2],
+            header[at + 3],
+            header[at + 4],
+            header[at + 5],
+            header[at + 6],
+            header[at + 7],
+        ])
+    };
+    let epoch = read_u64(12);
+    let fence_ts = read_u64(20);
+    let byte_len = read_u64(28) as usize;
+    let checksum = read_u64(36);
+    let body = bytes
+        .get(HEADER_LEN..HEADER_LEN + byte_len)
+        .ok_or_else(|| bad("archive body shorter than its header claims"))?;
+    if bytes.len() != HEADER_LEN + byte_len {
+        return Err(bad("trailing bytes after archive body"));
+    }
+    if fnv64(body) != checksum {
+        return Err(bad("divergence archive checksum mismatch"));
+    }
+    Ok(DivergenceArchive {
+        epoch,
+        fence_ts,
+        bytes: body.to_vec(),
+    })
+}
+
+fn write_archive(
+    vfs: &VfsRef,
+    path: &Path,
+    epoch: u64,
+    fence_ts: u64,
+    suffix: &[u8],
+) -> io::Result<()> {
+    let mut out = Vec::with_capacity(HEADER_LEN + suffix.len());
+    out.extend_from_slice(DIVERGENCE_MAGIC);
+    out.extend_from_slice(&DIVERGENCE_VERSION.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&fence_ts.to_le_bytes());
+    out.extend_from_slice(&(suffix.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv64(suffix).to_le_bytes());
+    out.extend_from_slice(suffix);
+    let file = vfs.open(path)?;
+    file.write_all_at(&out, 0)?;
+    file.set_len(out.len() as u64)?;
+    file.sync_data()
+}
+
+/// One handshake round against the primary: send a Hello, read the
+/// pre-gate HelloAck, return `(epoch, epoch_base_ts, fence_ts)`.
+fn probe_primary(
+    primary: SocketAddr,
+    connect_timeout: Duration,
+    my_epoch: u64,
+    latest_ts: u64,
+) -> io::Result<(u64, u64, u64)> {
+    let mut stream = TcpStream::connect_timeout(&primary, connect_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    write_frame(
+        &mut stream,
+        &encode_msg(&ReplMsg::Hello {
+            start_offset: 0,
+            latest_ts,
+            epoch: my_epoch,
+        }),
+    )?;
+    let mut reader = FrameReader::new();
+    let deadline = std::time::Instant::now() + connect_timeout.max(Duration::from_secs(2));
+    let ack = loop {
+        match reader.poll(&mut stream)? {
+            Polled::Frame(payload) => break decode_msg(&payload)?,
+            Polled::Pending => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "primary did not answer the rejoin probe",
+                    ));
+                }
+            }
+            Polled::Eof => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "primary closed during rejoin probe",
+                ))
+            }
+        }
+    };
+    let ReplMsg::HelloAck {
+        epoch,
+        epoch_base_ts,
+        fence_ts,
+        ..
+    } = ack
+    else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected HELLO_ACK from primary",
+        ));
+    };
+    Ok((epoch, epoch_base_ts, fence_ts))
+}
+
+/// Walks raw log bytes frame by frame (same `u32 len, u32 fnv1a,
+/// payload` layout the [`timestore::ChangeLog`] writes), stopping at the
+/// first frame that fails to parse (torn tail). Returns the highest
+/// frame timestamp seen and the number of complete frames.
+fn scan_frames(bytes: &[u8], from: usize) -> (u64, u64) {
+    let mut latest_ts = 0u64;
+    let mut frames = 0u64;
+    let mut offset = from;
+    while let Some((frame, next)) = parse_frame(bytes, offset) {
+        latest_ts = latest_ts.max(frame.ts);
+        frames += 1;
+        offset = next;
+    }
+    (latest_ts, frames)
+}
+
+/// The byte offset of the first frame with `ts > fence_ts`; the scan end
+/// (start of any torn tail) when every complete frame is at or below the
+/// fence. Log order is commit order, so the first past-fence frame
+/// starts the divergent suffix.
+fn find_fork_offset(bytes: &[u8], fence_ts: u64) -> u64 {
+    let mut offset = 0usize;
+    while let Some((frame, next)) = parse_frame(bytes, offset) {
+        if frame.ts > fence_ts {
+            return offset as u64;
+        }
+        offset = next;
+    }
+    offset as u64
+}
+
+/// Parses one log frame at `offset`; `None` on truncation or any
+/// checksum/structure failure (the caller treats that as the torn tail).
+fn parse_frame(bytes: &[u8], offset: usize) -> Option<(CommitFrame, usize)> {
+    let head = bytes.get(offset..offset + 8)?;
+    let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    let checksum = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+    if len as u64 > timestore::log::MAX_FRAME_LEN {
+        return None;
+    }
+    let payload = bytes.get(offset + 8..offset + 8 + len)?;
+    if fnv1a32(payload) != checksum {
+        return None;
+    }
+    let frame = CommitFrame::decode(payload)?;
+    Some((frame, offset + 8 + len))
+}
+
+/// The log's 32-bit FNV-1a payload checksum (mirrors
+/// `timestore::log`'s private implementation — the format is fixed by
+/// the on-disk log layout, documented there).
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_roundtrips_and_detects_corruption() {
+        let dir = tempfile::tempdir().unwrap();
+        let vfs = VfsRef::std();
+        let path = dir.path().join("timestore.log.divergent-3");
+        let suffix = vec![7u8; 100];
+        write_archive(&vfs, &path, 3, 42, &suffix).unwrap();
+        let back = read_divergence_archive(&vfs, &path).unwrap();
+        assert_eq!(back.epoch, 3);
+        assert_eq!(back.fence_ts, 42);
+        assert_eq!(back.bytes, suffix);
+        // Flip one body byte: the checksum must catch it.
+        let mut bytes = vfs.read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        vfs.write(&path, &bytes).unwrap();
+        assert!(read_divergence_archive(&vfs, &path).is_err());
+    }
+
+    #[test]
+    fn fork_offset_splits_at_fence_and_keeps_torn_tail_in_suffix() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("timestore.log");
+        let log = timestore::ChangeLog::open(&path).unwrap();
+        for ts in 1..=4u64 {
+            log.append(&CommitFrame {
+                ts,
+                records: Vec::new(),
+            })
+            .unwrap();
+        }
+        log.sync().unwrap();
+        drop(log);
+        // Append garbage (a torn tail) after the valid frames.
+        let vfs = VfsRef::std();
+        let mut bytes = vfs.read(&path).unwrap();
+        let valid_len = bytes.len();
+        bytes.extend_from_slice(&[0xAB; 5]);
+        vfs.write(&path, &bytes).unwrap();
+
+        let (latest, frames) = scan_frames(&bytes, 0);
+        assert_eq!((latest, frames), (4, 4));
+        // Fence at ts 2: frames 3 and 4 plus the torn tail diverge.
+        let fork = find_fork_offset(&bytes, 2) as usize;
+        assert!(fork < valid_len);
+        let (_, suffix_frames) = scan_frames(&bytes[fork..], 0);
+        assert_eq!(suffix_frames, 2);
+        // Fence above everything: fork lands at the torn-tail boundary.
+        assert_eq!(find_fork_offset(&bytes, 10) as usize, valid_len);
+    }
+}

@@ -26,6 +26,7 @@
 //!   frames as re-delivery, so the replayer instead marks itself
 //!   [`Replayer::diverged`] and stops; the replica needs a rebuild.
 
+use crate::epoch::{EpochRecord, EpochState};
 use crate::frame_io::{FrameReader, Polled};
 use crate::watermark::{Watermark, WatermarkStore};
 use crate::wire::{decode_msg, encode_msg, ReplMsg};
@@ -37,7 +38,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use timestore::CommitFrame;
 use vfs::VfsRef;
 
@@ -60,6 +61,15 @@ pub struct ReplayerConfig {
     /// Base reconnect backoff (doubles up to 32× per consecutive
     /// failure, resetting on a successful handshake).
     pub reconnect_backoff: Duration,
+    /// How long a connected session may go without *any* inbound
+    /// message (frame or heartbeat) before the link is declared down
+    /// and the session reconnects. The shipper heartbeats every
+    /// [`crate::ShipperConfig::heartbeat_interval`] (default 200 ms),
+    /// so the default here — 2 s — means ten missed heartbeats. This is
+    /// the replica-side liveness trigger for failover: without it a
+    /// silently dead link (half-open TCP, black-holing proxy) blocks
+    /// replay forever.
+    pub heartbeat_timeout: Duration,
 }
 
 impl ReplayerConfig {
@@ -72,6 +82,7 @@ impl ReplayerConfig {
             sync_every: 32,
             connect_timeout: Duration::from_secs(2),
             reconnect_backoff: Duration::from_millis(20),
+            heartbeat_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -83,6 +94,8 @@ struct ReplayTelemetry {
     reconnects: Arc<obs::Counter>,
     corrupt_frames: Arc<obs::Counter>,
     watermark_ts: Arc<obs::Gauge>,
+    link_down: Arc<obs::Gauge>,
+    heartbeat_timeouts: Arc<obs::Counter>,
 }
 
 impl ReplayTelemetry {
@@ -93,6 +106,8 @@ impl ReplayTelemetry {
             reconnects: obs::counter("repl.replay.reconnects"),
             corrupt_frames: obs::counter("repl.replay.corrupt_frames"),
             watermark_ts: obs::gauge("repl.replay.watermark_ts"),
+            link_down: obs::gauge("repl.link_down"),
+            heartbeat_timeouts: obs::counter("repl.heartbeat_timeouts"),
         }
     }
 }
@@ -109,6 +124,7 @@ struct ReplayerShared {
     store: WatermarkStore,
     cfg: ReplayerConfig,
     tel: ReplayTelemetry,
+    epochs: Arc<EpochState>,
 }
 
 impl ReplayerShared {
@@ -149,10 +165,22 @@ pub struct Replayer {
 impl Replayer {
     /// Starts replaying into `db`. The durable watermark (if any, and if
     /// consistent with the local database — see module docs) decides
-    /// where streaming resumes.
+    /// where streaming resumes. The epoch chain is loaded from (and
+    /// persisted under) `cfg.dir`, next to the watermark.
     pub fn start(db: Arc<Aion>, cfg: ReplayerConfig) -> Replayer {
+        let epochs = EpochState::load(cfg.vfs.clone(), &cfg.dir);
+        Replayer::start_with(db, cfg, epochs)
+    }
+
+    /// Starts replaying with an explicit shared epoch chain (the node
+    /// role manager shares one chain between replay and promotion).
+    pub fn start_with(db: Arc<Aion>, cfg: ReplayerConfig, epochs: Arc<EpochState>) -> Replayer {
         let store = WatermarkStore::new(cfg.vfs.clone(), &cfg.dir);
         let initial = reconcile_watermark(store.load(), db.latest_ts());
+        // Knowing about an epoch fences the write path below it: a
+        // replica that ever adopted epoch N refuses direct writes until
+        // *it* is promoted to an epoch ≥ N.
+        db.observe_epoch(epochs.current().epoch);
         let shared = Arc::new(ReplayerShared {
             db,
             stop: AtomicBool::new(false),
@@ -162,6 +190,7 @@ impl Replayer {
             store,
             cfg,
             tel: ReplayTelemetry::new(),
+            epochs,
         });
         shared
             .tel
@@ -191,6 +220,16 @@ impl Replayer {
     /// Times the replayer re-established its primary connection.
     pub fn reconnect_count(&self) -> u64 {
         self.shared.tel.reconnects.get()
+    }
+
+    /// The shared epoch chain this replica replays under.
+    pub fn epochs(&self) -> Arc<EpochState> {
+        self.shared.epochs.clone()
+    }
+
+    /// Heartbeat-timeout liveness trips so far (link declared down).
+    pub fn heartbeat_timeout_count(&self) -> u64 {
+        self.shared.tel.heartbeat_timeouts.get()
     }
 
     /// Whether the replayer detected primary/replica history divergence
@@ -281,11 +320,13 @@ fn session(shared: &Arc<ReplayerShared>, handshake_ok: &mut bool) -> io::Result<
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
 
     let wm = shared.watermark();
+    let my_epoch = shared.epochs.current().epoch;
     write_frame(
         &mut stream,
         &encode_msg(&ReplMsg::Hello {
             start_offset: wm.offset,
             latest_ts: wm.ts,
+            epoch: my_epoch,
         }),
     )?;
     let mut reader = FrameReader::new();
@@ -307,6 +348,9 @@ fn session(shared: &Arc<ReplayerShared>, handshake_ok: &mut bool) -> io::Result<
     let ReplMsg::HelloAck {
         resume_offset,
         latest_ts: primary_ts,
+        epoch: primary_epoch,
+        epoch_base_ts,
+        fence_ts,
         ..
     } = ack
     else {
@@ -315,6 +359,41 @@ fn session(shared: &Arc<ReplayerShared>, handshake_ok: &mut bool) -> io::Result<
             "expected HELLO_ACK from primary",
         ));
     };
+    if primary_epoch < my_epoch {
+        // A deposed primary: it predates an epoch we already adopted.
+        // Following it would replay a dead timeline — reconnect (the
+        // routing layer will eventually point us at the new primary).
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "primary is on stale epoch {primary_epoch} (ours is \
+                 {my_epoch}): refusing to follow a deposed primary"
+            ),
+        ));
+    }
+    if primary_epoch > my_epoch {
+        // A newer primary exists. Commits we hold beyond its fork point
+        // for *our* epoch never shipped anywhere this primary knows —
+        // they are divergent and must be quarantined offline
+        // (`prepare_rejoin`) before this replica may resync.
+        if shared.db.latest_ts() > fence_ts {
+            shared.diverged.store(true, Ordering::Release);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "local history extends past the epoch {primary_epoch} \
+                     fork point (latest ts {} > fence ts {fence_ts}): \
+                     divergent suffix must be quarantined before rejoin",
+                    shared.db.latest_ts()
+                ),
+            ));
+        }
+        shared.epochs.adopt(EpochRecord {
+            epoch: primary_epoch,
+            base_ts: epoch_base_ts,
+        })?;
+        shared.db.observe_epoch(primary_epoch);
+    }
     if primary_ts < wm.ts {
         // The primary has *less* history than we durably applied: it
         // lost state (our watermark only ever covers commits the primary
@@ -333,12 +412,14 @@ fn session(shared: &Arc<ReplayerShared>, handshake_ok: &mut bool) -> io::Result<
         ));
     }
     *handshake_ok = true;
+    shared.tel.link_down.set(0);
 
     // The primary may have forced a full resync (resume_offset 0 when we
     // asked for more): idempotent replay makes that safe, but the cursor
     // must follow the *wire* position, not the local watermark.
     let mut cursor = resume_offset;
     let mut pending: u64 = 0; // frames applied/skipped since last durability point
+    let mut last_inbound = Instant::now();
     loop {
         if shared.stop.load(Ordering::Acquire) {
             // Flush progress so restart resumes close to the head.
@@ -346,8 +427,29 @@ fn session(shared: &Arc<ReplayerShared>, handshake_ok: &mut bool) -> io::Result<
             return Ok(());
         }
         let msg = match reader.poll(&mut stream)? {
-            Polled::Frame(payload) => decode_msg(&payload)?,
-            Polled::Pending => continue,
+            Polled::Frame(payload) => {
+                last_inbound = Instant::now();
+                decode_msg(&payload)?
+            }
+            Polled::Pending => {
+                if last_inbound.elapsed() >= shared.cfg.heartbeat_timeout {
+                    // The shipper heartbeats even when idle, so silence
+                    // this long means the link is dead (half-open TCP,
+                    // black-holing middlebox). Declare it down and
+                    // reconnect through the normal backoff path.
+                    shared.tel.heartbeat_timeouts.inc();
+                    shared.tel.link_down.set(1);
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "no frame or heartbeat from primary for {:?}: \
+                             declaring the replication link down",
+                            shared.cfg.heartbeat_timeout
+                        ),
+                    ));
+                }
+                continue;
+            }
             Polled::Eof => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -359,8 +461,10 @@ fn session(shared: &Arc<ReplayerShared>, handshake_ok: &mut bool) -> io::Result<
             ReplMsg::Frame {
                 offset,
                 next_offset,
+                epoch,
                 payload,
             } => {
+                check_stream_epoch(shared, epoch)?;
                 if offset != cursor {
                     // Out-of-order delivery is impossible on one TCP
                     // stream unless state is corrupt: resync.
@@ -395,7 +499,8 @@ fn session(shared: &Arc<ReplayerShared>, handshake_ok: &mut bool) -> io::Result<
                     make_durable(shared, &mut stream, cursor, &mut pending)?;
                 }
             }
-            ReplMsg::Heartbeat { .. } => {
+            ReplMsg::Heartbeat { epoch, .. } => {
+                check_stream_epoch(shared, epoch)?;
                 // Quiesce point: flush any partial batch so an idle
                 // stream still converges to a durable, acked watermark.
                 if pending > 0 {
@@ -410,6 +515,25 @@ fn session(shared: &Arc<ReplayerShared>, handshake_ok: &mut bool) -> io::Result<
             }
         }
     }
+}
+
+/// Mid-stream epoch gate: a frame or heartbeat stamped with an epoch
+/// *older* than ours comes from a primary deposed after the handshake —
+/// drop the session rather than apply a dead timeline. A *newer* stamp
+/// (promotion raced this stream) at least fences our write path
+/// immediately; the follow-up reconnect handshake adopts it properly.
+fn check_stream_epoch(shared: &Arc<ReplayerShared>, epoch: u64) -> io::Result<()> {
+    let ours = shared.epochs.current().epoch;
+    if epoch < ours {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("stream epoch {epoch} fell behind ours ({ours}): primary was deposed"),
+        ));
+    }
+    if epoch > ours {
+        shared.db.observe_epoch(epoch);
+    }
+    Ok(())
 }
 
 /// The durability point: fsync the database, persist the watermark, then

@@ -22,6 +22,7 @@
 //!
 //! [`ChangeLog::iter_from`]: timestore::ChangeLog::iter_from
 
+use crate::epoch::EpochState;
 use crate::frame_io::{FrameReader, Polled};
 use crate::watermark::Watermark;
 use crate::wire::{decode_msg, encode_msg, ReplMsg};
@@ -93,6 +94,9 @@ struct ShipperShared {
     cfg: ShipperConfig,
     addr: SocketAddr,
     tel: ShipTelemetry,
+    /// The epoch this primary ships under. Shared with the node's
+    /// promotion path so a bump is visible to in-flight workers.
+    epochs: Arc<EpochState>,
 }
 
 impl ShipperShared {
@@ -129,8 +133,22 @@ pub struct LogShipper {
 }
 
 impl LogShipper {
-    /// Starts shipping `db`'s commit log on an ephemeral localhost port.
+    /// Starts shipping `db`'s commit log on an ephemeral localhost port,
+    /// with a volatile epoch chain (epoch 0: a seed primary that was
+    /// never promoted). Failover deployments use [`start_with`] so the
+    /// shipped epoch is the durable one.
+    ///
+    /// [`start_with`]: LogShipper::start_with
     pub fn start(db: Arc<Aion>, cfg: ShipperConfig) -> io::Result<LogShipper> {
+        LogShipper::start_with(db, cfg, EpochState::in_memory())
+    }
+
+    /// Starts shipping under an explicit (usually durable) epoch chain.
+    pub fn start_with(
+        db: Arc<Aion>,
+        cfg: ShipperConfig,
+        epochs: Arc<EpochState>,
+    ) -> io::Result<LogShipper> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let tel = ShipTelemetry::new();
@@ -143,6 +161,7 @@ impl LogShipper {
             cfg,
             addr,
             tel,
+            epochs,
         });
         let accept_shared = shared.clone();
         let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
@@ -250,6 +269,7 @@ fn serve_replica(
     let ReplMsg::Hello {
         start_offset,
         latest_ts: replica_ts,
+        epoch: replica_epoch,
     } = hello
     else {
         return Err(io::Error::new(
@@ -261,16 +281,58 @@ fn serve_replica(
     let log = timestore.log();
     let primary_ts = shared.db.latest_ts();
     let resume_offset = validate_resume(start_offset, log);
-    // Always answer honestly (resume offset, our latest ts) so the
-    // replica can detect divergence on its side too, then gate below.
+    let my_epoch = shared.epochs.current();
+    // The fork point of the *replica's* epoch: commits it holds past
+    // this timestamp never shipped under any epoch we recognize.
+    // `u64::MAX` when the replica's epoch is current (nothing forked).
+    let fence_ts = shared.epochs.fork_ts_for(replica_epoch).unwrap_or(u64::MAX);
+    // Always answer honestly (resume offset, our latest ts, our epoch)
+    // so the peer can detect divergence — or our deposition — on its
+    // side too, then gate below.
     write_frame(
         &mut stream,
         &encode_msg(&ReplMsg::HelloAck {
             resume_offset,
             log_end: timestore.durable_log_end(),
             latest_ts: primary_ts,
+            epoch: my_epoch.epoch,
+            epoch_base_ts: my_epoch.base_ts,
+            fence_ts,
         }),
     )?;
+    if replica_epoch > my_epoch.epoch {
+        // The peer carries a newer epoch than we ever issued: we were
+        // deposed while partitioned (this Hello may well be the new
+        // primary's fence probe). Fence our own write path *before*
+        // refusing, so no direct write can sneak in afterwards, and
+        // leave the divergence handling to our own rejoin.
+        shared.db.observe_epoch(replica_epoch);
+        shared.tel.handshake_refusals.inc();
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "peer epoch {replica_epoch} exceeds this primary's epoch {}: \
+                 this node was deposed and is now fenced",
+                my_epoch.epoch
+            ),
+        ));
+    }
+    if replica_ts > fence_ts {
+        // The replica (on an older epoch) durably applied commits past
+        // its epoch's fork point: those are divergent and must be
+        // quarantined offline (`prepare_rejoin`) before it may resync.
+        // Streaming anyway would skip the mismatched timestamps as
+        // re-delivery and diverge silently.
+        shared.tel.handshake_refusals.inc();
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "replica on epoch {replica_epoch} holds commits past its \
+                 fork point (replica ts {replica_ts} > fence ts {fence_ts}): \
+                 divergent suffix must be quarantined before resync"
+            ),
+        ));
+    }
     if replica_ts > primary_ts {
         // The replica durably applied commits this primary does not
         // have — the primary's history regressed (lost disk, restore
@@ -361,6 +423,7 @@ fn stream_frames(
                     &encode_msg(&ReplMsg::Frame {
                         offset: entry.offset,
                         next_offset: entry.next,
+                        epoch: shared.epochs.current().epoch,
                         payload: entry.frame.encode(),
                     }),
                 )?;
@@ -394,6 +457,7 @@ fn stream_frames(
                 &encode_msg(&ReplMsg::Heartbeat {
                     log_end: durable,
                     latest_ts: shared.db.latest_ts(),
+                    epoch: shared.epochs.current().epoch,
                 }),
             )?;
             last_heartbeat = Instant::now();

@@ -9,13 +9,19 @@
 //! checksum + structure), giving end-to-end protection from the
 //! primary's disk to the replica's apply path.
 //!
+//! Every message (except `Ack`, which only reports durability) carries
+//! the sender's replication **epoch** (DESIGN.md §17): receivers fold it
+//! into their fence state, so a node that talks to a newer primary —
+//! or is probed by one — immediately stops accepting direct writes.
+//!
 //! ```text
-//! msg := 0x10 "HELLO"     u64 start_offset, u64 latest_ts
-//!      | 0x11 "HELLO_ACK" u64 resume_offset, u64 log_end, u64 latest_ts
-//!      | 0x12 "FRAME"     u64 offset, u64 next_offset,
+//! msg := 0x10 "HELLO"     u64 start_offset, u64 latest_ts, u64 epoch
+//!      | 0x11 "HELLO_ACK" u64 resume_offset, u64 log_end, u64 latest_ts,
+//!                         u64 epoch, u64 epoch_base_ts, u64 fence_ts
+//!      | 0x12 "FRAME"     u64 offset, u64 next_offset, u64 epoch,
 //!                         u32 plen, payload (a CommitFrame encoding)
 //!      | 0x13 "ACK"       u64 offset, u64 ts
-//!      | 0x14 "HEARTBEAT" u64 log_end, u64 latest_ts
+//!      | 0x14 "HEARTBEAT" u64 log_end, u64 latest_ts, u64 epoch
 //! ```
 
 use std::io;
@@ -35,6 +41,11 @@ pub enum ReplMsg {
         /// state this replica already holds) and the connection is
         /// refused instead of silently resyncing.
         latest_ts: u64,
+        /// The sender's current replication epoch. A primary receiving
+        /// a Hello with a *higher* epoch knows it was deposed: it fences
+        /// its own write path before answering. (Promotion exploits this
+        /// by probing the old primary with a Hello at the new epoch.)
+        epoch: u64,
     },
     /// Primary → replica, answering [`ReplMsg::Hello`].
     HelloAck {
@@ -50,6 +61,21 @@ pub enum ReplMsg {
         /// durable watermark timestamp exceeds this marks itself
         /// diverged and stops rather than resyncing into silent skips.
         latest_ts: u64,
+        /// The primary's current epoch. A replica seeing a *higher*
+        /// epoch than its own adopts it (fencing itself); a replica
+        /// seeing a *lower* one is talking to a deposed primary and
+        /// reconnects elsewhere.
+        epoch: u64,
+        /// The commit timestamp at which the primary's current epoch
+        /// began — what the replica persists alongside the adopted
+        /// epoch so it can answer fork-point queries later.
+        epoch_base_ts: u64,
+        /// The fork point for the *replica's* epoch as stated in its
+        /// Hello: the base timestamp of the first epoch newer than it.
+        /// Commits the replica holds with `ts > fence_ts` are divergent
+        /// and must be quarantined before resync. `u64::MAX` when the
+        /// replica's epoch is current (nothing diverged).
+        fence_ts: u64,
     },
     /// Primary → replica: one commit-log frame.
     Frame {
@@ -57,6 +83,10 @@ pub enum ReplMsg {
         offset: u64,
         /// Byte offset of the next frame (the replica's new cursor).
         next_offset: u64,
+        /// The epoch this frame is shipped under. A replica refuses
+        /// frames from an epoch older than its own (a deposed primary
+        /// must never feed a fenced replica).
+        epoch: u64,
         /// The frame's `CommitFrame::encode()` bytes, shipped verbatim.
         payload: Vec<u8>,
     },
@@ -76,6 +106,8 @@ pub enum ReplMsg {
         log_end: u64,
         /// The primary's latest committed timestamp.
         latest_ts: u64,
+        /// The primary's current epoch (same fencing rule as frames).
+        epoch: u64,
     },
 }
 
@@ -114,29 +146,39 @@ pub fn encode_msg(msg: &ReplMsg) -> Vec<u8> {
         ReplMsg::Hello {
             start_offset,
             latest_ts,
+            epoch,
         } => {
             out.push(TAG_HELLO);
             put_u64(&mut out, *start_offset);
             put_u64(&mut out, *latest_ts);
+            put_u64(&mut out, *epoch);
         }
         ReplMsg::HelloAck {
             resume_offset,
             log_end,
             latest_ts,
+            epoch,
+            epoch_base_ts,
+            fence_ts,
         } => {
             out.push(TAG_HELLO_ACK);
             put_u64(&mut out, *resume_offset);
             put_u64(&mut out, *log_end);
             put_u64(&mut out, *latest_ts);
+            put_u64(&mut out, *epoch);
+            put_u64(&mut out, *epoch_base_ts);
+            put_u64(&mut out, *fence_ts);
         }
         ReplMsg::Frame {
             offset,
             next_offset,
+            epoch,
             payload,
         } => {
             out.push(TAG_FRAME);
             put_u64(&mut out, *offset);
             put_u64(&mut out, *next_offset);
+            put_u64(&mut out, *epoch);
             out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
             out.extend_from_slice(payload);
         }
@@ -145,10 +187,15 @@ pub fn encode_msg(msg: &ReplMsg) -> Vec<u8> {
             put_u64(&mut out, *offset);
             put_u64(&mut out, *ts);
         }
-        ReplMsg::Heartbeat { log_end, latest_ts } => {
+        ReplMsg::Heartbeat {
+            log_end,
+            latest_ts,
+            epoch,
+        } => {
             out.push(TAG_HEARTBEAT);
             put_u64(&mut out, *log_end);
             put_u64(&mut out, *latest_ts);
+            put_u64(&mut out, *epoch);
         }
     }
     out
@@ -166,15 +213,20 @@ pub fn decode_msg(buf: &[u8]) -> io::Result<ReplMsg> {
         TAG_HELLO => ReplMsg::Hello {
             start_offset: get_u64(buf, &mut pos)?,
             latest_ts: get_u64(buf, &mut pos)?,
+            epoch: get_u64(buf, &mut pos)?,
         },
         TAG_HELLO_ACK => ReplMsg::HelloAck {
             resume_offset: get_u64(buf, &mut pos)?,
             log_end: get_u64(buf, &mut pos)?,
             latest_ts: get_u64(buf, &mut pos)?,
+            epoch: get_u64(buf, &mut pos)?,
+            epoch_base_ts: get_u64(buf, &mut pos)?,
+            fence_ts: get_u64(buf, &mut pos)?,
         },
         TAG_FRAME => {
             let offset = get_u64(buf, &mut pos)?;
             let next_offset = get_u64(buf, &mut pos)?;
+            let epoch = get_u64(buf, &mut pos)?;
             let plen = get_u32(buf, &mut pos)? as usize;
             let payload = buf
                 .get(pos..pos + plen)
@@ -184,6 +236,7 @@ pub fn decode_msg(buf: &[u8]) -> io::Result<ReplMsg> {
             ReplMsg::Frame {
                 offset,
                 next_offset,
+                epoch,
                 payload,
             }
         }
@@ -194,6 +247,7 @@ pub fn decode_msg(buf: &[u8]) -> io::Result<ReplMsg> {
         TAG_HEARTBEAT => ReplMsg::Heartbeat {
             log_end: get_u64(buf, &mut pos)?,
             latest_ts: get_u64(buf, &mut pos)?,
+            epoch: get_u64(buf, &mut pos)?,
         },
         other => {
             return Err(io::Error::new(

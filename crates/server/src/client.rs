@@ -321,6 +321,64 @@ impl Client {
         let _ = self.call(&Request::Shutdown)?;
         Ok(())
     }
+
+    /// Fetches the node's replication role snapshot (failover probing).
+    pub fn status(&mut self) -> io::Result<NodeStatus> {
+        match self.call(&Request::Status)? {
+            Response::Status {
+                epoch,
+                read_only,
+                fenced,
+                latest_ts,
+            } => Ok(NodeStatus {
+                epoch,
+                read_only,
+                fenced,
+                latest_ts,
+            }),
+            Response::Err(e) => Err(e.into_io()),
+            other => Err(unexpected_response(&other)),
+        }
+    }
+
+    /// Asks this node to promote itself to primary; returns the new
+    /// epoch. **Never retried** (a lost ack could bump the epoch twice);
+    /// a transport failure surfaces to the caller, who should re-check
+    /// [`Client::status`] before trying again.
+    pub fn promote(&mut self) -> io::Result<u64> {
+        match self.call(&Request::Promote)? {
+            Response::Ok { result, .. } => match result.rows.first().and_then(|r| r.first()) {
+                Some(Value::Int(epoch)) => Ok(u64::try_from(*epoch).unwrap_or(0)),
+                _ => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "promotion reply missing the epoch column",
+                )),
+            },
+            Response::Err(e) => Err(e.into_io()),
+            other => Err(unexpected_response(&other)),
+        }
+    }
+}
+
+/// A node's replication role snapshot ([`Client::status`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeStatus {
+    /// The node's current replication epoch (highest seen).
+    pub epoch: u64,
+    /// Whether the node refuses writes by role.
+    pub read_only: bool,
+    /// Whether the node's write path is fenced by a newer epoch.
+    pub fenced: bool,
+    /// Latest commit timestamp applied on the node.
+    pub latest_ts: u64,
+}
+
+impl NodeStatus {
+    /// Whether this node is currently accepting direct writes — what
+    /// failover routing looks for (paired with the highest epoch).
+    pub fn writable(&self) -> bool {
+        !self.read_only && !self.fenced
+    }
 }
 
 /// One page returned by [`Client::run_page`].
@@ -358,14 +416,22 @@ impl Iterator for Pages<'_> {
             self.params.clone(),
             0,
             self.page_size,
-            self.cursor.take(),
+            self.cursor.clone(),
         ) {
             Ok(page) => {
                 self.cursor = page.cursor;
                 Some(Ok(page.result))
             }
             Err(e) => {
-                self.done = true;
+                // Keep the cursor across transport faults: paged reads
+                // are idempotent, so the caller can simply call `next`
+                // again and resume from the same token once the client
+                // has re-routed or reconnected. Only a *semantic*
+                // rejection (bad query, expired cursor) ends the
+                // iterator for good.
+                if e.kind() == io::ErrorKind::InvalidInput {
+                    self.done = true;
+                }
                 Some(Err(e))
             }
         }
@@ -377,6 +443,12 @@ impl Iterator for Pages<'_> {
 pub(crate) fn request_is_idempotent(req: &Request) -> bool {
     match req {
         Request::Ping | Request::Metrics | Request::Shutdown => true,
+        // Status is the read-only probe failover routing leans on; it
+        // must always be safe to replay. Promote is the opposite: a
+        // retry after a lost ack could bump the epoch twice, so clients
+        // never auto-retry it.
+        Request::Status => true,
+        Request::Promote => false,
         Request::Run { query, .. } => query_is_read_only(query),
         Request::RunBatch { statements, .. } => statements
             .iter()
@@ -421,6 +493,8 @@ mod tests {
         assert!(request_is_idempotent(&Request::Ping));
         assert!(request_is_idempotent(&Request::Metrics));
         assert!(request_is_idempotent(&Request::Shutdown));
+        assert!(request_is_idempotent(&Request::Status));
+        assert!(!request_is_idempotent(&Request::Promote));
         let read = Request::Run {
             query: "MATCH (n) WHERE id(n) = 1 RETURN n".into(),
             params: vec![],

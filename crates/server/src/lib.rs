@@ -31,6 +31,6 @@ pub mod server;
 pub mod workers;
 
 pub use chaos::{ChaosConfig, ChaosProxy};
-pub use client::{Client, ClientConfig};
+pub use client::{Client, ClientConfig, NodeStatus};
 pub use routing::{RoutedClient, ServedBy};
 pub use server::{Server, ServerConfig, ServerStats};

@@ -9,6 +9,8 @@
 //!           | 0x03 "SHUTDOWN"
 //!           | 0x04 "METRICS"
 //!           | 0x05 "RUNBATCH" u32 nstmts, nstmts × stmt, u64 min_watermark
+//!           | 0x06 "PROMOTE"
+//!           | 0x07 "STATUS"
 //! stmt     := u16 qlen, query, u16 nparams, nparams × param
 //! param    := u16 klen, key, value
 //! response := 0x00 "OK"   result, u64 watermark,
@@ -18,6 +20,8 @@
 //!                            u32 ngauge, ngauge × (str, i64),
 //!                            u32 nhist, nhist × (str, 5 × u64)
 //!           | 0x03 "BATCH" u32 nstmts, nstmts × item, u64 watermark
+//!           | 0x04 "STATUS" u64 epoch, u8 read_only, u8 fenced,
+//!                           u64 latest_ts
 //! item     := 0x00 result | 0x01 u8 code, str
 //! result   := u16 ncols, ncols × str, u32 nrows, rows × row
 //! row      := ncols × value
@@ -67,6 +71,16 @@ pub enum Request {
         /// [`Request::Run::min_watermark`]).
         min_watermark: u64,
     },
+    /// Ask this node to promote itself to primary (failover control
+    /// plane; DESIGN.md §17). Only honoured when the server was wired
+    /// with a promote handler; refused with [`ErrorCode::Generic`]
+    /// otherwise. **Not idempotent** — a retry could bump the epoch
+    /// twice — so clients never auto-retry it.
+    Promote,
+    /// Fetch the node's replication role snapshot ([`Response::Status`]).
+    /// Read-only and always safe to retry; this is what failover routing
+    /// probes to find the current primary.
+    Status,
 }
 
 /// Machine-readable failure class carried on every `ERR` frame, so
@@ -100,6 +114,10 @@ pub enum ErrorCode {
     /// or its anchor no longer resolves at the pinned snapshot. Restart
     /// the scan from the first page.
     CursorInvalid = 7,
+    /// This node was deposed: a newer replication epoch exists and the
+    /// write was refused without executing (DESIGN.md §17). Probe the
+    /// cluster for the highest-epoch writable node and route there.
+    Fenced = 8,
 }
 
 impl ErrorCode {
@@ -112,6 +130,7 @@ impl ErrorCode {
             5 => ErrorCode::ReadOnlyReplica,
             6 => ErrorCode::BudgetExceeded,
             7 => ErrorCode::CursorInvalid,
+            8 => ErrorCode::Fenced,
             _ => ErrorCode::Generic,
         }
     }
@@ -154,6 +173,11 @@ impl WireError {
             ErrorCode::ReadOnlyReplica => io::ErrorKind::PermissionDenied,
             ErrorCode::BudgetExceeded => io::ErrorKind::OutOfMemory,
             ErrorCode::CursorInvalid => io::ErrorKind::InvalidInput,
+            // Not `PermissionDenied` (taken by ReadOnlyReplica, which
+            // routing treats as a fatal misconfiguration): a fence means
+            // "the primary moved", which is precisely a lost connection
+            // to the real primary.
+            ErrorCode::Fenced => io::ErrorKind::NotConnected,
         };
         io::Error::new(kind, self.message)
     }
@@ -187,6 +211,19 @@ pub enum Response {
         results: Vec<std::result::Result<QueryResult, WireError>>,
         /// Latest commit timestamp applied on the serving node.
         watermark: u64,
+    },
+    /// Replication role snapshot (reply to [`Request::Status`]).
+    /// Failover routing picks the highest-epoch node with
+    /// `read_only == false && fenced == false` as the primary.
+    Status {
+        /// The node's current replication epoch.
+        epoch: u64,
+        /// Whether the query server refuses writes by role.
+        read_only: bool,
+        /// Whether the write path is fenced (a newer epoch was seen).
+        fenced: bool,
+        /// Latest commit timestamp applied on this node.
+        latest_ts: u64,
     },
 }
 
@@ -459,6 +496,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
             out.extend_from_slice(&min_watermark.to_le_bytes());
         }
+        Request::Promote => out.push(0x06),
+        Request::Status => out.push(0x07),
     }
     out
 }
@@ -509,6 +548,8 @@ pub fn decode_request(buf: &[u8]) -> io::Result<Request> {
                 min_watermark,
             }
         }
+        0x06 => Request::Promote,
+        0x07 => Request::Status,
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -628,6 +669,18 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             }
             out.extend_from_slice(&watermark.to_le_bytes());
         }
+        Response::Status {
+            epoch,
+            read_only,
+            fenced,
+            latest_ts,
+        } => {
+            out.push(0x04);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.push(u8::from(*read_only));
+            out.push(u8::from(*fenced));
+            out.extend_from_slice(&latest_ts.to_le_bytes());
+        }
         Response::Metrics(snap) => {
             out.push(0x02);
             out.extend_from_slice(&(snap.counters.len() as u32).to_le_bytes());
@@ -733,6 +786,18 @@ pub fn decode_response(buf: &[u8]) -> io::Result<Response> {
             }
             let watermark = read_u64(buf, &mut pos)?;
             Ok(Response::Batch { results, watermark })
+        }
+        0x04 => {
+            let epoch = read_u64(buf, &mut pos)?;
+            let read_only = read_u8(buf, &mut pos)? != 0;
+            let fenced = read_u8(buf, &mut pos)? != 0;
+            let latest_ts = read_u64(buf, &mut pos)?;
+            Ok(Response::Status {
+                epoch,
+                read_only,
+                fenced,
+                latest_ts,
+            })
         }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -845,6 +910,27 @@ mod tests {
             decode_request(&encode_request(&Request::Shutdown)).unwrap(),
             Request::Shutdown
         );
+        assert_eq!(
+            decode_request(&encode_request(&Request::Promote)).unwrap(),
+            Request::Promote
+        );
+        assert_eq!(
+            decode_request(&encode_request(&Request::Status)).unwrap(),
+            Request::Status
+        );
+    }
+
+    #[test]
+    fn status_response_roundtrip() {
+        for (read_only, fenced) in [(false, false), (true, false), (false, true), (true, true)] {
+            let resp = Response::Status {
+                epoch: 7,
+                read_only,
+                fenced,
+                latest_ts: 1234,
+            };
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
     }
 
     #[test]
@@ -921,6 +1007,7 @@ mod tests {
             (ErrorCode::ReadOnlyReplica, io::ErrorKind::PermissionDenied),
             (ErrorCode::BudgetExceeded, io::ErrorKind::OutOfMemory),
             (ErrorCode::CursorInvalid, io::ErrorKind::InvalidInput),
+            (ErrorCode::Fenced, io::ErrorKind::NotConnected),
         ] {
             let resp = Response::Err(WireError::new(code, "m"));
             let back = decode_response(&encode_response(&resp)).unwrap();

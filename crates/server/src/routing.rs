@@ -17,6 +17,17 @@
 //! * **Graceful degradation.** Transport errors mark a replica down for
 //!   a cooldown window instead of removing it; with every replica down
 //!   or stale, reads degrade to primary-only service.
+//! * **Primary failover (DESIGN.md §17).** When the primary refuses a
+//!   write with a typed rejection (`Fenced` — it was deposed — or
+//!   `ReadOnlyReplica` — it rejoined as a replica) or cannot be reached
+//!   at all, the router probes every node it knows with `Status`,
+//!   re-points the write route at the **highest-epoch writable** node,
+//!   and retries exactly when the failed attempt provably did not
+//!   execute (typed rejections and connect failures). An ambiguous
+//!   mid-request transport error still re-points the route for
+//!   subsequent calls but surfaces the error — a write whose ack was
+//!   lost is never replayed. The session watermark carries across
+//!   failover, so read-your-writes holds on the new primary.
 
 use crate::client::{query_is_read_only, Client, ClientConfig};
 use query::{QueryResult, Value};
@@ -173,13 +184,52 @@ impl RoutedClient {
         query: &str,
         params: Vec<(String, Value)>,
     ) -> io::Result<QueryResult> {
+        match self.primary_attempt(query, params.clone()) {
+            Ok(result) => Ok(result),
+            // The attempt provably did not execute (typed rejection or
+            // the connection was never established): find the real
+            // primary and replay the call there once.
+            Err(PrimaryError::Retryable(e)) => {
+                if self.failover_primary() {
+                    self.primary_attempt(query, params)
+                        .map_err(PrimaryError::into_io)
+                } else {
+                    Err(e)
+                }
+            }
+            // Ambiguous (request sent, ack lost): heal the route for the
+            // next call, but surface the error — replaying could apply
+            // the write twice.
+            Err(PrimaryError::Ambiguous(e)) => {
+                let _ = self.failover_primary();
+                Err(e)
+            }
+        }
+    }
+
+    /// One write/read attempt against the current primary route,
+    /// classifying failures by whether the request could have executed.
+    fn primary_attempt(
+        &mut self,
+        query: &str,
+        params: Vec<(String, Value)>,
+    ) -> Result<QueryResult, PrimaryError> {
         if self.primary.is_none() {
-            self.primary = Some(Client::connect_with(self.primary_addr, self.cfg.clone())?);
+            // Nothing was sent yet: a connect failure is always safe to
+            // retry elsewhere.
+            self.primary = Some(
+                Client::connect_with(self.primary_addr, self.cfg.clone())
+                    .map_err(PrimaryError::Retryable)?,
+            );
         }
         let client = match self.primary.as_mut() {
             Some(c) => c,
             // Unreachable: populated just above.
-            None => return Err(io::Error::other("primary connection unavailable")),
+            None => {
+                return Err(PrimaryError::Retryable(io::Error::other(
+                    "primary connection unavailable",
+                )))
+            }
         };
         // min_watermark 0: the primary owns the log head and cannot be
         // stale relative to anything it acknowledged.
@@ -188,10 +238,67 @@ impl RoutedClient {
                 self.observe_watermark(watermark);
                 Ok(result)
             }
+            // Typed rejections shed *before* execution: `Fenced` (the
+            // node was deposed) and `ReadOnlyReplica` (it rejoined as a
+            // replica). Neither applied the write.
+            Err(e)
+                if e.kind() == io::ErrorKind::NotConnected
+                    || e.kind() == io::ErrorKind::PermissionDenied =>
+            {
+                self.primary = None;
+                Err(PrimaryError::Retryable(e))
+            }
             Err(e) => {
                 self.primary = None;
-                Err(e)
+                Err(PrimaryError::Ambiguous(e))
             }
+        }
+    }
+
+    /// Probes every node this router knows (current primary + replicas)
+    /// with `Status` and re-points the write route at the
+    /// highest-epoch writable node. Returns whether a writable node was
+    /// found. When the route actually moves, the deposed primary's
+    /// address takes the promoted node's replica slot — after it rejoins
+    /// (as a replica) it serves reads again.
+    fn failover_primary(&mut self) -> bool {
+        // Probes are advisory: keep them snappy, no retry loops.
+        let mut probe_cfg = self.cfg.clone();
+        probe_cfg.retries = 0;
+        let mut best: Option<(u64, SocketAddr)> = None;
+        let candidates: Vec<SocketAddr> = std::iter::once(self.primary_addr)
+            .chain(self.replicas.iter().map(|s| s.addr))
+            .collect();
+        for addr in candidates {
+            let Ok(mut client) = Client::connect_with(addr, probe_cfg.clone()) else {
+                continue;
+            };
+            let Ok(status) = client.status() else {
+                continue;
+            };
+            if status.writable() && best.is_none_or(|(epoch, _)| status.epoch > epoch) {
+                best = Some((status.epoch, addr));
+            }
+        }
+        match best {
+            Some((_, addr)) if addr != self.primary_addr => {
+                if let Some(slot) = self.replicas.iter_mut().find(|s| s.addr == addr) {
+                    slot.addr = self.primary_addr;
+                    slot.client = None;
+                    slot.down_until = Some(Instant::now() + REPLICA_COOLDOWN);
+                }
+                self.primary_addr = addr;
+                self.primary = None;
+                self.tel.failovers.inc();
+                true
+            }
+            // The configured primary itself is (again) writable — e.g. a
+            // transient fence that resolved. Just reconnect.
+            Some(_) => {
+                self.primary = None;
+                true
+            }
+            None => false,
         }
     }
 
@@ -247,4 +354,22 @@ enum ReplicaOutcome {
     Stale,
     Unavailable,
     Fatal(io::Error),
+}
+
+/// A failed primary attempt, split by whether the request could have
+/// executed on the server before the failure.
+enum PrimaryError {
+    /// Provably not executed (typed rejection, connect failure): safe to
+    /// replay on another node.
+    Retryable(io::Error),
+    /// Sent but unacknowledged: may have executed; never replayed.
+    Ambiguous(io::Error),
+}
+
+impl PrimaryError {
+    fn into_io(self) -> io::Error {
+        match self {
+            PrimaryError::Retryable(e) | PrimaryError::Ambiguous(e) => e,
+        }
+    }
 }

@@ -146,6 +146,7 @@ struct Telemetry {
     active_connections: Arc<obs::Gauge>,
     stale_rejects: Arc<obs::Counter>,
     read_only_rejects: Arc<obs::Counter>,
+    writes_fenced: Arc<obs::Counter>,
 }
 
 impl Telemetry {
@@ -166,6 +167,7 @@ impl Telemetry {
             active_connections: obs::gauge("server.active_connections"),
             stale_rejects: obs::counter("server.repl.stale_rejects"),
             read_only_rejects: obs::counter("server.repl.read_only_rejects"),
+            writes_fenced: obs::counter("server.writes_fenced"),
         }
     }
 
@@ -245,6 +247,11 @@ impl SlowLogLimiter {
     }
 }
 
+/// Control-plane hook invoked for [`Request::Promote`]: returns the new
+/// epoch on success. Wired by the node role manager (which owns the
+/// replayer/shipper the server must not know about).
+type PromoteHandler = Box<dyn FnMut() -> io::Result<u64> + Send>;
+
 /// Everything a connection worker needs, shared across workers.
 struct ServerShared {
     db: Arc<Aion>,
@@ -255,6 +262,18 @@ struct ServerShared {
     workers: WorkerSet<TcpStream>,
     cfg: ServerConfig,
     addr: SocketAddr,
+    /// Live read-only state. Seeded from [`ServerConfig::read_only`] but
+    /// consulted per request, so promotion can flip a running replica
+    /// into a writable primary without a restart (share the same `Arc`
+    /// with the role manager).
+    read_only: Arc<AtomicBool>,
+    promote: Mutex<Option<PromoteHandler>>,
+}
+
+impl ServerShared {
+    fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
+    }
 }
 
 /// A running Aion server.
@@ -277,6 +296,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let tel = Telemetry::new();
         let workers = WorkerSet::new(tel.active_connections.clone());
+        let read_only = Arc::new(AtomicBool::new(cfg.read_only));
         let shared = Arc::new(ServerShared {
             db,
             stop: AtomicBool::new(false),
@@ -286,6 +306,8 @@ impl Server {
             workers,
             cfg,
             addr,
+            read_only,
+            promote: Mutex::new(None),
         });
         let shared2 = shared.clone();
         let accept_thread = std::thread::Builder::new()
@@ -316,6 +338,24 @@ impl Server {
     /// This instance's resilience counters.
     pub fn stats(&self) -> ServerStats {
         self.shared.tel.cells.snapshot()
+    }
+
+    /// The live read-only flag. Share this `Arc` with a node role
+    /// manager so promotion flips the running server writable (and a
+    /// demotion flips it back) without a restart.
+    pub fn read_only_flag(&self) -> Arc<AtomicBool> {
+        self.shared.read_only.clone()
+    }
+
+    /// Wires the [`Request::Promote`] control operation to `handler`
+    /// (typically `ReplNode::promote` in `aion-repl`). Without a handler
+    /// the request is refused with a typed error.
+    pub fn set_promote_handler(&self, handler: impl FnMut() -> io::Result<u64> + Send + 'static) {
+        let mut slot = match self.shared.promote.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *slot = Some(Box::new(handler));
     }
 
     /// Stops admissions, drains in-flight requests up to the drain
@@ -553,6 +593,10 @@ fn exec_error_to_wire(shared: &ServerShared, e: lpg::GraphError) -> WireError {
         lpg::GraphError::CursorInvalid(msg) => {
             WireError::new(ErrorCode::CursorInvalid, format!("invalid cursor: {msg}"))
         }
+        e @ lpg::GraphError::Fenced { .. } => {
+            shared.tel.writes_fenced.inc();
+            WireError::new(ErrorCode::Fenced, e.to_string())
+        }
         e => WireError::generic(e.to_string()),
     }
 }
@@ -602,6 +646,42 @@ fn handle_connection(
                 let r = Response::Metrics(obs::snapshot());
                 shared.tel.metrics_latency.record(elapsed_ns(started));
                 r
+            }
+            Ok(Request::Status) => Response::Status {
+                // `max_seen` is the node's effective epoch: for the
+                // acting primary it equals the held epoch; for a deposed
+                // one it is the newer epoch that fenced it — either way
+                // the highest-epoch writable node is the true primary.
+                epoch: shared.db.max_seen_epoch(),
+                read_only: shared.is_read_only(),
+                fenced: shared.db.is_fenced(),
+                latest_ts: shared.db.latest_ts(),
+            },
+            Ok(Request::Promote) => {
+                let mut slot = match shared.promote.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                match slot.as_mut() {
+                    None => Response::Err(WireError::generic(
+                        "this node has no promote handler (not running under a role manager)",
+                    )),
+                    Some(handler) => match handler() {
+                        Ok(epoch) => Response::Ok {
+                            result: query::QueryResult {
+                                columns: vec!["epoch".into()],
+                                rows: vec![vec![query::Value::Int(
+                                    i64::try_from(epoch).unwrap_or(i64::MAX),
+                                )]],
+                            },
+                            watermark: shared.db.latest_ts(),
+                            cursor: None,
+                        },
+                        Err(e) => {
+                            Response::Err(WireError::generic(format!("promotion failed: {e}")))
+                        }
+                    },
+                }
             }
             Ok(Request::Shutdown) => {
                 shared.stop.store(true, Ordering::Release);
@@ -672,7 +752,7 @@ fn handle_connection(
                         continue;
                     }
                 }
-                if shared.cfg.read_only && !crate::client::query_is_read_only(&query) {
+                if shared.is_read_only() && !crate::client::query_is_read_only(&query) {
                     shared.tel.read_only_reject();
                     let r = Response::Err(WireError::new(
                         ErrorCode::ReadOnlyReplica,
@@ -763,7 +843,7 @@ fn handle_connection(
                     // Read-only replicas gate per statement: reads in a
                     // mixed batch still execute, each write gets its own
                     // typed refusal.
-                    if shared.cfg.read_only && !crate::client::query_is_read_only(&query) {
+                    if shared.is_read_only() && !crate::client::query_is_read_only(&query) {
                         shared.tel.read_only_reject();
                         results.push(Err(WireError::new(
                             ErrorCode::ReadOnlyReplica,

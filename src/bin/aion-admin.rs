@@ -1,0 +1,95 @@
+//! Operator CLI for a running Aion node (DESIGN.md §17).
+//!
+//! ```text
+//! aion-admin status <addr>    # epoch / role / fence / latest_ts snapshot
+//! aion-admin promote <addr>   # promote the replica at <addr> to primary
+//! aion-admin metrics <addr>   # dump the node's metrics (Prometheus text)
+//! ```
+//!
+//! `promote` is the manual half of failover: point it at the replica
+//! that should take over after the primary dies. The server drains the
+//! replica's replay queue, bumps and persists the epoch, and starts
+//! shipping its own log; the command prints the new epoch. It is never
+//! retried automatically — if the connection drops mid-promotion, run
+//! `status` first to see whether the epoch already moved.
+
+use aion_server::{Client, ClientConfig, NodeStatus};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: aion-admin <status|promote|metrics> <addr>\n\
+         \n\
+         status   print the node's epoch, role, fence state, and latest commit ts\n\
+         promote  promote the replica at <addr> to primary (prints the new epoch)\n\
+         metrics  dump the node's metrics in Prometheus text format"
+    );
+    ExitCode::from(2)
+}
+
+fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+    Client::connect_with(
+        addr,
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(10),
+            ..ClientConfig::default()
+        },
+    )
+}
+
+fn print_status(addr: SocketAddr, st: NodeStatus) {
+    let role = if st.writable() {
+        "primary (writable)"
+    } else if st.fenced {
+        "fenced (deposed primary; writes refused)"
+    } else {
+        "replica (read-only)"
+    };
+    println!("node      {addr}");
+    println!("epoch     {}", st.epoch);
+    println!("role      {role}");
+    println!("latest_ts {}", st.latest_ts);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, addr) = match args.as_slice() {
+        [cmd, addr] => (cmd.as_str(), addr),
+        _ => return usage(),
+    };
+    let addr: SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("aion-admin: bad address {addr:?}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = (|| -> std::io::Result<()> {
+        let mut client = connect(addr)?;
+        match cmd {
+            "status" => print_status(addr, client.status()?),
+            "promote" => {
+                let epoch = client.promote()?;
+                println!("promoted: {addr} now primary at epoch {epoch}");
+            }
+            "metrics" => {
+                print!("{}", client.metrics()?.to_prometheus());
+            }
+            _ => {
+                drop(client);
+                std::process::exit(2);
+            }
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("aion-admin: {cmd} {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

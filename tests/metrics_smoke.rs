@@ -240,3 +240,111 @@ fn repl_metrics_read_back_after_replication() {
     replayer.shutdown();
     shipper.shutdown();
 }
+
+/// The failover layer's metrics (`repl.epoch`, `server.writes_fenced`,
+/// `repl.divergent_frames_archived`, `client.route.failovers`) must
+/// read back after a fenced write, a rejoin quarantine, and a routed
+/// failover — and appear in both exposition formats.
+#[test]
+fn failover_metrics_read_back() {
+    use aion_server::{ClientConfig, RoutedClient, Server};
+    use repl::{prepare_rejoin, ReplNode, ReplNodeConfig};
+    use vfs::VfsRef;
+
+    // A fenced write: the node learns of a newer epoch, so the server
+    // refuses the commit with the typed error and counts it.
+    let fdir = tempdir().unwrap();
+    let fenced_db = Arc::new(Aion::open(AionConfig::new(fdir.path())).unwrap());
+    let mut fenced_srv = Server::start(fenced_db.clone()).unwrap();
+    fenced_db.observe_epoch(5);
+    let mut client = aion_server::Client::connect(fenced_srv.addr()).unwrap();
+    let err = client
+        .run("CREATE (n {_id: 1})", vec![])
+        .expect_err("fenced node must refuse the write");
+    assert_eq!(err.kind(), std::io::ErrorKind::NotConnected);
+
+    // A rejoin quarantine: a node with three epoch-0 commits meets a
+    // primary already at epoch 1 (fork at ts 0) — all three frames are
+    // archived and counted.
+    let ddir = tempdir().unwrap();
+    {
+        let deposed = Aion::open(AionConfig::new(ddir.path())).unwrap();
+        for i in 1..=3 {
+            deposed
+                .write(|tx| tx.add_node(NodeId::new(i), vec![], vec![]))
+                .unwrap();
+        }
+        deposed.sync().unwrap();
+    }
+    let pdir = tempdir().unwrap();
+    let new_primary = Arc::new(Aion::open(AionConfig::new(pdir.path())).unwrap());
+    let node = ReplNode::new_primary(
+        new_primary.clone(),
+        VfsRef::std(),
+        pdir.path(),
+        ReplNodeConfig::default(),
+    )
+    .unwrap();
+    node.epochs().bump(0).unwrap();
+    let report = prepare_rejoin(
+        &VfsRef::std(),
+        ddir.path(),
+        node.shipper_addr().unwrap(),
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    assert_eq!(report.archived_frames, 3);
+
+    // A routed failover: the configured primary is unreachable, the
+    // probe finds a writable node, and the route moves.
+    let tdir = tempdir().unwrap();
+    let target_db = Arc::new(Aion::open(AionConfig::new(tdir.path())).unwrap());
+    let mut target_srv = Server::start(target_db.clone()).unwrap();
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let mut router = RoutedClient::new(
+        dead,
+        vec![target_srv.addr()],
+        ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            retries: 0,
+            ..ClientConfig::default()
+        },
+    );
+    router.run("CREATE (n {_id: 10})", vec![]).unwrap();
+
+    let snap = obs::snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    assert!(counter("server.writes_fenced") >= 1, "fenced writes");
+    assert!(
+        counter("repl.divergent_frames_archived") >= 3,
+        "archived frames"
+    );
+    assert!(counter("client.route.failovers") >= 1, "route failovers");
+    assert!(snap.gauge("repl.epoch").is_some(), "epoch gauge");
+
+    // All four flow through both exposition formats.
+    let prom = snap.to_prometheus();
+    let json = snap.to_json();
+    for (prom_name, json_name) in [
+        ("aion_server_writes_fenced", "\"server.writes_fenced\""),
+        (
+            "aion_repl_divergent_frames_archived",
+            "\"repl.divergent_frames_archived\"",
+        ),
+        ("aion_client_route_failovers", "\"client.route.failovers\""),
+        ("aion_repl_epoch", "\"repl.epoch\""),
+    ] {
+        assert!(
+            prom.contains(prom_name),
+            "{prom_name} missing in Prometheus"
+        );
+        assert!(json.contains(json_name), "{json_name} missing in JSON");
+    }
+
+    fenced_srv.shutdown();
+    target_srv.shutdown();
+    drop(node);
+}
